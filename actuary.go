@@ -1,0 +1,293 @@
+// Package actuary is a quantitative cost model for multi-chiplet VLSI
+// systems, reproducing "Chiplet Actuary: A Quantitative Cost Model and
+// Multi-Chiplet Architecture Exploration" (Feng & Ma, DAC 2022).
+//
+// The model compares monolithic SoCs against MCM, InFO and 2.5D
+// multi-chip integration on both recurring cost (wafers, dies,
+// packaging, yield losses, wasted known-good dies) and non-recurring
+// cost (module/chip/package design, masks, IP, D2D interfaces),
+// amortized over production quantity.
+//
+// Quick start:
+//
+//	a, err := actuary.New()
+//	soc := actuary.Monolithic("big-soc", "5nm", 800, 2_000_000)
+//	mcm, err := actuary.PartitionEqual("big-mcm", "5nm", 800, 2,
+//	    actuary.MCM, actuary.D2DFraction(0.10), 2_000_000)
+//	tc, err := a.Total(mcm, actuary.PerSystemUnit)
+//	fmt.Println(tc.Total())
+//
+// The internal packages (yield, wafer geometry, technology database,
+// packaging, NRE, reuse schemes, exploration, paper experiments) are
+// exposed here through type aliases, so this package is the only
+// import a downstream user needs.
+package actuary
+
+import (
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/montecarlo"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/reuse"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+)
+
+// Core architecture types (Eq. 3).
+type (
+	// Module is an indivisible group of functional units.
+	Module = system.Module
+	// Chiplet is a die: modules plus a D2D interface on a node.
+	Chiplet = system.Chiplet
+	// Placement mounts copies of a chiplet in a package.
+	Placement = system.Placement
+	// System is one product: placements + integration + quantity.
+	System = system.System
+	// Envelope is a reused package design shared by several systems.
+	Envelope = system.Envelope
+	// SalvageSpec enables EPYC-style partial-good harvesting on a
+	// chiplet.
+	SalvageSpec = system.SalvageSpec
+)
+
+// Technology and parameters.
+type (
+	// TechNode holds one process node's manufacturing and NRE
+	// parameters.
+	TechNode = tech.Node
+	// TechDatabase is a collection of nodes, loadable from JSON.
+	TechDatabase = tech.Database
+	// PackagingParams are the packaging-technology constants.
+	PackagingParams = packaging.Params
+)
+
+// Integration schemes and assembly flows.
+type (
+	// Scheme is an integration technology (SoC, MCM, InFO, 2.5D).
+	Scheme = packaging.Scheme
+	// Flow is the assembly order of Eq. (5).
+	Flow = packaging.Flow
+)
+
+// Scheme and flow constants.
+const (
+	SoC           = packaging.SoC
+	MCM           = packaging.MCM
+	InFO          = packaging.InFO
+	TwoPointFiveD = packaging.TwoPointFiveD
+
+	ChipLast  = packaging.ChipLast
+	ChipFirst = packaging.ChipFirst
+)
+
+// Cost results.
+type (
+	// REBreakdown is the five-part recurring cost of §3.2.
+	REBreakdown = cost.Breakdown
+	// WaferDemand is the production-planning view: wafer starts per
+	// node for a production run.
+	WaferDemand = cost.WaferDemand
+	// NREBreakdown is the amortized NRE per unit, by design kind.
+	NREBreakdown = nre.Breakdown
+	// TotalCost combines RE and amortized NRE for one system unit.
+	TotalCost = explore.TotalCost
+	// AmortizationPolicy selects how shared designs split their NRE.
+	AmortizationPolicy = nre.Policy
+)
+
+// Amortization policies.
+const (
+	PerSystemUnit = nre.PerSystemUnit
+	PerInstance   = nre.PerInstance
+)
+
+// D2D interface models.
+type (
+	// D2DOverhead sizes the die-to-die interface area of a chiplet.
+	D2DOverhead = dtod.Overhead
+	// D2DPHY describes an interface technology (Figure 1).
+	D2DPHY = dtod.PHY
+	// D2DBeachfront sizes the interface from a bandwidth demand.
+	D2DBeachfront = dtod.Beachfront
+	// D2DTopology selects how chiplets interconnect (hub, mesh,
+	// fully connected) for the scaled interface model.
+	D2DTopology = dtod.Topology
+	// D2DScaled grows the interface area with the link count.
+	D2DScaled = dtod.Scaled
+)
+
+// D2D topologies for D2DScaled.
+const (
+	D2DHub            = dtod.Hub
+	D2DMesh           = dtod.Mesh
+	D2DFullyConnected = dtod.FullyConnected
+)
+
+// CalibrateScaledD2D anchors a scaled D2D model to a reference
+// configuration's area fraction (e.g. the paper's 10% at 2 chiplets).
+var CalibrateScaledD2D = dtod.CalibrateScaled
+
+// Reuse scheme configurations (§5).
+type (
+	SCMSConfig = reuse.SCMSConfig
+	OCMEConfig = reuse.OCMEConfig
+	FSMCConfig = reuse.FSMCConfig
+)
+
+// Re-exported constructors and helpers.
+var (
+	// DefaultTech returns the built-in technology database.
+	DefaultTech = tech.Default
+	// LoadTechFile reads a technology database from a JSON file.
+	LoadTechFile = tech.LoadFile
+	// DefaultPackaging returns the calibrated packaging constants.
+	DefaultPackaging = packaging.DefaultParams
+	// ParseScheme converts "SoC"/"MCM"/"InFO"/"2.5D" to a Scheme.
+	ParseScheme = packaging.ParseScheme
+
+	// Monolithic builds a single-die SoC system.
+	Monolithic = system.Monolithic
+	// PartitionEqual splits a module area into k equal chiplets.
+	PartitionEqual = system.PartitionEqual
+	// PartitionWeighted splits a module area by weights.
+	PartitionWeighted = system.PartitionWeighted
+
+	// SCMS, OCME and FSMC build the §5 reuse-scheme families.
+	SCMS = reuse.SCMS
+	OCME = reuse.OCME
+	FSMC = reuse.FSMC
+	// SoCEquivalent builds the monolithic comparator of a system.
+	SoCEquivalent = reuse.SoCEquivalent
+	// CollocationCount is the §5.3 system-count formula.
+	CollocationCount = reuse.CollocationCount
+)
+
+// Monte Carlo uncertainty analysis (see internal/montecarlo).
+type (
+	// MonteCarloSpace describes parameter perturbations.
+	MonteCarloSpace = montecarlo.Space
+	// MonteCarloScenario is one sampled model configuration.
+	MonteCarloScenario = montecarlo.Scenario
+	// MonteCarloResult summarizes a sampled metric.
+	MonteCarloResult = montecarlo.Result
+	// MonteCarloMetric evaluates one scalar under a scenario.
+	MonteCarloMetric = montecarlo.Metric
+	// Uniform, Triangular, Normal and PointDist are sampling
+	// distributions for MonteCarloSpace fields.
+	Uniform    = montecarlo.Uniform
+	Triangular = montecarlo.Triangular
+	Normal     = montecarlo.Normal
+	PointDist  = montecarlo.Point
+)
+
+// Monte Carlo entry points.
+var (
+	// MonteCarloRun draws scenarios and evaluates a metric.
+	MonteCarloRun = montecarlo.Run
+	// DefaultMonteCarloSpace puts a ±rel band on every uncertain
+	// parameter.
+	DefaultMonteCarloSpace = montecarlo.DefaultSpace
+)
+
+// D2DFraction returns the paper's flat-fraction D2D model (e.g. 0.10
+// for the 10% assumption of §4.1).
+func D2DFraction(f float64) D2DOverhead { return dtod.Fraction{F: f} }
+
+// D2DNone returns the zero-overhead model used by monolithic SoCs.
+func D2DNone() D2DOverhead { return dtod.None{} }
+
+// Figure 1 D2D interface presets.
+var (
+	MCMSerDes          = dtod.MCMSerDes
+	InFOFanout         = dtod.InFOFanout
+	InterposerParallel = dtod.InterposerParallel
+)
+
+// Actuary is the top-level evaluator: a technology database plus
+// packaging parameters, with the RE, NRE and exploration engines
+// behind one handle.
+type Actuary struct {
+	db     *TechDatabase
+	params PackagingParams
+	ev     *explore.Evaluator
+}
+
+// New builds an Actuary with the built-in technology database and the
+// calibrated default packaging parameters.
+func New() (*Actuary, error) {
+	return NewWithConfig(tech.Default(), packaging.DefaultParams())
+}
+
+// NewWithConfig builds an Actuary from a custom database and
+// parameters.
+func NewWithConfig(db *TechDatabase, params PackagingParams) (*Actuary, error) {
+	ev, err := explore.NewEvaluator(db, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Actuary{db: db, params: params, ev: ev}, nil
+}
+
+// Tech returns the technology database in use.
+func (a *Actuary) Tech() *TechDatabase { return a.db }
+
+// Packaging returns the packaging parameters in use.
+func (a *Actuary) Packaging() PackagingParams { return a.params }
+
+// RE computes the recurring cost of one unit of the system (§3.2).
+func (a *Actuary) RE(s System) (REBreakdown, error) {
+	return a.ev.Cost.RE(s)
+}
+
+// Wafers computes the wafer starts each node must supply to ship the
+// given quantity of the system, net of die and packaging yield.
+func (a *Actuary) Wafers(s System, quantity float64) (WaferDemand, error) {
+	return a.ev.Cost.Wafers(s, quantity)
+}
+
+// Total computes RE plus amortized NRE per unit for a standalone
+// system (a one-member portfolio).
+func (a *Actuary) Total(s System, policy AmortizationPolicy) (TotalCost, error) {
+	return a.ev.Single(s, policy)
+}
+
+// Portfolio evaluates a family of systems that share module, chip and
+// package designs (§3.3), keyed by system name.
+func (a *Actuary) Portfolio(systems []System, policy AmortizationPolicy) (map[string]TotalCost, error) {
+	return a.ev.Portfolio(systems, policy)
+}
+
+// CrossoverQuantity returns the production quantity at which the
+// challenger's total per-unit cost drops to the incumbent's (§4.2's
+// "pay back" point).
+func (a *Actuary) CrossoverQuantity(incumbent, challenger System) (float64, error) {
+	return a.ev.CrossoverQuantity(incumbent, challenger)
+}
+
+// OptimalChipletCount sweeps partition counts 1..maxK and returns the
+// feasible points and the index of the cheapest (§6's granularity
+// guidance).
+func (a *Actuary) OptimalChipletCount(node string, moduleAreaMM2 float64, maxK int,
+	scheme Scheme, d2d D2DOverhead, quantity float64) ([]explore.PartitionPoint, int, error) {
+	return a.ev.OptimalChipletCount(node, moduleAreaMM2, maxK, scheme, d2d, quantity)
+}
+
+// AreaCrossover finds the module area where a k-chiplet partition's
+// RE cost drops below the monolithic SoC's (§4.1's "turning point").
+func (a *Actuary) AreaCrossover(node string, k int, scheme Scheme,
+	d2d D2DOverhead, loMM2, hiMM2 float64) (float64, error) {
+	return a.ev.AreaCrossover(node, k, scheme, d2d, loMM2, hiMM2)
+}
+
+// MarginalUtility returns the relative RE saving of moving from k to
+// k+1 chiplets.
+func (a *Actuary) MarginalUtility(node string, moduleAreaMM2 float64, k int,
+	scheme Scheme, d2d D2DOverhead) (float64, error) {
+	return a.ev.MarginalUtility(node, moduleAreaMM2, k, scheme, d2d)
+}
+
+// Evaluator exposes the underlying exploration evaluator for advanced
+// use (sensitivity studies, custom sweeps).
+func (a *Actuary) Evaluator() *explore.Evaluator { return a.ev }

@@ -1,0 +1,277 @@
+package actuary
+
+// One benchmark per paper artifact: each bench regenerates the full
+// figure (workload, sweep, baselines) per iteration, so `go test
+// -bench=.` both measures the model's throughput and proves every
+// experiment still runs end to end. The correctness of the regenerated
+// numbers is asserted by the shape tests in internal/experiments.
+
+import (
+	"testing"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/experiments"
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+)
+
+func benchSetup(b *testing.B) (*tech.Database, packaging.Params, *cost.Engine, *explore.Evaluator) {
+	b.Helper()
+	db := tech.Default()
+	params := packaging.DefaultParams()
+	eng, err := cost.NewEngine(db, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := explore.NewEvaluator(db, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, params, eng, ev
+}
+
+// BenchmarkFig2YieldCostArea regenerates Figure 2: the yield-area and
+// normalized cost-area curves of the six technologies.
+func BenchmarkFig2YieldCostArea(b *testing.B) {
+	db, _, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4REGrid regenerates Figure 4: the 3×3 grid of normalized
+// RE cost bars (3 nodes × 3 chiplet counts × 9 areas × 4 schemes).
+func BenchmarkFig4REGrid(b *testing.B) {
+	_, _, eng, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(eng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5AMDValidation regenerates Figure 5: the AMD EPYC-like
+// chiplet-vs-monolithic validation at five core counts.
+func BenchmarkFig5AMDValidation(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(db, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TotalCost regenerates Figure 6: RE + amortized NRE for
+// the 800 mm² system at 2 nodes × 3 quantities × 4 schemes.
+func BenchmarkFig6TotalCost(b *testing.B) {
+	_, _, _, ev := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8SCMS regenerates Figure 8: the SCMS reuse families on
+// MCM and 2.5D, with and without package reuse, plus SoC baselines.
+func BenchmarkFig8SCMS(b *testing.B) {
+	_, _, _, ev := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9OCME regenerates Figure 9: the OCME families including
+// the heterogeneous-center variant.
+func BenchmarkFig9OCME(b *testing.B) {
+	_, _, _, ev := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10FSMC regenerates Figure 10: all five (k, n) FSMC
+// configurations — 331 multi-chip systems plus 331 SoC baselines per
+// scheme pair at the largest point.
+func BenchmarkFig10FSMC(b *testing.B) {
+	_, _, _, ev := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClaims evaluates every §4–§6 in-text claim.
+func BenchmarkClaims(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Claims(db, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAssemblyFlow compares chip-last vs chip-first
+// (Eq. 5) across schemes and chiplet counts.
+func BenchmarkAblationAssemblyFlow(b *testing.B) {
+	_, _, eng, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FlowAblation(eng, "7nm", 600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAmortization compares the per-system-unit and
+// per-instance NRE amortization policies on the SCMS family.
+func BenchmarkAblationAmortization(b *testing.B) {
+	_, _, _, ev := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AmortizationAblation(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationD2DOverhead sweeps the D2D area fraction.
+func BenchmarkAblationD2DOverhead(b *testing.B) {
+	_, _, eng, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.D2DAblation(eng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBondYield sweeps the micro-bump bond yield on 2.5D.
+func BenchmarkAblationBondYield(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BondYieldAblation(db, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionMaturity regenerates the yield-maturity timeline.
+func BenchmarkExtensionMaturity(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MaturityTimeline(db, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionInterposerStudy regenerates the passive/active
+// interposer comparison.
+func BenchmarkExtensionInterposerStudy(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ActiveInterposerStudy(db, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSalvage regenerates the core-harvesting sweep.
+func BenchmarkAblationSalvage(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SalvageAblation(db, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRobustness runs the Monte Carlo conclusion-stability study
+// (40 scenarios per conclusion to keep the bench tractable).
+func BenchmarkRobustness(b *testing.B) {
+	db, params, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Robustness(db, params, 40, 0.15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleSystemRE measures the core RE evaluation alone — the
+// unit of work every figure is built from.
+func BenchmarkSingleSystemRE(b *testing.B) {
+	_, _, eng, _ := benchSetup(b)
+	s, err := system.PartitionEqual("bench", "5nm", 800, 3, packaging.MCM,
+		D2DFraction(0.10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RE(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolioNRE measures the NRE engine on a shared-design
+// portfolio (the SCMS family).
+func BenchmarkPortfolioNRE(b *testing.B) {
+	_, params, _, ev := benchSetup(b)
+	family, err := SCMS(SCMSConfig{
+		Node: "7nm", ModuleAreaMM2: 200, Counts: []int{1, 2, 4},
+		Scheme: packaging.MCM, QuantityPerSystem: 500_000, Params: params,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.NRE.Portfolio(family, nre.PerSystemUnit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossoverQuantity measures the §4.2 pay-back solver.
+func BenchmarkCrossoverQuantity(b *testing.B) {
+	_, _, _, ev := benchSetup(b)
+	soc := system.Monolithic("soc", "5nm", 800, 1)
+	mcm, err := system.PartitionEqual("mcm", "5nm", 800, 2, packaging.MCM, D2DFraction(0.10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.CrossoverQuantity(soc, mcm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Command actuary evaluates the manufacturing (RE) and design (NRE)
+// cost of a chiplet system described in a JSON file.
+//
+// Usage:
+//
+//	actuary -config system.json [-tech tech.json] [-policy per-system-unit] [-quantity N]
+//
+// The config schema is documented on actuary.SystemConfig; an example
+// lives in cmd/actuary/testdata/epyc.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"chipletactuary"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "actuary:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("actuary", flag.ContinueOnError)
+	configPath := fs.String("config", "", "path to the system JSON description")
+	portfolioPath := fs.String("portfolio", "", "path to a portfolio JSON description (family of systems sharing designs)")
+	techPath := fs.String("tech", "", "optional technology database JSON (default: built-in)")
+	policyName := fs.String("policy", "per-system-unit", "NRE amortization policy: per-system-unit or per-instance")
+	quantity := fs.Float64("quantity", 0, "override the config's production quantity")
+	designs := fs.Bool("designs", false, "also print the de-duplicated NRE design inventory")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*configPath == "") == (*portfolioPath == "") {
+		fs.Usage()
+		return fmt.Errorf("exactly one of -config or -portfolio is required")
+	}
+
+	db := actuary.DefaultTech()
+	if *techPath != "" {
+		var err error
+		db, err = actuary.LoadTechFile(*techPath)
+		if err != nil {
+			return err
+		}
+	}
+	var policy actuary.AmortizationPolicy
+	switch *policyName {
+	case "per-system-unit":
+		policy = actuary.PerSystemUnit
+	case "per-instance":
+		policy = actuary.PerInstance
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	a, err := actuary.NewWithConfig(db, actuary.DefaultPackaging())
+	if err != nil {
+		return err
+	}
+	if *portfolioPath != "" {
+		pcfg, err := actuary.LoadPortfolioConfig(*portfolioPath)
+		if err != nil {
+			return err
+		}
+		systems, err := pcfg.Build(a.Packaging())
+		if err != nil {
+			return err
+		}
+		if *quantity > 0 {
+			for i := range systems {
+				systems[i].Quantity = *quantity
+			}
+		}
+		return renderPortfolio(out, a, pcfg.Name, systems, policy)
+	}
+
+	cfg, err := actuary.LoadSystemConfig(*configPath)
+	if err != nil {
+		return err
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		return err
+	}
+	if *quantity > 0 {
+		sys.Quantity = *quantity
+	}
+	tc, err := a.Total(sys, policy)
+	if err != nil {
+		return err
+	}
+	for _, warning := range sys.Warnings() {
+		fmt.Fprintf(out, "warning: %s\n", warning)
+	}
+	if err := render(out, sys, tc); err != nil {
+		return err
+	}
+	if err := renderWafers(out, a, sys); err != nil {
+		return err
+	}
+	if *designs {
+		fmt.Fprintln(out)
+		return renderDesigns(out, a, sys, policy)
+	}
+	return nil
+}
+
+func renderPortfolio(out io.Writer, a *actuary.Actuary, name string,
+	systems []actuary.System, policy actuary.AmortizationPolicy) error {
+	costs, err := a.Portfolio(systems, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "portfolio %q: %d systems sharing designs (%s amortization)\n\n",
+		name, len(systems), policy)
+	tab := report.NewTable("Per-unit cost by system",
+		"system", "scheme", "dies", "quantity", "RE", "NRE/unit", "total", "NRE share")
+	for _, s := range systems {
+		tc := costs[s.Name]
+		tab.MustAddRow(s.Name, s.Scheme.String(),
+			fmt.Sprintf("%d", s.DieCount()),
+			fmt.Sprintf("%.0f", s.Quantity),
+			units.Dollars(tc.RE.Total()),
+			units.Dollars(tc.NRE.Total()),
+			units.Dollars(tc.Total()),
+			units.Percent(tc.NREShare()))
+	}
+	if err := tab.WriteText(out); err != nil {
+		return err
+	}
+	res, err := a.Evaluator().NRE.Portfolio(systems, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	inv := report.NewTable("Shared design inventory", "kind", "design", "one-time cost", "used by")
+	for _, d := range res.Designs {
+		inv.MustAddRow(d.Kind.String(), d.Key, units.Dollars(d.Cost),
+			fmt.Sprintf("%d system(s)", len(d.InstancesBySystem)))
+	}
+	inv.MustAddRow("", "total", units.Dollars(res.TotalNRE), "")
+	return inv.WriteText(out)
+}
+
+func renderDesigns(out io.Writer, a *actuary.Actuary, sys actuary.System, policy actuary.AmortizationPolicy) error {
+	res, err := a.Evaluator().NRE.Portfolio([]actuary.System{sys}, policy)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("NRE design inventory", "kind", "design", "one-time cost")
+	for _, d := range res.Designs {
+		tab.MustAddRow(d.Kind.String(), d.Key, units.Dollars(d.Cost))
+	}
+	tab.MustAddRow("", "total", units.Dollars(res.TotalNRE))
+	return tab.WriteText(out)
+}
+
+func render(out io.Writer, sys actuary.System, tc actuary.TotalCost) error {
+	fmt.Fprintf(out, "system %q: %s, %d dies, %.0f mm² silicon, quantity %.0f\n\n",
+		sys.Name, sys.Scheme, sys.DieCount(), sys.TotalDieArea(), sys.Quantity)
+
+	re := report.NewTable("Recurring cost per unit (§3.2)", "component", "cost", "share")
+	total := tc.RE.Total()
+	for _, row := range []struct {
+		name string
+		v    float64
+	}{
+		{"raw chips", tc.RE.RawChips},
+		{"chip defects", tc.RE.ChipDefects},
+		{"raw package", tc.RE.RawPackage},
+		{"package defects", tc.RE.PackageDefects},
+		{"wasted KGD", tc.RE.WastedKGD},
+	} {
+		re.MustAddRow(row.name, units.Dollars(row.v), units.Percent(row.v/total))
+	}
+	re.MustAddRow("total RE", units.Dollars(total), "100.0%")
+	if err := re.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	nre := report.NewTable("Amortized NRE per unit (§3.3)", "component", "cost")
+	nre.MustAddRow("modules", units.Dollars(tc.NRE.Modules))
+	nre.MustAddRow("chips", units.Dollars(tc.NRE.Chips))
+	nre.MustAddRow("packages", units.Dollars(tc.NRE.Packages))
+	nre.MustAddRow("D2D interfaces", units.Dollars(tc.NRE.D2D))
+	nre.MustAddRow("total NRE/unit", units.Dollars(tc.NRE.Total()))
+	if err := nre.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "total engineering cost per unit: %s (NRE share %s)\n",
+		units.Dollars(tc.Total()), units.Percent(tc.NREShare()))
+
+	dies := report.NewTable("Per-die detail", "die", "node", "area", "yield", "KGD cost")
+	for _, d := range tc.RE.Dies {
+		dies.MustAddRow(d.Name, d.Node, units.Area(d.AreaMM2), units.Percent(d.Yield), units.Dollars(d.KGD))
+	}
+	fmt.Fprintln(out)
+	return dies.WriteText(out)
+}
+
+func renderWafers(out io.Writer, a *actuary.Actuary, sys actuary.System) error {
+	if sys.Quantity <= 0 {
+		return nil
+	}
+	demand, err := a.Wafers(sys, sys.Quantity)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Wafer demand for %.0f units", sys.Quantity),
+		"node", "raw dies", "wafer starts")
+	// Stable ordering for deterministic output.
+	nodes := make([]string, 0, len(demand.WafersByNode))
+	for node := range demand.WafersByNode {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		tab.MustAddRow(node,
+			fmt.Sprintf("%.0f", demand.DiesByNode[node]),
+			fmt.Sprintf("%.0f", demand.WafersByNode[node]))
+	}
+	fmt.Fprintln(out)
+	return tab.WriteText(out)
+}

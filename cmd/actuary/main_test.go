@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chipletactuary"
+)
+
+func TestRunEPYCExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "testdata/epyc.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"epyc-64core-like", "9 dies", "Recurring cost", "wasted KGD",
+		"Amortized NRE", "total engineering cost", "Per-die detail", "iod",
+		"Wafer demand", "wafer starts",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunQuantityOverride(t *testing.T) {
+	var lo, hi bytes.Buffer
+	if err := run([]string{"-config", "testdata/epyc.json", "-quantity", "100000"}, &lo); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "testdata/epyc.json", "-quantity", "10000000"}, &hi); err != nil {
+		t.Fatal(err)
+	}
+	if lo.String() == hi.String() {
+		t.Error("quantity override had no effect")
+	}
+}
+
+func TestRunPortfolio(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-portfolio", "testdata/scms-family.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"scms-7nm-family", "3 systems", "grade-1x", "grade-4x",
+		"Shared design inventory", "chip/X", "pkg/family-4x", "3 system(s)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("portfolio output missing %q:\n%s", want, s)
+		}
+	}
+	// The chip design must appear once (shared), so "chip/" occurs
+	// exactly once in the inventory.
+	if got := strings.Count(s, "chip/"); got != 1 {
+		t.Errorf("chip designs listed %d times, want 1 (shared)", got)
+	}
+}
+
+func TestRunPortfolioErrors(t *testing.T) {
+	var out bytes.Buffer
+	// Both -config and -portfolio.
+	if err := run([]string{"-config", "testdata/epyc.json", "-portfolio", "testdata/scms-family.json"}, &out); err == nil {
+		t.Error("both flags accepted")
+	}
+	if err := run([]string{"-portfolio", "/missing.json"}, &out); err == nil {
+		t.Error("missing portfolio accepted")
+	}
+}
+
+func TestRunDesignsInventory(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "testdata/epyc.json", "-designs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"NRE design inventory", "chip/ccd", "chip/iod", "d2d/7nm", "pkg/"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("designs output missing %q", want)
+		}
+	}
+}
+
+func TestRunPerInstancePolicy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "testdata/epyc.json", "-policy", "per-instance"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "testdata/epyc.json", "-policy", "nonsense"}, &out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunCustomTechFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tech.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := actuary.DefaultTech().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-config", "testdata/epyc.json", "-tech", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "testdata/epyc.json", "-tech", "/missing.json"}, &out); err == nil {
+		t.Error("missing tech file accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -config accepted")
+	}
+	if err := run([]string{"-config", "/missing.json"}, &out); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunWarnsOverReticle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.json")
+	cfg := `{"name":"big","scheme":"SoC","quantity":1000,
+	  "chiplets":[{"name":"die","node":"5nm","module_area_mm2":900,"count":1}]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-config", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning") || !strings.Contains(out.String(), "reticle") {
+		t.Errorf("expected reticle warning:\n%s", out.String())
+	}
+}

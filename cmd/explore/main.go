@@ -1,0 +1,123 @@
+// Command explore answers the §6 decision questions from the command
+// line: when does a partition pay back, how many chiplets are optimal,
+// where is the area turning point, and which packaging parameters
+// matter most.
+//
+// Usage:
+//
+//	explore -mode payback   -node 5nm -area 800 -chiplets 2 -scheme MCM
+//	explore -mode optimal-k -node 5nm -area 800 -quantity 2000000 -scheme MCM [-maxk 8]
+//	explore -mode turning   -node 5nm -chiplets 2 -scheme MCM
+//	explore -mode sensitivity -node 7nm -area 600 -chiplets 3 -scheme 2.5D
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chipletactuary"
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	mode := fs.String("mode", "", "payback, optimal-k, turning or sensitivity")
+	node := fs.String("node", "5nm", "process node")
+	area := fs.Float64("area", 800, "total module area in mm²")
+	chiplets := fs.Int("chiplets", 2, "partition count for payback/turning/sensitivity")
+	maxK := fs.Int("maxk", 8, "maximum partition count for optimal-k")
+	schemeName := fs.String("scheme", "MCM", "integration scheme: MCM, InFO or 2.5D")
+	quantity := fs.Float64("quantity", 2_000_000, "production quantity for optimal-k")
+	d2dFrac := fs.Float64("d2d", 0.10, "D2D interface fraction of die area")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := actuary.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	a, err := actuary.New()
+	if err != nil {
+		return err
+	}
+	d2d := actuary.D2DFraction(*d2dFrac)
+
+	switch *mode {
+	case "payback":
+		soc := actuary.Monolithic("soc", *node, *area, 1)
+		multi, err := actuary.PartitionEqual("multi", *node, *area, *chiplets, scheme, d2d, 1)
+		if err != nil {
+			return err
+		}
+		q, err := a.CrossoverQuantity(soc, multi)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d-chiplet %v of a %s %.0f mm² system pays back against the monolithic SoC at %.0f units\n",
+			*chiplets, scheme, *node, *area, q)
+		return nil
+
+	case "optimal-k":
+		points, best, err := a.OptimalChipletCount(*node, *area, *maxK, scheme, d2d, *quantity)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable(
+			fmt.Sprintf("Partition sweep — %s, %.0f mm², %v, %.0f units", *node, *area, scheme, *quantity),
+			"chiplets", "scheme", "RE/unit", "NRE/unit", "total/unit")
+		for _, p := range points {
+			tab.MustAddRow(fmt.Sprintf("%d", p.Chiplets), p.Scheme.String(),
+				units.Dollars(p.Total.RE.Total()), units.Dollars(p.Total.NRE.Total()),
+				units.Dollars(p.Total.Total()))
+		}
+		if err := tab.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "optimum: %d chiplet(s) at %s per unit\n",
+			points[best].Chiplets, units.Dollars(points[best].Total.Total()))
+		return nil
+
+	case "turning":
+		areaX, err := a.AreaCrossover(*node, *chiplets, scheme, d2d, 100, 900)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d-chiplet %v starts beating the monolithic SoC on RE at %.0f mm² (%s)\n",
+			*chiplets, scheme, areaX, *node)
+		return nil
+
+	case "sensitivity":
+		s, err := actuary.PartitionEqual("s", *node, *area, *chiplets, scheme, d2d, 1)
+		if err != nil {
+			return err
+		}
+		points, err := explore.PackagingSensitivity(a.Tech(), a.Packaging(), s, 0.2)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable(
+			fmt.Sprintf("Packaging sensitivity (±20%%) — %s, %.0f mm², %d-chiplet %v", *node, *area, *chiplets, scheme),
+			"parameter", "low", "base", "high", "swing")
+		for _, p := range points {
+			tab.MustAddRow(p.Parameter, units.Dollars(p.Low), units.Dollars(p.Base),
+				units.Dollars(p.High), units.Dollars(p.Swing()))
+		}
+		return tab.WriteText(out)
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaybackMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "payback", "-node", "5nm", "-area", "800"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pays back") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestOptimalKMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "optimal-k", "-node", "5nm", "-area", "800", "-quantity", "2000000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "optimum:") || !strings.Contains(s, "Partition sweep") {
+		t.Errorf("unexpected output: %s", s)
+	}
+}
+
+func TestTurningMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "turning", "-node", "5nm", "-chiplets", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "starts beating") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestSensitivityMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "sensitivity", "-node", "7nm", "-area", "600", "-chiplets", "3", "-scheme", "2.5D"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "swing") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "nonsense"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "payback", "-scheme", "3D"}, &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+	// Payback that never happens: tiny cheap system on 2.5D.
+	if err := run([]string{"-mode", "payback", "-node", "14nm", "-area", "100", "-scheme", "2.5D"}, &out); err == nil {
+		t.Error("expected never-pays-back error")
+	}
+}

@@ -1,0 +1,189 @@
+package actuary
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+)
+
+// SystemConfig is the JSON description of a system consumed by
+// cmd/actuary and usable programmatically. Example:
+//
+//	{
+//	  "name": "server-cpu",
+//	  "scheme": "MCM",
+//	  "quantity": 2000000,
+//	  "chiplets": [
+//	    {"name": "ccd", "node": "7nm", "module_area_mm2": 67, "d2d_fraction": 0.10, "count": 8},
+//	    {"name": "iod", "node": "12nm", "module_area_mm2": 374, "d2d_fraction": 0.10, "count": 1}
+//	  ]
+//	}
+type SystemConfig struct {
+	Name     string          `json:"name"`
+	Scheme   string          `json:"scheme"`
+	Flow     string          `json:"flow,omitempty"` // "chip-last" (default) or "chip-first"
+	Quantity float64         `json:"quantity"`
+	Chiplets []ChipletConfig `json:"chiplets"`
+}
+
+// ChipletConfig describes one chiplet design and its multiplicity.
+type ChipletConfig struct {
+	Name          string  `json:"name"`
+	Node          string  `json:"node"`
+	ModuleAreaMM2 float64 `json:"module_area_mm2"`
+	D2DFraction   float64 `json:"d2d_fraction,omitempty"`
+	Count         int     `json:"count"`
+}
+
+// ReadSystemConfig parses a system description from r.
+func ReadSystemConfig(r io.Reader) (SystemConfig, error) {
+	var cfg SystemConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return SystemConfig{}, fmt.Errorf("actuary: decoding system config: %w", err)
+	}
+	return cfg, nil
+}
+
+// LoadSystemConfig reads a system description from a JSON file.
+func LoadSystemConfig(path string) (SystemConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SystemConfig{}, fmt.Errorf("actuary: %w", err)
+	}
+	defer f.Close()
+	return ReadSystemConfig(f)
+}
+
+// PortfolioConfig is the JSON description of a family of systems that
+// share chiplet/module/package designs — the Eq. (7)/(8) accounting.
+// Chiplets with the same name across systems are one design; systems
+// naming the same "package" share one package design (an envelope
+// sized for the largest member is derived automatically).
+type PortfolioConfig struct {
+	Name    string         `json:"name"`
+	Systems []SystemConfig `json:"systems"`
+	// SharedPackage, when non-empty, mounts every system in one
+	// package design of that name, sized for the largest member.
+	SharedPackage string `json:"shared_package,omitempty"`
+}
+
+// ReadPortfolioConfig parses a portfolio description from r.
+func ReadPortfolioConfig(r io.Reader) (PortfolioConfig, error) {
+	var cfg PortfolioConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return PortfolioConfig{}, fmt.Errorf("actuary: decoding portfolio config: %w", err)
+	}
+	return cfg, nil
+}
+
+// LoadPortfolioConfig reads a portfolio description from a JSON file.
+func LoadPortfolioConfig(path string) (PortfolioConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return PortfolioConfig{}, fmt.Errorf("actuary: %w", err)
+	}
+	defer f.Close()
+	return ReadPortfolioConfig(f)
+}
+
+// Build converts the portfolio configuration into systems ready for
+// Actuary.Portfolio. The packaging parameters are needed to size a
+// shared package envelope.
+func (c PortfolioConfig) Build(params PackagingParams) ([]System, error) {
+	if len(c.Systems) == 0 {
+		return nil, fmt.Errorf("actuary: portfolio %q has no systems", c.Name)
+	}
+	systems := make([]System, 0, len(c.Systems))
+	var maxDie float64
+	var anyInterposer bool
+	for _, sc := range c.Systems {
+		s, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		if area := s.TotalDieArea(); area > maxDie {
+			maxDie = area
+		}
+		if s.Scheme.HasInterposer() {
+			anyInterposer = true
+		}
+		systems = append(systems, s)
+	}
+	if c.SharedPackage != "" {
+		env := &Envelope{
+			Name:         c.SharedPackage,
+			FootprintMM2: maxDie * params.DieSpacingFactor,
+		}
+		if anyInterposer {
+			env.InterposerAreaMM2 = maxDie * params.InterposerFill
+		}
+		for i := range systems {
+			if systems[i].Scheme == SoC {
+				return nil, fmt.Errorf("actuary: portfolio %q: SoC system %q cannot share a multi-chip package",
+					c.Name, systems[i].Name)
+			}
+			systems[i].Envelope = env
+		}
+	}
+	return systems, nil
+}
+
+// Build converts the configuration into a System. Validation against
+// a technology database happens at evaluation time.
+func (c SystemConfig) Build() (System, error) {
+	if c.Name == "" {
+		return System{}, fmt.Errorf("actuary: system config needs a name")
+	}
+	scheme, err := packaging.ParseScheme(c.Scheme)
+	if err != nil {
+		return System{}, err
+	}
+	flow := packaging.ChipLast
+	switch c.Flow {
+	case "", "chip-last":
+	case "chip-first":
+		flow = packaging.ChipFirst
+	default:
+		return System{}, fmt.Errorf("actuary: unknown flow %q (want chip-last or chip-first)", c.Flow)
+	}
+	if len(c.Chiplets) == 0 {
+		return System{}, fmt.Errorf("actuary: system config %q has no chiplets", c.Name)
+	}
+	var placements []Placement
+	for _, cc := range c.Chiplets {
+		if cc.Count <= 0 {
+			return System{}, fmt.Errorf("actuary: chiplet %q has count %d", cc.Name, cc.Count)
+		}
+		if cc.D2DFraction < 0 || cc.D2DFraction >= 1 {
+			return System{}, fmt.Errorf("actuary: chiplet %q has D2D fraction %v outside [0,1)", cc.Name, cc.D2DFraction)
+		}
+		var d2d dtod.Overhead = dtod.None{}
+		if cc.D2DFraction > 0 {
+			d2d = dtod.Fraction{F: cc.D2DFraction}
+		}
+		placements = append(placements, Placement{
+			Chiplet: Chiplet{
+				Name:    cc.Name,
+				Node:    cc.Node,
+				Modules: []Module{{Name: cc.Name + "-modules", AreaMM2: cc.ModuleAreaMM2, Scalable: true}},
+				D2D:     d2d,
+			},
+			Count: cc.Count,
+		})
+	}
+	return System{
+		Name:       c.Name,
+		Scheme:     scheme,
+		Flow:       flow,
+		Placements: placements,
+		Quantity:   c.Quantity,
+	}, nil
+}

@@ -1,0 +1,105 @@
+package actuary_test
+
+import (
+	"fmt"
+	"log"
+
+	"chipletactuary"
+)
+
+// The basic question: monolithic SoC or two chiplets?
+func Example() {
+	a, err := actuary.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	soc := actuary.Monolithic("soc", "5nm", 800, 2_000_000)
+	mcm, err := actuary.PartitionEqual("mcm", "5nm", 800, 2,
+		actuary.MCM, actuary.D2DFraction(0.10), 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	socTC, err := a.Total(soc, actuary.PerSystemUnit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcmTC, err := a.Total(mcm, actuary.PerSystemUnit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at 2M units the 2-chiplet MCM is cheaper: %v\n", mcmTC.Total() < socTC.Total())
+	// Output:
+	// at 2M units the 2-chiplet MCM is cheaper: true
+}
+
+// RE breakdown of a single system, following the paper's §3.2 split.
+func ExampleActuary_RE() {
+	a, err := actuary.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := actuary.PartitionEqual("demo", "7nm", 600, 3,
+		actuary.TwoPointFiveD, actuary.D2DFraction(0.10), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	re, err := a.RE(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("five components sum to the total: %v\n",
+		re.RawChips+re.ChipDefects+re.RawPackage+re.PackageDefects+re.WastedKGD == re.Total())
+	fmt.Printf("2.5D packaging is a heavy line item: %v\n", re.PackagingTotal() > re.Total()/4)
+	// Output:
+	// five components sum to the total: true
+	// 2.5D packaging is a heavy line item: true
+}
+
+// Chiplet reuse across a product family (the §5.1 SCMS scheme).
+func ExampleActuary_Portfolio() {
+	a, err := actuary.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	family, err := actuary.SCMS(actuary.SCMSConfig{
+		Node: "7nm", ModuleAreaMM2: 200, Counts: []int{1, 2, 4},
+		Scheme: actuary.MCM, QuantityPerSystem: 500_000,
+		Params: a.Packaging(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs, err := a.Portfolio(family, actuary.PerSystemUnit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One chip design amortizes over all three systems, so every
+	// member bears the same per-unit chip NRE.
+	oneX := costs[family[0].Name].NRE.Chips
+	fourX := costs[family[2].Name].NRE.Chips
+	fmt.Printf("chip NRE shared equally: %v\n", oneX == fourX)
+	// Output:
+	// chip NRE shared equally: true
+}
+
+// Where does the multi-chip design start paying back?
+func ExampleActuary_CrossoverQuantity() {
+	a, err := actuary.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	soc := actuary.Monolithic("soc", "5nm", 800, 1)
+	mcm, err := actuary.PartitionEqual("mcm", "5nm", 800, 2,
+		actuary.MCM, actuary.D2DFraction(0.10), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := a.CrossoverQuantity(soc, mcm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pays back within the paper's (500k, 2M] bracket: %v\n",
+		q > 500_000 && q <= 2_000_000)
+	// Output:
+	// pays back within the paper's (500k, 2M] bracket: true
+}

@@ -1,0 +1,54 @@
+// partition-sweep answers the architect's question from §6: given a
+// module area, node and production volume, how many chiplets should
+// the system be split into, and on which packaging technology?
+//
+// Run with: go run ./examples/partition-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chipletactuary"
+)
+
+func main() {
+	a, err := actuary.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2d := actuary.D2DFraction(0.10)
+
+	fmt.Println("Optimal chiplet count by node and volume (800 mm² of modules, MCM):")
+	fmt.Println("node   volume     best k   $/unit")
+	for _, node := range []string{"14nm", "7nm", "5nm"} {
+		for _, q := range []float64{100_000, 2_000_000, 10_000_000} {
+			points, best, err := a.OptimalChipletCount(node, 800, 8, actuary.MCM, d2d, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-5s  %9.0f  %6d  %8.2f\n",
+				node, q, points[best].Chiplets, points[best].Total.Total())
+		}
+	}
+
+	fmt.Println("\nArea turning points (2-chiplet MCM RE beats monolithic SoC RE):")
+	for _, node := range []string{"14nm", "7nm", "5nm"} {
+		area, err := a.AreaCrossover(node, 2, actuary.MCM, d2d, 100, 900)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s %.0f mm²\n", node, area)
+	}
+	fmt.Println("→ the closer to the Moore Limit, the earlier multi-chip pays (§6)")
+
+	fmt.Println("\nMarginal utility of finer partitioning (5nm, 800 mm², MCM):")
+	for k := 1; k <= 5; k++ {
+		mu, err := a.MarginalUtility("5nm", 800, k, actuary.MCM, d2d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d → %d chiplets: %+.1f%% RE\n", k, k+1, -mu*100)
+	}
+	fmt.Println("→ two or three chiplets are usually sufficient (§6)")
+}

@@ -1,0 +1,54 @@
+// Quickstart: should I build my 800 mm² 5nm system as a monolithic
+// SoC or as two chiplets on an organic substrate?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chipletactuary"
+)
+
+func main() {
+	a, err := actuary.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const quantity = 2_000_000
+	soc := actuary.Monolithic("big-soc", "5nm", 800, quantity)
+	mcm, err := actuary.PartitionEqual("big-mcm", "5nm", 800, 2,
+		actuary.MCM, actuary.D2DFraction(0.10), quantity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sys := range []actuary.System{soc, mcm} {
+		tc, err := a.Total(sys, actuary.PerSystemUnit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s RE $%7.2f  + amortized NRE $%7.2f  = $%7.2f per unit\n",
+			sys.Name, tc.RE.Total(), tc.NRE.Total(), tc.Total())
+		fmt.Printf("         raw chips $%.2f | chip defects $%.2f | packaging $%.2f (incl. $%.2f wasted KGDs)\n",
+			tc.RE.RawChips, tc.RE.ChipDefects, tc.RE.PackagingTotal(), tc.RE.WastedKGD)
+	}
+
+	// Where exactly does the two-chiplet design start paying back?
+	q, err := a.CrossoverQuantity(soc, mcm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe 2-chiplet MCM pays back above %.0f units (paper: between 500k and 2M)\n", q)
+
+	// And how many chiplets should it be at this volume?
+	points, best, err := a.OptimalChipletCount("5nm", 800, 6, actuary.MCM,
+		actuary.D2DFraction(0.10), quantity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal partition at %d units: %d chiplet(s), $%.2f per unit\n",
+		quantity, points[best].Chiplets, points[best].Total.Total())
+}

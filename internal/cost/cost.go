@@ -1,0 +1,208 @@
+// Package cost computes the recurring-engineering (RE) cost of a
+// system: the five-part breakdown of the paper's §3.2 — cost of raw
+// chips, cost of chip defects, cost of the raw package, cost of
+// package defects, and cost of known-good dies wasted by packaging
+// defects. Bumping and wafer-sort costs are included inside the chip
+// components but not itemized, exactly as the paper does.
+package cost
+
+import (
+	"fmt"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/yield"
+)
+
+// Engine evaluates RE costs against a technology database and a
+// packaging parameter set.
+type Engine struct {
+	db     *tech.Database
+	params packaging.Params
+}
+
+// NewEngine builds an engine, validating the packaging parameters.
+func NewEngine(db *tech.Database, params packaging.Params) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("cost: nil technology database")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, params: params}, nil
+}
+
+// DB returns the engine's technology database.
+func (e *Engine) DB() *tech.Database { return e.db }
+
+// Params returns the engine's packaging parameters.
+func (e *Engine) Params() packaging.Params { return e.params }
+
+// DieCost is the manufacturing cost detail of one die.
+type DieCost struct {
+	// Name and Node identify the chiplet design.
+	Name string
+	Node string
+	// AreaMM2 is the die area (modules + D2D).
+	AreaMM2 float64
+	// Raw is the die's share of the wafer: waferCost/DPW, plus bump
+	// and wafer-sort costs.
+	Raw float64
+	// Yield is the die yield from Eq. (1) — or, when the chiplet
+	// enables salvage, the value-weighted effective yield.
+	Yield float64
+	// KGD is the cost of one known-good die: Raw/Yield.
+	KGD float64
+}
+
+// Breakdown is the five-part RE cost of one system unit (§3.2).
+type Breakdown struct {
+	// RawChips is the defect-free manufacturing cost of all dies
+	// (wafer share + bumping + wafer sort).
+	RawChips float64
+	// ChipDefects is the extra die spend caused by imperfect die
+	// yield: Σ raw·(1/Y − 1).
+	ChipDefects float64
+	// RawPackage is the defect-free package cost (substrate,
+	// interposer, assembly).
+	RawPackage float64
+	// PackageDefects is the extra packaging spend caused by packaging
+	// yield loss.
+	PackageDefects float64
+	// WastedKGD is the value of known-good dies destroyed by
+	// packaging defects.
+	WastedKGD float64
+
+	// Dies details each die, in placement order.
+	Dies []DieCost
+	// Packaging carries the geometry and yields behind the packaging
+	// components.
+	Packaging packaging.Result
+}
+
+// Total returns the full RE cost per system unit.
+func (b Breakdown) Total() float64 {
+	return b.RawChips + b.ChipDefects + b.RawPackage + b.PackageDefects + b.WastedKGD
+}
+
+// ChipsTotal returns the die-related cost (raw + defects).
+func (b Breakdown) ChipsTotal() float64 { return b.RawChips + b.ChipDefects }
+
+// PackagingTotal returns the packaging-related cost: raw package +
+// package defects + wasted KGDs ("the cost of packaging" in the
+// paper's Figure 5 note).
+func (b Breakdown) PackagingTotal() float64 {
+	return b.RawPackage + b.PackageDefects + b.WastedKGD
+}
+
+// WaferDemand is the production-planning view of a system: how many
+// wafer starts each node needs to ship the given quantity, accounting
+// for die yield and packaging losses.
+type WaferDemand struct {
+	// WafersByNode maps process node → wafer starts (fractional).
+	WafersByNode map[string]float64
+	// DiesByNode maps process node → raw dies fabricated.
+	DiesByNode map[string]float64
+}
+
+// Wafers computes the wafer demand for producing quantity good units
+// of the system. Each shipped unit consumes 1/packagingYield
+// assembled attempts, and each attempted die consumes 1/dieYield raw
+// dies.
+func (e *Engine) Wafers(s system.System, quantity float64) (WaferDemand, error) {
+	if quantity <= 0 {
+		return WaferDemand{}, fmt.Errorf("cost: quantity %v must be positive", quantity)
+	}
+	b, err := e.RE(s)
+	if err != nil {
+		return WaferDemand{}, err
+	}
+	d := WaferDemand{
+		WafersByNode: make(map[string]float64),
+		DiesByNode:   make(map[string]float64),
+	}
+	attempts := quantity / b.Packaging.Yield
+	for _, die := range b.Dies {
+		rawDies := attempts / die.Yield
+		dpw := e.params.Wafer.DiesPerWafer(e.params.Estimator, die.AreaMM2)
+		if dpw <= 0 {
+			return WaferDemand{}, fmt.Errorf("cost: die %q does not fit a wafer", die.Name)
+		}
+		d.DiesByNode[die.Node] += rawDies
+		d.WafersByNode[die.Node] += rawDies / float64(dpw)
+	}
+	// Interposer wafers for advanced packaging.
+	if s.Scheme.HasInterposer() {
+		intNode := s.Scheme.InterposerNode()
+		node, err := e.db.Node(intNode)
+		if err != nil {
+			return WaferDemand{}, err
+		}
+		intArea := b.Packaging.InterposerAreaMM2
+		y1 := node.Yield(intArea)
+		dpw := e.params.Wafer.DiesPerWafer(e.params.Estimator, intArea)
+		if dpw <= 0 {
+			return WaferDemand{}, fmt.Errorf("cost: interposer does not fit a wafer")
+		}
+		rawInterposers := attempts / y1
+		d.DiesByNode[intNode] += rawInterposers
+		d.WafersByNode[intNode] += rawInterposers / float64(dpw)
+	}
+	return d, nil
+}
+
+// RE computes the recurring cost of one unit of the system.
+func (e *Engine) RE(s system.System) (Breakdown, error) {
+	if err := s.Validate(e.db); err != nil {
+		return Breakdown{}, err
+	}
+	dies := s.Dies()
+	var b Breakdown
+	areas := make([]float64, len(dies))
+	kgds := make([]float64, len(dies))
+	b.Dies = make([]DieCost, len(dies))
+	for i, c := range dies {
+		node, err := e.db.Node(c.Node)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		area := c.DieArea()
+		perDie, err := e.params.Wafer.CostPerRawDie(e.params.Estimator, node.WaferCost, area)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("cost: die %q: %w", c.Name, err)
+		}
+		raw := perDie + (node.BumpCostPerMM2+node.SortCostPerMM2)*area
+		y := node.Yield(area)
+		if c.Salvage != nil {
+			// Partial-good harvesting credits degraded bins against
+			// this die's cost (yield.Salvage).
+			y = yield.Salvage{
+				Model:               node.YieldModel(),
+				SalvageableFraction: c.Salvage.Fraction,
+				SalvageValue:        c.Salvage.Value,
+			}.EffectiveYield(area)
+		}
+		kgd := raw / y
+		b.Dies[i] = DieCost{Name: c.Name, Node: c.Node, AreaMM2: area, Raw: raw, Yield: y, KGD: kgd}
+		b.RawChips += raw
+		b.ChipDefects += raw * (1/y - 1)
+		areas[i] = area
+		kgds[i] = kgd
+	}
+
+	asm := packaging.Assembly{DieAreasMM2: areas, KGDCosts: kgds}
+	if s.Envelope != nil {
+		asm.FootprintOverrideMM2 = s.Envelope.FootprintMM2
+		asm.InterposerOverrideMM2 = s.Envelope.InterposerAreaMM2
+	}
+	pkg, err := packaging.Package(e.params, e.db, s.Scheme, s.Flow, asm)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b.Packaging = pkg
+	b.RawPackage = pkg.RawPackage
+	b.PackageDefects = pkg.PackageDefects
+	b.WastedKGD = pkg.WastedKGD
+	return b, nil
+}

@@ -1,0 +1,351 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/units"
+	"chipletactuary/internal/wafer"
+)
+
+func engine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, packaging.DefaultParams()); err == nil {
+		t.Error("nil database accepted")
+	}
+	bad := packaging.DefaultParams()
+	bad.PackageAreaScale = 0
+	if _, err := NewEngine(tech.Default(), bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	e := engine(t)
+	if e.DB() == nil || e.Params().PackageAreaScale == 0 {
+		t.Error("accessors broken")
+	}
+}
+
+func TestMonolithicSoCHandComputation(t *testing.T) {
+	e := engine(t)
+	s := system.Monolithic("big", "5nm", 800, 1)
+	b, err := e.RE(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := e.DB().MustNode("5nm")
+	w := wafer.Default300()
+	perDie, err := w.CostPerRawDie(wafer.Subtractive, node.WaferCost, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := perDie + (node.BumpCostPerMM2+node.SortCostPerMM2)*800
+	if !units.ApproxEqual(b.RawChips, raw, 1e-9) {
+		t.Errorf("raw chips = %v, want %v", b.RawChips, raw)
+	}
+	y := node.Yield(800)
+	if !units.ApproxEqual(b.ChipDefects, raw*(1/y-1), 1e-9) {
+		t.Errorf("chip defects = %v, want %v", b.ChipDefects, raw*(1/y-1))
+	}
+	if len(b.Dies) != 1 || b.Dies[0].Node != "5nm" {
+		t.Fatalf("die detail missing: %+v", b.Dies)
+	}
+	if !units.ApproxEqual(b.Dies[0].KGD, raw/y, 1e-9) {
+		t.Errorf("KGD = %v, want %v", b.Dies[0].KGD, raw/y)
+	}
+	if !units.ApproxEqual(b.Total(), b.ChipsTotal()+b.PackagingTotal(), 1e-9) {
+		t.Error("Total must equal chips + packaging")
+	}
+}
+
+func TestDefectShareGrowsWithArea(t *testing.T) {
+	// The §4.1 headline: at 5nm the cost of die defects exceeds 50%
+	// of the monolithic manufacturing cost at 800 mm².
+	e := engine(t)
+	small, err := e.RE(system.Monolithic("s", "5nm", 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := e.RE(system.Monolithic("b", "5nm", 800, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareSmall := small.ChipDefects / small.Total()
+	shareBig := big.ChipDefects / big.Total()
+	if shareBig <= shareSmall {
+		t.Errorf("defect share must grow with area: %v vs %v", shareSmall, shareBig)
+	}
+	if shareBig < 0.5 {
+		t.Errorf("5nm 800mm² defect share = %v, paper says >50%%", shareBig)
+	}
+}
+
+func TestPartitioningSavesDieCostAtLargeArea(t *testing.T) {
+	// Splitting a large 5nm die into chiplets must cut the die-related
+	// cost roughly in half at 800 mm² (AMD reports "up to 50%", §4.1).
+	e := engine(t)
+	soc, err := e.RE(system.Monolithic("soc", "5nm", 800, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcmSys, err := system.PartitionEqual("mcm", "5nm", 800, 3, packaging.MCM, dtod.Fraction{F: 0.10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcm, err := e.RE(mcmSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcm.ChipsTotal() >= soc.ChipsTotal() {
+		t.Errorf("chiplet die cost %v should undercut monolithic %v", mcm.ChipsTotal(), soc.ChipsTotal())
+	}
+	saving := 1 - mcm.ChipsTotal()/soc.ChipsTotal()
+	if saving < 0.3 || saving > 0.65 {
+		t.Errorf("die-cost saving = %v, expected roughly half (0.3–0.65)", saving)
+	}
+}
+
+func TestSchemePackagingCostOrdering(t *testing.T) {
+	// For the same 2-chiplet system, packaging spend must rise with
+	// integration sophistication: MCM < InFO < 2.5D (Figure 1's
+	// cost & complexity axis).
+	e := engine(t)
+	var prev float64 = -1
+	for _, scheme := range []packaging.Scheme{packaging.MCM, packaging.InFO, packaging.TwoPointFiveD} {
+		sys, err := system.PartitionEqual("s", "7nm", 400, 2, scheme, dtod.Fraction{F: 0.10}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.RE(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.PackagingTotal() <= prev {
+			t.Errorf("%v packaging %v should exceed previous %v", scheme, b.PackagingTotal(), prev)
+		}
+		prev = b.PackagingTotal()
+	}
+}
+
+func TestEnvelopeReuseCostsMore(t *testing.T) {
+	// Mounting a 1X system in a 4X envelope must raise its packaging
+	// RE (the §5.1 "package reuse wastes RE for smaller systems").
+	e := engine(t)
+	chiplet := system.Chiplet{
+		Name: "X", Node: "7nm",
+		Modules: []system.Module{{Name: "Xm", AreaMM2: 200}},
+		D2D:     dtod.Fraction{F: 0.10},
+	}
+	oneX := system.System{
+		Name: "1X", Scheme: packaging.MCM, Quantity: 1,
+		Placements: []system.Placement{{Chiplet: chiplet, Count: 1}},
+	}
+	plain, err := e.RE(oneX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourXFootprint := 4 * chiplet.DieArea() * e.Params().DieSpacingFactor
+	oneX.Envelope = &system.Envelope{Name: "4X-pkg", FootprintMM2: fourXFootprint}
+	reused, err := e.RE(oneX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.RawPackage <= plain.RawPackage {
+		t.Errorf("reused envelope package %v should cost more than right-sized %v",
+			reused.RawPackage, plain.RawPackage)
+	}
+	// The die-side costs must be identical.
+	if !units.ApproxEqual(reused.ChipsTotal(), plain.ChipsTotal(), 1e-12) {
+		t.Error("envelope must not change die costs")
+	}
+}
+
+func TestREErrors(t *testing.T) {
+	e := engine(t)
+	// Invalid system (no placements).
+	if _, err := e.RE(system.System{Name: "x", Quantity: 1}); err == nil {
+		t.Error("invalid system accepted")
+	}
+	// Chiplet on unknown node.
+	badNode := system.System{
+		Name: "x", Scheme: packaging.MCM, Quantity: 1,
+		Placements: []system.Placement{
+			{Chiplet: system.Chiplet{Name: "a", Node: "1nm", Modules: []system.Module{{Name: "m", AreaMM2: 100}}}, Count: 2},
+		},
+	}
+	if _, err := e.RE(badNode); err == nil {
+		t.Error("unknown node accepted")
+	}
+	// Envelope too small for the dies.
+	tiny := system.System{
+		Name: "x", Scheme: packaging.MCM, Quantity: 1,
+		Placements: []system.Placement{
+			{Chiplet: system.Chiplet{Name: "a", Node: "7nm", Modules: []system.Module{{Name: "m", AreaMM2: 300}}, D2D: dtod.None{}}, Count: 2},
+		},
+		Envelope: &system.Envelope{Name: "small", FootprintMM2: 100},
+	}
+	if _, err := e.RE(tiny); err == nil {
+		t.Error("undersized envelope accepted")
+	}
+}
+
+func TestWaferDemand(t *testing.T) {
+	e := engine(t)
+	// EPYC-like: 8 CCDs (7nm) + 1 IOD (12nm) per unit, 1M units.
+	ccd := system.Chiplet{Name: "ccd", Node: "7nm",
+		Modules: []system.Module{{Name: "c", AreaMM2: 66.6}}, D2D: dtod.Fraction{F: 0.1}}
+	iod := system.Chiplet{Name: "iod", Node: "12nm",
+		Modules: []system.Module{{Name: "i", AreaMM2: 374.4}}, D2D: dtod.Fraction{F: 0.1}}
+	s := system.System{
+		Name: "epyc", Scheme: packaging.MCM, Quantity: 1,
+		Placements: []system.Placement{{Chiplet: ccd, Count: 8}, {Chiplet: iod, Count: 1}},
+	}
+	d, err := e.Wafers(s, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8M+ CCDs (plus yield and packaging gross-up) vs 1M+ IODs.
+	if d.DiesByNode["7nm"] < 8_000_000 {
+		t.Errorf("7nm dies = %v, want > 8M", d.DiesByNode["7nm"])
+	}
+	if d.DiesByNode["12nm"] < 1_000_000 {
+		t.Errorf("12nm dies = %v, want > 1M", d.DiesByNode["12nm"])
+	}
+	// 74 mm² dies pack ~870/wafer: wafer starts ≈ dies/870.
+	if w := d.WafersByNode["7nm"]; w < 8_000_000/900.0 || w > 8_000_000/800.0*1.3 {
+		t.Errorf("7nm wafers = %v, implausible", w)
+	}
+	// No interposer wafers for MCM.
+	if _, ok := d.WafersByNode["SI"]; ok {
+		t.Error("MCM must not demand interposer wafers")
+	}
+
+	// 2.5D adds SI wafer demand.
+	tpd, err := system.PartitionEqual("t", "7nm", 400, 2, packaging.TwoPointFiveD, dtod.Fraction{F: 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := e.Wafers(tpd, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.WafersByNode["SI"] <= 0 {
+		t.Error("2.5D should demand SI wafers")
+	}
+	// Interposer count exceeds shipped units (yield gross-up).
+	if di.DiesByNode["SI"] <= 100_000 {
+		t.Errorf("SI interposers = %v, want > 100k", di.DiesByNode["SI"])
+	}
+
+	if _, err := e.Wafers(s, 0); err == nil {
+		t.Error("zero quantity accepted")
+	}
+	if _, err := e.Wafers(system.System{Name: "x"}, 1); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestSalvageLowersDieCost(t *testing.T) {
+	e := engine(t)
+	mk := func(spec *system.SalvageSpec) system.System {
+		return system.System{
+			Name: "s", Scheme: packaging.MCM, Quantity: 1,
+			Placements: []system.Placement{{
+				Chiplet: system.Chiplet{
+					Name: "x", Node: "5nm",
+					Modules: []system.Module{{Name: "m", AreaMM2: 360}},
+					D2D:     dtod.Fraction{F: 0.10},
+					Salvage: spec,
+				},
+				Count: 2,
+			}},
+		}
+	}
+	plain, err := e.RE(mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvested, err := e.RE(mk(&system.SalvageSpec{Fraction: 0.6, Value: 0.8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harvested.ChipDefects >= plain.ChipDefects {
+		t.Errorf("salvage should cut the defect bill: %v vs %v", harvested.ChipDefects, plain.ChipDefects)
+	}
+	if harvested.RawChips != plain.RawChips {
+		t.Error("salvage must not change the raw-die cost")
+	}
+	if harvested.Dies[0].Yield <= plain.Dies[0].Yield {
+		t.Error("effective yield should exceed the plain yield")
+	}
+	// Invalid specs are rejected through system validation.
+	if _, err := e.RE(mk(&system.SalvageSpec{Fraction: 1.2, Value: 0.5})); err == nil {
+		t.Error("invalid salvage fraction accepted")
+	}
+	if _, err := e.RE(mk(&system.SalvageSpec{Fraction: 0.5, Value: -1})); err == nil {
+		t.Error("invalid salvage value accepted")
+	}
+}
+
+func TestPropertyBreakdownNonNegativeAndAdditive(t *testing.T) {
+	e := engine(t)
+	f := func(area float64, kRaw, schemeRaw uint8) bool {
+		area = 100 + math.Mod(math.Abs(area), 600)
+		k := 1 + int(kRaw%5)
+		schemes := []packaging.Scheme{packaging.MCM, packaging.InFO, packaging.TwoPointFiveD}
+		scheme := schemes[int(schemeRaw)%len(schemes)]
+		sys, err := system.PartitionEqual("p", "7nm", area, k, scheme, dtod.Fraction{F: 0.1}, 1)
+		if err != nil {
+			return true
+		}
+		b, err := e.RE(sys)
+		if err != nil {
+			return true // size-limit rejections are legitimate
+		}
+		if b.RawChips <= 0 || b.ChipDefects < 0 || b.RawPackage <= 0 ||
+			b.PackageDefects < 0 || b.WastedKGD < 0 {
+			return false
+		}
+		sum := b.RawChips + b.ChipDefects + b.RawPackage + b.PackageDefects + b.WastedKGD
+		return units.ApproxEqual(sum, b.Total(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoreChipletsNeverRaiseDieDefectCost(t *testing.T) {
+	// Finer granularity always improves die yield, so the defect
+	// component can only fall (the *total* may still rise through
+	// packaging — that is the paper's point).
+	e := engine(t)
+	f := func(area float64, kRaw uint8) bool {
+		area = 200 + math.Mod(math.Abs(area), 600)
+		k := 2 + int(kRaw%3)
+		a, err1 := system.PartitionEqual("a", "5nm", area, k, packaging.MCM, dtod.Fraction{F: 0.1}, 1)
+		b, err2 := system.PartitionEqual("b", "5nm", area, k+1, packaging.MCM, dtod.Fraction{F: 0.1}, 1)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		ra, err1 := e.RE(a)
+		rb, err2 := e.RE(b)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return rb.ChipDefects <= ra.ChipDefects*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package dtod models the die-to-die (D2D) interface that every
+// chiplet must carry, "a particular module with which each module
+// makes up a chiplet" (paper §3.1).
+//
+// The paper's headline experiments charge a flat 10% of chiplet area
+// to D2D ("Referring to EPYC, 10% of the D2D interface overhead is
+// assumed", §4.1). This package provides that fraction model plus a
+// physically grounded beachfront model derived from the Figure 1
+// technology data (data rate per line, line pitch, achievable pin
+// count), so that exploration studies can vary bandwidth rather than
+// a bare percentage. It also carries the per-node D2D design NRE of
+// Eq. (8).
+package dtod
+
+import (
+	"fmt"
+	"math"
+)
+
+// Overhead computes the D2D interface silicon area a chiplet needs.
+type Overhead interface {
+	// Area returns the D2D area in mm² for a chiplet whose functional
+	// modules occupy moduleAreaMM2.
+	Area(moduleAreaMM2 float64) float64
+	// String describes the overhead model.
+	String() string
+}
+
+// Fraction charges a fixed fraction f of the *die* area to D2D, the
+// paper's model: die = module/(1-f), so d2d = module·f/(1-f).
+type Fraction struct {
+	// F is the D2D share of total die area, e.g. 0.10.
+	F float64
+}
+
+// Area implements Overhead.
+func (o Fraction) Area(moduleAreaMM2 float64) float64 {
+	if moduleAreaMM2 <= 0 || o.F <= 0 {
+		return 0
+	}
+	if o.F >= 1 {
+		return math.Inf(1)
+	}
+	return moduleAreaMM2 * o.F / (1 - o.F)
+}
+
+func (o Fraction) String() string {
+	return fmt.Sprintf("fraction(%.0f%% of die)", o.F*100)
+}
+
+// DieArea is a convenience: the total die area for a module area under
+// this overhead model.
+func DieArea(o Overhead, moduleAreaMM2 float64) float64 {
+	return moduleAreaMM2 + o.Area(moduleAreaMM2)
+}
+
+// PHY describes a die-to-die interface technology, following the
+// integration-technology comparison of the paper's Figure 1.
+type PHY struct {
+	// Name identifies the interface class, e.g. "MCM-SerDes".
+	Name string
+	// GbpsPerLane is the per-lane data rate.
+	GbpsPerLane float64
+	// LanePitchMM is the achievable bump/line pitch along the die
+	// edge (beachfront consumed per lane).
+	LanePitchMM float64
+	// AreaPerLaneMM2 is the silicon area of one lane's PHY circuitry.
+	AreaPerLaneMM2 float64
+	// MaxLanes caps the pin count the packaging technology can route
+	// (0 = unlimited).
+	MaxLanes int
+}
+
+// Figure 1 presets. The data rates come straight from the figure
+// (112 Gbps organic substrate, 56 Gbps InFO, 3.2–6.4 Gbps silicon
+// interposer); pitches follow its line-space annotations (>10 µm
+// substrate, >2 µm RDL with ~2500 pins, >0.4 µm interposer with ~4000
+// pins); lane areas are sized so the EPYC-like reference systems land
+// near the paper's 10% overhead.
+var (
+	// MCMSerDes is a long-reach organic-substrate SerDes.
+	MCMSerDes = PHY{Name: "MCM-SerDes", GbpsPerLane: 112, LanePitchMM: 0.50, AreaPerLaneMM2: 0.90, MaxLanes: 600}
+	// InFOFanout is a mid-reach fan-out RDL interface.
+	InFOFanout = PHY{Name: "InFO-Fanout", GbpsPerLane: 56, LanePitchMM: 0.10, AreaPerLaneMM2: 0.20, MaxLanes: 2500}
+	// InterposerParallel is a wide, slow 2.5D parallel interface.
+	InterposerParallel = PHY{Name: "Interposer-Parallel", GbpsPerLane: 6.4, LanePitchMM: 0.04, AreaPerLaneMM2: 0.015, MaxLanes: 4000}
+)
+
+// Lanes returns how many lanes are needed for the given aggregate
+// bandwidth in GB/s (both directions folded together), or an error
+// when the packaging technology cannot route that many.
+func (p PHY) Lanes(bandwidthGBs float64) (int, error) {
+	if bandwidthGBs <= 0 {
+		return 0, nil
+	}
+	gbps := bandwidthGBs * 8
+	lanes := int(math.Ceil(gbps / p.GbpsPerLane))
+	if p.MaxLanes > 0 && lanes > p.MaxLanes {
+		return 0, fmt.Errorf("dtod: %s: %d lanes needed for %.0f GB/s exceeds routable maximum %d",
+			p.Name, lanes, bandwidthGBs, p.MaxLanes)
+	}
+	return lanes, nil
+}
+
+// Beachfront is an Overhead that sizes the D2D region from a bandwidth
+// requirement: lanes = BW/rate, area = lanes · AreaPerLane, and it
+// additionally checks that the lanes fit on the die's perimeter.
+type Beachfront struct {
+	PHY PHY
+	// BandwidthGBs is the chiplet's aggregate D2D bandwidth demand.
+	BandwidthGBs float64
+	// EdgesAvailable is how many die edges may carry D2D bumps (1–4).
+	EdgesAvailable int
+}
+
+// Area implements Overhead. If the configuration is infeasible
+// (bandwidth beyond pin count or beachfront), it returns +Inf so that
+// cost comparisons naturally reject it; FitsDie reports the reason.
+func (b Beachfront) Area(moduleAreaMM2 float64) float64 {
+	lanes, err := b.PHY.Lanes(b.BandwidthGBs)
+	if err != nil {
+		return math.Inf(1)
+	}
+	area := float64(lanes) * b.PHY.AreaPerLaneMM2
+	if err := b.FitsDie(moduleAreaMM2 + area); err != nil {
+		return math.Inf(1)
+	}
+	return area
+}
+
+// FitsDie checks that the required lanes fit on the available edges of
+// a square die of the given total area.
+func (b Beachfront) FitsDie(dieAreaMM2 float64) error {
+	lanes, err := b.PHY.Lanes(b.BandwidthGBs)
+	if err != nil {
+		return err
+	}
+	edges := b.EdgesAvailable
+	if edges < 1 {
+		edges = 1
+	}
+	if edges > 4 {
+		edges = 4
+	}
+	side := math.Sqrt(dieAreaMM2)
+	capacity := int(side * float64(edges) / b.PHY.LanePitchMM)
+	if lanes > capacity {
+		return fmt.Errorf("dtod: %s: %d lanes exceed beachfront capacity %d (%.1f mm × %d edges at %.2f mm pitch)",
+			b.PHY.Name, lanes, capacity, side, edges, b.PHY.LanePitchMM)
+	}
+	return nil
+}
+
+func (b Beachfront) String() string {
+	return fmt.Sprintf("beachfront(%s, %.0f GB/s, %d edges)", b.PHY.Name, b.BandwidthGBs, b.EdgesAvailable)
+}
+
+// None is a zero-overhead model, used for monolithic SoCs which need
+// no D2D interface.
+type None struct{}
+
+// Area implements Overhead.
+func (None) Area(float64) float64 { return 0 }
+
+func (None) String() string { return "none" }

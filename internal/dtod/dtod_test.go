@@ -1,0 +1,132 @@
+package dtod
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/units"
+)
+
+func TestFractionMatchesPaperTenPercent(t *testing.T) {
+	// Paper §4.1: 10% of the die is D2D, so a 400 mm² module becomes
+	// a 444.4 mm² die.
+	o := Fraction{F: 0.10}
+	die := DieArea(o, 400)
+	if !units.ApproxEqual(die, 400/0.9, 1e-9) {
+		t.Errorf("die area = %v, want %v", die, 400/0.9)
+	}
+	// The D2D share of the die must be exactly F.
+	share := o.Area(400) / die
+	if !units.ApproxEqual(share, 0.10, 1e-9) {
+		t.Errorf("D2D share = %v, want 0.10", share)
+	}
+}
+
+func TestFractionEdgeCases(t *testing.T) {
+	if got := (Fraction{F: 0}).Area(100); got != 0 {
+		t.Errorf("F=0 should cost nothing, got %v", got)
+	}
+	if got := (Fraction{F: 0.1}).Area(0); got != 0 {
+		t.Errorf("zero module area should cost nothing, got %v", got)
+	}
+	if got := (Fraction{F: 1}).Area(100); !math.IsInf(got, 1) {
+		t.Errorf("F=1 is infeasible, want +Inf, got %v", got)
+	}
+}
+
+func TestPropertyFractionShareInvariant(t *testing.T) {
+	f := func(area, frac float64) bool {
+		area = 1 + math.Mod(math.Abs(area), 1000)
+		frac = math.Mod(math.Abs(frac), 0.5)
+		if frac == 0 {
+			return true
+		}
+		o := Fraction{F: frac}
+		share := o.Area(area) / DieArea(o, area)
+		return units.ApproxEqual(share, frac, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPHYLanes(t *testing.T) {
+	// 112 Gbps lanes: 100 GB/s = 800 Gbps → 8 lanes.
+	lanes, err := MCMSerDes.Lanes(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lanes != 8 {
+		t.Errorf("lanes = %d, want 8", lanes)
+	}
+	// Zero bandwidth needs zero lanes.
+	if lanes, _ := MCMSerDes.Lanes(0); lanes != 0 {
+		t.Errorf("zero bandwidth should need 0 lanes, got %d", lanes)
+	}
+	// Exceeding the pin budget errors.
+	if _, err := MCMSerDes.Lanes(1e6); err == nil {
+		t.Error("expected pin-count error")
+	}
+}
+
+func TestBeachfrontArea(t *testing.T) {
+	b := Beachfront{PHY: InterposerParallel, BandwidthGBs: 500, EdgesAvailable: 2}
+	// 500 GB/s = 4000 Gbps / 6.4 = 625 lanes × 0.015 mm² = 9.375 mm².
+	got := b.Area(200)
+	if !units.ApproxEqual(got, 9.375, 1e-9) {
+		t.Errorf("area = %v, want 9.375", got)
+	}
+}
+
+func TestBeachfrontInfeasibleReturnsInf(t *testing.T) {
+	// Organic-substrate SerDes cannot deliver interposer-class
+	// bandwidth from a small die: pitch 0.5 mm eats the beachfront.
+	b := Beachfront{PHY: MCMSerDes, BandwidthGBs: 4000, EdgesAvailable: 1}
+	if got := b.Area(100); !math.IsInf(got, 1) {
+		t.Errorf("expected +Inf for infeasible config, got %v", got)
+	}
+	if err := b.FitsDie(100); err == nil {
+		t.Error("FitsDie should explain the failure")
+	}
+}
+
+func TestBeachfrontEdgeClamping(t *testing.T) {
+	lo := Beachfront{PHY: InFOFanout, BandwidthGBs: 100, EdgesAvailable: 0}
+	hi := Beachfront{PHY: InFOFanout, BandwidthGBs: 100, EdgesAvailable: 9}
+	if err := lo.FitsDie(400); err != nil {
+		t.Errorf("edges=0 should clamp to 1 and fit: %v", err)
+	}
+	if err := hi.FitsDie(400); err != nil {
+		t.Errorf("edges=9 should clamp to 4 and fit: %v", err)
+	}
+}
+
+func TestInterposerBeatsSerDesOnDensity(t *testing.T) {
+	// The Figure 1 ordering: for the same bandwidth, the interposer
+	// PHY spends far less silicon than the substrate SerDes.
+	const bw = 200 // GB/s
+	si := Beachfront{PHY: InterposerParallel, BandwidthGBs: bw, EdgesAvailable: 4}.Area(300)
+	serdes := Beachfront{PHY: MCMSerDes, BandwidthGBs: bw, EdgesAvailable: 4}.Area(300)
+	if !(si < serdes) {
+		t.Errorf("interposer D2D area %v should undercut SerDes %v", si, serdes)
+	}
+}
+
+func TestNone(t *testing.T) {
+	if got := (None{}).Area(1e4); got != 0 {
+		t.Errorf("None overhead must be 0, got %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, o := range []Overhead{
+		Fraction{F: 0.1},
+		Beachfront{PHY: MCMSerDes, BandwidthGBs: 100, EdgesAvailable: 2},
+		None{},
+	} {
+		if o.String() == "" {
+			t.Errorf("%T: empty String()", o)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package dtod
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology describes how chiplets in a package interconnect, which
+// determines how many D2D link stops each die must provision. The
+// paper's flat 10% assumption matches an EPYC-like hub at small
+// counts; these models expose how the interface bill scales when the
+// partition gets finer — the physical mechanism behind §6's "RE cost
+// benefits from smaller chiplet granularity have marginal utility".
+type Topology int
+
+const (
+	// Hub connects every peripheral chiplet to one center die (the
+	// EPYC pattern): peripherals carry 1 link, the hub carries n-1.
+	Hub Topology = iota
+	// Mesh connects chiplets in a 2D grid: up to 4 links each.
+	Mesh
+	// FullyConnected links every pair: n-1 links per chiplet.
+	FullyConnected
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Hub:
+		return "hub"
+	case Mesh:
+		return "mesh"
+	case FullyConnected:
+		return "fully-connected"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// LinksPerChiplet returns the average number of D2D link stops each
+// of n chiplets must carry under the topology. For n ≤ 1 it is 0.
+func (t Topology) LinksPerChiplet(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	switch t {
+	case Hub:
+		// n-1 peripherals with 1 link each plus a hub with n-1:
+		// 2(n-1)/n on average.
+		return 2 * float64(n-1) / float64(n)
+	case Mesh:
+		// A 2D grid has at most 2(rows·cols) - rows - cols edges;
+		// each edge terminates on two dies.
+		rows := int(math.Sqrt(float64(n)))
+		if rows < 1 {
+			rows = 1
+		}
+		cols := (n + rows - 1) / rows
+		edges := rows*(cols-1) + cols*(rows-1)
+		if full := n; rows*cols > full {
+			// Incomplete last row: subtract the missing cells'
+			// edges conservatively by scaling.
+			edges = edges * n / (rows * cols)
+		}
+		return 2 * float64(edges) / float64(n)
+	case FullyConnected:
+		return float64(n - 1)
+	default:
+		return 0
+	}
+}
+
+// Scaled is an Overhead whose area grows with the chiplet's link
+// count: a per-link area bill on top of a fixed controller area. It
+// keeps the paper's fraction semantics at a reference configuration
+// and extrapolates from there.
+type Scaled struct {
+	// Topology and Count describe the package the chiplet sits in.
+	Topology Topology
+	Count    int
+	// AreaPerLinkMM2 is the silicon per link stop (PHY + controller
+	// slice).
+	AreaPerLinkMM2 float64
+	// FixedMM2 is the link-count-independent interface area (common
+	// controller, test logic).
+	FixedMM2 float64
+}
+
+// Area implements Overhead.
+func (s Scaled) Area(moduleAreaMM2 float64) float64 {
+	if moduleAreaMM2 <= 0 || s.Count <= 1 {
+		return 0
+	}
+	return s.FixedMM2 + s.Topology.LinksPerChiplet(s.Count)*s.AreaPerLinkMM2
+}
+
+// String implements fmt.Stringer.
+func (s Scaled) String() string {
+	return fmt.Sprintf("scaled(%v, n=%d, %.2f mm²/link + %.2f mm²)",
+		s.Topology, s.Count, s.AreaPerLinkMM2, s.FixedMM2)
+}
+
+// CalibrateScaled sizes AreaPerLinkMM2 so that a reference chiplet
+// (module area, count, topology) spends the given fraction of its die
+// on D2D — anchoring the scaled model to the paper's 10% assumption.
+// The fixed area is taken as 20% of the interface bill.
+func CalibrateScaled(t Topology, refCount int, refModuleAreaMM2, refFraction float64) (Scaled, error) {
+	if refCount < 2 {
+		return Scaled{}, fmt.Errorf("dtod: calibration needs ≥2 chiplets, got %d", refCount)
+	}
+	if refFraction <= 0 || refFraction >= 1 {
+		return Scaled{}, fmt.Errorf("dtod: calibration fraction %v outside (0,1)", refFraction)
+	}
+	if refModuleAreaMM2 <= 0 {
+		return Scaled{}, fmt.Errorf("dtod: calibration module area %v must be positive", refModuleAreaMM2)
+	}
+	links := t.LinksPerChiplet(refCount)
+	if links <= 0 {
+		return Scaled{}, fmt.Errorf("dtod: topology %v has no links at n=%d", t, refCount)
+	}
+	// Target D2D area for the reference die: module·f/(1-f).
+	target := refModuleAreaMM2 * refFraction / (1 - refFraction)
+	fixed := 0.2 * target
+	return Scaled{
+		Topology:       t,
+		Count:          refCount,
+		AreaPerLinkMM2: (target - fixed) / links,
+		FixedMM2:       fixed,
+	}, nil
+}
+
+// WithCount returns a copy of the model for a different chiplet
+// count, keeping the calibrated per-link and fixed areas.
+func (s Scaled) WithCount(n int) Scaled {
+	s.Count = n
+	return s
+}

@@ -1,0 +1,156 @@
+package dtod
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/units"
+)
+
+func TestTopologyLinksPerChiplet(t *testing.T) {
+	cases := []struct {
+		topo Topology
+		n    int
+		want float64
+	}{
+		{Hub, 1, 0},
+		{Hub, 2, 1},    // 2·1/2
+		{Hub, 4, 1.5},  // 2·3/4
+		{Hub, 8, 1.75}, // 2·7/8
+		{FullyConnected, 2, 1},
+		{FullyConnected, 5, 4},
+		{Mesh, 2, 1},       // 1 edge, 2 ends / 2 dies
+		{Mesh, 4, 2},       // 2x2 grid: 4 edges → 8/4
+		{Mesh, 9, 8.0 / 3}, // 3x3: 12 edges → 24/9
+	}
+	for _, c := range cases {
+		if got := c.topo.LinksPerChiplet(c.n); !units.ApproxEqual(got, c.want, 1e-9) {
+			t.Errorf("%v(%d) = %v, want %v", c.topo, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTopologyOrdering(t *testing.T) {
+	// For any n ≥ 3: hub ≤ mesh ≤ fully-connected in per-chiplet
+	// links — the cost ladder of interconnect richness.
+	for n := 3; n <= 16; n++ {
+		h := Hub.LinksPerChiplet(n)
+		m := Mesh.LinksPerChiplet(n)
+		f := FullyConnected.LinksPerChiplet(n)
+		if !(h <= m+1e-9 && m <= f+1e-9) {
+			t.Errorf("n=%d: hub %v ≤ mesh %v ≤ full %v violated", n, h, m, f)
+		}
+	}
+}
+
+func TestPropertyFullyConnectedGrowsLinearly(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		return FullyConnected.LinksPerChiplet(n) == float64(n-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateScaledMatchesPaperAtReference(t *testing.T) {
+	// Calibrated at the paper's reference (2 chiplets, 400 mm²
+	// modules, 10%), the scaled model must reproduce the flat model's
+	// area exactly at that point.
+	s, err := CalibrateScaled(Hub, 2, 400, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := Fraction{F: 0.10}
+	if got, want := s.Area(400), flat.Area(400); !units.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("reference area = %v, want %v", got, want)
+	}
+	// The D2D share of the die equals 10% at the reference.
+	share := s.Area(400) / (400 + s.Area(400))
+	if !units.ApproxEqual(share, 0.10, 1e-9) {
+		t.Errorf("share = %v, want 0.10", share)
+	}
+}
+
+func TestScaledGrowsWithCount(t *testing.T) {
+	s, err := CalibrateScaled(FullyConnected, 2, 400, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.WithCount(2).Area(200)
+	for n := 3; n <= 8; n++ {
+		cur := s.WithCount(n).Area(200)
+		if cur <= prev {
+			t.Errorf("fully-connected D2D area should grow with n: %v → %v at n=%d", prev, cur, n)
+		}
+		prev = cur
+	}
+	// Hub growth saturates: n=8 is below 2× the n=2 bill.
+	h, err := CalibrateScaled(Hub, 2, 400, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WithCount(8).Area(200) >= 2*h.WithCount(2).Area(200) {
+		t.Error("hub D2D bill should saturate")
+	}
+}
+
+func TestScaledEdgeCases(t *testing.T) {
+	s, err := CalibrateScaled(Mesh, 3, 300, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WithCount(1).Area(300); got != 0 {
+		t.Errorf("single die needs no D2D, got %v", got)
+	}
+	if got := s.Area(0); got != 0 {
+		t.Errorf("zero module area needs no D2D, got %v", got)
+	}
+	if !strings.Contains(s.String(), "mesh") {
+		t.Errorf("String = %q", s.String())
+	}
+	if !strings.Contains(Topology(9).String(), "9") {
+		t.Error("unknown topology label")
+	}
+	if Topology(9).LinksPerChiplet(4) != 0 {
+		t.Error("unknown topology should have no links")
+	}
+}
+
+func TestCalibrateScaledValidation(t *testing.T) {
+	if _, err := CalibrateScaled(Hub, 1, 400, 0.1); err == nil {
+		t.Error("refCount=1 accepted")
+	}
+	if _, err := CalibrateScaled(Hub, 2, 400, 0); err == nil {
+		t.Error("fraction=0 accepted")
+	}
+	if _, err := CalibrateScaled(Hub, 2, 400, 1); err == nil {
+		t.Error("fraction=1 accepted")
+	}
+	if _, err := CalibrateScaled(Hub, 2, -1, 0.1); err == nil {
+		t.Error("negative area accepted")
+	}
+}
+
+func TestMeshLinksBounded(t *testing.T) {
+	// Mesh per-chiplet links never exceed 4 (grid degree).
+	for n := 2; n <= 64; n++ {
+		if got := Mesh.LinksPerChiplet(n); got > 4 {
+			t.Errorf("mesh links at n=%d = %v > 4", n, got)
+		}
+	}
+}
+
+func TestScaledImplementsOverhead(t *testing.T) {
+	var o Overhead
+	s, err := CalibrateScaled(Hub, 2, 400, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = s
+	if math.IsNaN(o.Area(100)) {
+		t.Error("NaN area")
+	}
+}

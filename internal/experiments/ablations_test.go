@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/units"
+)
+
+func TestFlowAblationChipLastWins(t *testing.T) {
+	rows, err := FlowAblation(testEngine(t), "7nm", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 schemes × 3 chiplet counts
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.ChipLast >= r.ChipFirst {
+			t.Errorf("%v k=%d: chip-last (%v) should beat chip-first (%v)",
+				r.Scheme, r.Chiplets, r.ChipLast, r.ChipFirst)
+		}
+	}
+	// The chip-last advantage tracks the KGD value at risk: it falls
+	// as the partition gets finer (cheaper dies per attach) and is
+	// larger on the lossier silicon interposer than on RDL.
+	for _, scheme := range []packaging.Scheme{packaging.InFO, packaging.TwoPointFiveD} {
+		prev := 2.0
+		for _, r := range rows {
+			if r.Scheme != scheme {
+				continue
+			}
+			if r.Advantage() >= prev {
+				t.Errorf("%v: advantage should fall with k, got %v after %v", scheme, r.Advantage(), prev)
+			}
+			prev = r.Advantage()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if rows[3+i].Advantage() <= rows[i].Advantage() {
+			t.Errorf("k=%d: 2.5D advantage (%v) should exceed InFO (%v)",
+				rows[i].Chiplets, rows[3+i].Advantage(), rows[i].Advantage())
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFlowAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chip-last advantage") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAmortizationAblation(t *testing.T) {
+	ev := testEvaluator(t)
+	rows, err := AmortizationAblation(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Per-system-unit: all systems bear the same chip NRE per unit.
+	for _, r := range rows[1:] {
+		if !units.ApproxEqual(r.PerSystemUnit, rows[0].PerSystemUnit, 1e-9) {
+			t.Errorf("per-system-unit shares should be equal: %v vs %v", r.PerSystemUnit, rows[0].PerSystemUnit)
+		}
+	}
+	// Per-instance: shares scale with copy count (4X pays 4× the 1X
+	// share).
+	if !units.ApproxEqual(rows[2].PerInstance, 4*rows[0].PerInstance, 1e-9) {
+		t.Errorf("per-instance: 4X (%v) should be 4× 1X (%v)", rows[2].PerInstance, rows[0].PerInstance)
+	}
+	// Both policies conserve the total chip NRE across the portfolio
+	// (500k units each, 1/2/4 copies).
+	q := Fig8Quantity
+	totalUnit := q * (rows[0].PerSystemUnit + rows[1].PerSystemUnit + rows[2].PerSystemUnit)
+	totalInst := q * (rows[0].PerInstance + rows[1].PerInstance + rows[2].PerInstance)
+	if !units.ApproxEqual(totalUnit, totalInst, 1e-9) {
+		t.Errorf("policies must conserve total NRE: %v vs %v", totalUnit, totalInst)
+	}
+	var buf bytes.Buffer
+	if err := RenderAmortizationAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "per-instance") {
+		t.Error("render missing header")
+	}
+}
+
+func TestD2DAblation(t *testing.T) {
+	rows, err := D2DAblation(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// RE must rise monotonically with the D2D fraction, while the SoC
+	// comparator stays fixed.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RETotal <= rows[i-1].RETotal {
+			t.Errorf("RE should rise with D2D fraction: %v → %v", rows[i-1].RETotal, rows[i].RETotal)
+		}
+		if rows[i].SoCRE != rows[0].SoCRE {
+			t.Error("SoC comparator must not depend on the D2D fraction")
+		}
+	}
+	// With no D2D the 3-chiplet split must clearly beat the SoC at
+	// 5nm/800mm²; the advantage shrinks as the interface grows.
+	if rows[0].RETotal >= rows[0].SoCRE {
+		t.Error("with zero D2D overhead the split must win")
+	}
+	if gain0, gainMax := rows[0].SoCRE-rows[0].RETotal, rows[len(rows)-1].SoCRE-rows[len(rows)-1].RETotal; gainMax >= gain0 {
+		t.Error("the multi-chip gain should shrink as D2D overhead grows")
+	}
+	var buf bytes.Buffer
+	if err := RenderD2DAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "d2d fraction") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSalvageAblation(t *testing.T) {
+	rows, err := SalvageAblation(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Effective yield rises and system RE falls as more of the die
+	// becomes salvageable.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EffectiveYield <= rows[i-1].EffectiveYield {
+			t.Errorf("effective yield should rise: %v → %v", rows[i-1].EffectiveYield, rows[i].EffectiveYield)
+		}
+		if rows[i].SystemRE >= rows[i-1].SystemRE {
+			t.Errorf("system RE should fall: %v → %v", rows[i-1].SystemRE, rows[i].SystemRE)
+		}
+	}
+	// The f=0 row reproduces the plain Figure 5 CCD yield (early 7nm
+	// defect density on a 74 mm² die ≈ 91%).
+	if y := rows[0].EffectiveYield; y < 0.88 || y > 0.94 {
+		t.Errorf("baseline CCD yield = %v, want ≈0.91", y)
+	}
+	// Harvesting recovers only part of a percent-level defect bill on
+	// a small die — the saving must be positive but modest (<5%).
+	saving := 1 - rows[len(rows)-1].SystemRE/rows[0].SystemRE
+	if saving <= 0 || saving > 0.05 {
+		t.Errorf("harvesting saving = %v, want small positive", saving)
+	}
+	var buf bytes.Buffer
+	if err := RenderSalvageAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "core harvesting") {
+		t.Error("render missing header")
+	}
+}
+
+func TestBondYieldAblation(t *testing.T) {
+	rows, err := BondYieldAblation(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// Packaging cost and share must fall as the bond yield improves.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PackagingTotal >= rows[i-1].PackagingTotal {
+			t.Errorf("packaging cost should fall with yield: %v → %v",
+				rows[i-1].PackagingTotal, rows[i].PackagingTotal)
+		}
+		if rows[i].PackagingShare >= rows[i-1].PackagingShare {
+			t.Errorf("packaging share should fall with yield")
+		}
+	}
+	// At 90% per-die bond yield the packaging must dominate the cost
+	// (the paper's "bonding defects lead to waste of KGDs" warning).
+	if rows[0].PackagingShare < 0.40 {
+		t.Errorf("at 90%% bond yield packaging share = %v, expected dominant", rows[0].PackagingShare)
+	}
+	var buf bytes.Buffer
+	if err := RenderBondYieldAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bond yield") {
+		t.Error("render missing header")
+	}
+}

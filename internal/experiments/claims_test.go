@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+)
+
+func TestAllClaimsHold(t *testing.T) {
+	claims, err := Claims(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 20 {
+		t.Fatalf("claims = %d, expected the full §4–§6 set (≥20)", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %s FAILED: %s — measured %.4g outside [%.4g, %.4g]",
+				c.ID, c.Statement, c.Measured, c.Band[0], c.Band[1])
+		}
+	}
+}
+
+func TestClaimsRender(t *testing.T) {
+	claims, err := Claims(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderClaims(&buf, claims); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"payback-5nm", "turning-point", "holds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestClaimBandHelper(t *testing.T) {
+	c := claim("x", "demo", 0.5, 0.4, 0.6)
+	if !c.Holds {
+		t.Error("0.5 in [0.4,0.6] should hold")
+	}
+	c = claim("x", "demo", 0.7, 0.4, 0.6)
+	if c.Holds {
+		t.Error("0.7 outside [0.4,0.6] should not hold")
+	}
+}

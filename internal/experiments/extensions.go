@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/yield"
+)
+
+// Extension experiments: quantitative versions of remarks the paper
+// makes in passing. §4.1 notes that the Figure 5 analysis used
+// early-production defect densities and that "as the yield of 7nm
+// technology improves in recent years, the advantage is further
+// smaller"; MaturityTimeline replays that statement over a standard
+// yield-learning curve. The related-work section points at active
+// interposers (Stow et al., ICCAD'17); ActiveInterposerStudy prices
+// one against the paper's passive 2.5D flow.
+
+// MaturityRow is one sample of the chiplet-advantage-vs-maturity
+// timeline.
+type MaturityRow struct {
+	// Months after 7nm risk production.
+	Months float64
+	// Defect7nm / Defect12nm are the learned defect densities.
+	Defect7nm, Defect12nm float64
+	// CostRatio64 is the 64-core chiplet/monolithic total ratio.
+	CostRatio64 float64
+}
+
+// MaturityTimeline replays the Figure 5 comparison as both nodes
+// mature: 7nm learns from the paper's early 0.13 defects/cm² toward a
+// mature 0.065 floor, 12nm from 0.12 toward 0.06 (time constant 12
+// months, the usual yield-learning pace).
+func MaturityTimeline(db *tech.Database, params packaging.Params) ([]MaturityRow, error) {
+	curve7 := yield.LearningCurve{D0: 0.13, DFloor: 0.065, Tau: 12}
+	curve12 := yield.LearningCurve{D0: 0.12, DFloor: 0.06, Tau: 12}
+	var rows []MaturityRow
+	for _, months := range []float64{0, 6, 12, 24, 48} {
+		cfg := DefaultFig5Config()
+		cfg.CoreCounts = []int{64}
+		cfg.EarlyDefect7nm = curve7.DefectDensity(months)
+		cfg.EarlyDefect12nm = curve12.DefectDensity(months)
+		res, err := Fig5WithConfig(db, params, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MaturityRow{
+			Months:      months,
+			Defect7nm:   cfg.EarlyDefect7nm,
+			Defect12nm:  cfg.EarlyDefect12nm,
+			CostRatio64: res.Rows[0].CostRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderMaturityTimeline writes the timeline table.
+func RenderMaturityTimeline(w io.Writer, rows []MaturityRow) error {
+	tab := report.NewTable(
+		"Extension — chiplet advantage vs process maturity (64-core product)",
+		"months", "D(7nm)", "D(12nm)", "chiplet/mono total")
+	for _, r := range rows {
+		tab.MustAddRow(fmt.Sprintf("%.0f", r.Months),
+			fmt.Sprintf("%.3f", r.Defect7nm),
+			fmt.Sprintf("%.3f", r.Defect12nm),
+			fmt.Sprintf("%.2f", r.CostRatio64))
+	}
+	return tab.WriteText(w)
+}
+
+// TopologyGranularityRow records, for one D2D model, how the RE cost
+// of a 5nm 800 mm² MCM system evolves with partition count. Counts
+// whose interface bill makes the package infeasible (substrate limit)
+// are absent from REByCount — itself a finding: rich topologies
+// cannot be partitioned finely.
+type TopologyGranularityRow struct {
+	// D2DModel labels the interface model.
+	D2DModel string
+	// REByCount maps feasible chiplet counts (2..6) to RE per unit.
+	REByCount map[int]float64
+	// BestCount is the RE-minimizing feasible count.
+	BestCount int
+}
+
+// TopologyGranularity re-examines §6's granularity advice under
+// physically scaled D2D models: the paper's flat 10% charges the same
+// interface share at every partition count, while hub / mesh /
+// fully-connected models grow the bill with the link count. All
+// scaled models are calibrated to match the flat model at the paper's
+// 2-chiplet reference, so differences beyond n=2 are purely topology.
+func TopologyGranularity(eng *cost.Engine) ([]TopologyGranularityRow, error) {
+	const (
+		node       = "5nm"
+		moduleArea = 800.0
+		refCount   = 2
+	)
+	counts := []int{2, 3, 4, 5, 6}
+	models := []struct {
+		name string
+		mk   func(n int) (dtod.Overhead, error)
+	}{
+		{"flat 10% (paper)", func(int) (dtod.Overhead, error) {
+			return dtod.Fraction{F: Fig4D2DFraction}, nil
+		}},
+		{"hub", func(n int) (dtod.Overhead, error) {
+			s, err := dtod.CalibrateScaled(dtod.Hub, refCount, moduleArea/float64(refCount), Fig4D2DFraction)
+			if err != nil {
+				return nil, err
+			}
+			return s.WithCount(n), nil
+		}},
+		{"mesh", func(n int) (dtod.Overhead, error) {
+			s, err := dtod.CalibrateScaled(dtod.Mesh, refCount, moduleArea/float64(refCount), Fig4D2DFraction)
+			if err != nil {
+				return nil, err
+			}
+			return s.WithCount(n), nil
+		}},
+		{"fully-connected", func(n int) (dtod.Overhead, error) {
+			s, err := dtod.CalibrateScaled(dtod.FullyConnected, refCount, moduleArea/float64(refCount), Fig4D2DFraction)
+			if err != nil {
+				return nil, err
+			}
+			return s.WithCount(n), nil
+		}},
+	}
+	var rows []TopologyGranularityRow
+	for _, m := range models {
+		row := TopologyGranularityRow{D2DModel: m.name, REByCount: make(map[int]float64, len(counts))}
+		best := 0.0
+		for _, n := range counts {
+			d2d, err := m.mk(n)
+			if err != nil {
+				return nil, err
+			}
+			s, err := system.PartitionEqual("t", node, moduleArea, n, packaging.MCM, d2d, 1)
+			if err != nil {
+				return nil, err
+			}
+			b, err := eng.RE(s)
+			if err != nil {
+				continue // interface bill made the package infeasible
+			}
+			row.REByCount[n] = b.Total()
+			if row.BestCount == 0 || b.Total() < best {
+				best = b.Total()
+				row.BestCount = n
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTopologyGranularity writes the granularity-vs-topology table.
+func RenderTopologyGranularity(w io.Writer, rows []TopologyGranularityRow) error {
+	tab := report.NewTable(
+		"Extension — granularity under scaled D2D models (5nm, 800 mm², MCM RE per unit)",
+		"D2D model", "k=2", "k=3", "k=4", "k=5", "k=6", "best k")
+	cell := func(r TopologyGranularityRow, k int) string {
+		v, ok := r.REByCount[k]
+		if !ok {
+			return "infeasible"
+		}
+		return fmt.Sprintf("$%.0f", v)
+	}
+	for _, r := range rows {
+		tab.MustAddRow(r.D2DModel,
+			cell(r, 2), cell(r, 3), cell(r, 4), cell(r, 5), cell(r, 6),
+			fmt.Sprintf("%d", r.BestCount))
+	}
+	return tab.WriteText(w)
+}
+
+// MigrationRow compares hosting a module on one node: a *scalable*
+// module re-sized by logic density versus an *unscalable* module
+// whose area is node-independent.
+type MigrationRow struct {
+	Node string
+	// ScalableAreaMM2 is the scalable module's area on this node
+	// (reference: 100 mm² at 7nm).
+	ScalableAreaMM2 float64
+	// ScalableKGD / UnscalableKGD are the known-good-die costs of a
+	// standalone chiplet hosting each module variant (10% D2D).
+	ScalableKGD, UnscalableKGD float64
+}
+
+// NodeMigrationStudy quantifies §5.2's premise that only modules
+// "that do not benefit from advanced process technology" should move
+// to mature nodes: for a scalable module the density loss eats the
+// cheaper wafer, while an unscalable module (fixed area) gets the
+// whole wafer-price discount plus the better yield.
+func NodeMigrationStudy(db *tech.Database, params packaging.Params) ([]MigrationRow, error) {
+	eng, err := cost.NewEngine(db, params)
+	if err != nil {
+		return nil, err
+	}
+	const refArea, refNode = 100.0, "7nm"
+	kgd := func(node string, moduleArea float64) (float64, error) {
+		s := system.System{
+			Name: "m", Scheme: packaging.MCM, Quantity: 1,
+			Placements: []system.Placement{
+				{Chiplet: system.Chiplet{
+					Name: "probe", Node: node,
+					Modules: []system.Module{{Name: "mod", AreaMM2: moduleArea}},
+					D2D:     dtod.Fraction{F: Fig4D2DFraction},
+				}, Count: 1},
+				// A filler die keeps the package a genuine MCM; its
+				// cost is excluded by reading the probe die directly.
+				{Chiplet: system.Chiplet{
+					Name: "filler", Node: refNode,
+					Modules: []system.Module{{Name: "fill", AreaMM2: 10}},
+					D2D:     dtod.Fraction{F: Fig4D2DFraction},
+				}, Count: 1},
+			},
+		}
+		b, err := eng.RE(s)
+		if err != nil {
+			return 0, err
+		}
+		return b.Dies[0].KGD, nil
+	}
+	var rows []MigrationRow
+	for _, node := range []string{"5nm", "7nm", "12nm", "14nm", "28nm"} {
+		scaled, err := db.ScaleArea(refArea, refNode, node)
+		if err != nil {
+			return nil, err
+		}
+		sk, err := kgd(node, scaled)
+		if err != nil {
+			return nil, err
+		}
+		uk, err := kgd(node, refArea)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MigrationRow{
+			Node: node, ScalableAreaMM2: scaled,
+			ScalableKGD: sk, UnscalableKGD: uk,
+		})
+	}
+	return rows, nil
+}
+
+// RenderNodeMigrationStudy writes the migration table.
+func RenderNodeMigrationStudy(w io.Writer, rows []MigrationRow) error {
+	tab := report.NewTable(
+		"Extension — node migration of a 100 mm²@7nm module (KGD cost of hosting chiplet)",
+		"node", "scalable area", "scalable KGD", "unscalable KGD")
+	for _, r := range rows {
+		tab.MustAddRow(r.Node,
+			fmt.Sprintf("%.0f mm²", r.ScalableAreaMM2),
+			fmt.Sprintf("$%.2f", r.ScalableKGD),
+			fmt.Sprintf("$%.2f", r.UnscalableKGD))
+	}
+	return tab.WriteText(w)
+}
+
+// InterposerVariantRow compares one interposer implementation for the
+// reference 2.5D system.
+type InterposerVariantRow struct {
+	// Variant labels the interposer flavour.
+	Variant string
+	// WaferCost and DefectDensity are the interposer silicon
+	// parameters in effect.
+	WaferCost, DefectDensity float64
+	// PackagingTotal and Total are the per-unit costs of the
+	// reference system (7nm, 600 mm² modules, 3 chiplets, 2.5D).
+	PackagingTotal, Total float64
+}
+
+// ActiveInterposerStudy prices the paper's passive silicon interposer
+// against two variants: a cheaper large-pitch passive flow and an
+// active interposer (a 65nm logic process carrying routing plus
+// power-management and repeater logic — pricier wafer, logic-grade
+// defect sensitivity).
+func ActiveInterposerStudy(db *tech.Database, params packaging.Params) ([]InterposerVariantRow, error) {
+	base, err := db.Node("SI")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		node tech.Node
+	}{
+		{"passive (paper)", base},
+		{"passive, relaxed pitch", func() tech.Node {
+			n := base
+			n.WaferCost = base.WaferCost * 0.7
+			n.DefectDensity = 0.04
+			return n
+		}()},
+		{"active (65nm logic + TSV)", func() tech.Node {
+			n := base
+			n.WaferCost = base.WaferCost * 1.6
+			n.DefectDensity = 0.09 // logic-grade criticality
+			n.Cluster = 10
+			return n
+		}()},
+	}
+	var rows []InterposerVariantRow
+	for _, v := range variants {
+		mod, err := db.Override(v.node)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cost.NewEngine(mod, params)
+		if err != nil {
+			return nil, err
+		}
+		s, err := system.PartitionEqual("ref", "7nm", 600, 3, packaging.TwoPointFiveD,
+			dtod.Fraction{F: Fig4D2DFraction}, 1)
+		if err != nil {
+			return nil, err
+		}
+		b, err := eng.RE(s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InterposerVariantRow{
+			Variant:        v.name,
+			WaferCost:      v.node.WaferCost,
+			DefectDensity:  v.node.DefectDensity,
+			PackagingTotal: b.PackagingTotal(),
+			Total:          b.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderActiveInterposerStudy writes the interposer comparison.
+func RenderActiveInterposerStudy(w io.Writer, rows []InterposerVariantRow) error {
+	tab := report.NewTable(
+		"Extension — interposer variants (7nm, 600 mm², 3-chiplet 2.5D)",
+		"variant", "wafer $", "D (/cm²)", "packaging", "total")
+	for _, r := range rows {
+		tab.MustAddRow(r.Variant,
+			fmt.Sprintf("%.0f", r.WaferCost),
+			fmt.Sprintf("%.2f", r.DefectDensity),
+			fmt.Sprintf("$%.0f", r.PackagingTotal),
+			fmt.Sprintf("$%.0f", r.Total))
+	}
+	return tab.WriteText(w)
+}

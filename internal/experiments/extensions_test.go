@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+)
+
+func TestMaturityTimeline(t *testing.T) {
+	rows, err := MaturityTimeline(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// Defect densities learn downward; the chiplet advantage shrinks
+	// (cost ratio rises toward 1) as yields mature — the paper's "the
+	// advantage is further smaller" remark.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Defect7nm >= rows[i-1].Defect7nm {
+			t.Errorf("7nm defect density should fall: %v → %v", rows[i-1].Defect7nm, rows[i].Defect7nm)
+		}
+		if rows[i].CostRatio64 <= rows[i-1].CostRatio64 {
+			t.Errorf("chiplet advantage should shrink with maturity: ratio %v → %v",
+				rows[i-1].CostRatio64, rows[i].CostRatio64)
+		}
+	}
+	// At month 0 the ratio reproduces the Figure 5 headline (≈0.57);
+	// even fully mature, chiplets must still win at 64 cores.
+	if r := rows[0].CostRatio64; r < 0.45 || r > 0.70 {
+		t.Errorf("month-0 ratio = %v, want ≈0.57", r)
+	}
+	if r := rows[len(rows)-1].CostRatio64; r >= 1 {
+		t.Errorf("mature ratio = %v; chiplets should still win at 64 cores", r)
+	}
+	var buf bytes.Buffer
+	if err := RenderMaturityTimeline(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "process maturity") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTopologyGranularity(t *testing.T) {
+	rows, err := TopologyGranularity(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]TopologyGranularityRow{}
+	for _, r := range rows {
+		byName[r.D2DModel] = r
+		// Every model must be feasible at least at the 2-chiplet
+		// reference.
+		if r.REByCount[2] <= 0 {
+			t.Fatalf("%s: missing calibration point k=2", r.D2DModel)
+		}
+	}
+	// Flat and hub stay feasible over the whole sweep.
+	for _, name := range []string{"flat 10% (paper)", "hub"} {
+		for k := 2; k <= 6; k++ {
+			if byName[name].REByCount[k] <= 0 {
+				t.Errorf("%s: k=%d should be feasible", name, k)
+			}
+		}
+	}
+	// All models agree at the calibration point (k=2).
+	flat := byName["flat 10% (paper)"]
+	for _, name := range []string{"hub", "mesh", "fully-connected"} {
+		if got, want := byName[name].REByCount[2], flat.REByCount[2]; math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("%s at k=2: %v, want calibrated %v", name, got, want)
+		}
+	}
+	// Beyond the reference the fully-connected bill exceeds the hub's
+	// wherever both are feasible — and it must lose feasibility before
+	// the sweep ends (its k=6 package exceeds the substrate limit).
+	for k := 3; k <= 6; k++ {
+		fc, ok := byName["fully-connected"].REByCount[k]
+		if !ok {
+			continue
+		}
+		if fc <= byName["hub"].REByCount[k] {
+			t.Errorf("k=%d: fully-connected should cost more than hub", k)
+		}
+	}
+	if _, ok := byName["fully-connected"].REByCount[6]; ok {
+		t.Error("fully-connected at k=6 should be infeasible (substrate limit)")
+	}
+	// The fully-connected optimum comes at a coarser partition than
+	// the flat model's (richer interconnect punishes fine splits).
+	if byName["fully-connected"].BestCount > flat.BestCount {
+		t.Errorf("fully-connected best k=%d should not exceed flat best k=%d",
+			byName["fully-connected"].BestCount, flat.BestCount)
+	}
+	var buf bytes.Buffer
+	if err := RenderTopologyGranularity(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best k") {
+		t.Error("render missing header")
+	}
+}
+
+func TestNodeMigrationStudy(t *testing.T) {
+	rows, err := NodeMigrationStudy(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byNode := map[string]MigrationRow{}
+	for _, r := range rows {
+		byNode[r.Node] = r
+		if r.ScalableKGD <= 0 || r.UnscalableKGD <= 0 {
+			t.Fatalf("%s: degenerate KGD costs", r.Node)
+		}
+	}
+	// Unscalable modules get strictly cheaper on every step toward
+	// mature nodes (fixed area, cheaper wafer, better yield).
+	order := []string{"5nm", "7nm", "12nm", "14nm", "28nm"}
+	for i := 1; i < len(order); i++ {
+		if byNode[order[i]].UnscalableKGD >= byNode[order[i-1]].UnscalableKGD {
+			t.Errorf("unscalable KGD should fall toward mature nodes: %s %v vs %s %v",
+				order[i-1], byNode[order[i-1]].UnscalableKGD,
+				order[i], byNode[order[i]].UnscalableKGD)
+		}
+	}
+	// The scalable module must *not* enjoy the same discount: the
+	// mature-node penalty ratio (scalable/unscalable KGD) grows as
+	// the node matures because the density loss inflates its area.
+	r7 := byNode["7nm"].ScalableKGD / byNode["7nm"].UnscalableKGD
+	r28 := byNode["28nm"].ScalableKGD / byNode["28nm"].UnscalableKGD
+	if r28 <= r7 {
+		t.Errorf("density loss should penalize scalable logic on mature nodes: 7nm ratio %v, 28nm ratio %v", r7, r28)
+	}
+	// Reference check: at 7nm the scalable and unscalable variants
+	// are the same die.
+	if byNode["7nm"].ScalableKGD != byNode["7nm"].UnscalableKGD {
+		t.Error("7nm reference must coincide")
+	}
+	// Areas follow the published density ratios.
+	if a := byNode["14nm"].ScalableAreaMM2; a < 300 || a > 400 {
+		t.Errorf("14nm scaled area = %v, want ≈337 (91/27 density ratio)", a)
+	}
+	var buf bytes.Buffer
+	if err := RenderNodeMigrationStudy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node migration") {
+		t.Error("render missing header")
+	}
+}
+
+func TestActiveInterposerStudy(t *testing.T) {
+	rows, err := ActiveInterposerStudy(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	passive, relaxed, active := rows[0], rows[1], rows[2]
+	// A cheaper, cleaner passive flow must lower packaging cost; an
+	// active interposer must raise it.
+	if relaxed.PackagingTotal >= passive.PackagingTotal {
+		t.Errorf("relaxed-pitch packaging (%v) should undercut the paper's (%v)",
+			relaxed.PackagingTotal, passive.PackagingTotal)
+	}
+	if active.PackagingTotal <= passive.PackagingTotal {
+		t.Errorf("active interposer packaging (%v) should exceed passive (%v)",
+			active.PackagingTotal, passive.PackagingTotal)
+	}
+	// Die costs are identical across variants, so total ordering
+	// follows packaging ordering.
+	if !(relaxed.Total < passive.Total && passive.Total < active.Total) {
+		t.Errorf("total ordering broken: %v / %v / %v",
+			relaxed.Total, passive.Total, active.Total)
+	}
+	var buf bytes.Buffer
+	if err := RenderActiveInterposerStudy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "interposer variants") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/reuse"
+	"chipletactuary/internal/units"
+)
+
+func TestFig10Structure(t *testing.T) {
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 configs × 3 schemes.
+	if len(r.Cells) != 15 {
+		t.Fatalf("cells = %d, want 15", len(r.Cells))
+	}
+	// System counts must match the paper's formula for each config.
+	for _, cfg := range Fig10Configs {
+		for _, scheme := range Fig10Schemes {
+			c, err := r.Cell(cfg.K, cfg.N, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := reuse.CollocationCount(cfg.N, cfg.K); float64(c.Systems) != want {
+				t.Errorf("k=%d n=%d %v: systems = %d, want %v", cfg.K, cfg.N, scheme, c.Systems, want)
+			}
+		}
+	}
+}
+
+func TestFig10SoCAverageREIsUnity(t *testing.T) {
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range Fig10Configs {
+		c, err := r.Cell(cfg.K, cfg.N, packaging.SoC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !units.ApproxEqual(c.AvgRE, 1.0, 1e-9) {
+			t.Errorf("k=%d n=%d: SoC avg RE = %v, want 1.0", cfg.K, cfg.N, c.AvgRE)
+		}
+	}
+}
+
+func TestFig10MoreReuseMoreBenefit(t *testing.T) {
+	// §5.3: "the more chiplets are reused, the more benefits from NRE
+	// cost amortization". The MCM NRE share must fall monotonically
+	// across the five configurations, and the normalized MCM total
+	// must fall too.
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevShare, prevTotal := 1.1, 1e9
+	for _, cfg := range Fig10Configs {
+		c, err := r.Cell(cfg.K, cfg.N, packaging.MCM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NREShare() >= prevShare {
+			t.Errorf("k=%d n=%d: MCM NRE share %v should fall (prev %v)",
+				cfg.K, cfg.N, c.NREShare(), prevShare)
+		}
+		if c.Total() >= prevTotal {
+			t.Errorf("k=%d n=%d: MCM total %v should fall (prev %v)",
+				cfg.K, cfg.N, c.Total(), prevTotal)
+		}
+		prevShare, prevTotal = c.NREShare(), c.Total()
+	}
+}
+
+func TestFig10NRENegligibleAtFullReuse(t *testing.T) {
+	// "When the reusability is taken full advantage of, the amortized
+	// NRE cost is small enough to be ignored."
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Cell(4, 6, packaging.MCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NREShare() > 0.10 {
+		t.Errorf("(4,6) MCM NRE share = %v, should be negligible", c.NREShare())
+	}
+}
+
+func TestFig10MultiChipWinsAtHighReuse(t *testing.T) {
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ K, N int }{{4, 4}, {4, 6}} {
+		soc, err := r.Cell(cfg.K, cfg.N, packaging.SoC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcm, err := r.Cell(cfg.K, cfg.N, packaging.MCM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpd, err := r.Cell(cfg.K, cfg.N, packaging.TwoPointFiveD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mcm.Total() >= soc.Total() {
+			t.Errorf("k=%d n=%d: MCM avg (%v) should beat SoC (%v)", cfg.K, cfg.N, mcm.Total(), soc.Total())
+		}
+		if tpd.Total() >= soc.Total() {
+			t.Errorf("k=%d n=%d: even 2.5D avg (%v) should beat SoC (%v)", cfg.K, cfg.N, tpd.Total(), soc.Total())
+		}
+		// MCM remains the cheapest integration.
+		if mcm.Total() >= tpd.Total() {
+			t.Errorf("k=%d n=%d: MCM (%v) should undercut 2.5D (%v)", cfg.K, cfg.N, mcm.Total(), tpd.Total())
+		}
+	}
+}
+
+func TestFig10CellLookupError(t *testing.T) {
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Cell(9, 9, packaging.MCM); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestFig10Render(t *testing.T) {
+	r, err := Fig10(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 10", "k=4 n=6", "209", "NRE share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package experiments contains one runner per figure of the paper's
+// evaluation, returning typed results that the tests, benches and the
+// cmd/figures binary all consume. Each runner is deterministic and
+// uses only the technology database and packaging parameters it is
+// given, so experiment overrides (e.g. Figure 5's early-life defect
+// densities) stay local to their runner.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/wafer"
+)
+
+// Fig2Techs are the technologies of Figure 2's legend, in its order.
+var Fig2Techs = []string{"3nm", "5nm", "7nm", "14nm", "RDL", "SI"}
+
+// Fig2Point is one (technology, area) sample of Figure 2.
+type Fig2Point struct {
+	// Yield is the die yield from Eq. (1).
+	Yield float64
+	// NormCost is the cost of good silicon normalized to the raw
+	// wafer's cost per area (Figure 2's right axis).
+	NormCost float64
+}
+
+// Fig2Result is the full yield/cost-area sweep.
+type Fig2Result struct {
+	AreasMM2 []float64
+	Techs    []string
+	// Points[tech][i] corresponds to AreasMM2[i].
+	Points map[string][]Fig2Point
+}
+
+// Fig2 reproduces Figure 2: the yield-area and normalized
+// cost-per-area relations of the six technologies, sampled every
+// 50 mm² up to 900 mm².
+func Fig2(db *tech.Database) (Fig2Result, error) {
+	w := wafer.Default300()
+	res := Fig2Result{Techs: Fig2Techs, Points: make(map[string][]Fig2Point, len(Fig2Techs))}
+	for a := 50.0; a <= 900; a += 50 {
+		res.AreasMM2 = append(res.AreasMM2, a)
+	}
+	for _, name := range Fig2Techs {
+		node, err := db.Node(name)
+		if err != nil {
+			return Fig2Result{}, err
+		}
+		pts := make([]Fig2Point, 0, len(res.AreasMM2))
+		for _, a := range res.AreasMM2 {
+			y := node.Yield(a)
+			nc, err := w.NormalizedCostPerArea(wafer.Subtractive, a, y)
+			if err != nil {
+				return Fig2Result{}, fmt.Errorf("experiments: fig2 %s at %.0f mm²: %w", name, a, err)
+			}
+			pts = append(pts, Fig2Point{Yield: y, NormCost: nc})
+		}
+		res.Points[name] = pts
+	}
+	return res, nil
+}
+
+// Render writes Figure 2 as two tables (yield % and normalized cost).
+func (r Fig2Result) Render(w io.Writer) error {
+	for _, variant := range []struct {
+		title string
+		pick  func(Fig2Point) string
+	}{
+		{"Figure 2a — die yield (%) vs area", func(p Fig2Point) string { return fmt.Sprintf("%.1f", p.Yield*100) }},
+		{"Figure 2b — normalized cost per good area vs area", func(p Fig2Point) string { return fmt.Sprintf("%.2f", p.NormCost) }},
+	} {
+		headers := append([]string{"area (mm²)"}, r.Techs...)
+		tab := report.NewTable(variant.title, headers...)
+		for i, a := range r.AreasMM2 {
+			row := []string{fmt.Sprintf("%.0f", a)}
+			for _, tech := range r.Techs {
+				row = append(row, variant.pick(r.Points[tech][i]))
+			}
+			if err := tab.AddRow(row...); err != nil {
+				return err
+			}
+		}
+		if err := tab.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	// ASCII rendering of the yield curves, mirroring the figure.
+	var series []report.Series
+	for _, tech := range r.Techs {
+		ys := make([]float64, len(r.AreasMM2))
+		for i := range r.AreasMM2 {
+			ys[i] = r.Points[tech][i].Yield * 100
+		}
+		series = append(series, report.Series{Name: tech, X: r.AreasMM2, Y: ys})
+	}
+	return report.RenderLines(w, "Figure 2 — yield (%) vs area (mm²)", series, 72, 18)
+}

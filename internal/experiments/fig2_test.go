@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/units"
+)
+
+func testEngine(t *testing.T) *cost.Engine {
+	t.Helper()
+	e, err := cost.NewEngine(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testEvaluator(t *testing.T) *explore.Evaluator {
+	t.Helper()
+	ev, err := explore.NewEvaluator(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestFig2Structure(t *testing.T) {
+	r, err := Fig2(tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Techs) != 6 {
+		t.Fatalf("techs = %d, want 6", len(r.Techs))
+	}
+	if len(r.AreasMM2) != 18 { // 50..900 step 50
+		t.Fatalf("areas = %d, want 18", len(r.AreasMM2))
+	}
+	for _, tech := range r.Techs {
+		pts := r.Points[tech]
+		if len(pts) != len(r.AreasMM2) {
+			t.Fatalf("%s: %d points for %d areas", tech, len(pts), len(r.AreasMM2))
+		}
+	}
+}
+
+func TestFig2YieldValues(t *testing.T) {
+	r, err := Fig2(tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 800 mm² is index 15 (50·16 = 800).
+	idx := -1
+	for i, a := range r.AreasMM2 {
+		if a == 800 {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("800 mm² sample missing")
+	}
+	// Spot values from the Eq. (1) parameters.
+	if y := r.Points["5nm"][idx].Yield; !units.ApproxEqual(y, 0.43022, 1e-3) {
+		t.Errorf("5nm yield at 800 = %v, want ≈0.430", y)
+	}
+	if y := r.Points["3nm"][idx].Yield; !units.ApproxEqual(y, 0.22668, 1e-3) {
+		t.Errorf("3nm yield at 800 = %v, want ≈0.227", y)
+	}
+}
+
+func TestFig2Monotonicity(t *testing.T) {
+	r, err := Fig2(tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range r.Techs {
+		pts := r.Points[tech]
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Yield > pts[i-1].Yield {
+				t.Errorf("%s: yield not decreasing at %v mm²", tech, r.AreasMM2[i])
+			}
+			if pts[i].NormCost < pts[i-1].NormCost*0.999 {
+				t.Errorf("%s: normalized cost not increasing at %v mm²", tech, r.AreasMM2[i])
+			}
+		}
+	}
+}
+
+func TestFig2TechOrdering(t *testing.T) {
+	// At any fixed area, a leakier process yields worse: 3nm < 5nm <
+	// 7nm < 14nm in yield (all c=10).
+	r, err := Fig2(tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"3nm", "5nm", "7nm", "14nm"}
+	for i := range r.AreasMM2 {
+		for j := 1; j < len(order); j++ {
+			if r.Points[order[j-1]][i].Yield > r.Points[order[j]][i].Yield {
+				t.Errorf("at %v mm²: %s yield should be below %s",
+					r.AreasMM2[i], order[j-1], order[j])
+			}
+		}
+	}
+}
+
+func TestFig2Render(t *testing.T) {
+	r, err := Fig2(tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2a", "Figure 2b", "3nm", "RDL", "SI", "800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig2UnknownTech(t *testing.T) {
+	// A database missing one of the six technologies must fail
+	// loudly, not silently skip a curve.
+	db, err := tech.NewDatabase(tech.Default().MustNode("5nm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig2(db); err == nil {
+		t.Error("incomplete database accepted")
+	}
+}

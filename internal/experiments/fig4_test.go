@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/units"
+)
+
+func TestFig4GridComplete(t *testing.T) {
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(r.Panels))
+	}
+	for _, node := range Fig4Nodes {
+		if len(r.Panels[node]) != 3 {
+			t.Fatalf("%s: panels = %d, want 3", node, len(r.Panels[node]))
+		}
+		for _, k := range Fig4ChipletCounts {
+			bars := r.Panels[node][k]
+			// 9 areas × 4 schemes.
+			if len(bars) != 36 {
+				t.Fatalf("%s k=%d: bars = %d, want 36", node, k, len(bars))
+			}
+		}
+		if r.Reference[node] <= 0 {
+			t.Errorf("%s: reference base missing", node)
+		}
+	}
+}
+
+func TestFig4NormalizationBase(t *testing.T) {
+	// The 100 mm² SoC bar must be exactly 1.0 in every panel.
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig4Nodes {
+		b, err := r.Bar(node, 2, 100, packaging.SoC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !units.ApproxEqual(b.Total(), 1.0, 1e-9) {
+			t.Errorf("%s: 100 mm² SoC total = %v, want 1.0", node, b.Total())
+		}
+	}
+}
+
+func TestFig4DefectShareHeadline(t *testing.T) {
+	// §4.1: die-defect cost >50% of the monolithic total at 5nm,
+	// 800 mm².
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Bar("5nm", 2, 800, packaging.SoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := b.ChipDefects / b.Total()
+	if share < 0.5 {
+		t.Errorf("5nm/800mm² SoC defect share = %v, paper says >50%%", share)
+	}
+}
+
+func TestFig4BenefitsGrowWithArea(t *testing.T) {
+	// "For any technology node, the benefits increase with the
+	// increase of area": the MCM/SoC total ratio must fall with area.
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig4Nodes {
+		prev := 10.0
+		for _, area := range []float64{300, 500, 700, 900} {
+			soc, err := r.Bar(node, 2, area, packaging.SoC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcm, err := r.Bar(node, 2, area, packaging.MCM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := mcm.Total() / soc.Total()
+			if ratio >= prev {
+				t.Errorf("%s at %v mm²: MCM/SoC ratio %v should fall with area (prev %v)",
+					node, area, ratio, prev)
+			}
+			prev = ratio
+		}
+	}
+}
+
+func TestFig4CrossoverBehaviour(t *testing.T) {
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 5nm 800 mm², 2-chiplet MCM must beat the SoC.
+	soc, err := r.Bar("5nm", 2, 800, packaging.SoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcm, err := r.Bar("5nm", 2, 800, packaging.MCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcm.Total() >= soc.Total() {
+		t.Errorf("5nm/800: MCM %v should beat SoC %v", mcm.Total(), soc.Total())
+	}
+	// At 100 mm² the packaging overhead dominates and the SoC wins.
+	socS, err := r.Bar("5nm", 2, 100, packaging.SoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcmS, err := r.Bar("5nm", 2, 100, packaging.MCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcmS.Total() <= socS.Total() {
+		t.Errorf("5nm/100: SoC %v should beat MCM %v", socS.Total(), mcmS.Total())
+	}
+}
+
+func TestFig4AdvancedPackagingOnlyForAdvancedNodes(t *testing.T) {
+	// "Advanced packaging technologies are only cost-effective under
+	// advanced process technology": at 14nm, 2.5D never beats the
+	// SoC; at 5nm and 800+ mm² it does.
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, area := range Fig4AreasMM2 {
+		soc, err := r.Bar("14nm", 2, area, packaging.SoC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpd, err := r.Bar("14nm", 2, area, packaging.TwoPointFiveD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tpd.Total() < soc.Total() {
+			t.Errorf("14nm/%v: 2.5D (%v) should not beat SoC (%v)", area, tpd.Total(), soc.Total())
+		}
+	}
+	soc5, err := r.Bar("5nm", 2, 900, packaging.SoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpd5, err := r.Bar("5nm", 2, 900, packaging.TwoPointFiveD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpd5.Total() >= soc5.Total() {
+		t.Errorf("5nm/900: 2.5D (%v) should beat SoC (%v)", tpd5.Total(), soc5.Total())
+	}
+}
+
+func TestFig4PackagingShareOrdering(t *testing.T) {
+	// Packaging share must rise with integration sophistication at
+	// fixed geometry: MCM < InFO < 2.5D.
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig4Nodes {
+		prev := -1.0
+		for _, scheme := range []packaging.Scheme{packaging.MCM, packaging.InFO, packaging.TwoPointFiveD} {
+			b, err := r.Bar(node, 3, 600, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.PackagingShare() <= prev {
+				t.Errorf("%s: packaging share of %v (%v) should exceed previous (%v)",
+					node, scheme, b.PackagingShare(), prev)
+			}
+			prev = b.PackagingShare()
+		}
+	}
+}
+
+func TestFig4TwoPointFiveDPackagingHalfAt7nm900(t *testing.T) {
+	// §4.1: "the cost of packaging (50% at 7nm, 900 mm², 2.5D) is
+	// comparable with the chip cost".
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Bar("7nm", 3, 900, packaging.TwoPointFiveD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := b.PackagingShare(); s < 0.40 || s > 0.60 {
+		t.Errorf("7nm/900/2.5D packaging share = %v, want ≈0.5", s)
+	}
+}
+
+func TestFig4GranularityMarginalUtility(t *testing.T) {
+	// §4.1: 3→5 chiplets saves much less than 1→2 splits do.
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := r.Bar("5nm", 2, 800, packaging.SoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := r.Bar("5nm", 2, 800, packaging.MCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := r.Bar("5nm", 3, 800, packaging.MCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k5, err := r.Bar("5nm", 5, 800, packaging.MCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSplit := soc.Total() - k2.Total()
+	fineSplit := k3.Total() - k5.Total()
+	if fineSplit >= firstSplit {
+		t.Errorf("3→5 saving (%v) must be far below SoC→2 saving (%v)", fineSplit, firstSplit)
+	}
+}
+
+func TestFig4BarLookupErrors(t *testing.T) {
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Bar("9nm", 2, 100, packaging.SoC); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := r.Bar("5nm", 7, 100, packaging.SoC); err == nil {
+		t.Error("unknown panel accepted")
+	}
+	if _, err := r.Bar("5nm", 2, 123, packaging.SoC); err == nil {
+		t.Error("unknown area accepted")
+	}
+}
+
+func TestFig4Render(t *testing.T) {
+	r, err := Fig4(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "Figure 4 —"); got != 9 {
+		t.Errorf("panels rendered = %d, want 9", got)
+	}
+	for _, want := range []string{"wasted KGD", "2.5D", "InFO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

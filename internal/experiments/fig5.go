@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+)
+
+// Fig5Config parameterizes the AMD EPYC validation of Figure 5. The
+// defaults reconstruct the paper's setup: Zen2/3-class 7nm CCDs (8
+// cores each, ~74 mm² with roughly 10% of the die spent on the IFOP
+// D2D links) around a 12nm IO die, compared against a hypothetical
+// monolithic 7nm chip. The paper applies early-production defect
+// densities (0.13 for 7nm, 0.12 for 12nm, "speculated based on public
+// data") because Zen3 was designed when those nodes were young.
+type Fig5Config struct {
+	// CCDDieAreaMM2 is the compute chiplet's die area.
+	CCDDieAreaMM2 float64
+	// IODDieAreaMM2 is the IO die's area on the mature node.
+	IODDieAreaMM2 float64
+	// CoresPerCCD scales core counts to CCD counts.
+	CoresPerCCD int
+	// CoreCounts lists the product points (the paper uses 16..64).
+	CoreCounts []int
+	// D2DFraction is the die-area share of the D2D links on every
+	// chiplet.
+	D2DFraction float64
+	// CCDNode / IODNode are the chiplet process nodes.
+	CCDNode, IODNode string
+	// EarlyDefect7nm / EarlyDefect12nm are the early-production
+	// defect densities the paper quotes.
+	EarlyDefect7nm, EarlyDefect12nm float64
+	// IODScaleTo7nm is the area factor when the 12nm IOD logic is
+	// hypothetically re-implemented at 7nm; IO/analog scales poorly,
+	// so it is well above the nominal node shrink.
+	IODScaleTo7nm float64
+}
+
+// DefaultFig5Config returns the paper-matching configuration.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{
+		CCDDieAreaMM2:   74,
+		IODDieAreaMM2:   416,
+		CoresPerCCD:     8,
+		CoreCounts:      []int{16, 24, 32, 48, 64},
+		D2DFraction:     0.10,
+		CCDNode:         "7nm",
+		IODNode:         "12nm",
+		EarlyDefect7nm:  0.13,
+		EarlyDefect12nm: 0.12,
+		IODScaleTo7nm:   0.55,
+	}
+}
+
+// Fig5Row compares one core count's chiplet product against its
+// hypothetical monolithic implementation. All costs are absolute
+// dollars; Render normalizes to the monolithic total per row, as the
+// figure does.
+type Fig5Row struct {
+	Cores int
+	CCDs  int
+
+	Chiplet    cost.Breakdown
+	Monolithic cost.Breakdown
+
+	// MonolithicAreaMM2 is the hypothetical 7nm die's area.
+	MonolithicAreaMM2 float64
+}
+
+// CostRatio is chiplet total over monolithic total (<1 means the
+// chiplet architecture wins).
+func (r Fig5Row) CostRatio() float64 {
+	return r.Chiplet.Total() / r.Monolithic.Total()
+}
+
+// DieCostRatio compares only the die-related costs, the quantity AMD
+// reports ("multi-chip integration can save up to 50% of the die
+// cost").
+func (r Fig5Row) DieCostRatio() float64 {
+	return r.Chiplet.ChipsTotal() / r.Monolithic.ChipsTotal()
+}
+
+// PackagingShare is the packaging fraction of the chiplet product's
+// total RE cost (raw package + package defects + wasted KGDs), the
+// quantity annotated on the paper's bars.
+func (r Fig5Row) PackagingShare() float64 {
+	return r.Chiplet.PackagingTotal() / r.Chiplet.Total()
+}
+
+// Fig5Result is the AMD validation outcome.
+type Fig5Result struct {
+	Config Fig5Config
+	Rows   []Fig5Row
+}
+
+// Fig5 reproduces Figure 5 with the default configuration.
+func Fig5(db *tech.Database, params packaging.Params) (Fig5Result, error) {
+	return Fig5WithConfig(db, params, DefaultFig5Config())
+}
+
+// Fig5WithConfig reproduces Figure 5 under a custom configuration.
+func Fig5WithConfig(db *tech.Database, params packaging.Params, cfg Fig5Config) (Fig5Result, error) {
+	if cfg.CoresPerCCD <= 0 {
+		return Fig5Result{}, fmt.Errorf("experiments: fig5: CoresPerCCD must be positive")
+	}
+	// Apply the early-production defect densities.
+	ccdNode, err := db.Node(cfg.CCDNode)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	iodNode, err := db.Node(cfg.IODNode)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	db, err = db.Override(ccdNode.WithDefectDensity(cfg.EarlyDefect7nm))
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	db, err = db.Override(iodNode.WithDefectDensity(cfg.EarlyDefect12nm))
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	eng, err := cost.NewEngine(db, params)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+
+	d2d := dtod.Fraction{F: cfg.D2DFraction}
+	ccd := system.Chiplet{
+		Name: "ccd", Node: cfg.CCDNode,
+		Modules: []system.Module{{Name: "ccd-cores", AreaMM2: cfg.CCDDieAreaMM2 * (1 - cfg.D2DFraction), Scalable: true}},
+		D2D:     d2d,
+	}
+	iod := system.Chiplet{
+		Name: "iod", Node: cfg.IODNode,
+		Modules: []system.Module{{Name: "iod-logic", AreaMM2: cfg.IODDieAreaMM2 * (1 - cfg.D2DFraction), Scalable: false}},
+		D2D:     d2d,
+	}
+
+	res := Fig5Result{Config: cfg}
+	for _, cores := range cfg.CoreCounts {
+		if cores%cfg.CoresPerCCD != 0 {
+			return Fig5Result{}, fmt.Errorf("experiments: fig5: %d cores not a multiple of %d per CCD",
+				cores, cfg.CoresPerCCD)
+		}
+		nCCD := cores / cfg.CoresPerCCD
+		chipletSys := system.System{
+			Name:   fmt.Sprintf("epyc-%d", cores),
+			Scheme: packaging.MCM,
+			Placements: []system.Placement{
+				{Chiplet: ccd, Count: nCCD},
+				{Chiplet: iod, Count: 1},
+			},
+			Quantity: 1,
+		}
+		chipletRE, err := eng.RE(chipletSys)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		// Hypothetical monolithic 7nm: CCD logic without the D2D
+		// links plus the IOD logic re-implemented at 7nm.
+		monoArea := float64(nCCD)*cfg.CCDDieAreaMM2*(1-cfg.D2DFraction) +
+			cfg.IODDieAreaMM2*cfg.IODScaleTo7nm
+		monoSys := system.Monolithic(fmt.Sprintf("mono-%d", cores), cfg.CCDNode, monoArea, 1)
+		monoRE, err := eng.RE(monoSys)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		res.Rows = append(res.Rows, Fig5Row{
+			Cores: cores, CCDs: nCCD,
+			Chiplet: chipletRE, Monolithic: monoRE,
+			MonolithicAreaMM2: monoArea,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the comparison table, normalized per row to the
+// monolithic total as in the paper's figure.
+func (r Fig5Result) Render(w io.Writer) error {
+	tab := report.NewTable(
+		"Figure 5 — AMD chiplet architecture vs hypothetical monolithic 7nm (per-row normalized)",
+		"cores", "CCDs", "mono area", "chiplet/mono total", "chiplet/mono die cost", "packaging share")
+	for _, row := range r.Rows {
+		tab.MustAddRow(
+			fmt.Sprintf("%d", row.Cores),
+			fmt.Sprintf("%d", row.CCDs),
+			fmt.Sprintf("%.0f mm²", row.MonolithicAreaMM2),
+			fmt.Sprintf("%.2f", row.CostRatio()),
+			fmt.Sprintf("%.2f", row.DieCostRatio()),
+			fmt.Sprintf("%.0f%%", row.PackagingShare()*100),
+		)
+	}
+	return tab.WriteText(w)
+}

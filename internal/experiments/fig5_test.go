@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+)
+
+func TestFig5Structure(t *testing.T) {
+	r, err := Fig5(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	wantCores := []int{16, 24, 32, 48, 64}
+	wantCCDs := []int{2, 3, 4, 6, 8}
+	for i, row := range r.Rows {
+		if row.Cores != wantCores[i] || row.CCDs != wantCCDs[i] {
+			t.Errorf("row %d: %d cores / %d CCDs, want %d / %d",
+				i, row.Cores, row.CCDs, wantCores[i], wantCCDs[i])
+		}
+		if row.Chiplet.Total() <= 0 || row.Monolithic.Total() <= 0 {
+			t.Errorf("row %d: degenerate totals", i)
+		}
+	}
+}
+
+func TestFig5ChipletAdvantageGrowsWithCores(t *testing.T) {
+	// AMD's headline: the chiplet advantage grows with core count —
+	// the cost ratio must be strictly decreasing.
+	r, err := Fig5(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].CostRatio() >= r.Rows[i-1].CostRatio() {
+			t.Errorf("cost ratio must fall with cores: %d→%.3f vs %d→%.3f",
+				r.Rows[i-1].Cores, r.Rows[i-1].CostRatio(),
+				r.Rows[i].Cores, r.Rows[i].CostRatio())
+		}
+	}
+	// 64-core: clear chiplet win; 16-core: near parity.
+	last := r.Rows[len(r.Rows)-1]
+	if last.CostRatio() > 0.75 {
+		t.Errorf("64-core ratio = %v, expected clear win (<0.75)", last.CostRatio())
+	}
+	first := r.Rows[0]
+	if first.CostRatio() < 0.85 || first.CostRatio() > 1.15 {
+		t.Errorf("16-core ratio = %v, expected near parity", first.CostRatio())
+	}
+}
+
+func TestFig5DieCostSaving(t *testing.T) {
+	// "Multi-chip integration can save up to 50% of the die cost."
+	r, err := Fig5(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	saving := 1 - last.DieCostRatio()
+	if saving < 0.40 || saving > 0.70 {
+		t.Errorf("64-core die-cost saving = %v, want ≈0.5", saving)
+	}
+}
+
+func TestFig5PackagingShare(t *testing.T) {
+	// The packaging share must be significant (paper: 24–30%) and
+	// largest for the smallest system.
+	r, err := Fig5(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.Rows[0]
+	last := r.Rows[len(r.Rows)-1]
+	if s := first.PackagingShare(); s < 0.20 || s > 0.45 {
+		t.Errorf("16-core packaging share = %v, want 0.20–0.45", s)
+	}
+	if first.PackagingShare() < last.PackagingShare() {
+		t.Errorf("packaging share should not grow with cores: 16→%v, 64→%v",
+			first.PackagingShare(), last.PackagingShare())
+	}
+}
+
+func TestFig5MatureYieldShrinksAdvantage(t *testing.T) {
+	// §4.1: "as the yield of 7nm technology improves in recent
+	// years, the advantage is further smaller." Re-run with mature
+	// defect densities and check the 64-core ratio rises.
+	db := tech.Default()
+	params := packaging.DefaultParams()
+	early, err := Fig5(db, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultFig5Config()
+	cfg.EarlyDefect7nm = 0.07 // mature 7nm
+	cfg.EarlyDefect12nm = 0.07
+	mature, err := Fig5WithConfig(db, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLast := early.Rows[len(early.Rows)-1]
+	mLast := mature.Rows[len(mature.Rows)-1]
+	if mLast.CostRatio() <= eLast.CostRatio() {
+		t.Errorf("mature yield should shrink the chiplet advantage: early %v, mature %v",
+			eLast.CostRatio(), mLast.CostRatio())
+	}
+}
+
+func TestFig5ConfigValidation(t *testing.T) {
+	db := tech.Default()
+	params := packaging.DefaultParams()
+	cfg := DefaultFig5Config()
+	cfg.CoreCounts = []int{20} // not a multiple of 8
+	if _, err := Fig5WithConfig(db, params, cfg); err == nil {
+		t.Error("non-multiple core count accepted")
+	}
+	cfg = DefaultFig5Config()
+	cfg.CoresPerCCD = 0
+	if _, err := Fig5WithConfig(db, params, cfg); err == nil {
+		t.Error("zero cores per CCD accepted")
+	}
+	cfg = DefaultFig5Config()
+	cfg.CCDNode = "1nm"
+	if _, err := Fig5WithConfig(db, params, cfg); err == nil {
+		t.Error("unknown CCD node accepted")
+	}
+	cfg = DefaultFig5Config()
+	cfg.IODNode = "1nm"
+	if _, err := Fig5WithConfig(db, params, cfg); err == nil {
+		t.Error("unknown IOD node accepted")
+	}
+}
+
+func TestFig5Render(t *testing.T) {
+	r, err := Fig5(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "64", "packaging share", "chiplet/mono"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

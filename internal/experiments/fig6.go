@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/system"
+)
+
+// Figure 6 setup (§4.2): one system of 800 mm² module area, built as a
+// monolithic SoC and as a two-chiplet multi-chip package, at 14nm and
+// 5nm, for production quantities of 500k, 2M and 10M units. All costs
+// are normalized to the SoC's RE cost on the same node.
+var (
+	Fig6Nodes      = []string{"14nm", "5nm"}
+	Fig6Quantities = []float64{500_000, 2_000_000, 10_000_000}
+	Fig6ModuleArea = 800.0
+	Fig6Chiplets   = 2
+)
+
+// Fig6Cell is one bar of Figure 6: a (node, quantity, scheme) total
+// cost split into RE and the amortized NRE components, normalized to
+// the node's SoC RE.
+type Fig6Cell struct {
+	Node     string
+	Quantity float64
+	Scheme   packaging.Scheme
+
+	// Normalized stacked components.
+	RE          float64
+	NREModules  float64
+	NREChips    float64
+	NREPackages float64
+	NRED2D      float64
+}
+
+// Total returns the normalized total cost per unit.
+func (c Fig6Cell) Total() float64 {
+	return c.RE + c.NREModules + c.NREChips + c.NREPackages + c.NRED2D
+}
+
+// NREShare returns the amortized-NRE fraction of the total.
+func (c Fig6Cell) NREShare() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return (t - c.RE) / t
+}
+
+// Fig6Result is the full comparison.
+type Fig6Result struct {
+	Cells []Fig6Cell
+	// SoCREBase[node] is the absolute SoC RE used as 1.0.
+	SoCREBase map[string]float64
+}
+
+// Cell returns the entry for (node, quantity, scheme).
+func (r Fig6Result) Cell(node string, quantity float64, scheme packaging.Scheme) (Fig6Cell, error) {
+	for _, c := range r.Cells {
+		if c.Node == node && c.Quantity == quantity && c.Scheme == scheme {
+			return c, nil
+		}
+	}
+	return Fig6Cell{}, fmt.Errorf("experiments: fig6 has no cell (%s, %.0f, %v)", node, quantity, scheme)
+}
+
+// Fig6 reproduces Figure 6: the normalized total cost structure of a
+// single system under the four integrations.
+func Fig6(ev *explore.Evaluator) (Fig6Result, error) {
+	res := Fig6Result{SoCREBase: make(map[string]float64, len(Fig6Nodes))}
+	d2d := dtod.Fraction{F: Fig4D2DFraction}
+	for _, node := range Fig6Nodes {
+		socRE, err := ev.Cost.RE(system.Monolithic("base", node, Fig6ModuleArea, 1))
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		base := socRE.Total()
+		res.SoCREBase[node] = base
+		for _, q := range Fig6Quantities {
+			for _, scheme := range Fig4Schemes {
+				k := Fig6Chiplets
+				if scheme == packaging.SoC {
+					k = 1
+				}
+				name := fmt.Sprintf("fig6-%s-%v-%.0f", node, scheme, q)
+				s, err := system.PartitionEqual(name, node, Fig6ModuleArea, k, scheme, d2d, q)
+				if err != nil {
+					return Fig6Result{}, err
+				}
+				tc, err := ev.Single(s, nre.PerSystemUnit)
+				if err != nil {
+					return Fig6Result{}, fmt.Errorf("experiments: fig6 %s %v q=%.0f: %w", node, scheme, q, err)
+				}
+				res.Cells = append(res.Cells, Fig6Cell{
+					Node: node, Quantity: q, Scheme: scheme,
+					RE:          tc.RE.Total() / base,
+					NREModules:  tc.NRE.Modules / base,
+					NREChips:    tc.NRE.Chips / base,
+					NREPackages: tc.NRE.Packages / base,
+					NRED2D:      tc.NRE.D2D / base,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes one table per node, mirroring the two panels.
+func (r Fig6Result) Render(w io.Writer) error {
+	for _, node := range Fig6Nodes {
+		title := fmt.Sprintf("Figure 6 — %d-chiplet, %s, %.0f mm² (normalized to SoC RE)",
+			Fig6Chiplets, node, Fig6ModuleArea)
+		tab := report.NewTable(title,
+			"quantity", "scheme", "RE", "NRE modules", "NRE chips", "NRE pkgs", "NRE D2D", "total", "NRE share")
+		for _, c := range r.Cells {
+			if c.Node != node {
+				continue
+			}
+			tab.MustAddRow(
+				fmt.Sprintf("%.0fk", c.Quantity/1000),
+				c.Scheme.String(),
+				fmt.Sprintf("%.2f", c.RE),
+				fmt.Sprintf("%.2f", c.NREModules),
+				fmt.Sprintf("%.2f", c.NREChips),
+				fmt.Sprintf("%.3f", c.NREPackages),
+				fmt.Sprintf("%.3f", c.NRED2D),
+				fmt.Sprintf("%.2f", c.Total()),
+				fmt.Sprintf("%.0f%%", c.NREShare()*100),
+			)
+		}
+		if err := tab.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

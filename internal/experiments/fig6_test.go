@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/units"
+)
+
+func TestFig6Structure(t *testing.T) {
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nodes × 3 quantities × 4 schemes.
+	if len(r.Cells) != 24 {
+		t.Fatalf("cells = %d, want 24", len(r.Cells))
+	}
+	for _, node := range Fig6Nodes {
+		if r.SoCREBase[node] <= 0 {
+			t.Errorf("%s: missing RE base", node)
+		}
+	}
+}
+
+func TestFig6SoCREIsUnity(t *testing.T) {
+	// Everything is normalized to the SoC RE of the same node.
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig6Nodes {
+		for _, q := range Fig6Quantities {
+			c, err := r.Cell(node, q, packaging.SoC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !units.ApproxEqual(c.RE, 1.0, 1e-9) {
+				t.Errorf("%s q=%.0f: SoC RE = %v, want 1.0", node, q, c.RE)
+			}
+		}
+	}
+}
+
+func TestFig6PaybackAt2MFor5nm(t *testing.T) {
+	// §4.2: "For 5nm systems, when the quantity reaches two million,
+	// multi-chip architecture starts to pay back."
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(q float64, s packaging.Scheme) float64 {
+		c, err := r.Cell("5nm", q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Total()
+	}
+	if at(500_000, packaging.MCM) <= at(500_000, packaging.SoC) {
+		t.Error("at 500k the SoC should still win at 5nm")
+	}
+	if at(2_000_000, packaging.MCM) >= at(2_000_000, packaging.SoC) {
+		t.Error("at 2M the MCM should pay back at 5nm")
+	}
+	if at(10_000_000, packaging.MCM) >= at(10_000_000, packaging.SoC) {
+		t.Error("at 10M the MCM must clearly win at 5nm")
+	}
+}
+
+func TestFig6MatureNodePaybackLater(t *testing.T) {
+	// At 14nm the 2M quantity is not enough ("for smaller systems the
+	// turning point of production quantity is further higher" — and
+	// likewise for mature nodes, whose RE saving is thin).
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(q float64, s packaging.Scheme) float64 {
+		c, err := r.Cell("14nm", q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Total()
+	}
+	if at(500_000, packaging.MCM) <= at(500_000, packaging.SoC) {
+		t.Error("at 500k the SoC should win at 14nm")
+	}
+	if at(2_000_000, packaging.MCM) <= at(2_000_000, packaging.SoC) {
+		t.Error("at 2M the SoC should still win at 14nm")
+	}
+}
+
+func TestFig6NREShareFallsWithQuantity(t *testing.T) {
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig6Nodes {
+		for _, scheme := range Fig4Schemes {
+			prev := 1.1
+			for _, q := range Fig6Quantities {
+				c, err := r.Cell(node, q, scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.NREShare() >= prev {
+					t.Errorf("%s %v: NRE share should fall with quantity", node, scheme)
+				}
+				prev = c.NREShare()
+			}
+		}
+	}
+}
+
+func TestFig6OverheadNRESmall(t *testing.T) {
+	// §4.2: "the NRE overhead of D2D interface and packaging is no
+	// more than 2% and 9% (2.5D)".
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		total := c.Total()
+		if c.NRED2D/total > 0.02 {
+			t.Errorf("%s %v q=%.0f: D2D NRE share %v > 2%%", c.Node, c.Scheme, c.Quantity, c.NRED2D/total)
+		}
+		if c.NREPackages/total > 0.09 {
+			t.Errorf("%s %v q=%.0f: package NRE share %v > 9%%", c.Node, c.Scheme, c.Quantity, c.NREPackages/total)
+		}
+	}
+}
+
+func TestFig6ModuleNREIdenticalAcrossSchemes(t *testing.T) {
+	// The same 800 mm² of modules is designed once regardless of the
+	// integration, so the module NRE component must match across
+	// schemes at fixed (node, quantity).
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig6Nodes {
+		for _, q := range Fig6Quantities {
+			ref, err := r.Cell(node, q, packaging.SoC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scheme := range Fig4Schemes[1:] {
+				c, err := r.Cell(node, q, scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !units.ApproxEqual(c.NREModules, ref.NREModules, 1e-9) {
+					t.Errorf("%s %v q=%.0f: module NRE %v differs from SoC %v",
+						node, scheme, q, c.NREModules, ref.NREModules)
+				}
+			}
+		}
+	}
+}
+
+func TestFig6SoCCarriesNoD2D(t *testing.T) {
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range Fig6Nodes {
+		for _, q := range Fig6Quantities {
+			c, err := r.Cell(node, q, packaging.SoC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.NRED2D != 0 {
+				t.Errorf("%s q=%.0f: SoC D2D NRE = %v, want 0", node, q, c.NRED2D)
+			}
+		}
+	}
+}
+
+func TestFig6CellLookupError(t *testing.T) {
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Cell("9nm", 500_000, packaging.SoC); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestFig6Render(t *testing.T) {
+	r, err := Fig6(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "Figure 6 —"); got != 2 {
+		t.Errorf("panels = %d, want 2", got)
+	}
+	for _, want := range []string{"500k", "10000k", "NRE share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/reuse"
+	"chipletactuary/internal/system"
+)
+
+// Figure 8 setup (§5.1): a single 7nm chiplet with 200 mm² of modules
+// builds 1X, 2X and 4X systems (500k units each) on MCM and 2.5D,
+// with and without package reuse. All costs are normalized to the RE
+// cost of the 4X MCM system.
+var (
+	Fig8Node       = "7nm"
+	Fig8ModuleArea = 200.0
+	Fig8Counts     = []int{1, 2, 4}
+	Fig8Quantity   = 500_000.0
+	Fig8Schemes    = []packaging.Scheme{packaging.MCM, packaging.TwoPointFiveD}
+)
+
+// Fig8Entry is one bar: a system under one architecture variant.
+type Fig8Entry struct {
+	// Count is the chiplet multiplicity (1, 2, 4).
+	Count int
+	// Variant labels the architecture: "SoC", "MCM", "MCM+pkg-reuse",
+	// "2.5D", "2.5D+pkg-reuse".
+	Variant string
+	// Cost is the per-unit total (absolute dollars).
+	Cost explore.TotalCost
+}
+
+// Fig8Result is the SCMS exploration.
+type Fig8Result struct {
+	// BaseRE is the absolute RE of the 4X MCM system, the figure's
+	// 1.0.
+	BaseRE  float64
+	Entries []Fig8Entry
+}
+
+// Normalized returns an entry's total cost relative to the base.
+func (r Fig8Result) Normalized(e Fig8Entry) float64 {
+	return e.Cost.Total() / r.BaseRE
+}
+
+// Entry finds the bar for (count, variant).
+func (r Fig8Result) Entry(count int, variant string) (Fig8Entry, error) {
+	for _, e := range r.Entries {
+		if e.Count == count && e.Variant == variant {
+			return e, nil
+		}
+	}
+	return Fig8Entry{}, fmt.Errorf("experiments: fig8 has no entry (%d, %s)", count, variant)
+}
+
+// Fig8 reproduces Figure 8: the normalized total cost of the SCMS
+// reuse scheme.
+func Fig8(ev *explore.Evaluator) (Fig8Result, error) {
+	params := ev.Cost.Params()
+	var res Fig8Result
+
+	// Monolithic SoC comparators: one portfolio so the X module is
+	// designed once and reused across the three chips (Eq. 7).
+	var socs []system.System
+	for _, n := range Fig8Counts {
+		modules := make([]system.Module, n)
+		for i := range modules {
+			modules[i] = system.Module{Name: "X-module", AreaMM2: Fig8ModuleArea, Scalable: true}
+		}
+		socs = append(socs, system.System{
+			Name:   fmt.Sprintf("%dX-SoC", n),
+			Scheme: packaging.SoC,
+			Placements: []system.Placement{{
+				Chiplet: system.Chiplet{
+					Name:    fmt.Sprintf("%dX-soc-die", n),
+					Node:    Fig8Node,
+					Modules: modules,
+				},
+				Count: 1,
+			}},
+			Quantity: Fig8Quantity,
+		})
+	}
+	socCosts, err := ev.Portfolio(socs, nre.PerSystemUnit)
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("experiments: fig8 SoC family: %w", err)
+	}
+	for _, n := range Fig8Counts {
+		res.Entries = append(res.Entries, Fig8Entry{
+			Count: n, Variant: "SoC", Cost: socCosts[fmt.Sprintf("%dX-SoC", n)],
+		})
+	}
+
+	// Multi-chip variants.
+	for _, scheme := range Fig8Schemes {
+		for _, reused := range []bool{false, true} {
+			family, err := reuse.SCMS(reuse.SCMSConfig{
+				Node: Fig8Node, ModuleAreaMM2: Fig8ModuleArea, Counts: Fig8Counts,
+				Scheme: scheme, QuantityPerSystem: Fig8Quantity,
+				ReusePackage: reused, Params: params,
+			})
+			if err != nil {
+				return Fig8Result{}, err
+			}
+			costs, err := ev.Portfolio(family, nre.PerSystemUnit)
+			if err != nil {
+				return Fig8Result{}, fmt.Errorf("experiments: fig8 %v reuse=%v: %w", scheme, reused, err)
+			}
+			variant := scheme.String()
+			if reused {
+				variant += "+pkg-reuse"
+			}
+			for i, n := range Fig8Counts {
+				tc := costs[family[i].Name]
+				res.Entries = append(res.Entries, Fig8Entry{Count: n, Variant: variant, Cost: tc})
+				if scheme == packaging.MCM && !reused && n == 4 {
+					res.BaseRE = tc.RE.Total()
+				}
+			}
+		}
+	}
+	if res.BaseRE == 0 {
+		return Fig8Result{}, fmt.Errorf("experiments: fig8 normalization base missing")
+	}
+	return res, nil
+}
+
+// Render writes the SCMS table, normalized to the 4X MCM RE.
+func (r Fig8Result) Render(w io.Writer) error {
+	tab := report.NewTable(
+		"Figure 8 — SCMS reuse (7nm, 200 mm² chiplet, 500k/system; normalized to 4X MCM RE)",
+		"system", "variant", "RE", "NRE modules", "NRE chips", "NRE pkgs", "NRE D2D", "total")
+	for _, e := range r.Entries {
+		tab.MustAddRow(
+			fmt.Sprintf("%dX", e.Count),
+			e.Variant,
+			fmt.Sprintf("%.2f", e.Cost.RE.Total()/r.BaseRE),
+			fmt.Sprintf("%.2f", e.Cost.NRE.Modules/r.BaseRE),
+			fmt.Sprintf("%.2f", e.Cost.NRE.Chips/r.BaseRE),
+			fmt.Sprintf("%.3f", e.Cost.NRE.Packages/r.BaseRE),
+			fmt.Sprintf("%.3f", e.Cost.NRE.D2D/r.BaseRE),
+			fmt.Sprintf("%.2f", r.Normalized(e)),
+		)
+	}
+	return tab.WriteText(w)
+}

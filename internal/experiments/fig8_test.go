@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/units"
+)
+
+func TestFig8Structure(t *testing.T) {
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 SoC + (MCM, MCM+reuse, 2.5D, 2.5D+reuse) × 3 = 15 entries.
+	if len(r.Entries) != 15 {
+		t.Fatalf("entries = %d, want 15", len(r.Entries))
+	}
+	if r.BaseRE <= 0 {
+		t.Fatal("missing normalization base")
+	}
+	// The base is the 4X MCM RE: its normalized RE must be 1.
+	e, err := r.Entry(4, "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(e.Cost.RE.Total()/r.BaseRE, 1.0, 1e-9) {
+		t.Errorf("4X MCM RE normalized = %v, want 1.0", e.Cost.RE.Total()/r.BaseRE)
+	}
+}
+
+func TestFig8ChipletReuseSavesChipNRE(t *testing.T) {
+	// §5.1: "there is vast chip NRE cost-saving (nearly three
+	// quarters for 4X system) compared with monolithic SoC".
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := r.Entry(4, "SoC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcm, err := r.Entry(4, "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 1 - mcm.Cost.NRE.Chips/soc.Cost.NRE.Chips
+	if saving < 0.60 || saving > 0.90 {
+		t.Errorf("4X chip-NRE saving = %v, want ≈3/4", saving)
+	}
+	// And the 4X MCM total must beat the 4X SoC outright.
+	if mcm.Cost.Total() >= soc.Cost.Total() {
+		t.Errorf("4X MCM total %v should beat SoC %v", mcm.Cost.Total(), soc.Cost.Total())
+	}
+}
+
+func TestFig8PackageReuseTradeoff(t *testing.T) {
+	// §5.1: package reuse cuts the 4X package NRE by ~2/3 but raises
+	// the 1X total; "whether using package reuse depends on which
+	// accounts for a more significant proportion".
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain4, err := r.Entry(4, "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse4, err := r.Entry(4, "MCM+pkg-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 1 - reuse4.Cost.NRE.Packages/plain4.Cost.NRE.Packages
+	if cut < 0.55 || cut > 0.75 {
+		t.Errorf("4X package-NRE cut = %v, want ≈2/3", cut)
+	}
+	if reuse4.Cost.Total() >= plain4.Cost.Total() {
+		t.Error("package reuse should lower the 4X total")
+	}
+	plain1, err := r.Entry(1, "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse1, err := r.Entry(1, "MCM+pkg-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuse1.Cost.Total() <= plain1.Cost.Total() {
+		t.Error("package reuse should raise the 1X total (oversized substrate)")
+	}
+	// The RE penalty is where it shows.
+	if reuse1.Cost.RE.Total() <= plain1.Cost.RE.Total() {
+		t.Error("reused envelope must raise 1X RE")
+	}
+}
+
+func TestFig8TwoPointFiveDPackageReuseUneconomic(t *testing.T) {
+	// §5.1: "package reuse is uneconomic for high-cost 2.5D
+	// integrations": reusing the 4X interposer must raise the family
+	// average total.
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, reused float64
+	for _, n := range Fig8Counts {
+		p, err := r.Entry(n, "2.5D")
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := r.Entry(n, "2.5D+pkg-reuse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += p.Cost.Total()
+		reused += q.Cost.Total()
+	}
+	if reused <= plain {
+		t.Errorf("2.5D package reuse should be uneconomic: reused %v vs plain %v", reused, plain)
+	}
+	// But 2.5D still benefits from chiplet reuse: 4X 2.5D beats the
+	// 4X SoC.
+	soc, err := r.Entry(4, "SoC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpd, err := r.Entry(4, "2.5D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpd.Cost.Total() >= soc.Cost.Total() {
+		t.Errorf("4X 2.5D (%v) should still beat SoC (%v) via chiplet reuse",
+			tpd.Cost.Total(), soc.Cost.Total())
+	}
+}
+
+func TestFig8ModuleNREEqualAcrossVariants(t *testing.T) {
+	// Every variant designs the same 200 mm² X module once, and it
+	// amortizes over the same 1.5M system units.
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := -1.0
+	for _, e := range r.Entries {
+		if ref < 0 {
+			ref = e.Cost.NRE.Modules
+			continue
+		}
+		if !units.ApproxEqual(e.Cost.NRE.Modules, ref, 1e-9) {
+			t.Errorf("%dX %s: module NRE %v differs from %v", e.Count, e.Variant, e.Cost.NRE.Modules, ref)
+		}
+	}
+}
+
+func TestFig8EntryLookupError(t *testing.T) {
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Entry(3, "MCM"); err == nil {
+		t.Error("unknown count accepted")
+	}
+	if _, err := r.Entry(1, "nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestFig8Render(t *testing.T) {
+	r, err := Fig8(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 8", "1X", "4X", "2.5D+pkg-reuse", "NRE chips"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

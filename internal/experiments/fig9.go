@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/report"
+	"chipletactuary/internal/reuse"
+	"chipletactuary/internal/system"
+)
+
+// Figure 9 setup (§5.2): a 7nm system of four 160 mm² sockets — a
+// reused center die C plus extension dies X and Y with a common
+// footprint — built as C, C+1X, C+1X+1Y and C+2X+2Y at 500k units
+// each. Variants: monolithic SoC, plain MCM, package-reused MCM, and
+// package-reused MCM with the center die on 14nm (heterogeneity).
+// All costs are normalized to the RE cost of the largest MCM system.
+var (
+	Fig9Node       = "7nm"
+	Fig9CenterNode = "14nm"
+	Fig9SocketArea = 160.0
+	Fig9Quantity   = 500_000.0
+	// Fig9SystemNames mirror reuse.OCME's output order.
+	Fig9SystemNames = []string{"C", "C+1X", "C+1X+1Y", "C+2X+2Y"}
+	// Fig9Variants in presentation order.
+	Fig9Variants = []string{"SoC", "MCM", "MCM+pkg-reuse", "MCM+pkg-reuse+hetero"}
+)
+
+// Fig9Entry is one bar of Figure 9.
+type Fig9Entry struct {
+	System  string
+	Variant string
+	Cost    explore.TotalCost
+}
+
+// Fig9Result is the OCME exploration.
+type Fig9Result struct {
+	// BaseRE is the absolute RE of the largest plain-MCM system.
+	BaseRE  float64
+	Entries []Fig9Entry
+}
+
+// Normalized returns an entry's total relative to the base.
+func (r Fig9Result) Normalized(e Fig9Entry) float64 {
+	return e.Cost.Total() / r.BaseRE
+}
+
+// Entry finds the bar for (systemName, variant).
+func (r Fig9Result) Entry(systemName, variant string) (Fig9Entry, error) {
+	for _, e := range r.Entries {
+		if e.System == systemName && e.Variant == variant {
+			return e, nil
+		}
+	}
+	return Fig9Entry{}, fmt.Errorf("experiments: fig9 has no entry (%s, %s)", systemName, variant)
+}
+
+// Fig9 reproduces Figure 9: the normalized total cost of the OCME
+// reuse scheme.
+func Fig9(ev *explore.Evaluator) (Fig9Result, error) {
+	params := ev.Cost.Params()
+	var res Fig9Result
+
+	// SoC comparators share the C/X/Y module designs across the four
+	// monolithic chips (module reuse, Eq. 7). The center module stays
+	// on 7nm: a monolithic die cannot mix nodes — that is exactly the
+	// heterogeneity advantage the OCME variant will show.
+	socOf := func(name string, x, y int) system.System {
+		modules := []system.Module{{Name: "C-module", AreaMM2: Fig9SocketArea, Scalable: false}}
+		for i := 0; i < x; i++ {
+			modules = append(modules, system.Module{Name: "X-module", AreaMM2: Fig9SocketArea, Scalable: true})
+		}
+		for i := 0; i < y; i++ {
+			modules = append(modules, system.Module{Name: "Y-module", AreaMM2: Fig9SocketArea, Scalable: true})
+		}
+		return system.System{
+			Name:   name + "-SoC",
+			Scheme: packaging.SoC,
+			Placements: []system.Placement{{
+				Chiplet: system.Chiplet{Name: name + "-soc-die", Node: Fig9Node, Modules: modules},
+				Count:   1,
+			}},
+			Quantity: Fig9Quantity,
+		}
+	}
+	socs := []system.System{
+		socOf("C", 0, 0), socOf("C+1X", 1, 0), socOf("C+1X+1Y", 1, 1), socOf("C+2X+2Y", 2, 2),
+	}
+	socCosts, err := ev.Portfolio(socs, nre.PerSystemUnit)
+	if err != nil {
+		return Fig9Result{}, fmt.Errorf("experiments: fig9 SoC family: %w", err)
+	}
+	for _, name := range Fig9SystemNames {
+		res.Entries = append(res.Entries, Fig9Entry{
+			System: name, Variant: "SoC", Cost: socCosts[name+"-SoC"],
+		})
+	}
+
+	variants := []struct {
+		label      string
+		reusePkg   bool
+		centerNode string
+	}{
+		{"MCM", false, ""},
+		{"MCM+pkg-reuse", true, ""},
+		{"MCM+pkg-reuse+hetero", true, Fig9CenterNode},
+	}
+	for _, v := range variants {
+		family, err := reuse.OCME(reuse.OCMEConfig{
+			Node: Fig9Node, CenterNode: v.centerNode, SocketAreaMM2: Fig9SocketArea,
+			Scheme: packaging.MCM, QuantityPerSystem: Fig9Quantity,
+			ReusePackage: v.reusePkg, Params: params,
+		})
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		costs, err := ev.Portfolio(family, nre.PerSystemUnit)
+		if err != nil {
+			return Fig9Result{}, fmt.Errorf("experiments: fig9 %s: %w", v.label, err)
+		}
+		for _, s := range family {
+			tc := costs[s.Name]
+			res.Entries = append(res.Entries, Fig9Entry{System: s.Name, Variant: v.label, Cost: tc})
+			if v.label == "MCM" && s.Name == "C+2X+2Y" {
+				res.BaseRE = tc.RE.Total()
+			}
+		}
+	}
+	if res.BaseRE == 0 {
+		return Fig9Result{}, fmt.Errorf("experiments: fig9 normalization base missing")
+	}
+	return res, nil
+}
+
+// Render writes the OCME table, normalized to the largest MCM RE.
+func (r Fig9Result) Render(w io.Writer) error {
+	tab := report.NewTable(
+		"Figure 9 — OCME reuse (7nm, 4×160 mm² sockets, 500k/system; normalized to largest MCM RE)",
+		"system", "variant", "RE", "NRE modules", "NRE chips", "NRE pkgs", "NRE D2D", "total")
+	for _, name := range Fig9SystemNames {
+		for _, variant := range Fig9Variants {
+			e, err := r.Entry(name, variant)
+			if err != nil {
+				return err
+			}
+			tab.MustAddRow(
+				e.System,
+				e.Variant,
+				fmt.Sprintf("%.2f", e.Cost.RE.Total()/r.BaseRE),
+				fmt.Sprintf("%.2f", e.Cost.NRE.Modules/r.BaseRE),
+				fmt.Sprintf("%.2f", e.Cost.NRE.Chips/r.BaseRE),
+				fmt.Sprintf("%.3f", e.Cost.NRE.Packages/r.BaseRE),
+				fmt.Sprintf("%.3f", e.Cost.NRE.D2D/r.BaseRE),
+				fmt.Sprintf("%.2f", r.Normalized(e)),
+			)
+		}
+	}
+	return tab.WriteText(w)
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/units"
+)
+
+func TestFig9Structure(t *testing.T) {
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 systems × 4 variants.
+	if len(r.Entries) != 16 {
+		t.Fatalf("entries = %d, want 16", len(r.Entries))
+	}
+	if r.BaseRE <= 0 {
+		t.Fatal("missing base")
+	}
+	big, err := r.Entry("C+2X+2Y", "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(big.Cost.RE.Total()/r.BaseRE, 1.0, 1e-9) {
+		t.Error("largest MCM system must normalize to RE = 1.0")
+	}
+}
+
+func TestFig9ReuseLessEvidentThanSCMS(t *testing.T) {
+	// §5.2: OCME NRE saving < 50% ("not as evident as the SCMS
+	// scheme because three chiplets are used").
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := r.Entry("C+2X+2Y", "SoC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcm, err := r.Entry("C+2X+2Y", "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 1 - mcm.Cost.NRE.Total()/soc.Cost.NRE.Total()
+	if saving <= 0 || saving >= 0.50 {
+		t.Errorf("OCME NRE saving = %v, paper says positive but <50%%", saving)
+	}
+}
+
+func TestFig9HeterogeneityPaysOff(t *testing.T) {
+	// §5.2: heterogeneous integration reduces totals by >10%, and
+	// "especially for the single C system, there is almost half the
+	// cost-saving".
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Fig9SystemNames {
+		base, err := r.Entry(name, "MCM+pkg-reuse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		het, err := r.Entry(name, "MCM+pkg-reuse+hetero")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if het.Cost.Total() >= base.Cost.Total() {
+			t.Errorf("%s: heterogeneity should lower cost (%v vs %v)",
+				name, het.Cost.Total(), base.Cost.Total())
+		}
+	}
+	baseC, err := r.Entry("C", "MCM+pkg-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetC, err := r.Entry("C", "MCM+pkg-reuse+hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 1 - hetC.Cost.Total()/baseC.Cost.Total()
+	if saving < 0.35 || saving > 0.60 {
+		t.Errorf("single-C hetero saving = %v, want ≈half", saving)
+	}
+	bigBase, err := r.Entry("C+2X+2Y", "MCM+pkg-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigHet, err := r.Entry("C+2X+2Y", "MCM+pkg-reuse+hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := 1 - bigHet.Cost.Total()/bigBase.Cost.Total(); s < 0.10 {
+		t.Errorf("largest-system hetero saving = %v, paper says >10%%", s)
+	}
+}
+
+func TestFig9PackageReuseDependsOnSize(t *testing.T) {
+	// §5.2/§5.1: reuse helps the largest system (NRE-dominant) and
+	// hurts the smallest (RE-dominant).
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallPlain, err := r.Entry("C", "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallReuse, err := r.Entry("C", "MCM+pkg-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallReuse.Cost.Total() <= smallPlain.Cost.Total() {
+		t.Error("C system: package reuse should cost more (5-socket envelope for one die)")
+	}
+	bigPlain, err := r.Entry("C+2X+2Y", "MCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigReuse, err := r.Entry("C+2X+2Y", "MCM+pkg-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigReuse.Cost.Total() >= bigPlain.Cost.Total() {
+		t.Error("largest system: package reuse should pay off")
+	}
+}
+
+func TestFig9MCMBeatsSoCEverywhere(t *testing.T) {
+	// With three reused chiplet designs, every OCME MCM system beats
+	// its monolithic comparator in Figure 9.
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Fig9SystemNames {
+		soc, err := r.Entry(name, "SoC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcm, err := r.Entry(name, "MCM")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mcm.Cost.Total() >= soc.Cost.Total() {
+			t.Errorf("%s: MCM (%v) should beat SoC (%v)", name, mcm.Cost.Total(), soc.Cost.Total())
+		}
+	}
+}
+
+func TestFig9EntryLookupError(t *testing.T) {
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Entry("C+9X", "MCM"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestFig9Render(t *testing.T) {
+	r, err := Fig9(testEvaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 9", "C+2X+2Y", "hetero"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

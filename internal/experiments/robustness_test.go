@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+)
+
+func TestRobustnessConclusionsHold(t *testing.T) {
+	rows, err := Robustness(tech.Default(), packaging.DefaultParams(), 80, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// Every headline conclusion must survive ±15% parameter noise
+		// in the vast majority of scenarios.
+		if r.HoldProbability < 0.85 {
+			t.Errorf("%q holds in only %.0f%% of scenarios", r.Conclusion, r.HoldProbability*100)
+		}
+		if !(r.P10 <= r.Median && r.Median <= r.P90) {
+			t.Errorf("%q: quantiles out of order: %v %v %v", r.Conclusion, r.P10, r.Median, r.P90)
+		}
+	}
+}
+
+func TestRobustnessDeterministic(t *testing.T) {
+	a, err := Robustness(tech.Default(), packaging.DefaultParams(), 30, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Robustness(tech.Default(), packaging.DefaultParams(), 30, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRobustnessValidation(t *testing.T) {
+	if _, err := Robustness(tech.Default(), packaging.DefaultParams(), 5, 0.1); err == nil {
+		t.Error("n<10 accepted")
+	}
+}
+
+func TestRobustnessRender(t *testing.T) {
+	rows, err := Robustness(tech.Default(), packaging.DefaultParams(), 20, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderRobustness(&buf, rows, 20, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Monte Carlo", "P(holds)", "pay-back"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

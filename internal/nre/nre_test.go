@@ -1,0 +1,393 @@
+package nre
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/system"
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/units"
+)
+
+func engine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(tech.Default(), packaging.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, packaging.DefaultParams()); err == nil {
+		t.Error("nil db accepted")
+	}
+	bad := packaging.DefaultParams()
+	bad.DieSpacingFactor = 0
+	if _, err := NewEngine(tech.Default(), bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestSingleSoCEquationSix(t *testing.T) {
+	e := engine(t)
+	s := system.Monolithic("soc", "5nm", 800, 1_000_000)
+	res, err := e.Single(s, PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := e.db.MustNode("5nm")
+	// Eq. (6): chip NRE = Kc·Sc + C; module NRE = Km·Sm; no D2D.
+	b := res.PerUnit["soc"]
+	wantChip := (node.Kc*800 + node.FixedChipNRE) / 1_000_000
+	wantMod := node.Km * 800 / 1_000_000
+	if !units.ApproxEqual(b.Chips, wantChip, 1e-9) {
+		t.Errorf("chip NRE/unit = %v, want %v", b.Chips, wantChip)
+	}
+	if !units.ApproxEqual(b.Modules, wantMod, 1e-9) {
+		t.Errorf("module NRE/unit = %v, want %v", b.Modules, wantMod)
+	}
+	if b.D2D != 0 {
+		t.Errorf("SoC must not pay D2D NRE, got %v", b.D2D)
+	}
+	if b.Packages <= 0 {
+		t.Errorf("package NRE missing: %v", b.Packages)
+	}
+	// Design inventory: 1 module + 1 chip + 1 package.
+	if len(res.Designs) != 3 {
+		t.Errorf("designs = %d, want 3", len(res.Designs))
+	}
+}
+
+func TestTwoChipletMCMPaysD2DAndTwoTapeouts(t *testing.T) {
+	e := engine(t)
+	s, err := system.PartitionEqual("mcm", "5nm", 800, 2, packaging.MCM, dtod.Fraction{F: 0.10}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Single(s, PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.PerUnit["mcm"]
+	node := e.db.MustNode("5nm")
+	// Two chip designs of 444.4 mm² each plus two fixed costs.
+	dieArea := 400.0 / 0.9
+	wantChips := 2 * (node.Kc*dieArea + node.FixedChipNRE) / 1_000_000
+	if !units.ApproxEqual(b.Chips, wantChips, 1e-9) {
+		t.Errorf("chips NRE = %v, want %v", b.Chips, wantChips)
+	}
+	// One D2D design for the node.
+	if !units.ApproxEqual(b.D2D, node.D2DNRE/1_000_000, 1e-9) {
+		t.Errorf("D2D NRE = %v, want %v", b.D2D, node.D2DNRE/1_000_000)
+	}
+	// Module NRE identical to the SoC case: same 800 mm² of modules.
+	soc := system.Monolithic("soc", "5nm", 800, 1_000_000)
+	resSoC, err := e.Single(soc, PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(b.Modules, resSoC.PerUnit["soc"].Modules, 1e-9) {
+		t.Errorf("module NRE should match SoC: %v vs %v", b.Modules, resSoC.PerUnit["soc"].Modules)
+	}
+	// The multi-chip premium: more chip NRE than the SoC.
+	if b.Chips <= resSoC.PerUnit["soc"].Chips {
+		t.Error("two tapeouts must cost more than one")
+	}
+}
+
+func TestChipletReuseSharesDesigns(t *testing.T) {
+	// SCMS-style: the same chiplet in 1X/2X/4X systems. The chip
+	// design must appear once and amortize over all three systems.
+	e := engine(t)
+	chiplet := system.Chiplet{
+		Name: "X", Node: "7nm",
+		Modules: []system.Module{{Name: "Xmod", AreaMM2: 200}},
+		D2D:     dtod.Fraction{F: 0.10},
+	}
+	mk := func(name string, n int) system.System {
+		return system.System{
+			Name: name, Scheme: packaging.MCM, Quantity: 500_000,
+			Placements: []system.Placement{{Chiplet: chiplet, Count: n}},
+		}
+	}
+	port := []system.System{mk("1X", 1), mk("2X", 2), mk("4X", 4)}
+	res, err := e.Portfolio(port, PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One chip design, one module design, one D2D design, three
+	// package designs.
+	var chips, mods, d2ds, pkgs int
+	for _, d := range res.Designs {
+		switch d.Kind {
+		case ChipDesign:
+			chips++
+		case ModuleDesign:
+			mods++
+		case D2DDesign:
+			d2ds++
+		case PackageDesign:
+			pkgs++
+		}
+	}
+	if chips != 1 || mods != 1 || d2ds != 1 || pkgs != 3 {
+		t.Errorf("designs = %d chips, %d modules, %d d2d, %d pkgs; want 1,1,1,3", chips, mods, d2ds, pkgs)
+	}
+	// PerSystemUnit: each system unit bears NRE_chip / 1.5M.
+	node := e.db.MustNode("7nm")
+	chipNRE := node.Kc*chiplet.DieArea() + node.FixedChipNRE
+	want := chipNRE / 1_500_000
+	for _, name := range []string{"1X", "2X", "4X"} {
+		if got := res.PerUnit[name].Chips; !units.ApproxEqual(got, want, 1e-9) {
+			t.Errorf("%s: chip NRE/unit = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestPerInstancePolicyWeightsByCopies(t *testing.T) {
+	e := engine(t)
+	chiplet := system.Chiplet{
+		Name: "X", Node: "7nm",
+		Modules: []system.Module{{Name: "Xmod", AreaMM2: 200}},
+		D2D:     dtod.Fraction{F: 0.10},
+	}
+	mk := func(name string, n int) system.System {
+		return system.System{
+			Name: name, Scheme: packaging.MCM, Quantity: 500_000,
+			Placements: []system.Placement{{Chiplet: chiplet, Count: n}},
+		}
+	}
+	port := []system.System{mk("1X", 1), mk("4X", 4)}
+	res, err := e.Portfolio(port, PerInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total instances = 500k·1 + 500k·4 = 2.5M. 4X bears 4 shares.
+	node := e.db.MustNode("7nm")
+	chipNRE := node.Kc*chiplet.DieArea() + node.FixedChipNRE
+	want1 := chipNRE * 1 / 2_500_000
+	want4 := chipNRE * 4 / 2_500_000
+	if got := res.PerUnit["1X"].Chips; !units.ApproxEqual(got, want1, 1e-9) {
+		t.Errorf("1X chips = %v, want %v", got, want1)
+	}
+	if got := res.PerUnit["4X"].Chips; !units.ApproxEqual(got, want4, 1e-9) {
+		t.Errorf("4X chips = %v, want %v", got, want4)
+	}
+	if !units.ApproxEqual(res.PerUnit["4X"].Chips, 4*res.PerUnit["1X"].Chips, 1e-9) {
+		t.Error("per-instance shares must scale with copies")
+	}
+}
+
+func TestPackageReuseSharesPackageNRE(t *testing.T) {
+	e := engine(t)
+	chiplet := system.Chiplet{
+		Name: "X", Node: "7nm",
+		Modules: []system.Module{{Name: "Xmod", AreaMM2: 200}},
+		D2D:     dtod.Fraction{F: 0.10},
+	}
+	env := &system.Envelope{Name: "family", FootprintMM2: 4 * chiplet.DieArea() * e.params.DieSpacingFactor}
+	mk := func(name string, n int) system.System {
+		return system.System{
+			Name: name, Scheme: packaging.MCM, Quantity: 500_000, Envelope: env,
+			Placements: []system.Placement{{Chiplet: chiplet, Count: n}},
+		}
+	}
+	res, err := e.Portfolio([]system.System{mk("1X", 1), mk("2X", 2), mk("4X", 4)}, PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := 0
+	for _, d := range res.Designs {
+		if d.Kind == PackageDesign {
+			pkgs++
+		}
+	}
+	if pkgs != 1 {
+		t.Errorf("package designs = %d, want 1 (shared envelope)", pkgs)
+	}
+	// Everyone pays a third of what a sole user would.
+	solo, err := e.Single(mk("solo", 4), PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.PerUnit["4X"].Packages, solo.PerUnit["solo"].Packages/3; !units.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("shared package NRE = %v, want %v", got, want)
+	}
+}
+
+func TestConflictingDesignCostsRejected(t *testing.T) {
+	// The same chiplet name with two different areas is a modeling
+	// error and must be caught at the portfolio level.
+	e := engine(t)
+	mk := func(name string, area float64) system.System {
+		return system.System{
+			Name: name, Scheme: packaging.MCM, Quantity: 1000,
+			Placements: []system.Placement{
+				{Chiplet: system.Chiplet{Name: "X", Node: "7nm",
+					Modules: []system.Module{{Name: "Xmod", AreaMM2: area}},
+					D2D:     dtod.Fraction{F: 0.1}}, Count: 2},
+			},
+		}
+	}
+	_, err := e.Portfolio([]system.System{mk("a", 200), mk("b", 300)}, PerSystemUnit)
+	if err == nil {
+		t.Fatal("conflicting chip designs accepted")
+	}
+	if !strings.Contains(err.Error(), "same name must mean same design") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestPortfolioErrors(t *testing.T) {
+	e := engine(t)
+	if _, err := e.Portfolio(nil, PerSystemUnit); err == nil {
+		t.Error("empty portfolio accepted")
+	}
+	s := system.Monolithic("a", "7nm", 100, 1000)
+	if _, err := e.Portfolio([]system.System{s, s}, PerSystemUnit); err == nil {
+		t.Error("duplicate system names accepted")
+	}
+	zero := system.Monolithic("z", "7nm", 100, 0)
+	if _, err := e.Single(zero, PerSystemUnit); err == nil {
+		t.Error("zero-quantity portfolio should fail amortization")
+	}
+	invalid := system.System{Name: "x"}
+	if _, err := e.Single(invalid, PerSystemUnit); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestAmortizationDecreasesWithQuantity(t *testing.T) {
+	e := engine(t)
+	perUnit := func(q float64) float64 {
+		s := system.Monolithic("soc", "5nm", 800, q)
+		res, err := e.Single(s, PerSystemUnit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerUnit["soc"].Total()
+	}
+	q1 := perUnit(500_000)
+	q2 := perUnit(2_000_000)
+	q3 := perUnit(10_000_000)
+	if !(q1 > q2 && q2 > q3) {
+		t.Errorf("per-unit NRE must fall with quantity: %v, %v, %v", q1, q2, q3)
+	}
+	// Exact inverse proportionality for a single system.
+	if !units.ApproxEqual(q1/q2, 4, 1e-9) {
+		t.Errorf("500k→2M should scale 4x, got %v", q1/q2)
+	}
+}
+
+func TestPropertyAmortizationInverseInQuantity(t *testing.T) {
+	e := engine(t)
+	f := func(area, q float64) bool {
+		area = 100 + math.Mod(math.Abs(area), 600)
+		q = 1000 + math.Mod(math.Abs(q), 1e7)
+		s := system.Monolithic("s", "7nm", area, q)
+		res, err := e.Single(s, PerSystemUnit)
+		if err != nil {
+			return false
+		}
+		double := system.Monolithic("s", "7nm", area, 2*q)
+		res2, err := e.Single(double, PerSystemUnit)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(res.PerUnit["s"].Total(), 2*res2.PerUnit["s"].Total(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalNREIsSumOfDesigns(t *testing.T) {
+	e := engine(t)
+	s, err := system.PartitionEqual("p", "5nm", 600, 3, packaging.InFO, dtod.Fraction{F: 0.1}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Single(s, PerSystemUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, d := range res.Designs {
+		sum += d.Cost
+	}
+	if !units.ApproxEqual(sum, res.TotalNRE, 1e-9) {
+		t.Errorf("TotalNRE = %v, Σ designs = %v", res.TotalNRE, sum)
+	}
+	// Per-unit × quantity must recover the total for a single-system
+	// portfolio.
+	if !units.ApproxEqual(res.PerUnit["p"].Total()*1e6, res.TotalNRE, 1e-9) {
+		t.Errorf("per-unit × quantity = %v, want %v", res.PerUnit["p"].Total()*1e6, res.TotalNRE)
+	}
+}
+
+func TestPropertyPortfolioConservation(t *testing.T) {
+	// Under either policy, summing per-unit NRE × quantity across all
+	// systems recovers the portfolio's total one-time NRE exactly —
+	// amortization redistributes, never creates or destroys cost.
+	e := engine(t)
+	f := func(a1, a2 float64, n1, n2 uint8, q1, q2 float64, policyRaw bool) bool {
+		mkChiplet := func(name string, area float64) system.Chiplet {
+			return system.Chiplet{
+				Name: name, Node: "7nm",
+				Modules: []system.Module{{Name: name + "-mod", AreaMM2: area}},
+				D2D:     dtod.Fraction{F: 0.1},
+			}
+		}
+		a1 = 50 + math.Mod(math.Abs(a1), 200)
+		a2 = 50 + math.Mod(math.Abs(a2), 200)
+		q1 = 1000 + math.Mod(math.Abs(q1), 1e6)
+		q2 = 1000 + math.Mod(math.Abs(q2), 1e6)
+		shared := mkChiplet("shared", a1)
+		own := mkChiplet("own", a2)
+		sys1 := system.System{
+			Name: "s1", Scheme: packaging.MCM, Quantity: q1,
+			Placements: []system.Placement{
+				{Chiplet: shared, Count: 1 + int(n1%3)},
+				{Chiplet: own, Count: 1},
+			},
+		}
+		sys2 := system.System{
+			Name: "s2", Scheme: packaging.MCM, Quantity: q2,
+			Placements: []system.Placement{{Chiplet: shared, Count: 1 + int(n2%3)}},
+		}
+		policy := PerSystemUnit
+		if policyRaw {
+			policy = PerInstance
+		}
+		res, err := e.Portfolio([]system.System{sys1, sys2}, policy)
+		if err != nil {
+			return false
+		}
+		recovered := res.PerUnit["s1"].Total()*q1 + res.PerUnit["s2"].Total()*q2
+		return units.ApproxEqual(recovered, res.TotalNRE, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndPolicyStrings(t *testing.T) {
+	if ModuleDesign.String() != "module" || ChipDesign.String() != "chip" ||
+		PackageDesign.String() != "package" || D2DDesign.String() != "d2d" {
+		t.Error("kind labels wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind label")
+	}
+	if PerSystemUnit.String() != "per-system-unit" || PerInstance.String() != "per-instance" {
+		t.Error("policy labels wrong")
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Error("unknown policy label")
+	}
+}

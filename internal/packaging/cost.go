@@ -1,0 +1,251 @@
+package packaging
+
+import (
+	"fmt"
+
+	"chipletactuary/internal/tech"
+	"chipletactuary/internal/yield"
+)
+
+// Assembly describes the dies entering a package: their areas and the
+// cost of each known-good die (raw die cost grossed up by die yield,
+// plus bumping and wafer sort). KGD costs are computed by the cost
+// engine; packaging only needs them to price the dies it destroys.
+type Assembly struct {
+	DieAreasMM2 []float64
+	KGDCosts    []float64
+
+	// FootprintOverrideMM2, when positive, replaces the die-derived
+	// mounting footprint — used when a smaller system is mounted in a
+	// reused package envelope sized for a larger sibling (§5.1). It
+	// must cover the dies actually mounted.
+	FootprintOverrideMM2 float64
+	// InterposerOverrideMM2 likewise fixes the interposer size for
+	// interposer-based schemes.
+	InterposerOverrideMM2 float64
+}
+
+// TotalDieArea returns the summed die area.
+func (a Assembly) TotalDieArea() float64 {
+	var sum float64
+	for _, s := range a.DieAreasMM2 {
+		sum += s
+	}
+	return sum
+}
+
+// TotalKGDCost returns the summed known-good-die cost.
+func (a Assembly) TotalKGDCost() float64 {
+	var sum float64
+	for _, c := range a.KGDCosts {
+		sum += c
+	}
+	return sum
+}
+
+func (a Assembly) validate() error {
+	if len(a.DieAreasMM2) == 0 {
+		return fmt.Errorf("packaging: assembly has no dies")
+	}
+	if len(a.DieAreasMM2) != len(a.KGDCosts) {
+		return fmt.Errorf("packaging: %d die areas but %d KGD costs",
+			len(a.DieAreasMM2), len(a.KGDCosts))
+	}
+	for i, s := range a.DieAreasMM2 {
+		if s <= 0 {
+			return fmt.Errorf("packaging: die %d has non-positive area %v", i, s)
+		}
+		if a.KGDCosts[i] < 0 {
+			return fmt.Errorf("packaging: die %d has negative KGD cost %v", i, a.KGDCosts[i])
+		}
+	}
+	return nil
+}
+
+// Result is the packaging-related RE cost breakdown: the three
+// packaging components of the paper's five-part split (§3.2), plus the
+// geometry and yields behind them.
+type Result struct {
+	Scheme Scheme
+	Flow   Flow
+
+	// RawPackage is the cost of one defect-free package's materials
+	// and assembly: raw interposer (if any) + raw substrate +
+	// assembly operations.
+	RawPackage float64
+	// PackageDefects is the extra packaging spend caused by yield
+	// loss across the packaging flow.
+	PackageDefects float64
+	// WastedKGD is the value of known-good dies destroyed by
+	// packaging defects — the component the paper calls out as
+	// "a significant proportion of the total cost" for advanced
+	// packaging.
+	WastedKGD float64
+
+	// Yield is the end-to-end packaging yield experienced by a die
+	// that enters assembly (excludes interposer fab yield, which is
+	// screened before assembly in the chip-last flow).
+	Yield float64
+
+	// Geometry.
+	FootprintMM2      float64
+	InterposerAreaMM2 float64
+	SubstrateAreaMM2  float64
+
+	// Informational split of RawPackage.
+	RawInterposer float64
+	RawSubstrate  float64
+	AssemblyCost  float64
+}
+
+// Total returns the full packaging-related cost: raw package, package
+// defects and wasted KGDs (the paper's "cost of packaging" in the
+// Figure 5 note).
+func (r Result) Total() float64 {
+	return r.RawPackage + r.PackageDefects + r.WastedKGD
+}
+
+// Package computes the packaging cost of assembling the given dies
+// under the scheme and flow. The interposer tech node is resolved from
+// db for interposer-based schemes.
+func Package(p Params, db *tech.Database, s Scheme, f Flow, a Assembly) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := a.validate(); err != nil {
+		return Result{}, err
+	}
+	if s == SoC && len(a.DieAreasMM2) != 1 {
+		return Result{}, fmt.Errorf("packaging: SoC packages exactly one die, got %d", len(a.DieAreasMM2))
+	}
+	switch s {
+	case SoC, MCM:
+		return p.organic(s, a)
+	case InFO, TwoPointFiveD:
+		node, err := db.Node(s.InterposerNode())
+		if err != nil {
+			return Result{}, err
+		}
+		return p.interposed(s, f, node, a)
+	default:
+		return Result{}, fmt.Errorf("packaging: unknown scheme %v", s)
+	}
+}
+
+// organic prices a die-on-substrate package (SoC or MCM). Dies attach
+// directly to the substrate in one bonding stage; the MCM substrate
+// carries extra routing layers (the paper's substrate growth factor).
+func (p Params) organic(s Scheme, a Assembly) (Result, error) {
+	n := len(a.DieAreasMM2)
+	footprint := a.TotalDieArea()
+	if n > 1 {
+		footprint *= p.DieSpacingFactor
+	}
+	if a.FootprintOverrideMM2 > 0 {
+		if a.FootprintOverrideMM2 < footprint {
+			return Result{}, fmt.Errorf("packaging: reused footprint %.0f mm² cannot hold %.0f mm² of dies",
+				a.FootprintOverrideMM2, footprint)
+		}
+		footprint = a.FootprintOverrideMM2
+	}
+	substrate := footprint * p.PackageAreaScale
+	if substrate > p.MaxSubstrateMM2 {
+		return Result{}, fmt.Errorf("packaging: %v substrate %.0f mm² exceeds maximum %.0f mm²",
+			s, substrate, p.MaxSubstrateMM2)
+	}
+	layers := p.SoCSubstrateLayers
+	if s == MCM {
+		layers = p.MCMSubstrateLayers
+	}
+	rawSub := substrate * float64(layers) * p.SubstrateCostPerLayerMM2
+	assembly := p.AssemblyBase + float64(n)*p.AssemblyPerDie
+	raw := rawSub + assembly
+
+	y := yield.Bonding(p.FlipChipBondYield, n) * p.FinalTestYield
+	loss := 1/y - 1
+	return Result{
+		Scheme:           s,
+		RawPackage:       raw,
+		PackageDefects:   raw * loss,
+		WastedKGD:        a.TotalKGDCost() * loss,
+		Yield:            y,
+		FootprintMM2:     footprint,
+		SubstrateAreaMM2: substrate,
+		RawSubstrate:     rawSub,
+		AssemblyCost:     assembly,
+	}, nil
+}
+
+// interposed prices an InFO or 2.5D package per Eq. (4)/(5). In the
+// chip-last flow the interposer is fabricated and screened first
+// (losses y1 affect only interposer spend), dies bond at y2 each, and
+// the assembly attaches to the substrate at y3. In the chip-first
+// flow the RDL is built after the dies are molded, so interposer
+// defects destroy dies too.
+func (p Params) interposed(s Scheme, f Flow, node tech.Node, a Assembly) (Result, error) {
+	n := len(a.DieAreasMM2)
+	interposer := a.TotalDieArea() * p.InterposerFill
+	if a.InterposerOverrideMM2 > 0 {
+		if a.InterposerOverrideMM2 < interposer {
+			return Result{}, fmt.Errorf("packaging: reused interposer %.0f mm² cannot hold %.0f mm² of dies",
+				a.InterposerOverrideMM2, interposer)
+		}
+		interposer = a.InterposerOverrideMM2
+	}
+	if interposer > p.MaxInterposerMM2 {
+		return Result{}, fmt.Errorf("packaging: %v interposer %.0f mm² exceeds maximum %.0f mm²",
+			s, interposer, p.MaxInterposerMM2)
+	}
+	substrate := interposer * p.PackageAreaScale
+	if substrate > p.MaxSubstrateMM2 {
+		return Result{}, fmt.Errorf("packaging: %v substrate %.0f mm² exceeds maximum %.0f mm²",
+			s, substrate, p.MaxSubstrateMM2)
+	}
+
+	perInt, err := p.Wafer.CostPerRawDie(p.Estimator, node.WaferCost, interposer)
+	if err != nil {
+		return Result{}, fmt.Errorf("packaging: interposer: %w", err)
+	}
+	// "The bump cost ... counted twice on the chip side and the
+	// substrate side" (§3.2): the interposer carries its own bumping
+	// cost here; the dies' bump cost is inside their KGD cost.
+	rawInt := perInt + node.BumpCostPerMM2*interposer
+	rawSub := substrate * float64(p.InterposerSubstrateLayers) * p.SubstrateCostPerLayerMM2
+	assembly := p.AssemblyBase + float64(n)*p.AssemblyPerDie
+
+	y1 := node.Yield(interposer)
+	y2n := yield.Bonding(p.MicroBumpBondYield, n)
+	y3 := p.SubstrateAttachYield * p.FinalTestYield
+
+	res := Result{
+		Scheme:            s,
+		Flow:              f,
+		FootprintMM2:      interposer,
+		InterposerAreaMM2: interposer,
+		SubstrateAreaMM2:  substrate,
+		RawInterposer:     rawInt,
+		RawSubstrate:      rawSub,
+	}
+
+	switch f {
+	case ChipLast:
+		bond := float64(n) * p.BondCostPerDie
+		res.AssemblyCost = assembly + bond
+		res.RawPackage = rawInt + rawSub + res.AssemblyCost
+		res.Yield = y2n * y3
+		res.PackageDefects = rawInt*(1/(y1*y2n*y3)-1) +
+			rawSub*(1/y3-1) +
+			res.AssemblyCost*(1/(y2n*y3)-1)
+		res.WastedKGD = a.TotalKGDCost() * (1/(y2n*y3) - 1)
+	case ChipFirst:
+		res.AssemblyCost = assembly
+		res.RawPackage = rawInt + rawSub + res.AssemblyCost
+		res.Yield = y1 * y2n * y3
+		res.PackageDefects = (rawInt+res.AssemblyCost)*(1/(y1*y2n*y3)-1) +
+			rawSub*(1/y3-1)
+		res.WastedKGD = a.TotalKGDCost() * (1/(y1*y2n*y3) - 1)
+	default:
+		return Result{}, fmt.Errorf("packaging: unknown flow %v", f)
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package packaging
+
+import (
+	"fmt"
+
+	"chipletactuary/internal/wafer"
+)
+
+// Params collects the packaging-technology constants. The defaults
+// (see DefaultParams) are calibrated so the paper's in-text
+// percentages hold; every value can be overridden for sensitivity
+// studies.
+type Params struct {
+	// Wafer and Estimator govern interposer manufacturing cost.
+	Wafer     wafer.Wafer
+	Estimator wafer.Estimator
+
+	// SubstrateCostPerLayerMM2 is the organic-substrate cost per mm²
+	// per routing layer.
+	SubstrateCostPerLayerMM2 float64
+	// SoCSubstrateLayers / MCMSubstrateLayers are the substrate layer
+	// counts; the MCM surplus is the paper's substrate "growth
+	// factor". InterposerSubstrateLayers is used beneath an
+	// interposer, where the substrate routes less.
+	SoCSubstrateLayers        int
+	MCMSubstrateLayers        int
+	InterposerSubstrateLayers int
+
+	// PackageAreaScale is the substrate area per unit of die (or
+	// interposer) footprint — flip-chip packages fan out to several
+	// times the silicon area.
+	PackageAreaScale float64
+	// DieSpacingFactor inflates the summed die area to the package
+	// footprint to account for inter-die clearance.
+	DieSpacingFactor float64
+	// InterposerFill inflates the summed die area to the interposer
+	// area (dies never tile an interposer perfectly).
+	InterposerFill float64
+
+	// AssemblyBase and AssemblyPerDie are the per-package assembly
+	// costs (USD).
+	AssemblyBase   float64
+	AssemblyPerDie float64
+	// BondCostPerDie is C_bond of Eq. (5): the incremental cost of a
+	// single chip-attach operation in the chip-last flow.
+	BondCostPerDie float64
+
+	// FlipChipBondYield is the per-die attach yield on an organic
+	// substrate (SoC/MCM).
+	FlipChipBondYield float64
+	// MicroBumpBondYield is y2 of Eq. (4): the per-die attach yield
+	// on an RDL or silicon interposer.
+	MicroBumpBondYield float64
+	// SubstrateAttachYield is y3 of Eq. (4): attaching the (interposer
+	// + dies) assembly, or the bare dies for SoC/MCM, onto the
+	// substrate and surviving final assembly.
+	SubstrateAttachYield float64
+	// FinalTestYield is the package-test survival rate, folded into
+	// the last production stage.
+	FinalTestYield float64
+
+	// MaxSubstrateMM2 and MaxInterposerMM2 bound manufacturable
+	// package and interposer sizes (stitched CoWoS interposers reach
+	// roughly three reticles).
+	MaxSubstrateMM2  float64
+	MaxInterposerMM2 float64
+}
+
+// DefaultParams returns the calibrated packaging constants used by all
+// paper experiments.
+func DefaultParams() Params {
+	return Params{
+		Wafer:                     wafer.Default300(),
+		Estimator:                 wafer.Subtractive,
+		SubstrateCostPerLayerMM2:  0.0008,
+		SoCSubstrateLayers:        4,
+		MCMSubstrateLayers:        10,
+		InterposerSubstrateLayers: 6,
+		PackageAreaScale:          4.0,
+		DieSpacingFactor:          1.10,
+		InterposerFill:            1.10,
+		AssemblyBase:              20,
+		AssemblyPerDie:            1.5,
+		BondCostPerDie:            1,
+		FlipChipBondYield:         0.995,
+		MicroBumpBondYield:        0.98,
+		SubstrateAttachYield:      0.98,
+		FinalTestYield:            0.995,
+		MaxSubstrateMM2:           6400, // 80×80 mm
+		MaxInterposerMM2:          2500, // ~3 stitched reticles
+	}
+}
+
+// Validate checks the parameter set.
+func (p Params) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"SubstrateCostPerLayerMM2", p.SubstrateCostPerLayerMM2},
+		{"PackageAreaScale", p.PackageAreaScale},
+		{"DieSpacingFactor", p.DieSpacingFactor},
+		{"InterposerFill", p.InterposerFill},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("packaging: %s must be positive, got %v", c.name, c.v)
+		}
+	}
+	if p.DieSpacingFactor < 1 || p.InterposerFill < 1 {
+		return fmt.Errorf("packaging: spacing (%v) and fill (%v) factors must be ≥ 1", p.DieSpacingFactor, p.InterposerFill)
+	}
+	if p.SoCSubstrateLayers <= 0 || p.MCMSubstrateLayers <= 0 || p.InterposerSubstrateLayers <= 0 {
+		return fmt.Errorf("packaging: substrate layer counts must be positive")
+	}
+	if p.AssemblyBase < 0 || p.AssemblyPerDie < 0 || p.BondCostPerDie < 0 {
+		return fmt.Errorf("packaging: assembly costs must be non-negative")
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"FlipChipBondYield", p.FlipChipBondYield},
+		{"MicroBumpBondYield", p.MicroBumpBondYield},
+		{"SubstrateAttachYield", p.SubstrateAttachYield},
+		{"FinalTestYield", p.FinalTestYield},
+	} {
+		if c.v <= 0 || c.v > 1 {
+			return fmt.Errorf("packaging: %s must be in (0,1], got %v", c.name, c.v)
+		}
+	}
+	if p.MaxSubstrateMM2 <= 0 || p.MaxInterposerMM2 <= 0 {
+		return fmt.Errorf("packaging: size limits must be positive")
+	}
+	return nil
+}
+
+// NREFactors returns the package-design NRE parameters for the scheme:
+// a per-mm² factor applied to the package's NRE-relevant area (Kp of
+// Eq. 7/8) and a fixed per-package-design cost (Cp). Interposer-based
+// schemes carry chip-like design and mask costs for the interposer.
+func (s Scheme) NREFactors() (kpPerMM2, fixed float64) {
+	switch s {
+	case SoC:
+		return 200, 1_000_000
+	case MCM:
+		return 400, 2_500_000
+	case InFO:
+		return 800, 6_000_000
+	case TwoPointFiveD:
+		return 3000, 12_000_000
+	default:
+		return 0, 0
+	}
+}

@@ -1,0 +1,106 @@
+// Package packaging models the four integration technologies the
+// paper compares — monolithic SoC packaging, MCM (organic substrate),
+// InFO (fan-out RDL) and 2.5D (silicon interposer) — and computes the
+// packaging-related RE cost of Eq. (4) under the chip-first and
+// chip-last assembly flows of Eq. (5).
+package packaging
+
+import "fmt"
+
+// Scheme is an integration technology.
+type Scheme int
+
+const (
+	// SoC is a monolithic die in a standard flip-chip package.
+	SoC Scheme = iota
+	// MCM assembles dies directly on an organic substrate with extra
+	// routing layers ("growth factor on substrate RE cost", §3.2).
+	MCM
+	// InFO integrates dies on a fan-out redistribution layer (RDL)
+	// which then mounts on a substrate.
+	InFO
+	// TwoPointFiveD integrates dies on a silicon interposer
+	// (CoWoS-style) which then mounts on a substrate.
+	TwoPointFiveD
+)
+
+// Schemes lists all integration schemes in presentation order.
+var Schemes = []Scheme{SoC, MCM, InFO, TwoPointFiveD}
+
+// String implements fmt.Stringer with the paper's labels.
+func (s Scheme) String() string {
+	switch s {
+	case SoC:
+		return "SoC"
+	case MCM:
+		return "MCM"
+	case InFO:
+		return "InFO"
+	case TwoPointFiveD:
+		return "2.5D"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a label ("SoC", "MCM", "InFO", "2.5D") to a
+// Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "SoC", "soc", "SOC":
+		return SoC, nil
+	case "MCM", "mcm":
+		return MCM, nil
+	case "InFO", "info", "INFO":
+		return InFO, nil
+	case "2.5D", "2.5d", "25d", "interposer":
+		return TwoPointFiveD, nil
+	default:
+		return 0, fmt.Errorf("packaging: unknown scheme %q", s)
+	}
+}
+
+// HasInterposer reports whether the scheme interposes packaging
+// silicon between the dies and the substrate.
+func (s Scheme) HasInterposer() bool {
+	return s == InFO || s == TwoPointFiveD
+}
+
+// InterposerNode names the tech-database node describing the scheme's
+// packaging silicon ("" when there is none).
+func (s Scheme) InterposerNode() string {
+	switch s {
+	case InFO:
+		return "RDL"
+	case TwoPointFiveD:
+		return "SI"
+	default:
+		return ""
+	}
+}
+
+// Flow is the assembly order of Eq. (5).
+type Flow int
+
+const (
+	// ChipLast (RDL-first) builds and tests the interposer before
+	// attaching known-good dies. The paper identifies it as "the
+	// priority selection for multi-chip systems" and uses it for all
+	// experiments; so do we.
+	ChipLast Flow = iota
+	// ChipFirst molds dies before the interposer/RDL is built, so
+	// packaging defects also destroy dies.
+	ChipFirst
+)
+
+// String implements fmt.Stringer.
+func (f Flow) String() string {
+	switch f {
+	case ChipLast:
+		return "chip-last"
+	case ChipFirst:
+		return "chip-first"
+	default:
+		return fmt.Sprintf("Flow(%d)", int(f))
+	}
+}

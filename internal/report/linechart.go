@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve for a line chart.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X, Y []float64
+}
+
+// seriesGlyphs are cycled across series.
+var seriesGlyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// RenderLines draws an ASCII scatter/line chart of the series on a
+// width×height character grid, with min/max axis annotations and a
+// legend. Points sharing a cell keep the first series' glyph.
+func RenderLines(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 20 || height < 5 {
+		return fmt.Errorf("report: chart %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	var legend []string
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, s.Name))
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if grid[row][col] == ' ' {
+				grid[row][col] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLabel := func(row int) string {
+		v := maxY - (maxY-minY)*float64(row)/float64(height-1)
+		return fmt.Sprintf("%8.2f", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 8)
+		if r == 0 || r == height-1 || r == height/2 {
+			label = yLabel(r)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f\n", strings.Repeat(" ", 8), width/2, minX, width-width/2, maxX)
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderLines(t *testing.T) {
+	series := []Series{
+		{Name: "rising", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "falling", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	var buf bytes.Buffer
+	if err := RenderLines(&buf, "Demo", series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "legend:", "rising", "falling", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series ends top-right; the falling one starts
+	// top-left: the first grid row must contain both glyphs.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Errorf("top row should hold both extremes: %q", top)
+	}
+	// Axis annotations are present.
+	if !strings.Contains(out, "3.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("missing y-axis labels:\n%s", out)
+	}
+}
+
+func TestRenderLinesFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	var buf bytes.Buffer
+	err := RenderLines(&buf, "", []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{2, 2}}}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flat") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderLinesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	good := []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	if err := RenderLines(&buf, "", good, 10, 10); err == nil {
+		t.Error("too-narrow chart accepted")
+	}
+	if err := RenderLines(&buf, "", good, 40, 2); err == nil {
+		t.Error("too-short chart accepted")
+	}
+	if err := RenderLines(&buf, "", nil, 40, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	bad := []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0}}}
+	if err := RenderLines(&buf, "", bad, 40, 10); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := []Series{{Name: "s"}}
+	if err := RenderLines(&buf, "", empty, 40, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+}

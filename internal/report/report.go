@@ -1,0 +1,202 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, Markdown, and ASCII bar charts. It is deliberately dependency
+// free: the figure binaries write to stdout and the benches discard
+// the output.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a fixed header.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; the cell count must match the header count.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.headers) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.headers))
+	}
+	t.rows = append(t.rows, cells)
+	return nil
+}
+
+// MustAddRow is AddRow for rows whose arity is statically correct; it
+// panics on mismatch, which indicates a programming error.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := widths[i] - len([]rune(c)); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavoured Markdown
+// table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.headers, " | "))
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	Name  string
+	Value float64
+}
+
+// Bar is one labelled, stacked bar.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// Total returns the bar's stacked total.
+func (b Bar) Total() float64 {
+	var sum float64
+	for _, s := range b.Segments {
+		sum += s.Value
+	}
+	return sum
+}
+
+// segmentGlyphs are cycled across distinct segment names.
+var segmentGlyphs = []rune{'█', '▓', '▒', '░', '◆', '●', '○', '×'}
+
+// RenderBars draws horizontal stacked ASCII bars scaled so the widest
+// bar spans width characters, followed by a glyph legend. Negative
+// segment values are rejected.
+func RenderBars(w io.Writer, title string, bars []Bar, width int) error {
+	if width < 10 {
+		return fmt.Errorf("report: chart width %d too small", width)
+	}
+	var max float64
+	for _, b := range bars {
+		for _, s := range b.Segments {
+			if s.Value < 0 {
+				return fmt.Errorf("report: bar %q segment %q has negative value %v", b.Label, s.Name, s.Value)
+			}
+		}
+		if t := b.Total(); t > max {
+			max = t
+		}
+	}
+	if max == 0 {
+		return fmt.Errorf("report: nothing to draw (all bars empty)")
+	}
+	glyphOf := map[string]rune{}
+	var legend []string
+	glyph := func(name string) rune {
+		if g, ok := glyphOf[name]; ok {
+			return g
+		}
+		g := segmentGlyphs[len(glyphOf)%len(segmentGlyphs)]
+		glyphOf[name] = g
+		legend = append(legend, fmt.Sprintf("%c %s", g, name))
+		return g
+	}
+	labelWidth := 0
+	for _, b := range bars {
+		if n := len([]rune(b.Label)); n > labelWidth {
+			labelWidth = n
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, b := range bars {
+		fmt.Fprintf(&sb, "%-*s |", labelWidth, b.Label)
+		for _, s := range b.Segments {
+			n := int(s.Value / max * float64(width))
+			sb.WriteString(strings.Repeat(string(glyph(s.Name)), n))
+		}
+		fmt.Fprintf(&sb, " %.2f\n", b.Total())
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "legend: %s\n", strings.Join(legend, "  "))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

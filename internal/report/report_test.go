@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("Demo", "node", "cost")
+	tab.MustAddRow("5nm", "1.23")
+	tab.MustAddRow("14nm", "0.45")
+	var buf bytes.Buffer
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "node", "cost", "5nm", "14nm", "0.45"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows() = %d, want 2", tab.Rows())
+	}
+}
+
+func TestTableArityChecked(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	if err := tab.AddRow("only-one"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow should panic on mismatch")
+		}
+	}()
+	tab.MustAddRow("1", "2", "3")
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	tab.MustAddRow("1", "two, with comma")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"two, with comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("Title", "a", "b")
+	tab.MustAddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### Title", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	bars := []Bar{
+		{Label: "SoC", Segments: []Segment{{Name: "chips", Value: 3}, {Name: "pkg", Value: 1}}},
+		{Label: "MCM", Segments: []Segment{{Name: "chips", Value: 2}, {Name: "pkg", Value: 1.5}}},
+	}
+	var buf bytes.Buffer
+	if err := RenderBars(&buf, "Costs", bars, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Costs", "SoC", "MCM", "legend:", "chips", "pkg", "4.00", "3.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The widest bar must be about the requested width.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "SoC") {
+			glyphs := strings.Count(line, "█") + strings.Count(line, "▓")
+			if glyphs < 38 || glyphs > 40 {
+				t.Errorf("widest bar has %d glyphs, want ≈40: %q", glyphs, line)
+			}
+		}
+	}
+}
+
+func TestRenderBarsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderBars(&buf, "x", []Bar{{Label: "a", Segments: []Segment{{Name: "s", Value: 1}}}}, 5); err == nil {
+		t.Error("tiny width accepted")
+	}
+	if err := RenderBars(&buf, "x", []Bar{{Label: "a", Segments: []Segment{{Name: "s", Value: -1}}}}, 40); err == nil {
+		t.Error("negative segment accepted")
+	}
+	if err := RenderBars(&buf, "x", []Bar{{Label: "a"}}, 40); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestBarTotal(t *testing.T) {
+	b := Bar{Segments: []Segment{{Value: 1.5}, {Value: 2.5}}}
+	if b.Total() != 4 {
+		t.Errorf("total = %v, want 4", b.Total())
+	}
+}

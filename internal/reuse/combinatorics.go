@@ -1,0 +1,126 @@
+// Package reuse builds the chiplet-reuse architectures of the paper's
+// §5: SCMS (single chiplet, multiple systems), OCME (one center,
+// multiple extensions) and FSMC (a few sockets, multiple
+// collocations), including the package-reuse variants and OCME's
+// heterogeneous center die.
+package reuse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Choose returns the binomial coefficient C(n, k) as a float64 (the
+// counts in play stay far below 2^53). It returns 0 for k < 0 or
+// k > n.
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := 1.0
+	for i := 1; i <= k; i++ {
+		result = result * float64(n-k+i) / float64(i)
+	}
+	return math.Round(result)
+}
+
+// Multichoose returns the number of multisets of size k drawn from n
+// types: C(n+k-1, k).
+func Multichoose(n, k int) float64 {
+	return Choose(n+k-1, k)
+}
+
+// CollocationCount is the paper's §5.3 formula for the number of
+// distinct systems buildable from n chiplet types in a package with k
+// sockets, allowing partial occupancy:
+//
+//	Σ_{i=1..k} C(n+i-1, i)
+//
+// Note: the paper's text quotes "up to 119" systems for n=6, k=4, but
+// the formula evaluates to 209; we implement the formula and record
+// the discrepancy in EXPERIMENTS.md.
+func CollocationCount(n, k int) float64 {
+	var total float64
+	for i := 1; i <= k; i++ {
+		total += Multichoose(n, i)
+	}
+	return total
+}
+
+// Collocation is one way to populate a package: Counts[t] copies of
+// chiplet type t. The total count is between 1 and the socket count.
+type Collocation struct {
+	Counts []int
+}
+
+// Size returns the number of occupied sockets.
+func (c Collocation) Size() int {
+	n := 0
+	for _, v := range c.Counts {
+		n += v
+	}
+	return n
+}
+
+// Label renders a stable human-readable name such as "T1x2+T3".
+func (c Collocation) Label() string {
+	var parts []string
+	for t, v := range c.Counts {
+		switch {
+		case v == 1:
+			parts = append(parts, fmt.Sprintf("T%d", t+1))
+		case v > 1:
+			parts = append(parts, fmt.Sprintf("T%dx%d", t+1, v))
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Collocations enumerates every multiset of 1..k chiplets drawn from n
+// types, in deterministic order (by size, then lexicographic counts).
+func Collocations(n, k int) ([]Collocation, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("reuse: need at least one chiplet type, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("reuse: need at least one socket, got %d", k)
+	}
+	var out []Collocation
+	for size := 1; size <= k; size++ {
+		counts := make([]int, n)
+		var rec func(typeIdx, remaining int)
+		rec = func(typeIdx, remaining int) {
+			if typeIdx == n-1 {
+				counts[typeIdx] = remaining
+				cp := make([]int, n)
+				copy(cp, counts)
+				out = append(out, Collocation{Counts: cp})
+				counts[typeIdx] = 0
+				return
+			}
+			for take := 0; take <= remaining; take++ {
+				counts[typeIdx] = take
+				rec(typeIdx+1, remaining-take)
+			}
+			counts[typeIdx] = 0
+		}
+		rec(0, size)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Size() != out[j].Size() {
+			return out[i].Size() < out[j].Size()
+		}
+		for t := range out[i].Counts {
+			if out[i].Counts[t] != out[j].Counts[t] {
+				return out[i].Counts[t] > out[j].Counts[t]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

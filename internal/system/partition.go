@@ -1,0 +1,98 @@
+package system
+
+import (
+	"fmt"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+)
+
+// Monolithic builds an SoC system: one die carrying a single module of
+// the given area, no D2D interface.
+func Monolithic(name, node string, moduleAreaMM2, quantity float64) System {
+	return System{
+		Name:   name,
+		Scheme: packaging.SoC,
+		Placements: []Placement{{
+			Chiplet: Chiplet{
+				Name:    name + "-die",
+				Node:    node,
+				Modules: []Module{{Name: name + "-logic", AreaMM2: moduleAreaMM2, Scalable: true}},
+				D2D:     dtod.None{},
+			},
+			Count: 1,
+		}},
+		Quantity: quantity,
+	}
+}
+
+// PartitionEqual re-partitions a monolithic module area into k
+// distinct chiplets of equal module area, each carrying the D2D
+// overhead, integrated by the given scheme. This is the §4.1
+// experiment setup ("we divide a monolithic chip into different
+// numbers of chiplets ... no reuse is utilized"): each chiplet is a
+// separate design, so each pays its own chip NRE.
+func PartitionEqual(name, node string, moduleAreaMM2 float64, k int,
+	scheme packaging.Scheme, d2d dtod.Overhead, quantity float64) (System, error) {
+	if k < 1 {
+		return System{}, fmt.Errorf("system: partition count %d must be ≥ 1", k)
+	}
+	if moduleAreaMM2 <= 0 {
+		return System{}, fmt.Errorf("system: module area %v must be positive", moduleAreaMM2)
+	}
+	if k == 1 && scheme == packaging.SoC {
+		return Monolithic(name, node, moduleAreaMM2, quantity), nil
+	}
+	if scheme == packaging.SoC {
+		return System{}, fmt.Errorf("system: cannot partition into %d chiplets on an SoC", k)
+	}
+	per := moduleAreaMM2 / float64(k)
+	placements := make([]Placement, k)
+	for i := range placements {
+		placements[i] = Placement{
+			Chiplet: Chiplet{
+				Name:    fmt.Sprintf("%s-chiplet-%d", name, i+1),
+				Node:    node,
+				Modules: []Module{{Name: fmt.Sprintf("%s-part-%d", name, i+1), AreaMM2: per, Scalable: true}},
+				D2D:     d2d,
+			},
+			Count: 1,
+		}
+	}
+	return System{Name: name, Scheme: scheme, Placements: placements, Quantity: quantity}, nil
+}
+
+// PartitionWeighted splits a module area into chiplets with the given
+// weights (normalized internally). Each chiplet is a distinct design.
+func PartitionWeighted(name, node string, moduleAreaMM2 float64, weights []float64,
+	scheme packaging.Scheme, d2d dtod.Overhead, quantity float64) (System, error) {
+	if len(weights) == 0 {
+		return System{}, fmt.Errorf("system: no partition weights")
+	}
+	if moduleAreaMM2 <= 0 {
+		return System{}, fmt.Errorf("system: module area %v must be positive", moduleAreaMM2)
+	}
+	if scheme == packaging.SoC && len(weights) > 1 {
+		return System{}, fmt.Errorf("system: cannot partition into %d chiplets on an SoC", len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if w <= 0 {
+			return System{}, fmt.Errorf("system: weight %d is non-positive (%v)", i, w)
+		}
+		total += w
+	}
+	placements := make([]Placement, len(weights))
+	for i, w := range weights {
+		placements[i] = Placement{
+			Chiplet: Chiplet{
+				Name:    fmt.Sprintf("%s-chiplet-%d", name, i+1),
+				Node:    node,
+				Modules: []Module{{Name: fmt.Sprintf("%s-part-%d", name, i+1), AreaMM2: moduleAreaMM2 * w / total, Scalable: true}},
+				D2D:     d2d,
+			},
+			Count: 1,
+		}
+	}
+	return System{Name: name, Scheme: scheme, Placements: placements, Quantity: quantity}, nil
+}

@@ -1,0 +1,53 @@
+package tech
+
+import "fmt"
+
+// Logic density (million transistors per mm²) by node, from published
+// process disclosures (TSMC/Samsung/GF high-density libraries). Used
+// to re-size *scalable* modules when a design moves between nodes —
+// the honest version of the OCME heterogeneity study, where moving
+// logic to a mature node saves wafer cost but costs area. Unscalable
+// modules (IO, analog) keep their area regardless; that asymmetry is
+// exactly why the paper's §5.2 puts the "unscalable" center die on
+// 14nm.
+var logicDensityMTrPerMM2 = map[string]float64{
+	"3nm":  215,
+	"5nm":  138,
+	"7nm":  91,
+	"10nm": 52,
+	"12nm": 33,
+	"14nm": 27,
+	"28nm": 12,
+	"65nm": 1.9,
+}
+
+// LogicDensity returns the node's logic density in MTr/mm², or an
+// error for nodes without a published figure (interposer silicon).
+func (db *Database) LogicDensity(node string) (float64, error) {
+	if _, err := db.Node(node); err != nil {
+		return 0, err
+	}
+	d, ok := logicDensityMTrPerMM2[node]
+	if !ok {
+		return 0, fmt.Errorf("tech: no logic density for node %q", node)
+	}
+	return d, nil
+}
+
+// ScaleArea converts a scalable module's area from one node to
+// another using the logic-density ratio: the same transistor count
+// occupies area × density(from)/density(to) on the target node.
+func (db *Database) ScaleArea(areaMM2 float64, from, to string) (float64, error) {
+	if areaMM2 < 0 {
+		return 0, fmt.Errorf("tech: negative area %v", areaMM2)
+	}
+	df, err := db.LogicDensity(from)
+	if err != nil {
+		return 0, err
+	}
+	dt, err := db.LogicDensity(to)
+	if err != nil {
+		return 0, err
+	}
+	return areaMM2 * df / dt, nil
+}

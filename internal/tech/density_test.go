@@ -1,0 +1,88 @@
+package tech
+
+import (
+	"testing"
+
+	"chipletactuary/internal/units"
+)
+
+func TestLogicDensityKnownNodes(t *testing.T) {
+	db := Default()
+	for _, node := range []string{"3nm", "5nm", "7nm", "10nm", "12nm", "14nm", "28nm", "65nm"} {
+		d, err := db.LogicDensity(node)
+		if err != nil {
+			t.Errorf("%s: %v", node, err)
+		}
+		if d <= 0 {
+			t.Errorf("%s: density %v", node, d)
+		}
+	}
+	// Density must rise monotonically with node advancement.
+	order := []string{"65nm", "28nm", "14nm", "12nm", "10nm", "7nm", "5nm", "3nm"}
+	prev := 0.0
+	for _, node := range order {
+		d, err := db.LogicDensity(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Errorf("%s density %v should exceed previous %v", node, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLogicDensityErrors(t *testing.T) {
+	db := Default()
+	if _, err := db.LogicDensity("RDL"); err == nil {
+		t.Error("interposer silicon has no logic density")
+	}
+	if _, err := db.LogicDensity("1nm"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestScaleArea(t *testing.T) {
+	db := Default()
+	// 7nm → 14nm: 91/27 ≈ 3.37× area growth.
+	got, err := db.ScaleArea(100, "7nm", "14nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(got, 100*91.0/27.0, 1e-9) {
+		t.Errorf("ScaleArea = %v, want %v", got, 100*91.0/27.0)
+	}
+	// Identity on the same node.
+	same, err := db.ScaleArea(250, "5nm", "5nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(same, 250, 1e-12) {
+		t.Errorf("same-node scale = %v", same)
+	}
+	// Round trip conserves area.
+	fwd, err := db.ScaleArea(100, "7nm", "28nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := db.ScaleArea(fwd, "28nm", "7nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(back, 100, 1e-9) {
+		t.Errorf("round trip = %v, want 100", back)
+	}
+}
+
+func TestScaleAreaErrors(t *testing.T) {
+	db := Default()
+	if _, err := db.ScaleArea(-1, "7nm", "14nm"); err == nil {
+		t.Error("negative area accepted")
+	}
+	if _, err := db.ScaleArea(100, "RDL", "14nm"); err == nil {
+		t.Error("interposer source accepted")
+	}
+	if _, err := db.ScaleArea(100, "7nm", "SI"); err == nil {
+		t.Error("interposer target accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Package units provides the small set of physical and monetary
+// quantities shared by every layer of the cost model, together with
+// conversion helpers and human-readable formatting.
+//
+// The model's public API works in square millimetres for silicon and
+// package areas and in US dollars for costs. Defect densities are
+// quoted in defects per square centimetre, the unit used by the paper
+// and by the semiconductor industry at large, so the yield layer needs
+// the mm²→cm² conversion provided here.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM2PerCM2 is the number of square millimetres in a square centimetre.
+const MM2PerCM2 = 100.0
+
+// MM2ToCM2 converts an area from mm² to cm².
+func MM2ToCM2(mm2 float64) float64 { return mm2 / MM2PerCM2 }
+
+// CM2ToMM2 converts an area from cm² to mm².
+func CM2ToMM2(cm2 float64) float64 { return cm2 * MM2PerCM2 }
+
+// Dollars formats a dollar amount with an SI-style suffix: $1.23k,
+// $4.56M, $7.89B. Values below 1000 are printed with two decimals.
+func Dollars(v float64) string {
+	neg := ""
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%s$%.2fB", neg, v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%s$%.2fM", neg, v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%s$%.2fk", neg, v/1e3)
+	default:
+		return fmt.Sprintf("%s$%.2f", neg, v)
+	}
+}
+
+// Area formats an area in mm² with a fixed number of decimals.
+func Area(mm2 float64) string {
+	if mm2 == math.Trunc(mm2) {
+		return fmt.Sprintf("%.0f mm²", mm2)
+	}
+	return fmt.Sprintf("%.1f mm²", mm2)
+}
+
+// Percent formats a fraction (0.25) as a percentage ("25.0%").
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Ratio formats a normalized cost ratio such as "1.37x".
+func Ratio(r float64) string {
+	return fmt.Sprintf("%.2fx", r)
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b agree within a relative tolerance
+// tol (and an absolute floor of tol for values near zero). It is used
+// throughout the test suites when comparing analytically derived
+// quantities.
+func ApproxEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}

@@ -1,0 +1,80 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAreaConversionRoundTrip(t *testing.T) {
+	f := func(mm2 float64) bool {
+		mm2 = math.Mod(math.Abs(mm2), 1e6)
+		return math.Abs(CM2ToMM2(MM2ToCM2(mm2))-mm2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if MM2ToCM2(800) != 8 {
+		t.Errorf("MM2ToCM2(800) = %v, want 8", MM2ToCM2(800))
+	}
+}
+
+func TestDollars(t *testing.T) {
+	cases := map[float64]string{
+		0:        "$0.00",
+		12.5:     "$12.50",
+		999:      "$999.00",
+		1500:     "$1.50k",
+		2_000_00: "$200.00k",
+		3.5e6:    "$3.50M",
+		1.2e9:    "$1.20B",
+		-4500:    "-$4.50k",
+	}
+	for v, want := range cases {
+		if got := Dollars(v); got != want {
+			t.Errorf("Dollars(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestArea(t *testing.T) {
+	if got := Area(800); got != "800 mm²" {
+		t.Errorf("Area(800) = %q", got)
+	}
+	if got := Area(444.4); got != "444.4 mm²" {
+		t.Errorf("Area(444.4) = %q", got)
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if got := Percent(0.255); got != "25.5%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Ratio(1.372); got != "1.37x" {
+		t.Errorf("Ratio = %q", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(100, 100.05, 1e-3) {
+		t.Error("100 ≈ 100.05 at 0.1%")
+	}
+	if ApproxEqual(100, 101, 1e-3) {
+		t.Error("100 !≈ 101 at 0.1%")
+	}
+	if !ApproxEqual(0, 1e-6, 1e-3) {
+		t.Error("near-zero values should use absolute floor")
+	}
+}

@@ -1,0 +1,226 @@
+// Package wafer models wafer geometry and the manufacturing cost of
+// raw dies: how many dies of a given size fit on a wafer, what each
+// raw die costs, and the cost-per-good-area curves of the paper's
+// Figure 2.
+//
+// Three dies-per-wafer estimators are provided, from crudest to most
+// faithful:
+//
+//   - AreaRatio: wafer area / die area (ignores edge loss).
+//   - Subtractive: the industry-standard approximation
+//     DPW = π(φ/2)²/S − πφ/√(2S), which subtracts a perimeter term.
+//   - GridPacked: an exact count of rectangular dies placed on a
+//     regular grid (with scribe lanes) that fit fully inside the
+//     usable radius, searching over grid offsets.
+//
+// The cost model uses Subtractive by default, matching the analytical
+// character of the paper; GridPacked exists for validation and for
+// users who care about small-die edge effects.
+package wafer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wafer describes a production wafer.
+type Wafer struct {
+	// DiameterMM is the wafer diameter in millimetres (300 for all of
+	// the paper's technologies).
+	DiameterMM float64
+	// EdgeExclusionMM is the unusable ring at the wafer edge.
+	EdgeExclusionMM float64
+	// ScribeMM is the scribe-lane (saw street) width between dies.
+	ScribeMM float64
+}
+
+// Default300 returns the 300 mm production wafer with typical 3 mm
+// edge exclusion and 0.1 mm scribe lanes.
+func Default300() Wafer {
+	return Wafer{DiameterMM: 300, EdgeExclusionMM: 3, ScribeMM: 0.1}
+}
+
+// Area returns the full wafer area in mm².
+func (w Wafer) Area() float64 {
+	r := w.DiameterMM / 2
+	return math.Pi * r * r
+}
+
+// UsableRadius returns the radius available for whole dies.
+func (w Wafer) UsableRadius() float64 {
+	r := w.DiameterMM/2 - w.EdgeExclusionMM
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// ReticleLimitMM2 is the maximum die area manufacturable in a single
+// exposure (~26×33 mm field). The paper's premise is that monolithic
+// SoCs are "approaching the limit of the lithographic reticle"; the
+// system layer uses this constant to flag infeasible monolithic dies.
+const ReticleLimitMM2 = 26.0 * 33.0 // 858 mm²
+
+// Estimator selects a dies-per-wafer computation.
+type Estimator int
+
+const (
+	// Subtractive is the standard analytical approximation (default).
+	Subtractive Estimator = iota
+	// AreaRatio ignores edge losses entirely.
+	AreaRatio
+	// GridPacked counts exact grid placements with scribe lanes.
+	GridPacked
+)
+
+// String implements fmt.Stringer.
+func (e Estimator) String() string {
+	switch e {
+	case Subtractive:
+		return "subtractive"
+	case AreaRatio:
+		return "area-ratio"
+	case GridPacked:
+		return "grid-packed"
+	default:
+		return fmt.Sprintf("Estimator(%d)", int(e))
+	}
+}
+
+// DiesPerWafer returns the number of whole dies of the given area
+// (mm², assumed square unless using DiesPerWaferRect) that fit on the
+// wafer under the chosen estimator. The result is at least 0. Die
+// areas that exceed the reticle limit are still computed — feasibility
+// policing is the caller's concern — but a non-positive area returns 0.
+func (w Wafer) DiesPerWafer(e Estimator, dieAreaMM2 float64) int {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	switch e {
+	case AreaRatio:
+		return int(w.Area() / dieAreaMM2)
+	case GridPacked:
+		side := math.Sqrt(dieAreaMM2)
+		return w.DiesPerWaferRect(side, side)
+	default: // Subtractive
+		dpw := w.Area()/dieAreaMM2 - math.Pi*w.DiameterMM/math.Sqrt(2*dieAreaMM2)
+		if dpw < 0 {
+			return 0
+		}
+		return int(dpw)
+	}
+}
+
+// DiesPerWaferRect counts dies of w×h mm placed on a regular grid with
+// scribe lanes, fully inside the usable radius. It searches a small
+// set of grid offsets (die-centred and street-centred in each axis)
+// and returns the best count, which is how steppers are actually
+// programmed.
+func (w Wafer) DiesPerWaferRect(dieW, dieH float64) int {
+	if dieW <= 0 || dieH <= 0 {
+		return 0
+	}
+	r := w.UsableRadius()
+	if r <= 0 {
+		return 0
+	}
+	pitchX := dieW + w.ScribeMM
+	pitchY := dieH + w.ScribeMM
+	best := 0
+	// Two natural grid phases per axis: a die centred on the wafer
+	// centre, or a scribe street centred on it.
+	for _, ox := range []float64{0, pitchX / 2} {
+		for _, oy := range []float64{0, pitchY / 2} {
+			if n := w.countGrid(dieW, dieH, pitchX, pitchY, ox, oy, r); n > best {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// countGrid counts dies on the grid with the given offsets whose four
+// corners all lie within radius r of the wafer centre.
+func (w Wafer) countGrid(dieW, dieH, pitchX, pitchY, ox, oy, r float64) int {
+	n := 0
+	// Enough rows/columns to cover the wafer in both directions.
+	maxI := int(r/pitchX) + 2
+	maxJ := int(r/pitchY) + 2
+	r2 := r * r
+	for i := -maxI; i <= maxI; i++ {
+		cx := float64(i)*pitchX + ox
+		for j := -maxJ; j <= maxJ; j++ {
+			cy := float64(j)*pitchY + oy
+			// Farthest corner from the origin decides inclusion.
+			fx := math.Abs(cx) + dieW/2
+			fy := math.Abs(cy) + dieH/2
+			if fx*fx+fy*fy <= r2 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BestAspectRatio searches die aspect ratios (width/height from 1:1
+// to maxRatio:1 in the given number of steps) for the one that packs
+// the most dies of the given area onto the wafer, using the exact
+// grid counter. Floorplans have freedom in aspect ratio, and edge
+// effects can make a slightly rectangular die pack better than a
+// square one.
+func (w Wafer) BestAspectRatio(dieAreaMM2, maxRatio float64, steps int) (ratio float64, dies int, err error) {
+	if dieAreaMM2 <= 0 {
+		return 0, 0, fmt.Errorf("wafer: die area %v must be positive", dieAreaMM2)
+	}
+	if maxRatio < 1 {
+		return 0, 0, fmt.Errorf("wafer: max aspect ratio %v must be ≥ 1", maxRatio)
+	}
+	if steps < 1 {
+		return 0, 0, fmt.Errorf("wafer: need ≥ 1 step, got %d", steps)
+	}
+	best := -1
+	bestRatio := 1.0
+	for i := 0; i <= steps; i++ {
+		r := 1 + (maxRatio-1)*float64(i)/float64(steps)
+		width := math.Sqrt(dieAreaMM2 * r)
+		height := dieAreaMM2 / width
+		if n := w.DiesPerWaferRect(width, height); n > best {
+			best = n
+			bestRatio = r
+		}
+	}
+	if best <= 0 {
+		return 0, 0, fmt.Errorf("wafer: no %.0f mm² die fits at any aspect ratio", dieAreaMM2)
+	}
+	return bestRatio, best, nil
+}
+
+// CostPerRawDie returns the manufacturing cost of one untested die
+// from a wafer of the given price: waferCost / DPW. It returns an
+// error when no die fits.
+func (w Wafer) CostPerRawDie(e Estimator, waferCost, dieAreaMM2 float64) (float64, error) {
+	dpw := w.DiesPerWafer(e, dieAreaMM2)
+	if dpw <= 0 {
+		return 0, fmt.Errorf("wafer: no %.0f mm² die fits on a %.0f mm wafer", dieAreaMM2, w.DiameterMM)
+	}
+	return waferCost / float64(dpw), nil
+}
+
+// NormalizedCostPerArea returns the cost of one mm² of *good* silicon
+// normalized to the raw wafer's cost per mm², i.e. the quantity
+// plotted on the right axis of the paper's Figure 2:
+//
+//	(waferArea / (DPW·S)) / Y(S)
+//
+// The first factor charges edge waste to the surviving dies; the
+// second charges defective dies.
+func (w Wafer) NormalizedCostPerArea(e Estimator, dieAreaMM2, dieYield float64) (float64, error) {
+	dpw := w.DiesPerWafer(e, dieAreaMM2)
+	if dpw <= 0 {
+		return 0, fmt.Errorf("wafer: no %.0f mm² die fits", dieAreaMM2)
+	}
+	if dieYield <= 0 || dieYield > 1 {
+		return 0, fmt.Errorf("wafer: yield %v outside (0,1]", dieYield)
+	}
+	return w.Area() / (float64(dpw) * dieAreaMM2) / dieYield, nil
+}

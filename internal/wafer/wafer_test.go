@@ -1,0 +1,220 @@
+package wafer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/units"
+	"chipletactuary/internal/yield"
+)
+
+func TestWaferArea(t *testing.T) {
+	w := Default300()
+	want := math.Pi * 150 * 150 // ≈ 70685.8 mm²
+	if !units.ApproxEqual(w.Area(), want, 1e-12) {
+		t.Errorf("Area = %v, want %v", w.Area(), want)
+	}
+}
+
+func TestSubtractiveMatchesHandComputation(t *testing.T) {
+	w := Default300()
+	// DPW(800) = 70685.8/800 − π·300/√1600 = 88.36 − 23.56 = 64.8 → 64
+	if got := w.DiesPerWafer(Subtractive, 800); got != 64 {
+		t.Errorf("DPW(800) = %d, want 64", got)
+	}
+	// DPW(100) = 706.86 − π·300/√200 = 706.86 − 66.64 = 640.2 → 640
+	if got := w.DiesPerWafer(Subtractive, 100); got != 640 {
+		t.Errorf("DPW(100) = %d, want 640", got)
+	}
+}
+
+func TestEstimatorOrdering(t *testing.T) {
+	// AreaRatio must upper-bound the others; GridPacked and
+	// Subtractive should agree within a modest margin for mid-size
+	// dies.
+	w := Default300()
+	for _, area := range []float64{50, 100, 200, 400, 600, 800} {
+		ar := w.DiesPerWafer(AreaRatio, area)
+		sub := w.DiesPerWafer(Subtractive, area)
+		gp := w.DiesPerWafer(GridPacked, area)
+		if sub > ar || gp > ar {
+			t.Errorf("area %v: AreaRatio %d must dominate sub %d / grid %d", area, ar, sub, gp)
+		}
+		if gp == 0 {
+			t.Errorf("area %v: grid-packed found no dies", area)
+		}
+	}
+}
+
+func TestGridPackedSmallWafer(t *testing.T) {
+	// A 10x10 die on a tiny wafer: only a die centred at origin fits
+	// when the usable radius barely covers its diagonal.
+	w := Wafer{DiameterMM: 16, EdgeExclusionMM: 0.5, ScribeMM: 0}
+	// usable radius 7.5; die half-diagonal = sqrt(50) ≈ 7.07 < 7.5 → at least 1.
+	if got := w.DiesPerWaferRect(10, 10); got < 1 {
+		t.Errorf("expected at least one die, got %d", got)
+	}
+	// A die bigger than the wafer fits nowhere.
+	if got := w.DiesPerWaferRect(20, 20); got != 0 {
+		t.Errorf("oversized die: got %d, want 0", got)
+	}
+}
+
+func TestDiesPerWaferEdgeCases(t *testing.T) {
+	w := Default300()
+	for _, e := range []Estimator{Subtractive, AreaRatio, GridPacked} {
+		if got := w.DiesPerWafer(e, 0); got != 0 {
+			t.Errorf("%v: DPW(0) = %d, want 0", e, got)
+		}
+		if got := w.DiesPerWafer(e, -10); got != 0 {
+			t.Errorf("%v: DPW(-10) = %d, want 0", e, got)
+		}
+	}
+	// Die larger than the entire wafer.
+	if got := w.DiesPerWafer(Subtractive, 1e6); got != 0 {
+		t.Errorf("DPW(huge) = %d, want 0", got)
+	}
+	zero := Wafer{DiameterMM: 10, EdgeExclusionMM: 6, ScribeMM: 0.1}
+	if got := zero.DiesPerWaferRect(1, 1); got != 0 {
+		t.Errorf("negative usable radius should give 0, got %d", got)
+	}
+}
+
+func TestPropertyDPWMonotoneInArea(t *testing.T) {
+	w := Default300()
+	f := func(a1, a2 float64) bool {
+		a1 = 10 + math.Mod(math.Abs(a1), 800)
+		a2 = 10 + math.Mod(math.Abs(a2), 800)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return w.DiesPerWafer(Subtractive, a1) >= w.DiesPerWafer(Subtractive, a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGridPackedMonotoneInScribe(t *testing.T) {
+	// Wider scribe lanes can never increase the die count.
+	f := func(area, scribe float64) bool {
+		area = 20 + math.Mod(math.Abs(area), 600)
+		scribe = math.Mod(math.Abs(scribe), 2)
+		narrow := Wafer{DiameterMM: 300, EdgeExclusionMM: 3, ScribeMM: 0}
+		wide := Wafer{DiameterMM: 300, EdgeExclusionMM: 3, ScribeMM: scribe}
+		side := math.Sqrt(area)
+		return narrow.DiesPerWaferRect(side, side) >= wide.DiesPerWaferRect(side, side)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostPerRawDie(t *testing.T) {
+	w := Default300()
+	cost, err := w.CostPerRawDie(Subtractive, 16988, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16988.0 / 64
+	if !units.ApproxEqual(cost, want, 1e-12) {
+		t.Errorf("cost = %v, want %v", cost, want)
+	}
+	if _, err := w.CostPerRawDie(Subtractive, 16988, 1e7); err == nil {
+		t.Error("expected error for die that does not fit")
+	}
+}
+
+func TestNormalizedCostPerAreaFigure2Shape(t *testing.T) {
+	// Figure 2's right axis: small dies cost ≈1× wafer cost per area;
+	// large dies on leaky processes cost several ×.
+	w := Default300()
+	nb5 := yield.NegBinomial{D: 0.11, C: 10}
+	small, err := w.NormalizedCostPerArea(Subtractive, 25, nb5.Yield(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := w.NormalizedCostPerArea(Subtractive, 800, nb5.Yield(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small > 1.3 {
+		t.Errorf("25 mm² die should cost ≈1x raw wafer per area, got %.2fx", small)
+	}
+	if large < 2 {
+		t.Errorf("800 mm² 5nm die should cost >2x raw wafer per area, got %.2fx", large)
+	}
+	if large <= small {
+		t.Errorf("cost per area must grow with area: %v <= %v", large, small)
+	}
+}
+
+func TestNormalizedCostPerAreaErrors(t *testing.T) {
+	w := Default300()
+	if _, err := w.NormalizedCostPerArea(Subtractive, 1e7, 0.9); err == nil {
+		t.Error("expected error: die does not fit")
+	}
+	if _, err := w.NormalizedCostPerArea(Subtractive, 100, 0); err == nil {
+		t.Error("expected error: zero yield")
+	}
+	if _, err := w.NormalizedCostPerArea(Subtractive, 100, 1.5); err == nil {
+		t.Error("expected error: yield > 1")
+	}
+}
+
+func TestBestAspectRatio(t *testing.T) {
+	w := Default300()
+	ratio, dies, err := w.BestAspectRatio(400, 2.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 || ratio > 2 {
+		t.Errorf("ratio = %v outside the search band", ratio)
+	}
+	// The optimum can never pack fewer dies than the square die.
+	square := w.DiesPerWafer(GridPacked, 400)
+	if dies < square {
+		t.Errorf("best aspect (%d dies) worse than square (%d)", dies, square)
+	}
+	// Sanity: die count stays below the area-ratio upper bound.
+	if dies > w.DiesPerWafer(AreaRatio, 400) {
+		t.Errorf("best aspect (%d) beats the area bound", dies)
+	}
+}
+
+func TestBestAspectRatioErrors(t *testing.T) {
+	w := Default300()
+	if _, _, err := w.BestAspectRatio(0, 2, 10); err == nil {
+		t.Error("zero area accepted")
+	}
+	if _, _, err := w.BestAspectRatio(400, 0.5, 10); err == nil {
+		t.Error("ratio < 1 accepted")
+	}
+	if _, _, err := w.BestAspectRatio(400, 2, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, _, err := w.BestAspectRatio(1e6, 2, 10); err == nil {
+		t.Error("die larger than wafer accepted")
+	}
+}
+
+func TestReticleLimit(t *testing.T) {
+	if ReticleLimitMM2 != 858 {
+		t.Errorf("reticle limit = %v, want 858", ReticleLimitMM2)
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	cases := map[Estimator]string{
+		Subtractive:   "subtractive",
+		AreaRatio:     "area-ratio",
+		GridPacked:    "grid-packed",
+		Estimator(42): "Estimator(42)",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(e), got, want)
+		}
+	}
+}

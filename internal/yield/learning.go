@@ -1,0 +1,62 @@
+package yield
+
+import (
+	"fmt"
+	"math"
+)
+
+// LearningCurve models how a process node's defect density falls as
+// the fab accumulates volume. Section 4.1 of the paper notes that the
+// Zen3-era analysis used early-life defect densities (0.13 for 7nm)
+// and that "as the yield of 7nm technology improves in recent years,
+// the advantage is further smaller" — this curve lets experiments
+// replay that evolution.
+//
+// The functional form is the standard exponential yield-learning
+// model:
+//
+//	D(t) = DFloor + (D0-DFloor)·exp(-t/Tau)
+//
+// with t in months since risk production start.
+type LearningCurve struct {
+	// D0 is the defect density (defects/cm²) at t=0 (risk production).
+	D0 float64
+	// DFloor is the asymptotic mature defect density.
+	DFloor float64
+	// Tau is the learning time constant in months.
+	Tau float64
+}
+
+// DefectDensity returns D(t) for t months after risk production.
+// Negative t is treated as 0.
+func (lc LearningCurve) DefectDensity(months float64) float64 {
+	if months < 0 {
+		months = 0
+	}
+	if lc.Tau <= 0 {
+		return lc.DFloor
+	}
+	return lc.DFloor + (lc.D0-lc.DFloor)*math.Exp(-months/lc.Tau)
+}
+
+// MonthsToReach returns how many months of learning are required for
+// the defect density to fall to target. It returns an error when the
+// target is unreachable (at or below the floor, or above D0).
+func (lc LearningCurve) MonthsToReach(target float64) (float64, error) {
+	if lc.Tau <= 0 {
+		return 0, fmt.Errorf("yield: learning curve has no dynamics (tau=%v)", lc.Tau)
+	}
+	if target <= lc.DFloor {
+		return 0, fmt.Errorf("yield: target %v is at or below the floor %v", target, lc.DFloor)
+	}
+	if target >= lc.D0 {
+		return 0, nil
+	}
+	return -lc.Tau * math.Log((target-lc.DFloor)/(lc.D0-lc.DFloor)), nil
+}
+
+// ModelAt returns the Negative Binomial model for the node t months
+// after risk production, holding the cluster parameter fixed.
+func (lc LearningCurve) ModelAt(months, cluster float64) NegBinomial {
+	return NegBinomial{D: lc.DefectDensity(months), C: cluster}
+}

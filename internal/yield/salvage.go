@@ -1,0 +1,86 @@
+package yield
+
+import "fmt"
+
+// Salvage models partial-good die harvesting, the industry practice
+// behind EPYC-class product stacks: a die whose only defects fall in
+// a redundant region (e.g. one of eight cores) is sold as a degraded
+// bin instead of being scrapped. The paper's AMD validation (§4.1)
+// models full dies only; salvage is the natural extension and ships
+// here as an ablation knob.
+//
+// The model splits the die into a critical region (any defect kills
+// the die: uncore, fabric, IO) and a salvageable region of
+// SalvageableFraction of the area. Under a yield model Y(·):
+//
+//	P(full bin)  = Y(S)
+//	P(salvage)   ≈ Y(S·(1-f)) − Y(S)   (critical region clean,
+//	                                    salvageable region not)
+//
+// A salvaged die recovers SalvageValue of a full die's value, so the
+// effective yield used for cost attribution is
+//
+//	Y_eff = Y(S) + (Y(S·(1-f)) − Y(S))·v.
+//
+// The approximation treats the regions' defect processes as
+// separable, exact for Poisson statistics and slightly conservative
+// for clustered (Negative Binomial) defects.
+type Salvage struct {
+	// Model is the underlying die-yield model.
+	Model Model
+	// SalvageableFraction f is the fraction of die area whose defects
+	// still leave a sellable die (0 ≤ f < 1).
+	SalvageableFraction float64
+	// SalvageValue v is the relative value of the degraded bin
+	// (0 ≤ v ≤ 1).
+	SalvageValue float64
+}
+
+// Validate checks the salvage parameters.
+func (s Salvage) Validate() error {
+	if s.Model == nil {
+		return fmt.Errorf("yield: salvage needs a yield model")
+	}
+	if s.SalvageableFraction < 0 || s.SalvageableFraction >= 1 {
+		return fmt.Errorf("yield: salvageable fraction %v outside [0,1)", s.SalvageableFraction)
+	}
+	if s.SalvageValue < 0 || s.SalvageValue > 1 {
+		return fmt.Errorf("yield: salvage value %v outside [0,1]", s.SalvageValue)
+	}
+	return nil
+}
+
+// FullYield returns the probability of a full-bin die.
+func (s Salvage) FullYield(areaMM2 float64) float64 {
+	return s.Model.Yield(areaMM2)
+}
+
+// SalvageProbability returns the probability that a die misses the
+// full bin but is sellable as the degraded bin.
+func (s Salvage) SalvageProbability(areaMM2 float64) float64 {
+	critical := s.Model.Yield(areaMM2 * (1 - s.SalvageableFraction))
+	p := critical - s.Model.Yield(areaMM2)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// EffectiveYield returns the value-weighted yield used for cost
+// attribution: Y + P(salvage)·v. It equals the plain yield when
+// either salvage knob is zero and never falls below it.
+func (s Salvage) EffectiveYield(areaMM2 float64) float64 {
+	return s.FullYield(areaMM2) + s.SalvageProbability(areaMM2)*s.SalvageValue
+}
+
+// Yield implements Model with the effective (value-weighted) yield,
+// so a Salvage can be used anywhere a plain model is expected.
+func (s Salvage) Yield(areaMM2 float64) float64 {
+	return s.EffectiveYield(areaMM2)
+}
+
+// String implements fmt.Stringer.
+func (s Salvage) String() string {
+	return fmt.Sprintf("salvage(%v, f=%.0f%%, v=%.0f%%)",
+		s.Model, s.SalvageableFraction*100, s.SalvageValue*100)
+}

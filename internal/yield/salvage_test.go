@@ -1,0 +1,117 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/units"
+)
+
+func TestSalvageValidate(t *testing.T) {
+	ok := Salvage{Model: NegBinomial{D: 0.1, C: 10}, SalvageableFraction: 0.5, SalvageValue: 0.7}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid salvage rejected: %v", err)
+	}
+	bad := []Salvage{
+		{Model: nil, SalvageableFraction: 0.5, SalvageValue: 0.5},
+		{Model: Poisson{D: 0.1}, SalvageableFraction: -0.1, SalvageValue: 0.5},
+		{Model: Poisson{D: 0.1}, SalvageableFraction: 1.0, SalvageValue: 0.5},
+		{Model: Poisson{D: 0.1}, SalvageableFraction: 0.5, SalvageValue: -0.1},
+		{Model: Poisson{D: 0.1}, SalvageableFraction: 0.5, SalvageValue: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestSalvageDegenerateCases(t *testing.T) {
+	m := NegBinomial{D: 0.13, C: 10}
+	// f=0: nothing salvageable, effective = plain yield.
+	none := Salvage{Model: m, SalvageableFraction: 0, SalvageValue: 1}
+	if got, want := none.EffectiveYield(500), m.Yield(500); !units.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("f=0: %v, want %v", got, want)
+	}
+	// v=0: salvaged dies are worthless, effective = plain yield.
+	worthless := Salvage{Model: m, SalvageableFraction: 0.5, SalvageValue: 0}
+	if got, want := worthless.EffectiveYield(500), m.Yield(500); !units.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("v=0: %v, want %v", got, want)
+	}
+}
+
+func TestSalvageEPYCExample(t *testing.T) {
+	// An 8-core 74 mm² CCD at early 7nm (D=0.13): suppose 60% of the
+	// die is cores of which one may be disabled, sold at 75% value.
+	m := NegBinomial{D: 0.13, C: 10}
+	s := Salvage{Model: m, SalvageableFraction: 0.6, SalvageValue: 0.75}
+	full := s.FullYield(74)
+	sal := s.SalvageProbability(74)
+	eff := s.EffectiveYield(74)
+	if full <= 0.85 || full >= 0.95 {
+		t.Errorf("full yield = %v, want ≈0.91", full)
+	}
+	if sal <= 0 {
+		t.Errorf("salvage probability = %v, want > 0", sal)
+	}
+	if eff <= full || eff > 1 {
+		t.Errorf("effective yield %v must exceed full %v and stay ≤ 1", eff, full)
+	}
+	// Hand check: Y(74·0.4) − Y(74) at 0.75 value.
+	want := full + (m.Yield(74*0.4)-m.Yield(74))*0.75
+	if !units.ApproxEqual(eff, want, 1e-12) {
+		t.Errorf("effective = %v, want %v", eff, want)
+	}
+}
+
+func TestSalvageImplementsModel(t *testing.T) {
+	var m Model = Salvage{Model: Poisson{D: 0.1}, SalvageableFraction: 0.5, SalvageValue: 0.5}
+	if m.Yield(100) <= 0 || m.String() == "" {
+		t.Error("Salvage does not behave as a Model")
+	}
+}
+
+func TestPropertySalvageBounds(t *testing.T) {
+	f := func(d, area, frac, val float64) bool {
+		d = 0.02 + math.Mod(math.Abs(d), 0.3)
+		area = 10 + math.Mod(math.Abs(area), 800)
+		frac = math.Mod(math.Abs(frac), 0.95)
+		val = math.Mod(math.Abs(val), 1)
+		m := NegBinomial{D: d, C: 10}
+		s := Salvage{Model: m, SalvageableFraction: frac, SalvageValue: val}
+		eff := s.EffectiveYield(area)
+		full := m.Yield(area)
+		crit := m.Yield(area * (1 - frac))
+		// Effective yield is bracketed by the full yield and the
+		// critical-region yield.
+		return eff >= full-1e-12 && eff <= crit+1e-12 && eff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySalvageMonotoneInKnobs(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 0.9)
+		b = math.Mod(math.Abs(b), 0.9)
+		if a > b {
+			a, b = b, a
+		}
+		m := NegBinomial{D: 0.13, C: 10}
+		// More salvageable area → higher effective yield.
+		lo := Salvage{Model: m, SalvageableFraction: a, SalvageValue: 0.8}
+		hi := Salvage{Model: m, SalvageableFraction: b, SalvageValue: 0.8}
+		if lo.EffectiveYield(300) > hi.EffectiveYield(300)+1e-12 {
+			return false
+		}
+		// Higher salvage value → higher effective yield.
+		lov := Salvage{Model: m, SalvageableFraction: 0.5, SalvageValue: a}
+		hiv := Salvage{Model: m, SalvageableFraction: 0.5, SalvageValue: b}
+		return lov.EffectiveYield(300) <= hiv.EffectiveYield(300)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

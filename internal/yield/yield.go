@@ -1,0 +1,158 @@
+// Package yield implements the die-yield models used by the Chiplet
+// Actuary cost model (Feng & Ma, DAC 2022, §2.2).
+//
+// The primary model is the Negative Binomial / Seeds form of Eq. (1):
+//
+//	Y = (1 + D·S/c)^(-c)
+//
+// where D is the defect density in defects/cm², S the die area and c
+// the cluster parameter (Negative Binomial) or the number of critical
+// levels (Seeds). The package also provides the classical Poisson,
+// Murphy and Exponential models so that users can study how sensitive
+// the paper's conclusions are to the yield-model choice, the serial
+// overall yield of Eq. (2), bonding-yield helpers for the packaging
+// flow, and a defect-density learning curve for the "yield improves
+// over the years" discussion in §4.1.
+//
+// All areas in this package's API are in mm²; defect densities are in
+// defects/cm², matching the paper's parameter tables.
+package yield
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chipletactuary/internal/units"
+)
+
+// Model is a die-yield model: it maps a die area (mm²) to the fraction
+// of fabricated dies that are defect-free.
+type Model interface {
+	// Yield returns the expected good-die fraction for a die of the
+	// given area in mm². Implementations must return a value in (0, 1]
+	// for any non-negative area, with Yield(0) == 1.
+	Yield(areaMM2 float64) float64
+	// String describes the model and its parameters.
+	String() string
+}
+
+// NegBinomial is the Negative Binomial / Seeds yield model of Eq. (1),
+// the model the paper uses for every technology.
+type NegBinomial struct {
+	// D is the defect density in defects/cm².
+	D float64
+	// C is the cluster parameter (Negative Binomial) or the number of
+	// critical levels (Seeds). The paper uses c=10 for logic nodes,
+	// c=3 for RDL and c=6 for silicon interposers.
+	C float64
+}
+
+// Yield implements Model using Eq. (1).
+func (m NegBinomial) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	s := units.MM2ToCM2(areaMM2)
+	return math.Pow(1+m.D*s/m.C, -m.C)
+}
+
+func (m NegBinomial) String() string {
+	return fmt.Sprintf("NegBinomial(D=%.3f/cm², c=%.0f)", m.D, m.C)
+}
+
+// Poisson is the classical Poisson yield model Y = exp(-D·S). It is
+// the c→∞ limit of the Negative Binomial model and systematically
+// underestimates the yield of large dies because it ignores defect
+// clustering.
+type Poisson struct {
+	D float64 // defects/cm²
+}
+
+// Yield implements Model.
+func (m Poisson) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	return math.Exp(-m.D * units.MM2ToCM2(areaMM2))
+}
+
+func (m Poisson) String() string {
+	return fmt.Sprintf("Poisson(D=%.3f/cm²)", m.D)
+}
+
+// Murphy is Murphy's yield model Y = ((1-exp(-D·S))/(D·S))², a common
+// industry compromise between Poisson and Seeds.
+type Murphy struct {
+	D float64 // defects/cm²
+}
+
+// Yield implements Model.
+func (m Murphy) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	ds := m.D * units.MM2ToCM2(areaMM2)
+	if ds == 0 {
+		return 1
+	}
+	f := (1 - math.Exp(-ds)) / ds
+	return f * f
+}
+
+func (m Murphy) String() string {
+	return fmt.Sprintf("Murphy(D=%.3f/cm²)", m.D)
+}
+
+// Exponential is the Seeds exponential model Y = 1/(1+D·S), the c=1
+// special case of the Negative Binomial model. It is the most
+// optimistic of the classical models for very large dies.
+type Exponential struct {
+	D float64 // defects/cm²
+}
+
+// Yield implements Model.
+func (m Exponential) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	return 1 / (1 + m.D*units.MM2ToCM2(areaMM2))
+}
+
+func (m Exponential) String() string {
+	return fmt.Sprintf("Exponential(D=%.3f/cm²)", m.D)
+}
+
+// Serial multiplies the yields of independent serial production steps,
+// implementing Eq. (2): Y_overall = Y_wafer × Y_die × Y_packaging × …
+// Factors outside (0,1] are rejected by Validate; Serial itself is a
+// pure computation and clamps nothing.
+func Serial(yields ...float64) float64 {
+	y := 1.0
+	for _, v := range yields {
+		y *= v
+	}
+	return y
+}
+
+// Bonding returns the compound yield of bonding n identical dies when
+// each individual attach succeeds with probability perDie, i.e.
+// perDie^n. It is the y2^n term of Eq. (4).
+func Bonding(perDie float64, n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	return math.Pow(perDie, float64(n))
+}
+
+// Validate checks that a probability is usable as a yield factor.
+func Validate(name string, y float64) error {
+	if math.IsNaN(y) || y <= 0 || y > 1 {
+		return fmt.Errorf("yield: %s must be in (0,1], got %v", name, y)
+	}
+	return nil
+}
+
+// ErrNonPositiveQuantity is returned by helpers that divide by a
+// production quantity.
+var ErrNonPositiveQuantity = errors.New("yield: quantity must be positive")

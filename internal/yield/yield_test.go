@@ -1,0 +1,241 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chipletactuary/internal/units"
+)
+
+func TestNegBinomialMatchesPaperFigure2(t *testing.T) {
+	// Spot-check Eq. (1) against values derivable from the Figure 2
+	// legend. At 800 mm² (8 cm²):
+	//   5nm  D=0.11 c=10: (1+0.088)^-10 ≈ 0.4302
+	//   14nm D=0.08 c=10: (1+0.064)^-10 ≈ 0.5375
+	//   3nm  D=0.20 c=10: (1+0.160)^-10 ≈ 0.2267
+	cases := []struct {
+		name string
+		m    NegBinomial
+		area float64
+		want float64
+	}{
+		{"5nm-800", NegBinomial{D: 0.11, C: 10}, 800, 0.43022},
+		{"14nm-800", NegBinomial{D: 0.08, C: 10}, 800, 0.53771},
+		{"3nm-800", NegBinomial{D: 0.20, C: 10}, 800, 0.22668},
+		{"7nm-100", NegBinomial{D: 0.09, C: 10}, 100, 0.91432},
+		{"RDL-800", NegBinomial{D: 0.05, C: 3}, 800, 0.68697},
+		{"SI-800", NegBinomial{D: 0.06, C: 6}, 800, 0.63017},
+	}
+	for _, tc := range cases {
+		got := tc.m.Yield(tc.area)
+		if !units.ApproxEqual(got, tc.want, 1e-4) {
+			t.Errorf("%s: Yield(%v) = %.5f, want %.5f", tc.name, tc.area, got, tc.want)
+		}
+	}
+}
+
+func TestYieldAtZeroAreaIsOne(t *testing.T) {
+	models := []Model{
+		NegBinomial{D: 0.1, C: 10},
+		Poisson{D: 0.1},
+		Murphy{D: 0.1},
+		Exponential{D: 0.1},
+	}
+	for _, m := range models {
+		if got := m.Yield(0); got != 1 {
+			t.Errorf("%s: Yield(0) = %v, want 1", m, got)
+		}
+		if got := m.Yield(-5); got != 1 {
+			t.Errorf("%s: Yield(-5) = %v, want 1", m, got)
+		}
+	}
+}
+
+func TestModelOrderingAtLargeArea(t *testing.T) {
+	// With the same defect density, Poisson is the most pessimistic
+	// and Exponential (c=1) the most optimistic clustered model;
+	// NegBinomial with finite c sits between them. Murphy sits between
+	// Poisson and Seeds exponential as well.
+	const d, area = 0.1, 600.0
+	p := Poisson{D: d}.Yield(area)
+	m := Murphy{D: d}.Yield(area)
+	nb := NegBinomial{D: d, C: 10}.Yield(area)
+	e := Exponential{D: d}.Yield(area)
+	if !(p < m && m < e) {
+		t.Errorf("expected Poisson < Murphy < Exponential, got %v %v %v", p, m, e)
+	}
+	if !(p < nb && nb < e) {
+		t.Errorf("expected Poisson < NegBinomial(c=10) < Exponential, got %v %v %v", p, nb, e)
+	}
+}
+
+func TestNegBinomialLimits(t *testing.T) {
+	// As c grows, the Negative Binomial model approaches Poisson.
+	const d, area = 0.12, 400.0
+	p := Poisson{D: d}.Yield(area)
+	big := NegBinomial{D: d, C: 1e6}.Yield(area)
+	if !units.ApproxEqual(p, big, 1e-4) {
+		t.Errorf("NegBinomial(c=1e6) = %v, Poisson = %v; want ≈", big, p)
+	}
+	// c=1 reduces exactly to the Exponential model.
+	e := Exponential{D: d}.Yield(area)
+	one := NegBinomial{D: d, C: 1}.Yield(area)
+	if !units.ApproxEqual(e, one, 1e-12) {
+		t.Errorf("NegBinomial(c=1) = %v, Exponential = %v; want equal", one, e)
+	}
+}
+
+func TestPropertyYieldInUnitInterval(t *testing.T) {
+	f := func(d, c, s float64) bool {
+		d = 0.01 + math.Mod(math.Abs(d), 0.5) // 0.01..0.51 defects/cm²
+		c = 1 + math.Mod(math.Abs(c), 20)     // 1..21
+		s = math.Mod(math.Abs(s), 2000)       // 0..2000 mm²
+		for _, m := range []Model{NegBinomial{D: d, C: c}, Poisson{D: d}, Murphy{D: d}, Exponential{D: d}} {
+			y := m.Yield(s)
+			if math.IsNaN(y) || y <= 0 || y > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyYieldMonotoneInArea(t *testing.T) {
+	f := func(d, c, s1, s2 float64) bool {
+		d = 0.01 + math.Mod(math.Abs(d), 0.5)
+		c = 1 + math.Mod(math.Abs(c), 20)
+		s1 = math.Mod(math.Abs(s1), 2000)
+		s2 = math.Mod(math.Abs(s2), 2000)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		m := NegBinomial{D: d, C: c}
+		return m.Yield(s1) >= m.Yield(s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyYieldMonotoneInDefectDensity(t *testing.T) {
+	f := func(d1, d2, s float64) bool {
+		d1 = math.Mod(math.Abs(d1), 0.5)
+		d2 = math.Mod(math.Abs(d2), 0.5)
+		s = 1 + math.Mod(math.Abs(s), 2000)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return NegBinomial{D: d1, C: 10}.Yield(s) >= NegBinomial{D: d2, C: 10}.Yield(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerial(t *testing.T) {
+	if got := Serial(); got != 1 {
+		t.Errorf("Serial() = %v, want 1", got)
+	}
+	if got := Serial(0.9, 0.8, 0.5); !units.ApproxEqual(got, 0.36, 1e-12) {
+		t.Errorf("Serial(0.9,0.8,0.5) = %v, want 0.36", got)
+	}
+}
+
+func TestBonding(t *testing.T) {
+	if got := Bonding(0.98, 4); !units.ApproxEqual(got, math.Pow(0.98, 4), 1e-12) {
+		t.Errorf("Bonding(0.98,4) = %v", got)
+	}
+	if got := Bonding(0.98, 0); got != 1 {
+		t.Errorf("Bonding(_,0) = %v, want 1", got)
+	}
+	if got := Bonding(0.98, -1); !math.IsNaN(got) {
+		t.Errorf("Bonding(_,-1) = %v, want NaN", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate("y", 0.5); err != nil {
+		t.Errorf("Validate(0.5) = %v, want nil", err)
+	}
+	for _, bad := range []float64{0, -0.1, 1.2, math.NaN()} {
+		if err := Validate("y", bad); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", bad)
+		}
+	}
+}
+
+func TestLearningCurve(t *testing.T) {
+	lc := LearningCurve{D0: 0.13, DFloor: 0.07, Tau: 12}
+	if got := lc.DefectDensity(0); !units.ApproxEqual(got, 0.13, 1e-12) {
+		t.Errorf("D(0) = %v, want 0.13", got)
+	}
+	if got := lc.DefectDensity(-3); got != lc.DefectDensity(0) {
+		t.Errorf("negative months should clamp to 0: %v", got)
+	}
+	// Asymptotically approaches the floor.
+	if got := lc.DefectDensity(1e6); !units.ApproxEqual(got, 0.07, 1e-6) {
+		t.Errorf("D(∞) = %v, want 0.07", got)
+	}
+	// Monotone decreasing.
+	prev := lc.DefectDensity(0)
+	for m := 1.0; m <= 60; m++ {
+		cur := lc.DefectDensity(m)
+		if cur > prev {
+			t.Fatalf("learning curve not monotone at %v months: %v > %v", m, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLearningCurveMonthsToReach(t *testing.T) {
+	lc := LearningCurve{D0: 0.13, DFloor: 0.07, Tau: 12}
+	months, err := lc.MonthsToReach(0.09)
+	if err != nil {
+		t.Fatalf("MonthsToReach: %v", err)
+	}
+	// Round-trip: the density at that time must be the target.
+	if got := lc.DefectDensity(months); !units.ApproxEqual(got, 0.09, 1e-9) {
+		t.Errorf("D(MonthsToReach(0.09)) = %v, want 0.09", got)
+	}
+	if _, err := lc.MonthsToReach(0.07); err == nil {
+		t.Error("MonthsToReach(floor) should fail")
+	}
+	if _, err := lc.MonthsToReach(0.05); err == nil {
+		t.Error("MonthsToReach(below floor) should fail")
+	}
+	if m, err := lc.MonthsToReach(0.2); err != nil || m != 0 {
+		t.Errorf("MonthsToReach(above D0) = %v, %v; want 0, nil", m, err)
+	}
+	flat := LearningCurve{D0: 0.1, DFloor: 0.1, Tau: 0}
+	if _, err := flat.MonthsToReach(0.05); err == nil {
+		t.Error("flat curve should fail MonthsToReach")
+	}
+	if got := flat.DefectDensity(10); got != 0.1 {
+		t.Errorf("flat curve D(10) = %v, want 0.1", got)
+	}
+}
+
+func TestLearningCurveModelAt(t *testing.T) {
+	lc := LearningCurve{D0: 0.13, DFloor: 0.07, Tau: 12}
+	m := lc.ModelAt(24, 10)
+	if m.C != 10 {
+		t.Errorf("cluster = %v, want 10", m.C)
+	}
+	if !units.ApproxEqual(m.D, lc.DefectDensity(24), 1e-12) {
+		t.Errorf("D = %v, want %v", m.D, lc.DefectDensity(24))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, m := range []Model{
+		NegBinomial{D: 0.1, C: 10}, Poisson{D: 0.1}, Murphy{D: 0.1}, Exponential{D: 0.1},
+	} {
+		if m.String() == "" {
+			t.Errorf("%T: empty String()", m)
+		}
+	}
+}
