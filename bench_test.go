@@ -7,6 +7,8 @@ package actuary
 // numbers is asserted by the shape tests in internal/experiments.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"chipletactuary/internal/cost"
@@ -16,6 +18,7 @@ import (
 	"chipletactuary/internal/packaging"
 	"chipletactuary/internal/system"
 	"chipletactuary/internal/tech"
+	"chipletactuary/internal/wafer"
 )
 
 func benchSetup(b *testing.B) (*tech.Database, packaging.Params, *cost.Engine, *explore.Evaluator) {
@@ -219,6 +222,102 @@ func BenchmarkRobustness(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sessionBenchRequests builds a 120-request total-cost sweep: a
+// 6-area × 4-count grid repeated five times, the shape of a design
+// space exploration where the same die geometries recur constantly.
+func sessionBenchRequests(b *testing.B) []Request {
+	b.Helper()
+	var reqs []Request
+	for rep := 0; rep < 5; rep++ {
+		for _, area := range []float64{300, 400, 500, 600, 700, 800} {
+			for k := 1; k <= 4; k++ {
+				scheme := packaging.MCM
+				if k == 1 {
+					scheme = packaging.SoC
+				}
+				s, err := system.PartitionEqual(fmt.Sprintf("p-a%.0f-k%d", area, k),
+					"5nm", area, k, scheme, D2DFraction(0.10), 1_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs = append(reqs, Request{Question: QuestionTotalCost, System: s})
+			}
+		}
+	}
+	return reqs
+}
+
+// BenchmarkSessionEvaluateBatch measures the batch pipeline on a
+// 120-request sweep. "cached" is the default Session (worker pool +
+// shared KGD cache), "uncached" disables the cache, and
+// "single-shot-uncached" is the pre-Session baseline: one request at
+// a time, one worker, no memoization.
+func BenchmarkSessionEvaluateBatch(b *testing.B) {
+	reqs := sessionBenchRequests(b)
+	ctx := context.Background()
+	runBatch := func(b *testing.B, s *Session) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range s.Evaluate(ctx, reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		s, err := NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runBatch(b, s)
+	})
+	b.Run("uncached", func(b *testing.B) {
+		s, err := NewSession(WithCacheSize(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runBatch(b, s)
+	})
+	b.Run("single-shot-uncached", func(b *testing.B) {
+		s, err := NewSession(WithCacheSize(0), WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				r := s.Evaluate(ctx, []Request{req})[0]
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	// Under the high-fidelity grid-packed wafer estimator each die
+	// evaluation walks the full stepper grid, so memoization carries
+	// the batch instead of merely breaking even.
+	gridParams := packaging.DefaultParams()
+	gridParams.Estimator = wafer.GridPacked
+	b.Run("grid-packed-cached", func(b *testing.B) {
+		s, err := NewSession(WithPackaging(gridParams))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runBatch(b, s)
+	})
+	b.Run("grid-packed-uncached", func(b *testing.B) {
+		s, err := NewSession(WithPackaging(gridParams), WithCacheSize(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runBatch(b, s)
+	})
 }
 
 // BenchmarkSingleSystemRE measures the core RE evaluation alone — the

@@ -1,15 +1,21 @@
 // Command actuary evaluates the manufacturing (RE) and design (NRE)
-// cost of a chiplet system described in a JSON file.
+// cost of chiplet systems described in JSON.
 //
 // Usage:
 //
-//	actuary -config system.json [-tech tech.json] [-policy per-system-unit] [-quantity N]
+//	actuary -config system.json    [-tech tech.json] [-policy per-system-unit] [-quantity N]
+//	actuary -portfolio family.json [flags]
+//	actuary -scenario batch.json   [-workers N] [flags]
 //
-// The config schema is documented on actuary.SystemConfig; an example
-// lives in cmd/actuary/testdata/epyc.json.
+// -config evaluates one system (schema: actuary.SystemConfig, example
+// in cmd/actuary/testdata/epyc.json); -portfolio a family of systems
+// sharing designs; -scenario a v2 batch scenario (schema:
+// actuary.ScenarioConfig — systems, declarative sweeps and question
+// selection) fanned out over a concurrent Session.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,17 +38,25 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("actuary", flag.ContinueOnError)
 	configPath := fs.String("config", "", "path to the system JSON description")
 	portfolioPath := fs.String("portfolio", "", "path to a portfolio JSON description (family of systems sharing designs)")
+	scenarioPath := fs.String("scenario", "", "path to a v2 scenario JSON description (batch of systems, sweeps and questions)")
 	techPath := fs.String("tech", "", "optional technology database JSON (default: built-in)")
 	policyName := fs.String("policy", "per-system-unit", "NRE amortization policy: per-system-unit or per-instance")
 	quantity := fs.Float64("quantity", 0, "override the config's production quantity")
 	designs := fs.Bool("designs", false, "also print the de-duplicated NRE design inventory")
+	workers := fs.Int("workers", 0, "worker pool width for -scenario (default: one per CPU)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*configPath == "") == (*portfolioPath == "") {
+	nInputs := 0
+	for _, p := range []string{*configPath, *portfolioPath, *scenarioPath} {
+		if p != "" {
+			nInputs++
+		}
+	}
+	if nInputs != 1 {
 		fs.Usage()
-		return fmt.Errorf("exactly one of -config or -portfolio is required")
+		return fmt.Errorf("exactly one of -config, -portfolio or -scenario is required")
 	}
 
 	db := actuary.DefaultTech()
@@ -53,16 +67,26 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	var policy actuary.AmortizationPolicy
-	switch *policyName {
-	case "per-system-unit":
-		policy = actuary.PerSystemUnit
-	case "per-instance":
-		policy = actuary.PerInstance
-	default:
-		return fmt.Errorf("unknown policy %q", *policyName)
+	policy, err := actuary.ParsePolicy(*policyName)
+	if err != nil {
+		return err
 	}
 
+	if *scenarioPath != "" {
+		// -quantity and -designs have no meaning for a batch scenario;
+		// reject them instead of silently ignoring them. -policy (when
+		// given explicitly) overrides the scenario file's policy.
+		set := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["quantity"] || set["designs"] {
+			return fmt.Errorf("-quantity and -designs are not supported with -scenario")
+		}
+		policyOverride := ""
+		if set["policy"] {
+			policyOverride = *policyName
+		}
+		return runScenario(out, db, *scenarioPath, *workers, policyOverride)
+	}
 	a, err := actuary.NewWithConfig(db, actuary.DefaultPackaging())
 	if err != nil {
 		return err
@@ -113,6 +137,81 @@ func run(args []string, out io.Writer) error {
 		return renderDesigns(out, a, sys, policy)
 	}
 	return nil
+}
+
+// runScenario compiles a v2 scenario into one batch and evaluates it
+// on a concurrent Session.
+func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers int, policyOverride string) error {
+	cfg, err := actuary.LoadScenarioConfig(path)
+	if err != nil {
+		return err
+	}
+	if policyOverride != "" {
+		cfg.Policy = policyOverride
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		return err
+	}
+	opts := []actuary.Option{actuary.WithTech(db)}
+	if workers > 0 {
+		opts = append(opts, actuary.WithWorkers(workers))
+	}
+	s, err := actuary.NewSession(opts...)
+	if err != nil {
+		return err
+	}
+	results := s.Evaluate(context.Background(), reqs)
+
+	fmt.Fprintf(out, "scenario %q: %d request(s)\n\n", cfg.Name, len(reqs))
+	tab := report.NewTable("Batch evaluation results", "request", "question", "answer")
+	failures := 0
+	for _, r := range results {
+		tab.MustAddRow(r.ID, r.Question.String(), renderAnswer(r))
+		if r.Err != nil {
+			failures++
+		}
+	}
+	if err := tab.WriteText(out); err != nil {
+		return err
+	}
+	stats := s.CacheStats()
+	fmt.Fprintf(out, "\n%d ok, %d failed; KGD cache: %d hits, %d misses\n",
+		len(results)-failures, failures, stats.Hits, stats.Misses)
+	return nil
+}
+
+// renderAnswer formats one batch result's payload for the table.
+func renderAnswer(r actuary.Result) string {
+	if r.Err != nil {
+		if ae, ok := actuary.AsError(r.Err); ok {
+			return fmt.Sprintf("error [%s]: %v", ae.Code, ae.Err)
+		}
+		return "error: " + r.Err.Error()
+	}
+	switch r.Question {
+	case actuary.QuestionTotalCost:
+		return fmt.Sprintf("%s/unit (RE %s + NRE %s)", units.Dollars(r.TotalCost.Total()),
+			units.Dollars(r.TotalCost.RE.Total()), units.Dollars(r.TotalCost.NRE.Total()))
+	case actuary.QuestionRE:
+		return units.Dollars(r.RE.Total()) + "/unit RE"
+	case actuary.QuestionWafers:
+		var starts float64
+		for _, w := range r.Wafers.WafersByNode {
+			starts += w
+		}
+		return fmt.Sprintf("%.0f wafer starts over %d node(s)", starts, len(r.Wafers.WafersByNode))
+	case actuary.QuestionCrossoverQuantity:
+		return fmt.Sprintf("pays back at %.0f units", r.Quantity)
+	case actuary.QuestionOptimalChipletCount:
+		best := r.Points[r.Best]
+		return fmt.Sprintf("best k=%d at %s/unit (%d feasible)",
+			best.Chiplets, units.Dollars(best.Total.Total()), len(r.Points))
+	case actuary.QuestionAreaCrossover:
+		return fmt.Sprintf("crossover at %s", units.Area(r.AreaMM2))
+	default:
+		return "?"
+	}
 }
 
 func renderPortfolio(out io.Writer, a *actuary.Actuary, name string,

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,11 +49,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	a, err := actuary.New()
+	s, err := actuary.NewSession()
 	if err != nil {
 		return err
 	}
 	d2d := actuary.D2DFraction(*d2dFrac)
+	// Each mode is one request of a one-member batch; the Session API
+	// returns a structured per-request error either way.
+	ask := func(req actuary.Request) (actuary.Result, error) {
+		res := s.Evaluate(context.Background(), []actuary.Request{req})[0]
+		return res, res.Err
+	}
 
 	switch *mode {
 	case "payback":
@@ -61,19 +68,22 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		q, err := a.CrossoverQuantity(soc, multi)
+		res, err := ask(actuary.Request{Question: actuary.QuestionCrossoverQuantity,
+			Incumbent: soc, Challenger: multi})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "%d-chiplet %v of a %s %.0f mm² system pays back against the monolithic SoC at %.0f units\n",
-			*chiplets, scheme, *node, *area, q)
+			*chiplets, scheme, *node, *area, res.Quantity)
 		return nil
 
 	case "optimal-k":
-		points, best, err := a.OptimalChipletCount(*node, *area, *maxK, scheme, d2d, *quantity)
+		res, err := ask(actuary.Request{Question: actuary.QuestionOptimalChipletCount,
+			Node: *node, ModuleAreaMM2: *area, MaxK: *maxK, Scheme: scheme, D2D: d2d, Quantity: *quantity})
 		if err != nil {
 			return err
 		}
+		points, best := res.Points, res.Best
 		tab := report.NewTable(
 			fmt.Sprintf("Partition sweep — %s, %.0f mm², %v, %.0f units", *node, *area, scheme, *quantity),
 			"chiplets", "scheme", "RE/unit", "NRE/unit", "total/unit")
@@ -90,20 +100,21 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "turning":
-		areaX, err := a.AreaCrossover(*node, *chiplets, scheme, d2d, 100, 900)
+		res, err := ask(actuary.Request{Question: actuary.QuestionAreaCrossover,
+			Node: *node, K: *chiplets, Scheme: scheme, D2D: d2d, LoMM2: 100, HiMM2: 900})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "%d-chiplet %v starts beating the monolithic SoC on RE at %.0f mm² (%s)\n",
-			*chiplets, scheme, areaX, *node)
+			*chiplets, scheme, res.AreaMM2, *node)
 		return nil
 
 	case "sensitivity":
-		s, err := actuary.PartitionEqual("s", *node, *area, *chiplets, scheme, d2d, 1)
+		sys, err := actuary.PartitionEqual("s", *node, *area, *chiplets, scheme, d2d, 1)
 		if err != nil {
 			return err
 		}
-		points, err := explore.PackagingSensitivity(a.Tech(), a.Packaging(), s, 0.2)
+		points, err := explore.PackagingSensitivity(s.Tech(), s.Packaging(), sys, 0.2)
 		if err != nil {
 			return err
 		}

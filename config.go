@@ -1,6 +1,7 @@
 package actuary
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/system"
 )
 
 // SystemConfig is the JSON description of a system consumed by
@@ -134,6 +136,293 @@ func (c PortfolioConfig) Build(params PackagingParams) ([]System, error) {
 		}
 	}
 	return systems, nil
+}
+
+// ScenarioConfig is the v2 JSON schema consumed by cmd/actuary's
+// -scenario flag and by Session callers: several explicit systems,
+// declarative partition sweeps, and a selection of questions to ask
+// about each of them, all compiled to one Session.Evaluate batch.
+// Example:
+//
+//	{
+//	  "version": 2,
+//	  "name": "server-roadmap",
+//	  "questions": ["total-cost", "wafers"],
+//	  "systems": [ ...v1 system objects... ],
+//	  "sweeps": [
+//	    {"name": "compute", "node": "5nm", "scheme": "MCM", "d2d_fraction": 0.10,
+//	     "quantity": 2000000, "areas_mm2": [400, 800], "counts": [1, 2, 4]}
+//	  ]
+//	}
+//
+// A v1 SystemConfig document (recognized by its "chiplets" field) is
+// still accepted by ReadScenarioConfig and treated as a one-system
+// scenario asking the default question.
+type ScenarioConfig struct {
+	// Version is the schema version: 0 (unset) and 2 mean this schema,
+	// 1 marks a wrapped v1 SystemConfig.
+	Version int `json:"version,omitempty"`
+	// Name labels the scenario.
+	Name string `json:"name"`
+	// Questions selects what to ask (see ParseQuestion); the default
+	// is ["total-cost"]. Sweep-only questions (crossover-quantity,
+	// optimal-chiplet-count, area-crossover) are ignored for the
+	// explicit Systems, which carry no sweep geometry.
+	Questions []string `json:"questions,omitempty"`
+	// Policy is the NRE amortization policy: "per-system-unit"
+	// (default) or "per-instance".
+	Policy string `json:"policy,omitempty"`
+	// Systems are explicit v1 system descriptions.
+	Systems []SystemConfig `json:"systems,omitempty"`
+	// Sweeps declare families of equal partitions to generate.
+	Sweeps []SweepConfig `json:"sweeps,omitempty"`
+}
+
+// SweepConfig declares a grid of equal-partition design points: every
+// (area, count) pair becomes one system, monolithic when count is 1.
+type SweepConfig struct {
+	// Name prefixes the generated request IDs.
+	Name string `json:"name"`
+	// Node is the process node of every point.
+	Node string `json:"node"`
+	// Scheme is the multi-chip integration scheme ("MCM", "InFO",
+	// "2.5D") used for counts above 1.
+	Scheme string `json:"scheme"`
+	// D2DFraction sizes the die-to-die interface of multi-chip points
+	// as a fraction of die area, in [0, 1).
+	D2DFraction float64 `json:"d2d_fraction,omitempty"`
+	// Quantity is the production volume of every point.
+	Quantity float64 `json:"quantity"`
+	// AreasMM2 are the total module areas to sweep.
+	AreasMM2 []float64 `json:"areas_mm2"`
+	// Counts are the partition counts to sweep.
+	Counts []int `json:"counts"`
+	// MaxK bounds optimal-chiplet-count requests; the default is the
+	// largest entry of Counts.
+	MaxK int `json:"max_k,omitempty"`
+	// LoMM2 and HiMM2 bracket area-crossover requests; both must be
+	// set when that question is selected.
+	LoMM2 float64 `json:"lo_mm2,omitempty"`
+	HiMM2 float64 `json:"hi_mm2,omitempty"`
+}
+
+// ReadScenarioConfig parses a scenario from r, accepting both the v2
+// schema and a bare v1 SystemConfig document.
+func ReadScenarioConfig(r io.Reader) (ScenarioConfig, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return ScenarioConfig{}, fmt.Errorf("actuary: reading scenario config: %w", err)
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return ScenarioConfig{}, fmt.Errorf("actuary: decoding scenario config: %w", err)
+	}
+	if _, isV1 := probe["chiplets"]; isV1 {
+		sc, err := ReadSystemConfig(bytes.NewReader(data))
+		if err != nil {
+			return ScenarioConfig{}, err
+		}
+		return ScenarioConfig{Version: 1, Name: sc.Name, Systems: []SystemConfig{sc}}, nil
+	}
+	var cfg ScenarioConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return ScenarioConfig{}, fmt.Errorf("actuary: decoding scenario config: %w", err)
+	}
+	if cfg.Version != 0 && cfg.Version != 2 {
+		return ScenarioConfig{}, fmt.Errorf("actuary: unsupported scenario version %d (want 2)", cfg.Version)
+	}
+	return cfg, nil
+}
+
+// LoadScenarioConfig reads a scenario from a JSON file.
+func LoadScenarioConfig(path string) (ScenarioConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScenarioConfig{}, fmt.Errorf("actuary: %w", err)
+	}
+	defer f.Close()
+	return ReadScenarioConfig(f)
+}
+
+// ParsePolicy converts "per-system-unit" (or "") and "per-instance"
+// to an AmortizationPolicy.
+func ParsePolicy(name string) (AmortizationPolicy, error) {
+	switch name {
+	case "", "per-system-unit":
+		return PerSystemUnit, nil
+	case "per-instance":
+		return PerInstance, nil
+	default:
+		return 0, fmt.Errorf("actuary: unknown policy %q (want per-system-unit or per-instance)", name)
+	}
+}
+
+// Requests compiles the scenario into one Session.Evaluate batch:
+// each selected question is asked of every explicit system and every
+// sweep point it applies to. Request IDs are deterministic —
+// "<system>/<question>" for systems, "<sweep>-a<area>-k<count>/<question>"
+// for sweep points — so results can be correlated by ID as well as by
+// order.
+func (c ScenarioConfig) Requests() ([]Request, error) {
+	if len(c.Systems) == 0 && len(c.Sweeps) == 0 {
+		return nil, fmt.Errorf("actuary: scenario %q has no systems and no sweeps", c.Name)
+	}
+	policy, err := ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	names := c.Questions
+	if len(names) == 0 {
+		names = []string{"total-cost"}
+	}
+	questions := make([]Question, len(names))
+	for i, n := range names {
+		if questions[i], err = ParseQuestion(n); err != nil {
+			return nil, err
+		}
+	}
+
+	var reqs []Request
+	perSystem := func(id string, s System, q Question) Request {
+		return Request{ID: id + "/" + q.String(), Question: q, System: s, Policy: policy}
+	}
+	for _, sc := range c.Systems {
+		s, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range questions {
+			switch q {
+			case QuestionTotalCost, QuestionRE, QuestionWafers:
+				reqs = append(reqs, perSystem(s.Name, s, q))
+			}
+		}
+	}
+
+	for _, sw := range c.Sweeps {
+		if err := sw.validate(c.Name); err != nil {
+			return nil, err
+		}
+		scheme, err := packaging.ParseScheme(sw.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		var d2d D2DOverhead = dtod.None{}
+		if sw.D2DFraction > 0 {
+			d2d = dtod.Fraction{F: sw.D2DFraction}
+		}
+		maxK := sw.MaxK
+		if maxK == 0 {
+			for _, k := range sw.Counts {
+				if k > maxK {
+					maxK = k
+				}
+			}
+		}
+		// Build each (area, count) grid point once, up front.
+		type sweepPoint struct {
+			id     string
+			area   float64
+			k      int
+			system System
+		}
+		var points []sweepPoint
+		for _, area := range sw.AreasMM2 {
+			for _, k := range sw.Counts {
+				id := fmt.Sprintf("%s-a%g-k%d", sw.Name, area, k)
+				sch := scheme
+				if k == 1 {
+					sch = SoC
+				}
+				s, err := system.PartitionEqual(id, sw.Node, area, k, sch, d2d, sw.Quantity)
+				if err != nil {
+					return nil, fmt.Errorf("actuary: sweep %q: %w", sw.Name, err)
+				}
+				points = append(points, sweepPoint{id: id, area: area, k: k, system: s})
+			}
+		}
+		for _, q := range questions {
+			switch q {
+			case QuestionTotalCost, QuestionRE, QuestionWafers:
+				for _, p := range points {
+					reqs = append(reqs, perSystem(p.id, p.system, q))
+				}
+			case QuestionCrossoverQuantity:
+				for _, p := range points {
+					if p.k == 1 {
+						continue // the monolithic point is the incumbent
+					}
+					reqs = append(reqs, Request{
+						ID:       p.id + "/" + q.String(),
+						Question: q,
+						Incumbent: system.Monolithic(fmt.Sprintf("%s-a%g-soc", sw.Name, p.area),
+							sw.Node, p.area, sw.Quantity),
+						Challenger: p.system,
+					})
+				}
+			case QuestionOptimalChipletCount:
+				for _, area := range sw.AreasMM2 {
+					reqs = append(reqs, Request{
+						ID:       fmt.Sprintf("%s-a%g/%s", sw.Name, area, q),
+						Question: q, Node: sw.Node, ModuleAreaMM2: area, MaxK: maxK,
+						Scheme: scheme, D2D: d2d, Quantity: sw.Quantity,
+					})
+				}
+			case QuestionAreaCrossover:
+				if sw.LoMM2 <= 0 || sw.HiMM2 <= sw.LoMM2 {
+					return nil, fmt.Errorf("actuary: sweep %q needs lo_mm2 < hi_mm2 for area-crossover, got [%v, %v]",
+						sw.Name, sw.LoMM2, sw.HiMM2)
+				}
+				for _, k := range sw.Counts {
+					if k < 2 {
+						continue
+					}
+					reqs = append(reqs, Request{
+						ID:       fmt.Sprintf("%s-k%d/%s", sw.Name, k, q),
+						Question: q, Node: sw.Node, K: k, Scheme: scheme, D2D: d2d,
+						LoMM2: sw.LoMM2, HiMM2: sw.HiMM2,
+					})
+				}
+			}
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("actuary: scenario %q compiles to no requests (questions %v fit nothing)",
+			c.Name, names)
+	}
+	return reqs, nil
+}
+
+// validate checks the sweep's declarative fields.
+func (s SweepConfig) validate(scenario string) error {
+	if s.Name == "" {
+		return fmt.Errorf("actuary: scenario %q has an unnamed sweep", scenario)
+	}
+	if s.Node == "" {
+		return fmt.Errorf("actuary: sweep %q needs a node", s.Name)
+	}
+	if len(s.AreasMM2) == 0 || len(s.Counts) == 0 {
+		return fmt.Errorf("actuary: sweep %q needs areas_mm2 and counts", s.Name)
+	}
+	for _, a := range s.AreasMM2 {
+		if a <= 0 {
+			return fmt.Errorf("actuary: sweep %q has non-positive area %v", s.Name, a)
+		}
+	}
+	for _, k := range s.Counts {
+		if k < 1 {
+			return fmt.Errorf("actuary: sweep %q has partition count %d < 1", s.Name, k)
+		}
+	}
+	if s.D2DFraction < 0 || s.D2DFraction >= 1 {
+		return fmt.Errorf("actuary: sweep %q has D2D fraction %v outside [0,1)", s.Name, s.D2DFraction)
+	}
+	if s.Quantity <= 0 {
+		return fmt.Errorf("actuary: sweep %q needs a positive quantity, got %v", s.Name, s.Quantity)
+	}
+	return nil
 }
 
 // Build converts the configuration into a System. Validation against

@@ -1,0 +1,275 @@
+package actuary
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadSystemConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error (from decode or Build)
+	}{
+		{"unknown field", `{"name":"x","scheme":"MCM","quantity":1,"bogus":1,
+			"chiplets":[{"name":"c","node":"7nm","module_area_mm2":50,"count":1}]}`, "bogus"},
+		{"not json", `{{`, "decoding"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadSystemConfig(strings.NewReader(c.json))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestSystemConfigBuildErrors(t *testing.T) {
+	base := func() SystemConfig {
+		return SystemConfig{
+			Name: "x", Scheme: "MCM", Quantity: 1,
+			Chiplets: []ChipletConfig{{Name: "c", Node: "7nm", ModuleAreaMM2: 50, Count: 2}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*SystemConfig)
+		want   string
+	}{
+		{"missing name", func(c *SystemConfig) { c.Name = "" }, "needs a name"},
+		{"bad scheme", func(c *SystemConfig) { c.Scheme = "stacked" }, "scheme"},
+		{"bad flow", func(c *SystemConfig) { c.Flow = "chip-middle" }, "unknown flow"},
+		{"no chiplets", func(c *SystemConfig) { c.Chiplets = nil }, "no chiplets"},
+		{"zero count", func(c *SystemConfig) { c.Chiplets[0].Count = 0 }, "count 0"},
+		{"negative count", func(c *SystemConfig) { c.Chiplets[0].Count = -2 }, "count -2"},
+		{"d2d too high", func(c *SystemConfig) { c.Chiplets[0].D2DFraction = 1.0 }, "outside [0,1)"},
+		{"d2d negative", func(c *SystemConfig) { c.Chiplets[0].D2DFraction = -0.1 }, "outside [0,1)"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base()
+			c.mutate(&cfg)
+			if _, err := cfg.Build(); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+	// The valid base must build, so the cases above fail for the
+	// mutated reason and not something latent.
+	if _, err := base().Build(); err != nil {
+		t.Fatalf("base config should build: %v", err)
+	}
+	// chip-first is a valid flow.
+	cf := base()
+	cf.Flow = "chip-first"
+	s, err := cf.Build()
+	if err != nil {
+		t.Fatalf("chip-first config should build: %v", err)
+	}
+	if s.Flow != ChipFirst {
+		t.Errorf("flow %v, want chip-first", s.Flow)
+	}
+}
+
+func TestReadPortfolioConfigErrors(t *testing.T) {
+	if _, err := ReadPortfolioConfig(strings.NewReader(`{"name":"p","systemz":[]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadPortfolioConfig(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestPortfolioConfigBuildErrors(t *testing.T) {
+	params := DefaultPackaging()
+	if _, err := (PortfolioConfig{Name: "empty"}).Build(params); err == nil {
+		t.Error("portfolio with no systems accepted")
+	}
+	// A broken member system surfaces its own error.
+	bad := PortfolioConfig{Name: "p", Systems: []SystemConfig{{Name: "", Scheme: "MCM"}}}
+	if _, err := bad.Build(params); err == nil {
+		t.Error("broken member system accepted")
+	}
+	// An SoC member cannot share a multi-chip package.
+	soc := PortfolioConfig{
+		Name:          "p",
+		SharedPackage: "shared",
+		Systems: []SystemConfig{
+			{Name: "solo", Scheme: "SoC", Quantity: 1,
+				Chiplets: []ChipletConfig{{Name: "die", Node: "7nm", ModuleAreaMM2: 100, Count: 1}}},
+		},
+	}
+	if _, err := soc.Build(params); err == nil || !strings.Contains(err.Error(), "share") {
+		t.Errorf("SoC in a shared package accepted: %v", err)
+	}
+}
+
+func TestPortfolioConfigSharedEnvelopeSizing(t *testing.T) {
+	params := DefaultPackaging()
+	chiplet := func(count int) []ChipletConfig {
+		return []ChipletConfig{{Name: "X", Node: "7nm", ModuleAreaMM2: 200, D2DFraction: 0.10, Count: count}}
+	}
+	cfg := PortfolioConfig{
+		Name:          "family",
+		SharedPackage: "family-4x",
+		Systems: []SystemConfig{
+			{Name: "g1", Scheme: "MCM", Quantity: 1, Chiplets: chiplet(1)},
+			{Name: "g4", Scheme: "MCM", Quantity: 1, Chiplets: chiplet(4)},
+		},
+	}
+	systems, err := cfg.Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member mounts the same envelope, sized for the largest
+	// member: 4 dies × 200/(1−0.10) mm² (the paper's die = module/(1−f)
+	// D2D model) × the spacing factor.
+	wantFootprint := 4 * (200.0 / 0.9) * params.DieSpacingFactor
+	for _, s := range systems {
+		if s.Envelope == nil {
+			t.Fatalf("system %q has no shared envelope", s.Name)
+		}
+		if s.Envelope != systems[0].Envelope {
+			t.Errorf("system %q has its own envelope, want the shared one", s.Name)
+		}
+		if s.Envelope.Name != "family-4x" {
+			t.Errorf("envelope name %q", s.Envelope.Name)
+		}
+		if math.Abs(s.Envelope.FootprintMM2-wantFootprint) > 1e-9 {
+			t.Errorf("footprint %v, want %v", s.Envelope.FootprintMM2, wantFootprint)
+		}
+		if s.Envelope.InterposerAreaMM2 != 0 {
+			t.Errorf("MCM-only family should not size an interposer, got %v",
+				s.Envelope.InterposerAreaMM2)
+		}
+	}
+	// A 2.5D member forces an interposer sized for the largest member.
+	cfg.Systems[1].Scheme = "2.5D"
+	systems, err = cfg.Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInterposer := 4 * (200.0 / 0.9) * params.InterposerFill
+	if got := systems[0].Envelope.InterposerAreaMM2; math.Abs(got-wantInterposer) > 1e-9 {
+		t.Errorf("interposer %v, want %v", got, wantInterposer)
+	}
+}
+
+func TestReadScenarioConfig(t *testing.T) {
+	v2 := `{
+		"version": 2, "name": "s",
+		"questions": ["total-cost", "optimal-chiplet-count"],
+		"sweeps": [{"name": "sw", "node": "5nm", "scheme": "MCM", "d2d_fraction": 0.1,
+			"quantity": 1000000, "areas_mm2": [400, 800], "counts": [1, 2]}]
+	}`
+	cfg, err := ReadScenarioConfig(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 areas × 2 counts total-cost points + 2 optimal-k requests.
+	if len(reqs) != 6 {
+		t.Fatalf("got %d requests, want 6: %+v", len(reqs), reqs)
+	}
+	byID := make(map[string]Request, len(reqs))
+	for _, r := range reqs {
+		byID[r.ID] = r
+	}
+	if r, ok := byID["sw-a800-k2/total-cost"]; !ok || r.Question != QuestionTotalCost {
+		t.Errorf("missing sweep point request: %+v", byID)
+	}
+	if r, ok := byID["sw-a800/optimal-chiplet-count"]; !ok || r.MaxK != 2 {
+		t.Errorf("missing or mis-bounded optimal-k request: %+v", r)
+	}
+	// An explicit max_k bounds the sweep even below the largest count.
+	cfg.Sweeps[0].MaxK = 1
+	bounded, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range bounded {
+		if r.Question == QuestionOptimalChipletCount && r.MaxK != 1 {
+			t.Errorf("explicit max_k ignored: got MaxK=%d", r.MaxK)
+		}
+	}
+	if r := byID["sw-a400-k1/total-cost"]; r.System.Scheme != SoC {
+		t.Errorf("k=1 sweep point should be monolithic, got %v", r.System.Scheme)
+	}
+	// The scenario policy reaches every per-system request.
+	cfg.Policy = "per-instance"
+	cfg.Sweeps[0].MaxK = 0
+	reqs, err = cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if r.Question == QuestionTotalCost && r.Policy != PerInstance {
+			t.Errorf("request %q lost the scenario policy", r.ID)
+		}
+	}
+}
+
+func TestReadScenarioConfigV1Fallback(t *testing.T) {
+	v1 := `{"name":"legacy","scheme":"MCM","quantity":1000,
+		"chiplets":[{"name":"c","node":"7nm","module_area_mm2":50,"count":2}]}`
+	cfg, err := ReadScenarioConfig(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Version != 1 || len(cfg.Systems) != 1 || cfg.Systems[0].Name != "legacy" {
+		t.Fatalf("v1 fallback mis-parsed: %+v", cfg)
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].Question != QuestionTotalCost || reqs[0].ID != "legacy/total-cost" {
+		t.Fatalf("v1 fallback requests: %+v", reqs)
+	}
+}
+
+func TestScenarioConfigErrors(t *testing.T) {
+	if _, err := ReadScenarioConfig(strings.NewReader(`{"version":3,"name":"x"}`)); err == nil {
+		t.Error("unsupported version accepted")
+	}
+	if _, err := ReadScenarioConfig(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	sweep := SweepConfig{Name: "sw", Node: "5nm", Scheme: "MCM",
+		Quantity: 1000, AreasMM2: []float64{400}, Counts: []int{2}}
+	cases := []struct {
+		name   string
+		mutate func(*ScenarioConfig)
+		want   string
+	}{
+		{"empty", func(c *ScenarioConfig) { c.Sweeps = nil }, "no systems and no sweeps"},
+		{"bad question", func(c *ScenarioConfig) { c.Questions = []string{"why"} }, "unknown question"},
+		{"bad policy", func(c *ScenarioConfig) { c.Policy = "communism" }, "unknown policy"},
+		{"unnamed sweep", func(c *ScenarioConfig) { c.Sweeps[0].Name = "" }, "unnamed sweep"},
+		{"no node", func(c *ScenarioConfig) { c.Sweeps[0].Node = "" }, "needs a node"},
+		{"no areas", func(c *ScenarioConfig) { c.Sweeps[0].AreasMM2 = nil }, "areas_mm2"},
+		{"bad area", func(c *ScenarioConfig) { c.Sweeps[0].AreasMM2 = []float64{-1} }, "non-positive area"},
+		{"bad count", func(c *ScenarioConfig) { c.Sweeps[0].Counts = []int{0} }, "count 0"},
+		{"bad d2d", func(c *ScenarioConfig) { c.Sweeps[0].D2DFraction = 1.5 }, "outside [0,1)"},
+		{"bad quantity", func(c *ScenarioConfig) { c.Sweeps[0].Quantity = 0 }, "positive quantity"},
+		{"bad scheme", func(c *ScenarioConfig) { c.Sweeps[0].Scheme = "tape" }, "scheme"},
+		{"crossover bracket", func(c *ScenarioConfig) {
+			c.Questions = []string{"area-crossover"}
+		}, "lo_mm2 < hi_mm2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ScenarioConfig{Name: "x", Sweeps: []SweepConfig{sweep}}
+			tc.mutate(&cfg)
+			_, err := cfg.Requests()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

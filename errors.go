@@ -1,0 +1,101 @@
+package actuary
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/tech"
+)
+
+// ErrorCode classifies why one request of a batch failed. The
+// taxonomy lets callers route failures without parsing messages:
+// retry nothing on ErrInvalidConfig, fix the technology database on
+// ErrUnknownNode, treat ErrInfeasible as a legitimate "no" answer,
+// and resubmit on ErrCanceled.
+type ErrorCode int
+
+const (
+	// ErrInvalidConfig marks a malformed request or system
+	// description: bad geometry, missing fields, scheme violations.
+	ErrInvalidConfig ErrorCode = iota + 1
+	// ErrUnknownNode marks a process node absent from the technology
+	// database.
+	ErrUnknownNode
+	// ErrInfeasible marks a well-formed question whose answer does not
+	// exist: a partition that never pays back, a sweep with no
+	// manufacturable point, a bracket with no crossover.
+	ErrInfeasible
+	// ErrCanceled marks a request abandoned because the batch context
+	// was canceled or timed out before the request ran.
+	ErrCanceled
+)
+
+// String implements fmt.Stringer.
+func (c ErrorCode) String() string {
+	switch c {
+	case ErrInvalidConfig:
+		return "invalid-config"
+	case ErrUnknownNode:
+		return "unknown-node"
+	case ErrInfeasible:
+		return "infeasible"
+	case ErrCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("ErrorCode(%d)", int(c))
+	}
+}
+
+// Error is the structured per-request failure returned in
+// Result.Err. It records which request failed (batch index and
+// optional caller-assigned ID), what was asked, and a classified
+// cause; the underlying error remains reachable through Unwrap for
+// errors.Is/errors.As chains.
+type Error struct {
+	// Code classifies the failure.
+	Code ErrorCode
+	// Index is the request's position in the batch.
+	Index int
+	// ID echoes Request.ID when the caller set one.
+	ID string
+	// Question echoes the request's question.
+	Question Question
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	label := e.ID
+	if label == "" {
+		label = fmt.Sprintf("#%d", e.Index)
+	}
+	return fmt.Sprintf("actuary: request %s (%s): %s: %v", label, e.Question, e.Code, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// AsError extracts the structured *Error from an error chain.
+func AsError(err error) (*Error, bool) {
+	var ae *Error
+	ok := errors.As(err, &ae)
+	return ae, ok
+}
+
+// classify maps an underlying evaluation error onto the code
+// taxonomy via the sentinel errors the internal layers wrap.
+func classify(err error) ErrorCode {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrCanceled
+	case errors.Is(err, tech.ErrUnknownNode):
+		return ErrUnknownNode
+	case errors.Is(err, explore.ErrInfeasible):
+		return ErrInfeasible
+	default:
+		return ErrInvalidConfig
+	}
+}

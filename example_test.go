@@ -1,11 +1,67 @@
 package actuary_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"chipletactuary"
 )
+
+// A whole design decision as one concurrent batch: both candidates'
+// totals and the pay-back point, answered in input order.
+func ExampleSession_Evaluate() {
+	s, err := actuary.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	soc := actuary.Monolithic("soc", "5nm", 800, 2_000_000)
+	mcm, err := actuary.PartitionEqual("mcm", "5nm", 800, 2,
+		actuary.MCM, actuary.D2DFraction(0.10), 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := s.Evaluate(context.Background(), []actuary.Request{
+		{ID: "soc", Question: actuary.QuestionTotalCost, System: soc},
+		{ID: "mcm", Question: actuary.QuestionTotalCost, System: mcm},
+		{ID: "payback", Question: actuary.QuestionCrossoverQuantity,
+			Incumbent: soc, Challenger: mcm},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+	fmt.Printf("MCM cheaper at 2M units: %v\n",
+		results[1].TotalCost.Total() < results[0].TotalCost.Total())
+	fmt.Printf("pays back inside the paper's (500k, 2M] bracket: %v\n",
+		results[2].Quantity > 500_000 && results[2].Quantity <= 2_000_000)
+	// Output:
+	// MCM cheaper at 2M units: true
+	// pays back inside the paper's (500k, 2M] bracket: true
+}
+
+// One bad request never sinks the batch: failures come back as
+// structured errors with a classification code.
+func ExampleSession_Evaluate_errorIsolation() {
+	s, err := actuary.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	good := actuary.Monolithic("good", "7nm", 100, 1)
+	bad := actuary.Monolithic("bad", "1nm-imaginary", 100, 1)
+	results := s.Evaluate(context.Background(), []actuary.Request{
+		{Question: actuary.QuestionRE, System: good},
+		{Question: actuary.QuestionRE, System: bad},
+	})
+	fmt.Printf("good request ok: %v\n", results[0].Err == nil)
+	if ae, ok := actuary.AsError(results[1].Err); ok {
+		fmt.Printf("bad request code: %v\n", ae.Code)
+	}
+	// Output:
+	// good request ok: true
+	// bad request code: unknown-node
+}
 
 // The basic question: monolithic SoC or two chiplets?
 func Example() {

@@ -3,10 +3,15 @@
 // hypothetical monolithic 7nm implementation, using the early-life
 // defect densities the paper quotes (0.13 / 0.12).
 //
+// All ten RE evaluations (five core counts × chiplet/monolithic) run
+// as one Session.Evaluate batch on a session built over the adjusted
+// technology database.
+//
 // Run with: go run ./examples/amd-epyc
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := actuary.NewWithConfig(db, actuary.DefaultPackaging())
+	s, err := actuary.NewSession(actuary.WithTech(db))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,8 +54,9 @@ func main() {
 		D2D:     actuary.D2DFraction(0.10),
 	}
 
-	fmt.Println("cores  chiplet $   monolithic $   ratio   packaging share")
-	for _, cores := range []int{16, 24, 32, 48, 64} {
+	coreCounts := []int{16, 24, 32, 48, 64}
+	var reqs []actuary.Request
+	for _, cores := range coreCounts {
 		nCCD := cores / 8
 		chiplet := actuary.System{
 			Name:   fmt.Sprintf("epyc-%d", cores),
@@ -61,18 +67,24 @@ func main() {
 			},
 			Quantity: 1,
 		}
-		chipletRE, err := a.RE(chiplet)
-		if err != nil {
-			log.Fatal(err)
-		}
 		// Monolithic 7nm: CCD logic without D2D + IOD logic scaled to
 		// 7nm (IO shrinks poorly: ×0.55).
 		monoArea := float64(nCCD)*66.6 + 374.4*0.55 + 374.4*0.10*0.55
 		mono := actuary.Monolithic(fmt.Sprintf("mono-%d", cores), "7nm", monoArea, 1)
-		monoRE, err := a.RE(mono)
-		if err != nil {
-			log.Fatal(err)
+		reqs = append(reqs,
+			actuary.Request{ID: chiplet.Name, Question: actuary.QuestionRE, System: chiplet},
+			actuary.Request{ID: mono.Name, Question: actuary.QuestionRE, System: mono})
+	}
+	results := s.Evaluate(context.Background(), reqs)
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
+	}
+
+	fmt.Println("cores  chiplet $   monolithic $   ratio   packaging share")
+	for i, cores := range coreCounts {
+		chipletRE, monoRE := results[2*i].RE, results[2*i+1].RE
 		fmt.Printf("%5d  %9.2f  %13.2f  %6.2f   %.0f%%\n",
 			cores, chipletRE.Total(), monoRE.Total(),
 			chipletRE.Total()/monoRE.Total(),

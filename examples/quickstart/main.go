@@ -1,10 +1,15 @@
 // Quickstart: should I build my 800 mm² 5nm system as a monolithic
 // SoC or as two chiplets on an organic substrate?
 //
+// The whole decision is one Session.Evaluate batch: both total-cost
+// evaluations, the pay-back point and the optimal partition count are
+// answered together, in input order, over the session's worker pool.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,7 +17,7 @@ import (
 )
 
 func main() {
-	a, err := actuary.New()
+	s, err := actuary.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,30 +30,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, sys := range []actuary.System{soc, mcm} {
-		tc, err := a.Total(sys, actuary.PerSystemUnit)
-		if err != nil {
-			log.Fatal(err)
+	results := s.Evaluate(context.Background(), []actuary.Request{
+		{ID: "soc", Question: actuary.QuestionTotalCost, System: soc},
+		{ID: "mcm", Question: actuary.QuestionTotalCost, System: mcm},
+		{ID: "payback", Question: actuary.QuestionCrossoverQuantity,
+			Incumbent: soc, Challenger: mcm},
+		{ID: "optimal-k", Question: actuary.QuestionOptimalChipletCount,
+			Node: "5nm", ModuleAreaMM2: 800, MaxK: 6, Scheme: actuary.MCM,
+			D2D: actuary.D2DFraction(0.10), Quantity: quantity},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
+	}
+
+	for _, r := range results[:2] {
+		tc := r.TotalCost
 		fmt.Printf("%-8s RE $%7.2f  + amortized NRE $%7.2f  = $%7.2f per unit\n",
-			sys.Name, tc.RE.Total(), tc.NRE.Total(), tc.Total())
+			r.ID, tc.RE.Total(), tc.NRE.Total(), tc.Total())
 		fmt.Printf("         raw chips $%.2f | chip defects $%.2f | packaging $%.2f (incl. $%.2f wasted KGDs)\n",
 			tc.RE.RawChips, tc.RE.ChipDefects, tc.RE.PackagingTotal(), tc.RE.WastedKGD)
 	}
 
 	// Where exactly does the two-chiplet design start paying back?
-	q, err := a.CrossoverQuantity(soc, mcm)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nthe 2-chiplet MCM pays back above %.0f units (paper: between 500k and 2M)\n", q)
+	fmt.Printf("\nthe 2-chiplet MCM pays back above %.0f units (paper: between 500k and 2M)\n",
+		results[2].Quantity)
 
 	// And how many chiplets should it be at this volume?
-	points, best, err := a.OptimalChipletCount("5nm", 800, 6, actuary.MCM,
-		actuary.D2DFraction(0.10), quantity)
-	if err != nil {
-		log.Fatal(err)
-	}
+	best := results[3].Points[results[3].Best]
 	fmt.Printf("optimal partition at %d units: %d chiplet(s), $%.2f per unit\n",
-		quantity, points[best].Chiplets, points[best].Total.Total())
+		quantity, best.Chiplets, best.Total.Total())
 }

@@ -1,10 +1,15 @@
 // reuse-schemes walks through the paper's §5: how SCMS, OCME and FSMC
 // chiplet-reuse architectures turn NRE amortization into real savings.
 //
+// Portfolios are inherently cross-system (every member's NRE share
+// depends on every other member), so they use Session.Portfolio; the
+// per-system monolithic comparators are a Session.Evaluate batch.
+//
 // Run with: go run ./examples/reuse-schemes
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,7 +17,7 @@ import (
 )
 
 func main() {
-	a, err := actuary.New()
+	s, err := actuary.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,24 +27,33 @@ func main() {
 	family, err := actuary.SCMS(actuary.SCMSConfig{
 		Node: "7nm", ModuleAreaMM2: 200, Counts: []int{1, 2, 4},
 		Scheme: actuary.MCM, QuantityPerSystem: 500_000,
-		Params: a.Packaging(),
+		Params: s.Packaging(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	costs, err := a.Portfolio(family, actuary.PerSystemUnit)
+	costs, err := s.Portfolio(family, actuary.PerSystemUnit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, s := range family {
-		tc := costs[s.Name]
-		soc := actuary.SoCEquivalent(s, "7nm")
-		socTC, err := a.Total(soc, actuary.PerSystemUnit)
-		if err != nil {
-			log.Fatal(err)
+	// Each grade's monolithic comparator, evaluated as one batch.
+	socReqs := make([]actuary.Request, len(family))
+	for i, sys := range family {
+		socReqs[i] = actuary.Request{
+			ID:       sys.Name,
+			Question: actuary.QuestionTotalCost,
+			System:   actuary.SoCEquivalent(sys, "7nm"),
 		}
+	}
+	socResults := s.Evaluate(context.Background(), socReqs)
+	for i, sys := range family {
+		if socResults[i].Err != nil {
+			log.Fatal(socResults[i].Err)
+		}
+		tc := costs[sys.Name]
+		socTotal := socResults[i].TotalCost.Total()
 		fmt.Printf("  %-8s $%8.2f/unit (monolithic would be $%8.2f — %.0f%% saved)\n",
-			s.Name, tc.Total(), socTC.Total(), (1-tc.Total()/socTC.Total())*100)
+			sys.Name, tc.Total(), socTotal, (1-tc.Total()/socTotal)*100)
 	}
 
 	// --- OCME: a mature-node center die with 7nm extensions (Figure 9) ---
@@ -47,7 +61,7 @@ func main() {
 	hetero, err := actuary.OCME(actuary.OCMEConfig{
 		Node: "7nm", CenterNode: "14nm", SocketAreaMM2: 160,
 		Scheme: actuary.MCM, QuantityPerSystem: 500_000,
-		ReusePackage: true, Params: a.Packaging(),
+		ReusePackage: true, Params: s.Packaging(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -55,16 +69,16 @@ func main() {
 	homo, err := actuary.OCME(actuary.OCMEConfig{
 		Node: "7nm", SocketAreaMM2: 160,
 		Scheme: actuary.MCM, QuantityPerSystem: 500_000,
-		ReusePackage: true, Params: a.Packaging(),
+		ReusePackage: true, Params: s.Packaging(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hetCosts, err := a.Portfolio(hetero, actuary.PerSystemUnit)
+	hetCosts, err := s.Portfolio(hetero, actuary.PerSystemUnit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	homoCosts, err := a.Portfolio(homo, actuary.PerSystemUnit)
+	homoCosts, err := s.Portfolio(homo, actuary.PerSystemUnit)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,19 +94,19 @@ func main() {
 		int(actuary.CollocationCount(6, 4)), "distinct systems from 6 tapeouts")
 	fsmc, err := actuary.FSMC(actuary.FSMCConfig{
 		Node: "7nm", ModuleAreaMM2: 150, Types: 6, Sockets: 4,
-		Scheme: actuary.MCM, QuantityPerSystem: 500_000, Params: a.Packaging(),
+		Scheme: actuary.MCM, QuantityPerSystem: 500_000, Params: s.Packaging(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fsmcCosts, err := a.Portfolio(fsmc, actuary.PerSystemUnit)
+	fsmcCosts, err := s.Portfolio(fsmc, actuary.PerSystemUnit)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var avgTotal, avgNRE float64
-	for _, s := range fsmc {
-		avgTotal += fsmcCosts[s.Name].Total()
-		avgNRE += fsmcCosts[s.Name].NRE.Total()
+	for _, sys := range fsmc {
+		avgTotal += fsmcCosts[sys.Name].Total()
+		avgNRE += fsmcCosts[sys.Name].NRE.Total()
 	}
 	avgTotal /= float64(len(fsmc))
 	avgNRE /= float64(len(fsmc))

@@ -4,23 +4,27 @@
 // the model 500 times, and reports the distribution of the pay-back
 // quantity for the paper's 5nm/800 mm² system.
 //
+// Each Monte Carlo scenario perturbs the technology database and
+// packaging parameters, so the metric builds a fresh Session per
+// scenario and asks it the crossover question.
+//
 // Run with: go run ./examples/uncertainty
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"chipletactuary"
-	"chipletactuary/internal/explore"
 )
 
 func main() {
 	db := actuary.DefaultTech()
 	params := actuary.DefaultPackaging()
 
-	metric := func(s actuary.MonteCarloScenario) (float64, error) {
-		ev, err := explore.NewEvaluator(s.DB, s.Params)
+	metric := func(sc actuary.MonteCarloScenario) (float64, error) {
+		s, err := actuary.NewSession(actuary.WithTech(sc.DB), actuary.WithPackaging(sc.Params))
 		if err != nil {
 			return 0, err
 		}
@@ -30,7 +34,14 @@ func main() {
 		if err != nil {
 			return 0, err
 		}
-		return ev.CrossoverQuantity(soc, mcm)
+		r := s.Evaluate(context.Background(), []actuary.Request{{
+			Question:  actuary.QuestionCrossoverQuantity,
+			Incumbent: soc, Challenger: mcm,
+		}})[0]
+		if r.Err != nil {
+			return 0, r.Err
+		}
+		return r.Quantity, nil
 	}
 
 	res, err := actuary.MonteCarloRun(500, 2022, actuary.DefaultMonteCarloSpace(0.15),

@@ -1,0 +1,3 @@
+module chipletactuary
+
+go 1.24

@@ -20,6 +20,7 @@ import (
 type Engine struct {
 	db     *tech.Database
 	params packaging.Params
+	cache  *kgdCache // nil when memoization is disabled
 }
 
 // NewEngine builds an engine, validating the packaging parameters.
@@ -31,6 +32,28 @@ func NewEngine(db *tech.Database, params packaging.Params) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{db: db, params: params}, nil
+}
+
+// NewEngineWithCache builds an engine whose per-die evaluations are
+// memoized in a bounded cache of cacheSize entries, keyed by DieKey.
+// The cache is safe for concurrent use, so one engine can be shared
+// by the workers of a batch session; cacheSize ≤ 0 disables it.
+func NewEngineWithCache(db *tech.Database, params packaging.Params, cacheSize int) (*Engine, error) {
+	e, err := NewEngine(db, params)
+	if err != nil {
+		return nil, err
+	}
+	e.cache = newKGDCache(cacheSize)
+	return e, nil
+}
+
+// CacheStats reports the KGD cache's hit/miss counters. The zero
+// value is returned when the cache is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // DB returns the engine's technology database.
@@ -152,6 +175,46 @@ func (e *Engine) Wafers(s system.System, quantity float64) (WaferDemand, error) 
 	return d, nil
 }
 
+// dieCost evaluates one die, consulting the KGD cache when enabled.
+func (e *Engine) dieCost(c system.Chiplet, tally *cacheTally) (DieCost, error) {
+	area := c.DieArea()
+	key := DieKey{Node: c.Node, AreaMM2: area}
+	if c.Salvage != nil {
+		key.SalvageFraction = c.Salvage.Fraction
+		key.SalvageValue = c.Salvage.Value
+	}
+	if e.cache != nil {
+		if v, ok := e.cache.get(key, tally); ok {
+			return DieCost{Name: c.Name, Node: c.Node, AreaMM2: area,
+				Raw: v.raw, Yield: v.yield, KGD: v.kgd}, nil
+		}
+	}
+	node, err := e.db.Node(c.Node)
+	if err != nil {
+		return DieCost{}, err
+	}
+	perDie, err := e.params.Wafer.CostPerRawDie(e.params.Estimator, node.WaferCost, area)
+	if err != nil {
+		return DieCost{}, fmt.Errorf("cost: die %q: %w", c.Name, err)
+	}
+	raw := perDie + (node.BumpCostPerMM2+node.SortCostPerMM2)*area
+	y := node.Yield(area)
+	if c.Salvage != nil {
+		// Partial-good harvesting credits degraded bins against
+		// this die's cost (yield.Salvage).
+		y = yield.Salvage{
+			Model:               node.YieldModel(),
+			SalvageableFraction: c.Salvage.Fraction,
+			SalvageValue:        c.Salvage.Value,
+		}.EffectiveYield(area)
+	}
+	kgd := raw / y
+	if e.cache != nil {
+		e.cache.put(key, dieValue{raw: raw, yield: y, kgd: kgd})
+	}
+	return DieCost{Name: c.Name, Node: c.Node, AreaMM2: area, Raw: raw, Yield: y, KGD: kgd}, nil
+}
+
 // RE computes the recurring cost of one unit of the system.
 func (e *Engine) RE(s system.System) (Breakdown, error) {
 	if err := s.Validate(e.db); err != nil {
@@ -162,33 +225,20 @@ func (e *Engine) RE(s system.System) (Breakdown, error) {
 	areas := make([]float64, len(dies))
 	kgds := make([]float64, len(dies))
 	b.Dies = make([]DieCost, len(dies))
+	var tally cacheTally
 	for i, c := range dies {
-		node, err := e.db.Node(c.Node)
+		dc, err := e.dieCost(c, &tally)
 		if err != nil {
 			return Breakdown{}, err
 		}
-		area := c.DieArea()
-		perDie, err := e.params.Wafer.CostPerRawDie(e.params.Estimator, node.WaferCost, area)
-		if err != nil {
-			return Breakdown{}, fmt.Errorf("cost: die %q: %w", c.Name, err)
-		}
-		raw := perDie + (node.BumpCostPerMM2+node.SortCostPerMM2)*area
-		y := node.Yield(area)
-		if c.Salvage != nil {
-			// Partial-good harvesting credits degraded bins against
-			// this die's cost (yield.Salvage).
-			y = yield.Salvage{
-				Model:               node.YieldModel(),
-				SalvageableFraction: c.Salvage.Fraction,
-				SalvageValue:        c.Salvage.Value,
-			}.EffectiveYield(area)
-		}
-		kgd := raw / y
-		b.Dies[i] = DieCost{Name: c.Name, Node: c.Node, AreaMM2: area, Raw: raw, Yield: y, KGD: kgd}
-		b.RawChips += raw
-		b.ChipDefects += raw * (1/y - 1)
-		areas[i] = area
-		kgds[i] = kgd
+		b.Dies[i] = dc
+		b.RawChips += dc.Raw
+		b.ChipDefects += dc.Raw * (1/dc.Yield - 1)
+		areas[i] = dc.AreaMM2
+		kgds[i] = dc.KGD
+	}
+	if e.cache != nil {
+		e.cache.note(tally)
 	}
 
 	asm := packaging.Assembly{DieAreasMM2: areas, KGDCosts: kgds}

@@ -7,6 +7,7 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,6 +19,13 @@ import (
 	"chipletactuary/internal/tech"
 )
 
+// ErrInfeasible is wrapped by the decision finders when the question
+// has no answer in the searched space — a challenger that never pays
+// back, a sweep with no manufacturable partition, a bracket with no
+// crossover. Callers can classify these outcomes with errors.Is and
+// distinguish them from configuration mistakes.
+var ErrInfeasible = errors.New("infeasible")
+
 // Evaluator bundles the RE and NRE engines over one parameter set.
 type Evaluator struct {
 	Cost *cost.Engine
@@ -28,6 +36,22 @@ type Evaluator struct {
 // parameters.
 func NewEvaluator(db *tech.Database, params packaging.Params) (*Evaluator, error) {
 	ce, err := cost.NewEngine(db, params)
+	if err != nil {
+		return nil, err
+	}
+	ne, err := nre.NewEngine(db, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{Cost: ce, NRE: ne}, nil
+}
+
+// NewEvaluatorWithCache builds an evaluator whose cost engine memoizes
+// die evaluations in a bounded concurrent cache (see cost.DieKey).
+// Sweeps and portfolios revisit the same die shapes constantly, so a
+// shared cache removes most of the per-request yield/geometry work.
+func NewEvaluatorWithCache(db *tech.Database, params packaging.Params, cacheSize int) (*Evaluator, error) {
+	ce, err := cost.NewEngineWithCache(db, params, cacheSize)
 	if err != nil {
 		return nil, err
 	}
@@ -109,11 +133,11 @@ func (e *Evaluator) CrossoverQuantity(incumbent, challenger system.System) (floa
 	nreI, nreC := ti.NRE.Total(), tc.NRE.Total() // evaluated at q=1 ⇒ totals
 	if reC >= reI {
 		if nreC >= nreI {
-			return 0, fmt.Errorf("explore: %q never pays back against %q (RE %.2f ≥ %.2f, NRE %.3g ≥ %.3g)",
-				challenger.Name, incumbent.Name, reC, reI, nreC, nreI)
+			return 0, fmt.Errorf("explore: %w: %q never pays back against %q (RE %.2f ≥ %.2f, NRE %.3g ≥ %.3g)",
+				ErrInfeasible, challenger.Name, incumbent.Name, reC, reI, nreC, nreI)
 		}
-		return 0, fmt.Errorf("explore: %q dominates %q outright on NRE with no RE penalty; no crossover",
-			challenger.Name, incumbent.Name)
+		return 0, fmt.Errorf("explore: %w: %q dominates %q outright on NRE with no RE penalty; no crossover",
+			ErrInfeasible, challenger.Name, incumbent.Name)
 	}
 	if nreC <= nreI {
 		return 0, nil // cheaper on both axes: pays back immediately
@@ -163,8 +187,8 @@ func (e *Evaluator) OptimalChipletCount(node string, moduleAreaMM2 float64, maxK
 		}
 	}
 	if len(points) == 0 {
-		return nil, 0, fmt.Errorf("explore: no feasible partition of %.0f mm² on %s up to k=%d",
-			moduleAreaMM2, node, maxK)
+		return nil, 0, fmt.Errorf("explore: %w: no feasible partition of %.0f mm² on %s up to k=%d",
+			ErrInfeasible, moduleAreaMM2, node, maxK)
 	}
 	return points, best, nil
 }
@@ -245,8 +269,8 @@ func (e *Evaluator) AreaCrossover(node string, k int, scheme packaging.Scheme,
 		return loMM2, nil // multi-chip already wins at the lower edge
 	}
 	if hi < 0 {
-		return 0, fmt.Errorf("explore: no crossover: %d-chiplet %v still loses to SoC at %.0f mm²",
-			k, scheme, hiMM2)
+		return 0, fmt.Errorf("explore: %w: no crossover: %d-chiplet %v still loses to SoC at %.0f mm²",
+			ErrInfeasible, k, scheme, hiMM2)
 	}
 	a, b := loMM2, hiMM2
 	for i := 0; i < 80 && b-a > 1e-6*b; i++ {

@@ -13,6 +13,7 @@ package tech
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +21,11 @@ import (
 
 	"chipletactuary/internal/yield"
 )
+
+// ErrUnknownNode is wrapped by Database.Node when a process node is
+// not in the database, so callers can classify lookup failures with
+// errors.Is regardless of the message text.
+var ErrUnknownNode = errors.New("unknown node")
 
 // Node holds every per-process parameter the model needs.
 type Node struct {
@@ -125,7 +131,7 @@ func NewDatabase(nodes ...Node) (*Database, error) {
 func (db *Database) Node(name string) (Node, error) {
 	n, ok := db.nodes[name]
 	if !ok {
-		return Node{}, fmt.Errorf("tech: unknown node %q (have %v)", name, db.Names())
+		return Node{}, fmt.Errorf("tech: %w %q (have %v)", ErrUnknownNode, name, db.Names())
 	}
 	return n, nil
 }

@@ -1,0 +1,372 @@
+package actuary
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/tech"
+)
+
+// PartitionPoint is one entry of a chiplet-count sweep (see
+// Session.Evaluate with QuestionOptimalChipletCount).
+type PartitionPoint = explore.PartitionPoint
+
+// KGDCacheStats reports the shared die-cost cache's counters.
+type KGDCacheStats = cost.CacheStats
+
+// Question selects what a Request asks about.
+type Question int
+
+const (
+	// QuestionTotalCost evaluates Request.System's RE plus amortized
+	// NRE under Request.Policy (§3.2 + §3.3).
+	QuestionTotalCost Question = iota
+	// QuestionRE evaluates only the recurring cost of Request.System.
+	QuestionRE
+	// QuestionWafers computes the wafer starts per node needed to ship
+	// Request.Quantity units of Request.System (defaults to the
+	// system's own quantity).
+	QuestionWafers
+	// QuestionCrossoverQuantity finds the production quantity at which
+	// Request.Challenger's total per-unit cost drops to
+	// Request.Incumbent's (§4.2).
+	QuestionCrossoverQuantity
+	// QuestionOptimalChipletCount sweeps partitions 1..Request.MaxK of
+	// Request.ModuleAreaMM2 on Request.Node and returns the feasible
+	// points plus the cheapest (§6).
+	QuestionOptimalChipletCount
+	// QuestionAreaCrossover finds the module area in
+	// [Request.LoMM2, Request.HiMM2] where Request.K chiplets start
+	// beating the monolithic SoC on RE (§4.1).
+	QuestionAreaCrossover
+)
+
+// String implements fmt.Stringer with the names ParseQuestion accepts.
+func (q Question) String() string {
+	switch q {
+	case QuestionTotalCost:
+		return "total-cost"
+	case QuestionRE:
+		return "re"
+	case QuestionWafers:
+		return "wafers"
+	case QuestionCrossoverQuantity:
+		return "crossover-quantity"
+	case QuestionOptimalChipletCount:
+		return "optimal-chiplet-count"
+	case QuestionAreaCrossover:
+		return "area-crossover"
+	default:
+		return fmt.Sprintf("Question(%d)", int(q))
+	}
+}
+
+// ParseQuestion converts a scenario-file question name to a Question.
+func ParseQuestion(name string) (Question, error) {
+	switch strings.ToLower(name) {
+	case "total-cost", "total":
+		return QuestionTotalCost, nil
+	case "re", "recurring":
+		return QuestionRE, nil
+	case "wafers":
+		return QuestionWafers, nil
+	case "crossover-quantity", "payback":
+		return QuestionCrossoverQuantity, nil
+	case "optimal-chiplet-count", "optimal-k":
+		return QuestionOptimalChipletCount, nil
+	case "area-crossover", "turning":
+		return QuestionAreaCrossover, nil
+	default:
+		return 0, fmt.Errorf("actuary: unknown question %q (want total-cost, re, wafers, crossover-quantity, optimal-chiplet-count or area-crossover)", name)
+	}
+}
+
+// Request is one question of a batch. Only the fields the question
+// consumes need to be set:
+//
+//	QuestionTotalCost            System, Policy
+//	QuestionRE                   System
+//	QuestionWafers               System, Quantity (0 ⇒ System.Quantity)
+//	QuestionCrossoverQuantity    Incumbent, Challenger
+//	QuestionOptimalChipletCount  Node, ModuleAreaMM2, MaxK, Scheme, D2D, Quantity
+//	QuestionAreaCrossover        Node, K, Scheme, D2D, LoMM2, HiMM2
+type Request struct {
+	// ID optionally labels the request; it is echoed in the Result and
+	// in structured errors. Purely for the caller's bookkeeping.
+	ID string
+	// Question selects the evaluation.
+	Question Question
+
+	// System is the subject of TotalCost, RE and Wafers questions.
+	System System
+	// Policy selects NRE amortization for TotalCost (the zero value is
+	// PerSystemUnit, the paper's default).
+	Policy AmortizationPolicy
+	// Quantity is the production volume for Wafers (0 falls back to
+	// System.Quantity) and OptimalChipletCount.
+	Quantity float64
+
+	// Incumbent and Challenger are the two designs compared by
+	// CrossoverQuantity.
+	Incumbent  System
+	Challenger System
+
+	// Node, ModuleAreaMM2, Scheme and D2D describe the design space of
+	// the sweep questions. A nil D2D means zero interface overhead.
+	Node          string
+	ModuleAreaMM2 float64
+	Scheme        Scheme
+	D2D           D2DOverhead
+	// MaxK bounds the OptimalChipletCount sweep; K is the fixed
+	// partition count of AreaCrossover.
+	MaxK int
+	K    int
+	// LoMM2 and HiMM2 bracket the AreaCrossover search.
+	LoMM2 float64
+	HiMM2 float64
+}
+
+// Result is the answer to one Request. Index, ID and Question echo
+// the request; exactly one of the payload fields is populated on
+// success, selected by the question. On failure Err holds an *Error
+// and the payload fields are zero.
+type Result struct {
+	// Index is the request's position in the batch — results are
+	// always returned in input order, so Results[i].Index == i.
+	Index int
+	// ID echoes Request.ID.
+	ID string
+	// Question echoes Request.Question.
+	Question Question
+
+	// TotalCost answers QuestionTotalCost.
+	TotalCost *TotalCost
+	// RE answers QuestionRE.
+	RE *REBreakdown
+	// Wafers answers QuestionWafers.
+	Wafers *WaferDemand
+	// Quantity answers QuestionCrossoverQuantity.
+	Quantity float64
+	// AreaMM2 answers QuestionAreaCrossover.
+	AreaMM2 float64
+	// Points and Best answer QuestionOptimalChipletCount.
+	Points []PartitionPoint
+	Best   int
+
+	// Err is nil on success and an *Error otherwise; one bad request
+	// never fails the rest of the batch.
+	Err error
+}
+
+// Option configures a Session (functional options).
+type Option func(*sessionConfig)
+
+type sessionConfig struct {
+	db         *TechDatabase
+	params     PackagingParams
+	hasParams  bool
+	workers    int
+	cacheSize  int
+	hasCacheSz bool
+}
+
+// WithTech selects the technology database (default: the built-in
+// one).
+func WithTech(db *TechDatabase) Option {
+	return func(c *sessionConfig) { c.db = db }
+}
+
+// WithPackaging selects the packaging parameters (default: the
+// calibrated constants).
+func WithPackaging(p PackagingParams) Option {
+	return func(c *sessionConfig) { c.params = p; c.hasParams = true }
+}
+
+// WithWorkers sets how many goroutines Evaluate fans a batch out
+// over. The default is runtime.GOMAXPROCS(0); values below 1 are
+// raised to 1.
+func WithWorkers(n int) Option {
+	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithCacheSize bounds the shared known-good-die cost cache (entries,
+// not bytes). The default is 4096; 0 disables memoization entirely.
+func WithCacheSize(n int) Option {
+	return func(c *sessionConfig) { c.cacheSize = n; c.hasCacheSz = true }
+}
+
+// DefaultCacheSize is the KGD cache bound used when WithCacheSize is
+// not given. A sweep touches one cache entry per distinct die shape,
+// so 4096 covers even the Figure 10 portfolio workloads many times
+// over.
+const DefaultCacheSize = 4096
+
+// Session is the batch evaluation handle: a technology database and
+// packaging parameter set, a worker pool width, and a shared die-cost
+// cache. A Session is immutable after construction and safe for
+// concurrent use; one Session is meant to serve many Evaluate calls.
+type Session struct {
+	db      *TechDatabase
+	params  PackagingParams
+	ev      *explore.Evaluator
+	workers int
+}
+
+// NewSession builds a Session. With no options it mirrors New():
+// built-in technology database, calibrated packaging parameters, one
+// worker per CPU, and a DefaultCacheSize-entry KGD cache.
+func NewSession(opts ...Option) (*Session, error) {
+	cfg := sessionConfig{workers: runtime.GOMAXPROCS(0), cacheSize: DefaultCacheSize}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.db == nil {
+		cfg.db = tech.Default()
+	}
+	if !cfg.hasParams {
+		cfg.params = packaging.DefaultParams()
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	ev, err := explore.NewEvaluatorWithCache(cfg.db, cfg.params, cfg.cacheSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: cfg.db, params: cfg.params, ev: ev, workers: cfg.workers}, nil
+}
+
+// Tech returns the session's technology database.
+func (s *Session) Tech() *TechDatabase { return s.db }
+
+// Packaging returns the session's packaging parameters.
+func (s *Session) Packaging() PackagingParams { return s.params }
+
+// Evaluator exposes the underlying exploration evaluator for advanced
+// use (sensitivity studies, custom sweeps).
+func (s *Session) Evaluator() *explore.Evaluator { return s.ev }
+
+// CacheStats reports the shared KGD cache's hit/miss counters.
+func (s *Session) CacheStats() KGDCacheStats { return s.ev.Cost.CacheStats() }
+
+// Evaluate answers a batch of requests, fanning them out over the
+// session's worker pool. Results come back in input order — result i
+// always answers request i. Failures are isolated per request: a bad
+// node or infeasible sweep yields a Result with a structured *Error
+// while the rest of the batch proceeds. Canceling ctx stops the
+// batch; requests not yet evaluated return ErrCanceled results.
+func (s *Session) Evaluate(ctx context.Context, reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	workers := s.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int, len(reqs))
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[i] = s.fail(i, reqs[i], err)
+					continue
+				}
+				results[i] = s.evaluateOne(i, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// fail builds the structured-error Result for request i.
+func (s *Session) fail(i int, req Request, err error) Result {
+	return Result{Index: i, ID: req.ID, Question: req.Question, Err: &Error{
+		Code:     classify(err),
+		Index:    i,
+		ID:       req.ID,
+		Question: req.Question,
+		Err:      err,
+	}}
+}
+
+// evaluateOne answers a single request synchronously.
+func (s *Session) evaluateOne(i int, req Request) Result {
+	res := Result{Index: i, ID: req.ID, Question: req.Question}
+	switch req.Question {
+	case QuestionTotalCost:
+		tc, err := s.ev.Single(req.System, req.Policy)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.TotalCost = &tc
+
+	case QuestionRE:
+		re, err := s.ev.Cost.RE(req.System)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.RE = &re
+
+	case QuestionWafers:
+		quantity := req.Quantity
+		if quantity == 0 {
+			quantity = req.System.Quantity
+		}
+		wd, err := s.ev.Cost.Wafers(req.System, quantity)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.Wafers = &wd
+
+	case QuestionCrossoverQuantity:
+		q, err := s.ev.CrossoverQuantity(req.Incumbent, req.Challenger)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.Quantity = q
+
+	case QuestionOptimalChipletCount:
+		points, best, err := s.ev.OptimalChipletCount(req.Node, req.ModuleAreaMM2,
+			req.MaxK, req.Scheme, req.D2D, req.Quantity)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.Points, res.Best = points, best
+
+	case QuestionAreaCrossover:
+		area, err := s.ev.AreaCrossover(req.Node, req.K, req.Scheme, req.D2D,
+			req.LoMM2, req.HiMM2)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.AreaMM2 = area
+
+	default:
+		return s.fail(i, req, fmt.Errorf("actuary: unknown question %v", req.Question))
+	}
+	return res
+}
+
+// Portfolio evaluates a family of systems that share module, chip and
+// package designs (§3.3), keyed by system name. Portfolios are
+// inherently cross-system — every member's NRE share depends on every
+// other member — so they ride beside the per-request batch API rather
+// than inside it.
+func (s *Session) Portfolio(systems []System, policy AmortizationPolicy) (map[string]TotalCost, error) {
+	return s.ev.Portfolio(systems, policy)
+}
