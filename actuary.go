@@ -24,6 +24,11 @@
 // structured *actuary.Error instead of sinking the batch. The legacy
 // single-shot Actuary handle remains as a deprecated wrapper.
 //
+// Design-space sweeps should stream instead of materializing: a lazy
+// SweepGrid generator feeds Session.Stream, and online aggregators
+// (CostTopK, CostPareto, StreamStats) reduce arbitrarily large grids
+// in O(K) memory — see the stream.go API and QuestionSweepBest.
+//
 // The internal packages (yield, wafer geometry, technology database,
 // packaging, NRE, reuse schemes, exploration, paper experiments) are
 // exposed here through type aliases, so this package is the only

@@ -320,6 +320,132 @@ func BenchmarkSessionEvaluateBatch(b *testing.B) {
 	})
 }
 
+// streamBenchGrid builds an area × 8-count design space; stepMM2 10
+// gives 568 points, 1.25 gives 4488 (the "8x" size).
+func streamBenchGrid(b *testing.B, stepMM2 float64) SweepGrid {
+	b.Helper()
+	areas, err := SweepAreaRange(100, 800, stepMM2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := SweepCountRange(1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return SweepGrid{
+		Name:       "bench",
+		Nodes:      []string{"5nm"},
+		Schemes:    []packaging.Scheme{packaging.MCM},
+		AreasMM2:   areas,
+		Counts:     counts,
+		Quantities: []float64{1_000_000},
+		D2D:        D2DFraction(0.10),
+	}
+}
+
+// BenchmarkSessionStreamSweep compares the two faces of the sweep
+// pipeline at two grid sizes (568 and 4488 points): "streamed" pulls
+// lazily from the generator through Session.Stream into an online
+// top-K, "materialized" builds the full request and result slices the
+// way the pre-streaming API had to. Per-point evaluation dominates
+// allocs/op in both arms; the signal is in the *difference* — the
+// materialized arm's extra B/op over streamed grows with grid size
+// (the slices), the streamed arm's pipeline overhead does not. The
+// retained-memory boundedness claim is additionally pinned by
+// TestStreamLazyGeneration (the source is never pulled more than the
+// in-flight window ahead of the consumer).
+func BenchmarkSessionStreamSweep(b *testing.B) {
+	ctx := context.Background()
+	sizes := []struct {
+		name string
+		step float64
+	}{
+		{"568pt", 10},
+		{"4488pt", 1.25},
+	}
+	for _, size := range sizes {
+		b.Run("streamed-"+size.name, func(b *testing.B) {
+			s, err := NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grid := streamBenchGrid(b, size.step)
+				src, err := SweepSource(grid.Points(), QuestionTotalCost, PerSystemUnit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch, err := s.Stream(ctx, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				top := NewCostTopK(5)
+				var stats StreamStats
+				Reduce(ch, top, &stats)
+				if stats.Failed != 0 || len(top.Results()) != 5 {
+					b.Fatalf("stream failed: %+v", stats)
+				}
+			}
+		})
+		b.Run("materialized-"+size.name, func(b *testing.B) {
+			s, err := NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grid := streamBenchGrid(b, size.step)
+				src, err := SweepSource(grid.Points(), QuestionTotalCost, PerSystemUnit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var reqs []Request
+				for {
+					r, ok := src.Next()
+					if !ok {
+						break
+					}
+					reqs = append(reqs, r)
+				}
+				results := s.Evaluate(ctx, reqs)
+				top := NewCostTopK(5)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					top.Observe(r)
+				}
+				if len(top.Results()) != 5 {
+					b.Fatal("top-K lost results")
+				}
+			}
+		})
+	}
+	// One sweep-best request answers the whole grid inside the worker:
+	// the one-request face of the same pipeline.
+	b.Run("sweep-best-question", func(b *testing.B) {
+		s, err := NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			grid := streamBenchGrid(b, 10)
+			r := s.Evaluate(ctx, []Request{{Question: QuestionSweepBest, Grid: &grid, TopK: 5}})[0]
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if len(r.SweepBest.Top) != 5 {
+				b.Fatal("sweep-best lost results")
+			}
+		}
+	})
+}
+
 // BenchmarkSingleSystemRE measures the core RE evaluation alone — the
 // unit of work every figure is built from.
 func BenchmarkSingleSystemRE(b *testing.B) {

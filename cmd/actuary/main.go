@@ -5,13 +5,20 @@
 //
 //	actuary -config system.json    [-tech tech.json] [-policy per-system-unit] [-quantity N]
 //	actuary -portfolio family.json [flags]
-//	actuary -scenario batch.json   [-workers N] [flags]
+//	actuary -scenario batch.json   [-workers N] [-top N] [-pareto] [flags]
 //
 // -config evaluates one system (schema: actuary.SystemConfig, example
 // in cmd/actuary/testdata/epyc.json); -portfolio a family of systems
 // sharing designs; -scenario a v2 batch scenario (schema:
 // actuary.ScenarioConfig — systems, declarative sweeps and question
 // selection) fanned out over a concurrent Session.
+//
+// With -top N and/or -pareto the scenario is streamed instead of
+// materialized: requests flow lazily from the sweep grids through
+// Session.Stream into online aggregators, so memory stays O(N + front)
+// however many points the scenario declares. -top prints the N
+// cheapest total-cost points; -pareto prints the RE-vs-amortized-NRE
+// Pareto front.
 package main
 
 import (
@@ -44,6 +51,8 @@ func run(args []string, out io.Writer) error {
 	quantity := fs.Float64("quantity", 0, "override the config's production quantity")
 	designs := fs.Bool("designs", false, "also print the de-duplicated NRE design inventory")
 	workers := fs.Int("workers", 0, "worker pool width for -scenario (default: one per CPU)")
+	topN := fs.Int("top", 0, "stream -scenario and print only the N cheapest total-cost points")
+	pareto := fs.Bool("pareto", false, "stream -scenario and print the RE vs amortized-NRE Pareto front")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +94,13 @@ func run(args []string, out io.Writer) error {
 		if set["policy"] {
 			policyOverride = *policyName
 		}
-		return runScenario(out, db, *scenarioPath, *workers, policyOverride)
+		if *topN < 0 {
+			return fmt.Errorf("-top wants a positive count, got %d", *topN)
+		}
+		return runScenario(out, db, *scenarioPath, *workers, policyOverride, *topN, *pareto)
+	}
+	if *topN != 0 || *pareto {
+		return fmt.Errorf("-top and -pareto require -scenario")
 	}
 	a, err := actuary.NewWithConfig(db, actuary.DefaultPackaging())
 	if err != nil {
@@ -139,9 +154,11 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runScenario compiles a v2 scenario into one batch and evaluates it
-// on a concurrent Session.
-func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers int, policyOverride string) error {
+// runScenario evaluates a v2 scenario on a concurrent Session: as a
+// materialized batch by default, or — when -top/-pareto ask for an
+// aggregate — as a lazy stream reduced online in bounded memory.
+func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers int,
+	policyOverride string, topN int, pareto bool) error {
 	cfg, err := actuary.LoadScenarioConfig(path)
 	if err != nil {
 		return err
@@ -149,15 +166,18 @@ func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers i
 	if policyOverride != "" {
 		cfg.Policy = policyOverride
 	}
-	reqs, err := cfg.Requests()
-	if err != nil {
-		return err
-	}
 	opts := []actuary.Option{actuary.WithTech(db)}
 	if workers > 0 {
 		opts = append(opts, actuary.WithWorkers(workers))
 	}
 	s, err := actuary.NewSession(opts...)
+	if err != nil {
+		return err
+	}
+	if topN > 0 || pareto {
+		return streamScenario(out, s, cfg, topN, pareto)
+	}
+	reqs, err := cfg.Requests()
 	if err != nil {
 		return err
 	}
@@ -178,6 +198,103 @@ func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers i
 	stats := s.CacheStats()
 	fmt.Fprintf(out, "\n%d ok, %d failed; KGD cache: %d hits, %d misses\n",
 		len(results)-failures, failures, stats.Hits, stats.Misses)
+	return nil
+}
+
+// streamScenario drives the scenario through Session.Stream and online
+// aggregators instead of materializing a request slice.
+func streamScenario(out io.Writer, s *actuary.Session, cfg actuary.ScenarioConfig, topN int, pareto bool) error {
+	// When total-cost is also selected, every sweep point already
+	// reaches the aggregators as its own result; a sweep-best answer
+	// over the same grid would feed them the winners a second time.
+	hasTotalCost := len(cfg.Questions) == 0
+	hasSweepBest := false
+	for _, name := range cfg.Questions {
+		q, err := actuary.ParseQuestion(name)
+		if err != nil {
+			return err
+		}
+		hasTotalCost = hasTotalCost || q == actuary.QuestionTotalCost
+		hasSweepBest = hasSweepBest || q == actuary.QuestionSweepBest
+	}
+	if hasTotalCost && hasSweepBest {
+		kept := cfg.Questions[:0:0]
+		for _, name := range cfg.Questions {
+			if q, _ := actuary.ParseQuestion(name); q != actuary.QuestionSweepBest {
+				kept = append(kept, name)
+			}
+		}
+		cfg.Questions = kept
+		fmt.Fprintln(out, "note: sweep-best skipped under -top/-pareto (per-point total-cost results already cover every sweep point)")
+	}
+	// A sweep-best answer only retains its own top_k points; make sure
+	// each sweep keeps at least the -top N the user asked to see.
+	if topN > 0 {
+		sweeps := make([]actuary.SweepConfig, len(cfg.Sweeps))
+		copy(sweeps, cfg.Sweeps)
+		for i := range sweeps {
+			if sweeps[i].TopK < topN {
+				sweeps[i].TopK = topN
+			}
+		}
+		cfg.Sweeps = sweeps
+	}
+	src, err := cfg.Source()
+	if err != nil {
+		return err
+	}
+	ch, err := s.Stream(context.Background(), src)
+	if err != nil {
+		return err
+	}
+	var stats actuary.StreamStats
+	aggs := []actuary.StreamAggregator{&stats}
+	var top *actuary.CostTopK
+	if topN > 0 {
+		top = actuary.NewCostTopK(topN)
+		aggs = append(aggs, top)
+	}
+	var front *actuary.CostPareto
+	if pareto {
+		front = actuary.NewCostPareto()
+		aggs = append(aggs, front)
+	}
+	seen := actuary.Reduce(ch, aggs...)
+	if seen == 0 {
+		return fmt.Errorf("scenario %q streamed no results (every sweep point pruned)", cfg.Name)
+	}
+
+	fmt.Fprintf(out, "scenario %q: %d result(s) streamed\n\n", cfg.Name, seen)
+	if top != nil {
+		tab := report.NewTable(fmt.Sprintf("Top %d design points by total cost", topN),
+			"request", "total", "RE", "NRE/unit")
+		for _, r := range top.Results() {
+			tab.MustAddRow(r.ID, units.Dollars(r.TotalCost.Total()),
+				units.Dollars(r.TotalCost.RE.Total()), units.Dollars(r.TotalCost.NRE.Total()))
+		}
+		if err := tab.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if front != nil {
+		tab := report.NewTable("Pareto front: RE vs amortized NRE (both minimized)",
+			"request", "RE", "NRE/unit", "total")
+		for _, r := range front.Front() {
+			tab.MustAddRow(r.ID, units.Dollars(r.TotalCost.RE.Total()),
+				units.Dollars(r.TotalCost.NRE.Total()), units.Dollars(r.TotalCost.Total()))
+		}
+		if err := tab.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	cache := s.CacheStats()
+	fmt.Fprintf(out, "%d ok, %d failed, %d non-cost", stats.OK, stats.Failed, stats.Skipped)
+	if stats.Cost.Count > 0 {
+		fmt.Fprintf(out, "; cheapest %s at %s", stats.Cost.MinID, units.Dollars(stats.Cost.Min))
+	}
+	fmt.Fprintf(out, "; KGD cache: %d hits, %d misses\n", cache.Hits, cache.Misses)
 	return nil
 }
 
@@ -209,6 +326,15 @@ func renderAnswer(r actuary.Result) string {
 			best.Chiplets, units.Dollars(best.Total.Total()), len(r.Points))
 	case actuary.QuestionAreaCrossover:
 		return fmt.Sprintf("crossover at %s", units.Area(r.AreaMM2))
+	case actuary.QuestionSweepBest:
+		b := r.SweepBest
+		best := b.Top[0]
+		answer := fmt.Sprintf("best %s at %s/unit (%d evaluated, %d pruned, front %d)",
+			best.ID, units.Dollars(best.Total.Total()), b.Summary.Count, b.Pruned, len(b.Pareto))
+		if b.Infeasible > 0 {
+			answer += fmt.Sprintf("; %d point(s) failed, first: %v", b.Infeasible, b.FirstFailure)
+		}
+		return answer
 	default:
 		return "?"
 	}

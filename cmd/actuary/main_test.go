@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -124,6 +126,146 @@ func TestRunScenarioErrors(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-designs"}, &out); err == nil {
 		t.Error("-designs accepted with -scenario")
+	}
+}
+
+func TestRunScenarioTopMatchesMaterialized(t *testing.T) {
+	// The streamed -top path must surface exactly the points the
+	// materialized batch ranks cheapest, in the same order.
+	cfg, err := actuary.LoadScenarioConfig("testdata/roadmap-scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costed []actuary.Result
+	for _, r := range s.Evaluate(context.Background(), reqs) {
+		if r.Err == nil && r.TotalCost != nil {
+			costed = append(costed, r)
+		}
+	}
+	sort.Slice(costed, func(i, j int) bool {
+		return costed[i].TotalCost.Total() < costed[j].TotalCost.Total()
+	})
+	if len(costed) < 3 {
+		t.Fatalf("scenario yields only %d total-cost results", len(costed))
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(got, "\n")
+	// The three best IDs must appear in the table, in rank order.
+	pos := make([]int, 3)
+	for rank := 0; rank < 3; rank++ {
+		pos[rank] = -1
+		for i, line := range lines {
+			if strings.HasPrefix(line, costed[rank].ID+" ") || strings.HasPrefix(line, costed[rank].ID+"\t") ||
+				strings.Contains(line, costed[rank].ID+" ") {
+				pos[rank] = i
+				break
+			}
+		}
+		if pos[rank] == -1 {
+			t.Fatalf("streamed top-3 missing rank-%d point %q:\n%s", rank, costed[rank].ID, got)
+		}
+	}
+	if !(pos[0] < pos[1] && pos[1] < pos[2]) {
+		t.Errorf("top-3 rows out of rank order (%v):\n%s", pos, got)
+	}
+	// A worse point must not appear in the table section.
+	worst := costed[len(costed)-1]
+	if worst.ID != costed[0].ID && worst.ID != costed[1].ID && worst.ID != costed[2].ID {
+		if strings.Contains(got, worst.ID) && !strings.Contains(got, "cheapest "+worst.ID) {
+			t.Errorf("streamed top-3 leaked non-top point %q:\n%s", worst.ID, got)
+		}
+	}
+}
+
+func TestRunScenarioPareto(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-pareto"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Pareto front", "result(s) streamed", "cheapest", "KGD cache"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pareto output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScenarioSweepBest(t *testing.T) {
+	// The v2 schema's multi-axis sweep (nodes × schemes × area_range ×
+	// count_range) compiles to one sweep-best request answered in
+	// O(top_k) memory.
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "testdata/streaming-scenario.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"streaming-roadmap", "explore/sweep-best", "best explore-",
+		"evaluated", "pruned", "0 failed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep-best output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTopNoDoubleCountWithSweepBest(t *testing.T) {
+	// A scenario selecting both total-cost and sweep-best must not
+	// feed the aggregators each design point twice: the -top table
+	// lists distinct points only.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "both.json")
+	cfg := `{"version": 2, "name": "both",
+	  "questions": ["total-cost", "sweep-best"],
+	  "sweeps": [{"name": "sw", "node": "5nm", "scheme": "MCM", "d2d_fraction": 0.10,
+	    "quantity": 1000000, "areas_mm2": [400, 800], "counts": [1, 2]}]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", path, "-top", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Count table rows only (the footer repeats the cheapest ID).
+	s := out.String()
+	start := strings.Index(s, "Top 4")
+	if start < 0 {
+		t.Fatalf("output lost the top table:\n%s", s)
+	}
+	table := s[start:]
+	if end := strings.Index(table, "\n\n"); end >= 0 {
+		table = table[:end]
+	}
+	for _, id := range []string{"sw-a400-k1", "sw-a400-k2", "sw-a800-k1", "sw-a800-k2"} {
+		if got := strings.Count(table, id+"/total-cost"); got != 1 {
+			t.Errorf("point %s listed %d times in the top table, want 1:\n%s", id, got, s)
+		}
+	}
+}
+
+func TestRunTopParetoFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "testdata/epyc.json", "-top", "3"}, &out); err == nil {
+		t.Error("-top accepted without -scenario")
+	}
+	if err := run([]string{"-portfolio", "testdata/scms-family.json", "-pareto"}, &out); err == nil {
+		t.Error("-pareto accepted without -scenario")
+	}
+	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-top", "-2"}, &out); err == nil {
+		t.Error("negative -top accepted")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/sweep"
 	"chipletactuary/internal/system"
 )
 
@@ -179,31 +180,65 @@ type ScenarioConfig struct {
 }
 
 // SweepConfig declares a grid of equal-partition design points: every
-// (area, count) pair becomes one system, monolithic when count is 1.
+// (node, scheme, quantity, area, count) combination becomes one
+// system, monolithic when count is 1. Axes may be given as singular
+// fields (node, scheme, quantity), explicit lists (nodes, schemes,
+// quantities, areas_mm2, counts) or inclusive ranges (area_range,
+// count_range); grids expand lazily, so a sweep may declare far more
+// points than would fit in memory as a request slice.
 type SweepConfig struct {
 	// Name prefixes the generated request IDs.
 	Name string `json:"name"`
-	// Node is the process node of every point.
-	Node string `json:"node"`
+	// Node is the process node of every point; Nodes sweeps several.
+	// Exactly one of the two must be set.
+	Node  string   `json:"node,omitempty"`
+	Nodes []string `json:"nodes,omitempty"`
 	// Scheme is the multi-chip integration scheme ("MCM", "InFO",
-	// "2.5D") used for counts above 1.
-	Scheme string `json:"scheme"`
+	// "2.5D") used for counts above 1; Schemes sweeps several.
+	Scheme  string   `json:"scheme,omitempty"`
+	Schemes []string `json:"schemes,omitempty"`
 	// D2DFraction sizes the die-to-die interface of multi-chip points
 	// as a fraction of die area, in [0, 1).
 	D2DFraction float64 `json:"d2d_fraction,omitempty"`
-	// Quantity is the production volume of every point.
-	Quantity float64 `json:"quantity"`
-	// AreasMM2 are the total module areas to sweep.
-	AreasMM2 []float64 `json:"areas_mm2"`
-	// Counts are the partition counts to sweep.
-	Counts []int `json:"counts"`
+	// Quantity is the production volume of every point; Quantities
+	// sweeps several.
+	Quantity   float64   `json:"quantity,omitempty"`
+	Quantities []float64 `json:"quantities,omitempty"`
+	// AreasMM2 are the total module areas to sweep; AreaRange appends
+	// an inclusive stepped range. At least one must be non-empty.
+	AreasMM2  []float64        `json:"areas_mm2,omitempty"`
+	AreaRange *AreaRangeConfig `json:"area_range,omitempty"`
+	// Counts are the partition counts to sweep; CountRange appends an
+	// inclusive range. At least one must be non-empty.
+	Counts     []int             `json:"counts,omitempty"`
+	CountRange *CountRangeConfig `json:"count_range,omitempty"`
 	// MaxK bounds optimal-chiplet-count requests; the default is the
-	// largest entry of Counts.
+	// largest entry of the count axis.
 	MaxK int `json:"max_k,omitempty"`
 	// LoMM2 and HiMM2 bracket area-crossover requests; both must be
 	// set when that question is selected.
 	LoMM2 float64 `json:"lo_mm2,omitempty"`
 	HiMM2 float64 `json:"hi_mm2,omitempty"`
+	// TopK bounds the best-point list of sweep-best requests (default
+	// 1).
+	TopK int `json:"top_k,omitempty"`
+	// Prune drops reticle-infeasible points before evaluation instead
+	// of reporting their infeasibility errors. Sweep-best requests
+	// always prune.
+	Prune bool `json:"prune,omitempty"`
+}
+
+// AreaRangeConfig is an inclusive stepped module-area range.
+type AreaRangeConfig struct {
+	LoMM2   float64 `json:"lo_mm2"`
+	HiMM2   float64 `json:"hi_mm2"`
+	StepMM2 float64 `json:"step_mm2"`
+}
+
+// CountRangeConfig is an inclusive partition-count range.
+type CountRangeConfig struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // ReadScenarioConfig parses a scenario from r, accepting both the v2
@@ -259,13 +294,17 @@ func ParsePolicy(name string) (AmortizationPolicy, error) {
 	}
 }
 
-// Requests compiles the scenario into one Session.Evaluate batch:
-// each selected question is asked of every explicit system and every
-// sweep point it applies to. Request IDs are deterministic —
+// Source compiles the scenario into a lazy RequestSource for
+// Session.Stream: each selected question is asked of every explicit
+// system and every sweep point it applies to, but sweep grids are
+// expanded on demand — a million-point sweep costs a few hundred bytes
+// of iterator state, not a million Requests. All validation (axes,
+// schemes, questions, policy, explicit systems) happens here, before
+// the first point is generated. Request IDs are deterministic —
 // "<system>/<question>" for systems, "<sweep>-a<area>-k<count>/<question>"
-// for sweep points — so results can be correlated by ID as well as by
-// order.
-func (c ScenarioConfig) Requests() ([]Request, error) {
+// for sweep points (multi-valued node/scheme/quantity axes add
+// segments) — so results can be correlated by ID as well as by index.
+func (c ScenarioConfig) Source() (RequestSource, error) {
 	if len(c.Systems) == 0 && len(c.Sweeps) == 0 {
 		return nil, fmt.Errorf("actuary: scenario %q has no systems and no sweeps", c.Name)
 	}
@@ -283,146 +322,378 @@ func (c ScenarioConfig) Requests() ([]Request, error) {
 			return nil, err
 		}
 	}
-
-	var reqs []Request
-	perSystem := func(id string, s System, q Question) Request {
-		return Request{ID: id + "/" + q.String(), Question: q, System: s, Policy: policy}
-	}
+	systems := make([]System, 0, len(c.Systems))
 	for _, sc := range c.Systems {
 		s, err := sc.Build()
 		if err != nil {
 			return nil, err
 		}
-		for _, q := range questions {
-			switch q {
-			case QuestionTotalCost, QuestionRE, QuestionWafers:
-				reqs = append(reqs, perSystem(s.Name, s, q))
-			}
-		}
+		systems = append(systems, s)
 	}
-
+	sweeps := make([]compiledSweep, 0, len(c.Sweeps))
 	for _, sw := range c.Sweeps {
-		if err := sw.validate(c.Name); err != nil {
-			return nil, err
-		}
-		scheme, err := packaging.ParseScheme(sw.Scheme)
+		cs, err := sw.compile(c.Name, questions)
 		if err != nil {
 			return nil, err
 		}
-		var d2d D2DOverhead = dtod.None{}
-		if sw.D2DFraction > 0 {
-			d2d = dtod.Fraction{F: sw.D2DFraction}
+		sweeps = append(sweeps, cs)
+	}
+
+	// The request count is known statically (pruning never raises it);
+	// reject question/target mismatches before streaming starts.
+	total := 0
+	for _, q := range questions {
+		if perSystemQuestion(q) {
+			total += len(systems)
 		}
-		maxK := sw.MaxK
-		if maxK == 0 {
-			for _, k := range sw.Counts {
-				if k > maxK {
-					maxK = k
-				}
-			}
-		}
-		// Build each (area, count) grid point once, up front.
-		type sweepPoint struct {
-			id     string
-			area   float64
-			k      int
-			system System
-		}
-		var points []sweepPoint
-		for _, area := range sw.AreasMM2 {
-			for _, k := range sw.Counts {
-				id := fmt.Sprintf("%s-a%g-k%d", sw.Name, area, k)
-				sch := scheme
-				if k == 1 {
-					sch = SoC
-				}
-				s, err := system.PartitionEqual(id, sw.Node, area, k, sch, d2d, sw.Quantity)
-				if err != nil {
-					return nil, fmt.Errorf("actuary: sweep %q: %w", sw.Name, err)
-				}
-				points = append(points, sweepPoint{id: id, area: area, k: k, system: s})
-			}
-		}
-		for _, q := range questions {
-			switch q {
-			case QuestionTotalCost, QuestionRE, QuestionWafers:
-				for _, p := range points {
-					reqs = append(reqs, perSystem(p.id, p.system, q))
-				}
-			case QuestionCrossoverQuantity:
-				for _, p := range points {
-					if p.k == 1 {
-						continue // the monolithic point is the incumbent
-					}
-					reqs = append(reqs, Request{
-						ID:       p.id + "/" + q.String(),
-						Question: q,
-						Incumbent: system.Monolithic(fmt.Sprintf("%s-a%g-soc", sw.Name, p.area),
-							sw.Node, p.area, sw.Quantity),
-						Challenger: p.system,
-					})
-				}
-			case QuestionOptimalChipletCount:
-				for _, area := range sw.AreasMM2 {
-					reqs = append(reqs, Request{
-						ID:       fmt.Sprintf("%s-a%g/%s", sw.Name, area, q),
-						Question: q, Node: sw.Node, ModuleAreaMM2: area, MaxK: maxK,
-						Scheme: scheme, D2D: d2d, Quantity: sw.Quantity,
-					})
-				}
-			case QuestionAreaCrossover:
-				if sw.LoMM2 <= 0 || sw.HiMM2 <= sw.LoMM2 {
-					return nil, fmt.Errorf("actuary: sweep %q needs lo_mm2 < hi_mm2 for area-crossover, got [%v, %v]",
-						sw.Name, sw.LoMM2, sw.HiMM2)
-				}
-				for _, k := range sw.Counts {
-					if k < 2 {
-						continue
-					}
-					reqs = append(reqs, Request{
-						ID:       fmt.Sprintf("%s-k%d/%s", sw.Name, k, q),
-						Question: q, Node: sw.Node, K: k, Scheme: scheme, D2D: d2d,
-						LoMM2: sw.LoMM2, HiMM2: sw.HiMM2,
-					})
-				}
-			}
+		for _, cs := range sweeps {
+			total += cs.size(q)
 		}
 	}
-	if len(reqs) == 0 {
+	if total == 0 {
 		return nil, fmt.Errorf("actuary: scenario %q compiles to no requests (questions %v fit nothing)",
 			c.Name, names)
+	}
+
+	stages := []func() RequestSource{systemsStage(systems, questions, policy)}
+	for _, cs := range sweeps {
+		for _, q := range questions {
+			stages = append(stages, cs.stage(q, policy))
+		}
+	}
+	return &chainSource{stages: stages}, nil
+}
+
+// Requests materializes the scenario into one Session.Evaluate batch
+// by draining Source. Prefer Source with Session.Stream for large
+// sweeps — this slice grows linearly with the design space.
+func (c ScenarioConfig) Requests() ([]Request, error) {
+	src, err := c.Source()
+	if err != nil {
+		return nil, err
+	}
+	var reqs []Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, r)
+	}
+	// Source's static count check cannot see pruning; a prune-enabled
+	// sweep whose every point is infeasible drains to nothing.
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("actuary: scenario %q compiles to no requests (every sweep point pruned)", c.Name)
 	}
 	return reqs, nil
 }
 
-// validate checks the sweep's declarative fields.
-func (s SweepConfig) validate(scenario string) error {
+// perSystemQuestion reports whether q is asked of explicit systems
+// and of every generated sweep point.
+func perSystemQuestion(q Question) bool {
+	return q == QuestionTotalCost || q == QuestionRE || q == QuestionWafers
+}
+
+// chainSource concatenates lazily constructed sub-sources.
+type chainSource struct {
+	stages []func() RequestSource
+	cur    RequestSource
+	i      int
+}
+
+func (c *chainSource) Next() (Request, bool) {
+	for {
+		if c.cur == nil {
+			if c.i >= len(c.stages) {
+				return Request{}, false
+			}
+			c.cur = c.stages[c.i]()
+			c.i++
+		}
+		if r, ok := c.cur.Next(); ok {
+			return r, true
+		}
+		c.cur = nil
+	}
+}
+
+// systemsStage yields every per-system question of every explicit
+// system, in scenario order. The systems are already materialized (a
+// scenario declares at most a handful), so this is a plain slice.
+func systemsStage(systems []System, questions []Question, policy AmortizationPolicy) func() RequestSource {
+	return func() RequestSource {
+		var reqs []Request
+		for _, s := range systems {
+			for _, q := range questions {
+				if perSystemQuestion(q) {
+					reqs = append(reqs, Request{ID: s.Name + "/" + q.String(), Question: q, System: s, Policy: policy})
+				}
+			}
+		}
+		return SliceSource(reqs)
+	}
+}
+
+// compiledSweep is a validated SweepConfig: merged axes as a lazy
+// grid plus the per-question parameters.
+type compiledSweep struct {
+	grid  sweep.Grid
+	maxK  int
+	topK  int
+	lo    float64
+	hi    float64
+	prune bool
+}
+
+// dedupAxis drops repeated axis values, keeping first-occurrence
+// order: overlapping lists and ranges would otherwise emit duplicate
+// request IDs and re-evaluate the same points. Deduplication is by
+// exact value — a list entry that nearly (but not exactly) matches a
+// range step stays a distinct design point, since collapsing close
+// values would also destroy deliberately fine-stepped axes.
+func dedupAxis[T comparable](xs []T) []T {
+	seen := make(map[T]bool, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// compile validates the sweep against the selected questions and
+// merges singular fields, lists and ranges into grid axes.
+func (s SweepConfig) compile(scenario string, questions []Question) (compiledSweep, error) {
+	var cs compiledSweep
 	if s.Name == "" {
-		return fmt.Errorf("actuary: scenario %q has an unnamed sweep", scenario)
+		return cs, fmt.Errorf("actuary: scenario %q has an unnamed sweep", scenario)
 	}
-	if s.Node == "" {
-		return fmt.Errorf("actuary: sweep %q needs a node", s.Name)
+	nodes := s.Nodes
+	if s.Node != "" {
+		if len(nodes) > 0 {
+			return cs, fmt.Errorf("actuary: sweep %q sets both node and nodes", s.Name)
+		}
+		nodes = []string{s.Node}
 	}
-	if len(s.AreasMM2) == 0 || len(s.Counts) == 0 {
-		return fmt.Errorf("actuary: sweep %q needs areas_mm2 and counts", s.Name)
+	if len(nodes) == 0 {
+		return cs, fmt.Errorf("actuary: sweep %q needs a node (or nodes)", s.Name)
 	}
-	for _, a := range s.AreasMM2 {
-		if a <= 0 {
-			return fmt.Errorf("actuary: sweep %q has non-positive area %v", s.Name, a)
+	schemeNames := s.Schemes
+	if s.Scheme != "" {
+		if len(schemeNames) > 0 {
+			return cs, fmt.Errorf("actuary: sweep %q sets both scheme and schemes", s.Name)
+		}
+		schemeNames = []string{s.Scheme}
+	}
+	if len(schemeNames) == 0 {
+		return cs, fmt.Errorf("actuary: sweep %q needs a scheme (or schemes)", s.Name)
+	}
+	schemes := make([]Scheme, len(schemeNames))
+	for i, n := range schemeNames {
+		var err error
+		if schemes[i], err = packaging.ParseScheme(n); err != nil {
+			return cs, fmt.Errorf("actuary: sweep %q: %w", s.Name, err)
 		}
 	}
-	for _, k := range s.Counts {
-		if k < 1 {
-			return fmt.Errorf("actuary: sweep %q has partition count %d < 1", s.Name, k)
+	areas := append([]float64(nil), s.AreasMM2...)
+	if s.AreaRange != nil {
+		expanded, err := sweep.AreaRange(s.AreaRange.LoMM2, s.AreaRange.HiMM2, s.AreaRange.StepMM2)
+		if err != nil {
+			return cs, fmt.Errorf("actuary: sweep %q: %w", s.Name, err)
 		}
+		areas = append(areas, expanded...)
+	}
+	if len(areas) == 0 {
+		return cs, fmt.Errorf("actuary: sweep %q needs areas_mm2 and counts (or area_range/count_range)", s.Name)
+	}
+	counts := append([]int(nil), s.Counts...)
+	if s.CountRange != nil {
+		expanded, err := sweep.CountRange(s.CountRange.Lo, s.CountRange.Hi)
+		if err != nil {
+			return cs, fmt.Errorf("actuary: sweep %q: %w", s.Name, err)
+		}
+		counts = append(counts, expanded...)
+	}
+	if len(counts) == 0 {
+		return cs, fmt.Errorf("actuary: sweep %q needs areas_mm2 and counts (or area_range/count_range)", s.Name)
 	}
 	if s.D2DFraction < 0 || s.D2DFraction >= 1 {
-		return fmt.Errorf("actuary: sweep %q has D2D fraction %v outside [0,1)", s.Name, s.D2DFraction)
+		return cs, fmt.Errorf("actuary: sweep %q has D2D fraction %v outside [0,1)", s.Name, s.D2DFraction)
 	}
-	if s.Quantity <= 0 {
-		return fmt.Errorf("actuary: sweep %q needs a positive quantity, got %v", s.Name, s.Quantity)
+	quantities := s.Quantities
+	if s.Quantity != 0 {
+		if len(quantities) > 0 {
+			return cs, fmt.Errorf("actuary: sweep %q sets both quantity and quantities", s.Name)
+		}
+		quantities = []float64{s.Quantity}
 	}
-	return nil
+	if len(quantities) == 0 {
+		return cs, fmt.Errorf("actuary: sweep %q needs a positive quantity, got %v", s.Name, s.Quantity)
+	}
+	var d2d D2DOverhead = dtod.None{}
+	if s.D2DFraction > 0 {
+		d2d = dtod.Fraction{F: s.D2DFraction}
+	}
+	cs.grid = sweep.Grid{
+		Name:       s.Name,
+		Nodes:      dedupAxis(nodes),
+		Schemes:    dedupAxis(schemes),
+		AreasMM2:   dedupAxis(areas),
+		Counts:     dedupAxis(counts),
+		Quantities: dedupAxis(quantities),
+		D2D:        d2d,
+	}
+	if err := cs.grid.Validate(); err != nil {
+		return cs, fmt.Errorf("actuary: sweep %q: %w", s.Name, err)
+	}
+	cs.maxK = s.MaxK
+	if cs.maxK == 0 {
+		cs.maxK = cs.grid.MaxCount()
+	}
+	cs.topK = s.TopK
+	cs.lo, cs.hi = s.LoMM2, s.HiMM2
+	cs.prune = s.Prune
+	for _, q := range questions {
+		if q == QuestionAreaCrossover && (s.LoMM2 <= 0 || s.HiMM2 <= s.LoMM2) {
+			return cs, fmt.Errorf("actuary: sweep %q needs lo_mm2 < hi_mm2 for area-crossover, got [%v, %v]",
+				s.Name, s.LoMM2, s.HiMM2)
+		}
+	}
+	return cs, nil
+}
+
+// points returns a fresh lazy iterator over the sweep's grid.
+func (cs compiledSweep) points() *SweepGenerator {
+	if cs.prune {
+		return cs.grid.Points(sweep.ReticleFit())
+	}
+	return cs.grid.Points()
+}
+
+// countsAbove returns how many count-axis entries exceed k.
+func (cs compiledSweep) countsAbove(k int) int {
+	n := 0
+	for _, c := range cs.grid.Counts {
+		if c > k {
+			n++
+		}
+	}
+	return n
+}
+
+// size returns how many requests question q contributes (before
+// pruning, which only removes points).
+func (cs compiledSweep) size(q Question) int {
+	g := cs.grid
+	combos := len(g.Nodes) * len(g.Schemes) * len(g.Quantities)
+	switch {
+	case perSystemQuestion(q):
+		return g.Size()
+	case q == QuestionCrossoverQuantity:
+		return combos * len(g.AreasMM2) * cs.countsAbove(1)
+	case q == QuestionOptimalChipletCount:
+		return combos * len(g.AreasMM2)
+	case q == QuestionAreaCrossover:
+		return len(g.Nodes) * len(g.Schemes) * cs.countsAbove(1)
+	case q == QuestionSweepBest:
+		return 1
+	}
+	return 0
+}
+
+// stage returns the lazily constructed sub-source answering question q
+// over this sweep. Ordering is question-major (each per-system
+// question re-walks the grid), matching the materialized Requests()
+// order of the pre-streaming schema; rebuilding a point's System per
+// question costs ~100 ns against the ~10 µs its evaluation takes.
+func (cs compiledSweep) stage(q Question, policy AmortizationPolicy) func() RequestSource {
+	return func() RequestSource {
+		switch {
+		case perSystemQuestion(q):
+			src, err := SweepSource(cs.points(), q, policy)
+			if err != nil { // unreachable: the grid was validated in compile
+				return sourceFunc(func() (Request, bool) { return Request{}, false })
+			}
+			return src
+
+		case q == QuestionCrossoverQuantity:
+			gen := cs.points()
+			return sourceFunc(func() (Request, bool) {
+				for {
+					p, ok := gen.Next()
+					if !ok {
+						return Request{}, false
+					}
+					if p.K == 1 {
+						continue // the monolithic point is the incumbent
+					}
+					incumbent := fmt.Sprintf("%s-a%g-soc", cs.grid.ComboID(p.Node, p.Scheme, p.Quantity), p.AreaMM2)
+					return Request{
+						ID:         p.ID + "/" + q.String(),
+						Question:   q,
+						Incumbent:  system.Monolithic(incumbent, p.Node, p.AreaMM2, p.Quantity),
+						Challenger: p.System,
+					}, true
+				}
+			})
+
+		case q == QuestionOptimalChipletCount:
+			g := cs.grid
+			combos := sweep.NewOdometer(len(g.Nodes), len(g.Schemes), len(g.Quantities), len(g.AreasMM2))
+			return sourceFunc(func() (Request, bool) {
+				idx, ok := combos.Next()
+				if !ok {
+					return Request{}, false
+				}
+				node, scheme := g.Nodes[idx[0]], g.Schemes[idx[1]]
+				quantity, area := g.Quantities[idx[2]], g.AreasMM2[idx[3]]
+				return Request{
+					ID:       fmt.Sprintf("%s-a%g/%s", g.ComboID(node, scheme, quantity), area, q),
+					Question: q, Node: node, ModuleAreaMM2: area, MaxK: cs.maxK,
+					Scheme: scheme, D2D: g.D2D, Quantity: quantity,
+				}, true
+			})
+
+		case q == QuestionAreaCrossover:
+			g := cs.grid
+			combos := sweep.NewOdometer(len(g.Nodes), len(g.Schemes), len(g.Counts))
+			return sourceFunc(func() (Request, bool) {
+				for {
+					idx, ok := combos.Next()
+					if !ok {
+						return Request{}, false
+					}
+					k := g.Counts[idx[2]]
+					if k < 2 {
+						continue
+					}
+					node, scheme := g.Nodes[idx[0]], g.Schemes[idx[1]]
+					return Request{
+						ID:       fmt.Sprintf("%s-k%d/%s", g.AxisID(node, scheme), k, q),
+						Question: q, Node: node, K: k, Scheme: scheme, D2D: g.D2D,
+						LoMM2: cs.lo, HiMM2: cs.hi,
+					}, true
+				}
+			})
+
+		case q == QuestionSweepBest:
+			grid := cs.grid
+			emitted := false
+			return sourceFunc(func() (Request, bool) {
+				if emitted {
+					return Request{}, false
+				}
+				emitted = true
+				return Request{
+					ID:       grid.Name + "/" + q.String(),
+					Question: q, Grid: &grid, TopK: cs.topK, Policy: policy,
+				}, true
+			})
+		}
+		return sourceFunc(func() (Request, bool) { return Request{}, false })
+	}
 }
 
 // Build converts the configuration into a System. Validation against

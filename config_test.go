@@ -273,3 +273,167 @@ func TestScenarioConfigErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestSweepConfigAxisCornerCases exercises the multi-axis schema's
+// validation: empty merged axes, inverted or degenerate ranges, and
+// conflicting singular/plural fields.
+func TestSweepConfigAxisCornerCases(t *testing.T) {
+	base := func() SweepConfig {
+		return SweepConfig{Name: "sw", Node: "5nm", Scheme: "MCM",
+			Quantity: 1000, AreasMM2: []float64{400}, Counts: []int{2}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*SweepConfig)
+		want   string
+	}{
+		{"no node axis", func(s *SweepConfig) { s.Node = ""; s.Nodes = nil }, "needs a node"},
+		{"both node and nodes", func(s *SweepConfig) { s.Nodes = []string{"7nm"} }, "both node and nodes"},
+		{"empty node entry", func(s *SweepConfig) { s.Node = ""; s.Nodes = []string{""} }, "empty node"},
+		{"no scheme axis", func(s *SweepConfig) { s.Scheme = ""; s.Schemes = nil }, "needs a scheme"},
+		{"both scheme and schemes", func(s *SweepConfig) { s.Schemes = []string{"InFO"} }, "both scheme and schemes"},
+		{"bad plural scheme", func(s *SweepConfig) { s.Scheme = ""; s.Schemes = []string{"tape"} }, "unknown scheme"},
+		{"empty area axis", func(s *SweepConfig) { s.AreasMM2 = nil }, "areas_mm2"},
+		{"inverted area range", func(s *SweepConfig) {
+			s.AreasMM2 = nil
+			s.AreaRange = &AreaRangeConfig{LoMM2: 800, HiMM2: 200, StepMM2: 50}
+		}, "inverted or non-positive area range"},
+		{"zero area step", func(s *SweepConfig) {
+			s.AreasMM2 = nil
+			s.AreaRange = &AreaRangeConfig{LoMM2: 200, HiMM2: 800, StepMM2: 0}
+		}, "step"},
+		{"empty count axis", func(s *SweepConfig) { s.Counts = nil }, "counts"},
+		{"inverted count range", func(s *SweepConfig) {
+			s.Counts = nil
+			s.CountRange = &CountRangeConfig{Lo: 6, Hi: 2}
+		}, "inverted or sub-1 count range"},
+		{"sub-1 count range", func(s *SweepConfig) {
+			s.Counts = nil
+			s.CountRange = &CountRangeConfig{Lo: 0, Hi: 3}
+		}, "inverted or sub-1 count range"},
+		{"no quantity axis", func(s *SweepConfig) { s.Quantity = 0 }, "positive quantity"},
+		{"both quantity and quantities", func(s *SweepConfig) { s.Quantities = []float64{5} }, "both quantity and quantities"},
+		{"bad plural quantity", func(s *SweepConfig) { s.Quantity = 0; s.Quantities = []float64{-2} }, "non-positive quantity"},
+		{"soc multichip", func(s *SweepConfig) { s.Scheme = "SoC" }, "SoC"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := base()
+			tc.mutate(&sw)
+			cfg := ScenarioConfig{Name: "x", Sweeps: []SweepConfig{sw}}
+			_, err := cfg.Source()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+			// Requests must agree with Source on validation.
+			if _, err := cfg.Requests(); err == nil {
+				t.Error("Requests accepted what Source rejected")
+			}
+		})
+	}
+}
+
+// TestSweepConfigRangeExpansion checks ranges merge with explicit
+// lists into one deduplicated request stream.
+func TestSweepConfigRangeExpansion(t *testing.T) {
+	cfg := ScenarioConfig{
+		Name: "x",
+		Sweeps: []SweepConfig{{
+			Name: "sw", Node: "5nm", Scheme: "MCM", Quantity: 1000,
+			AreasMM2:   []float64{100, 200}, // 200 overlaps the range: deduplicated
+			AreaRange:  &AreaRangeConfig{LoMM2: 200, HiMM2: 400, StepMM2: 100},
+			Counts:     []int{1, 2},
+			CountRange: &CountRangeConfig{Lo: 2, Hi: 3},
+		}},
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 distinct areas (100, 200, 300, 400) × 3 distinct counts.
+	if len(reqs) != 12 {
+		t.Fatalf("got %d requests, want 12", len(reqs))
+	}
+	ids := make(map[string]bool)
+	for _, r := range reqs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate request ID %q from overlapping axes", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	wantIDs := map[string]bool{
+		"sw-a100-k1/total-cost": true, "sw-a400-k3/total-cost": true,
+		"sw-a200-k2/total-cost": true, "sw-a300-k1/total-cost": true,
+	}
+	for _, r := range reqs {
+		delete(wantIDs, r.ID)
+	}
+	if len(wantIDs) != 0 {
+		t.Errorf("missing request IDs: %v", wantIDs)
+	}
+}
+
+// TestScenarioMultiAxisSweep checks multi-valued node/scheme axes
+// label every request unambiguously.
+func TestScenarioMultiAxisSweep(t *testing.T) {
+	cfg := ScenarioConfig{
+		Name:      "x",
+		Questions: []string{"total-cost", "optimal-chiplet-count", "area-crossover"},
+		Sweeps: []SweepConfig{{
+			Name: "ms", Nodes: []string{"5nm", "7nm"}, Schemes: []string{"MCM", "2.5D"},
+			Quantity: 1000, AreasMM2: []float64{400}, Counts: []int{1, 2},
+			LoMM2: 100, HiMM2: 900,
+		}},
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, r := range reqs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate request ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// 2 nodes × 2 schemes × 1 area × 2 counts total-cost points minus
+	// the 2 deduplicated monolithic twins (k=1 is scheme-independent),
+	// 4 optimal-chiplet-count combos, 4 area-crossover combos (k=2
+	// only).
+	if len(reqs) != 6+4+4 {
+		t.Errorf("got %d requests, want 14", len(reqs))
+	}
+	for _, want := range []string{
+		"ms-5nm-SoC-a400-k1/total-cost",
+		"ms-7nm-2.5D-a400-k2/total-cost",
+		"ms-5nm-MCM-a400/optimal-chiplet-count",
+		"ms-7nm-MCM-k2/area-crossover",
+	} {
+		if !seen[want] {
+			t.Errorf("missing request %q", want)
+		}
+	}
+}
+
+// TestScenarioAllPointsPrunedErrors checks a prune-enabled sweep whose
+// every point is infeasible errors instead of silently materializing
+// an empty batch.
+func TestScenarioAllPointsPrunedErrors(t *testing.T) {
+	cfg := ScenarioConfig{
+		Name: "x",
+		Sweeps: []SweepConfig{{
+			Name: "sw", Node: "5nm", Scheme: "MCM", Quantity: 1000,
+			AreasMM2: []float64{2000}, Counts: []int{1}, Prune: true, // over-reticle monolith
+		}},
+	}
+	if _, err := cfg.Requests(); err == nil || !strings.Contains(err.Error(), "pruned") {
+		t.Errorf("all-pruned scenario accepted: %v", err)
+	}
+	// Without pruning the point streams through and fails (or not) at
+	// evaluation instead.
+	cfg.Sweeps[0].Prune = false
+	reqs, err := cfg.Requests()
+	if err != nil || len(reqs) != 1 {
+		t.Errorf("unpruned scenario: %d requests, %v", len(reqs), err)
+	}
+}

@@ -5,9 +5,16 @@ import (
 	"errors"
 	"fmt"
 
+	"chipletactuary/internal/cost"
 	"chipletactuary/internal/explore"
 	"chipletactuary/internal/tech"
 )
+
+// ErrDoesNotFitWafer is the sentinel wrapped by wafer-demand answers
+// when a die or interposer is too large for even one placement on the
+// production wafer. It classifies as ErrInvalidConfig: the geometry,
+// not the production plan, is at fault.
+var ErrDoesNotFitWafer = cost.ErrDoesNotFitWafer
 
 // ErrorCode classifies why one request of a batch failed. The
 // taxonomy lets callers route failures without parsing messages:
@@ -96,6 +103,9 @@ func classify(err error) ErrorCode {
 	case errors.Is(err, explore.ErrInfeasible):
 		return ErrInfeasible
 	default:
+		// Everything else — including cost.ErrDoesNotFitWafer, which
+		// callers can still detect with errors.Is — is a configuration
+		// problem.
 		return ErrInvalidConfig
 	}
 }

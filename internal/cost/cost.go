@@ -12,8 +12,16 @@ import (
 	"chipletactuary/internal/packaging"
 	"chipletactuary/internal/system"
 	"chipletactuary/internal/tech"
+	"chipletactuary/internal/wafer"
 	"chipletactuary/internal/yield"
 )
+
+// ErrDoesNotFitWafer is wrapped by die-cost and wafer-demand answers
+// when a die (or interposer) is too large for even one placement on
+// the production wafer. It is the wafer layer's sentinel, re-exported
+// so cost-level callers can classify with errors.Is instead of
+// matching message text.
+var ErrDoesNotFitWafer = wafer.ErrDoesNotFit
 
 // Engine evaluates RE costs against a technology database and a
 // packaging parameter set.
@@ -150,7 +158,7 @@ func (e *Engine) Wafers(s system.System, quantity float64) (WaferDemand, error) 
 		rawDies := attempts / die.Yield
 		dpw := e.params.Wafer.DiesPerWafer(e.params.Estimator, die.AreaMM2)
 		if dpw <= 0 {
-			return WaferDemand{}, fmt.Errorf("cost: die %q does not fit a wafer", die.Name)
+			return WaferDemand{}, fmt.Errorf("cost: die %q %w", die.Name, ErrDoesNotFitWafer)
 		}
 		d.DiesByNode[die.Node] += rawDies
 		d.WafersByNode[die.Node] += rawDies / float64(dpw)
@@ -166,7 +174,7 @@ func (e *Engine) Wafers(s system.System, quantity float64) (WaferDemand, error) 
 		y1 := node.Yield(intArea)
 		dpw := e.params.Wafer.DiesPerWafer(e.params.Estimator, intArea)
 		if dpw <= 0 {
-			return WaferDemand{}, fmt.Errorf("cost: interposer does not fit a wafer")
+			return WaferDemand{}, fmt.Errorf("cost: interposer %w", ErrDoesNotFitWafer)
 		}
 		rawInterposers := attempts / y1
 		d.DiesByNode[intNode] += rawInterposers

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -347,5 +348,27 @@ func TestPropertyMoreChipletsNeverRaiseDieDefectCost(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestWafersDoesNotFitTypedError checks that a die too large for the
+// wafer surfaces the typed wafer.ErrDoesNotFit sentinel through both
+// the RE and the wafer-demand paths, so callers can classify with
+// errors.Is instead of matching message text.
+func TestWafersDoesNotFitTypedError(t *testing.T) {
+	e := engine(t)
+	huge := system.Monolithic("huge", "5nm", 45_000, 1000) // larger than a 300 mm wafer
+	if _, err := e.RE(huge); !errors.Is(err, ErrDoesNotFitWafer) {
+		t.Errorf("RE error %v does not wrap ErrDoesNotFitWafer", err)
+	}
+	if _, err := e.Wafers(huge, 1000); !errors.Is(err, ErrDoesNotFitWafer) {
+		t.Errorf("Wafers error %v does not wrap ErrDoesNotFitWafer", err)
+	}
+	if !errors.Is(ErrDoesNotFitWafer, wafer.ErrDoesNotFit) {
+		t.Error("cost sentinel lost its wafer-layer identity")
+	}
+	ok := system.Monolithic("ok", "5nm", 500, 1000)
+	if _, err := e.Wafers(ok, 1000); err != nil {
+		t.Errorf("plausible die failed: %v", err)
 	}
 }

@@ -10,11 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"chipletactuary/internal/cost"
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/nre"
 	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/sweep"
 	"chipletactuary/internal/system"
 	"chipletactuary/internal/tech"
 )
@@ -154,8 +156,11 @@ type PartitionPoint struct {
 
 // OptimalChipletCount sweeps k = 1..maxK (k = 1 is the monolithic SoC)
 // for a module area on a node under a scheme and returns all feasible
-// points plus the index of the cheapest. Infeasible partitions (e.g.
-// a monolithic die beyond the reticle, an interposer beyond its
+// points plus the index of the cheapest. It runs on the shared
+// generation primitive — a lazy sweep.Grid generator with reticle
+// pruning — so the CLI, the Session and this library walk one
+// pipeline. Infeasible partitions
+// (a monolithic die beyond the reticle, an interposer beyond its
 // limit) are skipped; an error is returned only when nothing is
 // feasible.
 func (e *Evaluator) OptimalChipletCount(node string, moduleAreaMM2 float64, maxK int,
@@ -163,32 +168,51 @@ func (e *Evaluator) OptimalChipletCount(node string, moduleAreaMM2 float64, maxK
 	if maxK < 1 {
 		return nil, 0, fmt.Errorf("explore: maxK must be ≥ 1, got %d", maxK)
 	}
+	counts, err := sweep.CountRange(1, maxK)
+	if err != nil {
+		return nil, 0, fmt.Errorf("explore: %w", err)
+	}
+	grid := sweep.Grid{
+		Name:       "k",
+		Nodes:      []string{node},
+		Schemes:    []packaging.Scheme{scheme},
+		AreasMM2:   []float64{moduleAreaMM2},
+		Counts:     counts,
+		Quantities: []float64{quantity},
+		D2D:        d2d,
+	}
 	var points []PartitionPoint
-	best := -1
-	for k := 1; k <= maxK; k++ {
-		sch := scheme
-		if k == 1 {
-			sch = packaging.SoC
+	var firstErr error
+	best, bestCost := -1, 0.0
+	gen := grid.Points(sweep.ReticleFit())
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
 		}
-		s, err := system.PartitionEqual(fmt.Sprintf("k%d", k), node, moduleAreaMM2, k, sch, d2d, quantity)
+		tc, err := e.Single(p.System, nre.PerSystemUnit)
 		if err != nil {
+			// Infeasible geometry: skip the point, but keep the first
+			// cause so an all-failed sweep explains itself.
+			if firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
-		if len(s.Warnings()) > 0 {
-			continue // a die beyond the reticle cannot be manufactured
-		}
-		tc, err := e.Single(s, nre.PerSystemUnit)
-		if err != nil {
-			continue // infeasible geometry: skip the point
-		}
-		points = append(points, PartitionPoint{Chiplets: k, Scheme: sch, Total: tc})
-		if best == -1 || tc.Total() < points[best].Total.Total() {
-			best = len(points) - 1
+		points = append(points, PartitionPoint{Chiplets: p.K, Scheme: p.Scheme, Total: tc})
+		if best == -1 || tc.Total() < bestCost {
+			best, bestCost = len(points)-1, tc.Total()
 		}
 	}
 	if len(points) == 0 {
-		return nil, 0, fmt.Errorf("explore: %w: no feasible partition of %.0f mm² on %s up to k=%d",
+		err := fmt.Errorf("explore: %w: no feasible partition of %.0f mm² on %s up to k=%d",
 			ErrInfeasible, moduleAreaMM2, node, maxK)
+		if firstErr != nil {
+			// An unknown node stays classifiable as such: the taxonomy
+			// layer checks it before infeasibility.
+			err = fmt.Errorf("%w; first failure: %w", err, firstErr)
+		}
+		return nil, 0, err
 	}
 	return points, best, nil
 }
@@ -308,10 +332,18 @@ func PackagingSensitivity(db *tech.Database, base packaging.Params,
 	if rel <= 0 || rel >= 1 {
 		return nil, fmt.Errorf("explore: relative perturbation must be in (0,1), got %v", rel)
 	}
+	// One engine per distinct parameter set: perturbations that clamp
+	// back to the base values (yields already at 1.0) reuse the base
+	// engine instead of rebuilding one per evaluation.
+	engines := make(map[packaging.Params]*cost.Engine)
 	eval := func(p packaging.Params) (float64, error) {
-		eng, err := cost.NewEngine(db, p)
-		if err != nil {
-			return 0, err
+		eng, ok := engines[p]
+		if !ok {
+			var err error
+			if eng, err = cost.NewEngine(db, p); err != nil {
+				return 0, err
+			}
+			engines[p] = eng
 		}
 		b, err := eng.RE(s)
 		if err != nil {
@@ -358,12 +390,6 @@ func PackagingSensitivity(db *tech.Database, base packaging.Params,
 		}
 		out = append(out, SensitivityPoint{Parameter: k.name, Low: low, High: high, Base: baseTotal})
 	}
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j].Swing() > out[i].Swing() {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Swing() > out[j].Swing() })
 	return out, nil
 }

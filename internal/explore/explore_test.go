@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -279,16 +280,91 @@ func TestAreaCrossover(t *testing.T) {
 
 func TestAreaCrossoverErrors(t *testing.T) {
 	e := evaluator(t)
-	if _, err := e.AreaCrossover("5nm", 1, packaging.MCM, dtod.None{}, 100, 900); err == nil {
-		t.Error("k=1 accepted")
+	// Argument mistakes are configuration errors, not infeasibility:
+	// they must NOT carry the ErrInfeasible sentinel.
+	configCases := []struct {
+		name   string
+		k      int
+		lo, hi float64
+	}{
+		{"k=1", 1, 100, 900},
+		{"k=0", 0, 100, 900},
+		{"inverted bracket", 2, 900, 100},
+		{"empty bracket", 2, 500, 500},
+		{"non-positive lo", 2, 0, 900},
+		{"negative lo", 2, -50, 900},
 	}
-	if _, err := e.AreaCrossover("5nm", 2, packaging.MCM, dtod.None{}, 900, 100); err == nil {
-		t.Error("inverted bracket accepted")
+	for _, tc := range configCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := e.AreaCrossover("5nm", tc.k, packaging.MCM, dtod.None{}, tc.lo, tc.hi)
+			if err == nil {
+				t.Fatal("invalid arguments accepted")
+			}
+			if errors.Is(err, ErrInfeasible) {
+				t.Errorf("config mistake misclassified as infeasible: %v", err)
+			}
+		})
 	}
 	// 2.5D packaging of a tiny cheap 14nm system never beats SoC in
-	// the bracket.
-	if _, err := e.AreaCrossover("14nm", 2, packaging.TwoPointFiveD, dtod.Fraction{F: 0.10}, 50, 200); err == nil {
-		t.Error("expected no-crossover error")
+	// the bracket: a legitimate "no" answer, tagged ErrInfeasible.
+	_, err := e.AreaCrossover("14nm", 2, packaging.TwoPointFiveD, dtod.Fraction{F: 0.10}, 50, 200)
+	if err == nil {
+		t.Fatal("expected no-crossover error")
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("no-crossover error %v does not wrap ErrInfeasible", err)
+	}
+	// An unknown node surfaces the evaluation error, not infeasibility.
+	if _, err := e.AreaCrossover("1nm-imaginary", 2, packaging.MCM, dtod.None{}, 100, 900); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Errorf("unknown node: got %v", err)
+	}
+}
+
+// TestOptimalChipletCountStreamedSemantics pins the behaviour the
+// generator+aggregator rebase must preserve: k ordering, reticle
+// pruning, SoC-scheme degradation and the infeasible-sweep error.
+func TestOptimalChipletCountStreamedSemantics(t *testing.T) {
+	e := evaluator(t)
+	d2d := dtod.Fraction{F: 0.10}
+	points, best, err := e.OptimalChipletCount("5nm", 900, 5, packaging.MCM, d2d, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 900 mm² monolithic die exceeds the reticle: k=1 pruned, the
+	// remaining points ascend in k.
+	for i, p := range points {
+		if p.Chiplets == 1 {
+			t.Error("over-reticle monolithic point survived")
+		}
+		if i > 0 && points[i].Chiplets <= points[i-1].Chiplets {
+			t.Error("points not ascending in k")
+		}
+	}
+	if best < 0 || best >= len(points) {
+		t.Fatalf("best index %d out of range", best)
+	}
+	for _, p := range points {
+		if p.Total.Total() < points[best].Total.Total() {
+			t.Errorf("best %d is not cheapest: k=%d is cheaper", best, p.Chiplets)
+		}
+	}
+	// An SoC scheme degrades to the k=1 point alone (multi-chip counts
+	// are unbuildable on an SoC and silently pruned).
+	socPoints, socBest, err := e.OptimalChipletCount("5nm", 400, 4, packaging.SoC, dtod.None{}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(socPoints) != 1 || socPoints[0].Chiplets != 1 || socBest != 0 {
+		t.Errorf("SoC sweep: %+v best %d, want only k=1", socPoints, socBest)
+	}
+	// maxK < 1 is a config error without the infeasible tag...
+	if _, _, err := e.OptimalChipletCount("5nm", 400, 0, packaging.MCM, d2d, 1); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Errorf("maxK=0: got %v", err)
+	}
+	// ...while a sweep with no manufacturable point is ErrInfeasible.
+	_, _, err = e.OptimalChipletCount("5nm", 5000, 2, packaging.MCM, d2d, 1)
+	if err == nil || !errors.Is(err, ErrInfeasible) {
+		t.Errorf("unmanufacturable sweep: got %v", err)
 	}
 }
 

@@ -192,6 +192,8 @@ func (p Params) interposed(s Scheme, f Flow, node tech.Node, a Assembly) (Result
 		}
 		interposer = a.InterposerOverrideMM2
 	}
+	// Same rule as Params.InterposerFits, applied to the (possibly
+	// overridden) interposer size.
 	if interposer > p.MaxInterposerMM2 {
 		return Result{}, fmt.Errorf("packaging: %v interposer %.0f mm² exceeds maximum %.0f mm²",
 			s, interposer, p.MaxInterposerMM2)

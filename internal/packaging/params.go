@@ -134,6 +134,13 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// InterposerFits reports whether an interposer sized for the given
+// summed die area (area × InterposerFill) is manufacturable. The cost
+// path (interposed) and pre-evaluation sweep pruning share this rule.
+func (p Params) InterposerFits(totalDieAreaMM2 float64) bool {
+	return totalDieAreaMM2*p.InterposerFill <= p.MaxInterposerMM2
+}
+
 // NREFactors returns the package-design NRE parameters for the scheme:
 // a per-mm² factor applied to the package's NRE-relevant area (Kp of
 // Eq. 7/8) and a fixed per-package-design cost (Cp). Interposer-based

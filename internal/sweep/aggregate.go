@@ -1,0 +1,196 @@
+package sweep
+
+import "sort"
+
+// TopK is an online selector keeping the k lowest-cost items seen, in
+// O(k) memory: a bounded max-heap where the most expensive retained
+// item sits at the root, evicted as soon as something cheaper arrives.
+type TopK[T any] struct {
+	k    int
+	cost func(T) float64
+	heap []topEntry[T] // max-heap by cost
+	seen int
+}
+
+type topEntry[T any] struct {
+	cost float64
+	item T
+}
+
+// NewTopK builds a selector for the k items minimizing cost. k < 1 is
+// raised to 1.
+func NewTopK[T any](k int, cost func(T) float64) *TopK[T] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[T]{k: k, cost: cost, heap: make([]topEntry[T], 0, k)}
+}
+
+// Observe offers one item to the selector.
+func (t *TopK[T]) Observe(x T) {
+	t.seen++
+	c := t.cost(x)
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, topEntry[T]{cost: c, item: x})
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if c >= t.heap[0].cost {
+		return
+	}
+	t.heap[0] = topEntry[T]{cost: c, item: x}
+	t.siftDown(0)
+}
+
+// Seen returns how many items have been observed.
+func (t *TopK[T]) Seen() int { return t.seen }
+
+// Len returns how many items are currently retained (≤ k).
+func (t *TopK[T]) Len() int { return len(t.heap) }
+
+// Sorted returns the retained items in ascending cost order. The
+// selector remains usable afterwards.
+func (t *TopK[T]) Sorted() []T {
+	entries := make([]topEntry[T], len(t.heap))
+	copy(entries, t.heap)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].cost < entries[j].cost })
+	out := make([]T, len(entries))
+	for i, e := range entries {
+		out[i] = e.item
+	}
+	return out
+}
+
+func (t *TopK[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].cost >= t.heap[i].cost {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK[T]) siftDown(i int) {
+	for {
+		largest := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(t.heap) && t.heap[c].cost > t.heap[largest].cost {
+				largest = c
+			}
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// Pareto maintains the non-dominated front of a two-objective
+// minimization online. Memory is O(front size): dominated items are
+// discarded on arrival, and arrivals that dominate retained items
+// evict them.
+type Pareto[T any] struct {
+	objectives func(T) (x, y float64)
+	front      []paretoEntry[T] // ascending x, strictly descending y
+	seen       int
+}
+
+type paretoEntry[T any] struct {
+	x, y float64
+	item T
+}
+
+// NewPareto builds a front for minimizing both objectives.
+func NewPareto[T any](objectives func(T) (x, y float64)) *Pareto[T] {
+	return &Pareto[T]{objectives: objectives}
+}
+
+// Observe offers one item to the front.
+func (p *Pareto[T]) Observe(item T) {
+	p.seen++
+	x, y := p.objectives(item)
+	// Invariant: strictly ascending x, strictly descending y. i is the
+	// insertion position — the first entry with x ≥ the newcomer's.
+	i := sort.Search(len(p.front), func(j int) bool { return p.front[j].x >= x })
+	// Entries left of i have strictly smaller x; the nearest one holds
+	// the smallest y among them, so it alone decides domination from
+	// that side. An equal-x entry (at most one, at position i) with
+	// y ≤ y also dominates.
+	if i > 0 && p.front[i-1].y <= y {
+		return
+	}
+	if i < len(p.front) && p.front[i].x == x && p.front[i].y <= y {
+		return
+	}
+	// Evict the entries the newcomer dominates: a contiguous run from
+	// i (all have x ≥ x) while their y is no better.
+	j := i
+	for j < len(p.front) && p.front[j].y >= y {
+		j++
+	}
+	p.front = append(p.front[:i], append([]paretoEntry[T]{{x: x, y: y, item: item}}, p.front[j:]...)...)
+}
+
+// Seen returns how many items have been observed.
+func (p *Pareto[T]) Seen() int { return p.seen }
+
+// Front returns the current non-dominated set, ascending in the first
+// objective. The aggregator remains usable afterwards.
+func (p *Pareto[T]) Front() []T {
+	out := make([]T, len(p.front))
+	for i, e := range p.front {
+		out[i] = e.item
+	}
+	return out
+}
+
+// Summary accumulates count / min / max / sum of a labelled scalar
+// stream in O(1) memory.
+type Summary struct {
+	// Count is the number of observations.
+	Count int
+	// Min and Max are the extreme values; MinID and MaxID label them.
+	Min, Max     float64
+	MinID, MaxID string
+	// Sum accumulates for Mean.
+	Sum float64
+}
+
+// Observe records one labelled value.
+func (s *Summary) Observe(id string, v float64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min, s.MinID = v, id
+	}
+	if s.Count == 0 || v > s.Max {
+		s.Max, s.MaxID = v, id
+	}
+	s.Count++
+	s.Sum += v
+}
+
+// Mean returns the running average (0 before any observation).
+func (s *Summary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Merge folds another summary into this one, as if every observation
+// behind o had been observed here.
+func (s *Summary) Merge(o Summary) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min, s.MinID = o.Min, o.MinID
+	}
+	if s.Count == 0 || o.Max > s.Max {
+		s.Max, s.MaxID = o.Max, o.MaxID
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}

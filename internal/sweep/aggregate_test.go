@@ -1,0 +1,197 @@
+package sweep
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type scored struct {
+	id   string
+	cost float64
+}
+
+func TestTopKKeepsCheapest(t *testing.T) {
+	top := NewTopK(3, func(s scored) float64 { return s.cost })
+	costs := []float64{9, 4, 7, 1, 8, 3, 6, 2, 5}
+	for i, c := range costs {
+		top.Observe(scored{id: string(rune('a' + i)), cost: c})
+	}
+	if top.Seen() != len(costs) {
+		t.Errorf("Seen = %d, want %d", top.Seen(), len(costs))
+	}
+	got := top.Sorted()
+	if len(got) != 3 || got[0].cost != 1 || got[1].cost != 2 || got[2].cost != 3 {
+		t.Errorf("Sorted = %v, want costs [1 2 3]", got)
+	}
+	if top.Len() != 3 {
+		t.Errorf("Len = %d, want 3", top.Len())
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	top := NewTopK(5, func(s scored) float64 { return s.cost })
+	top.Observe(scored{"a", 2})
+	top.Observe(scored{"b", 1})
+	got := top.Sorted()
+	if len(got) != 2 || got[0].id != "b" || got[1].id != "a" {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestTopKMatchesFullSortRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(10)
+		top := NewTopK(k, func(s scored) float64 { return s.cost })
+		all := make([]float64, n)
+		for i := range all {
+			all[i] = rng.Float64() * 100
+			top.Observe(scored{cost: all[i]})
+		}
+		sort.Float64s(all)
+		want := k
+		if n < k {
+			want = n
+		}
+		got := top.Sorted()
+		if len(got) != want {
+			t.Fatalf("trial %d: kept %d, want %d", trial, len(got), want)
+		}
+		for i, s := range got {
+			if s.cost != all[i] {
+				t.Fatalf("trial %d: rank %d cost %v, want %v", trial, i, s.cost, all[i])
+			}
+		}
+	}
+}
+
+type biObj struct {
+	id   string
+	x, y float64
+}
+
+func TestParetoFront(t *testing.T) {
+	p := NewPareto(func(b biObj) (float64, float64) { return b.x, b.y })
+	for _, b := range []biObj{
+		{"a", 1, 9}, {"b", 5, 5}, {"c", 9, 1},
+		{"dominated", 6, 6}, // dominated by b
+		{"d", 3, 7},
+		{"evictor", 2, 6}, // dominates d (3,7)
+	} {
+		p.Observe(b)
+	}
+	front := p.Front()
+	ids := make([]string, len(front))
+	for i, b := range front {
+		ids[i] = b.id
+	}
+	want := []string{"a", "evictor", "b", "c"}
+	if len(ids) != len(want) {
+		t.Fatalf("front = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("front = %v, want %v", ids, want)
+		}
+	}
+	if p.Seen() != 6 {
+		t.Errorf("Seen = %d, want 6", p.Seen())
+	}
+}
+
+func TestParetoEqualCoordinates(t *testing.T) {
+	p := NewPareto(func(b biObj) (float64, float64) { return b.x, b.y })
+	p.Observe(biObj{"first", 2, 2})
+	p.Observe(biObj{"duplicate", 2, 2}) // weakly dominated: dropped
+	p.Observe(biObj{"same-x-better-y", 2, 1})
+	p.Observe(biObj{"same-x-worse-y", 2, 3})
+	front := p.Front()
+	if len(front) != 1 || front[0].id != "same-x-better-y" {
+		t.Errorf("front = %v, want only same-x-better-y", front)
+	}
+}
+
+// TestParetoMatchesBruteForce checks the online front against an O(n²)
+// reference on random inputs.
+func TestParetoMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(150)
+		pts := make([]biObj, n)
+		p := NewPareto(func(b biObj) (float64, float64) { return b.x, b.y })
+		for i := range pts {
+			// A coarse grid provokes ties on both axes.
+			pts[i] = biObj{x: float64(rng.Intn(12)), y: float64(rng.Intn(12))}
+			p.Observe(pts[i])
+		}
+		dominated := func(a biObj) bool {
+			for _, b := range pts {
+				if b.x <= a.x && b.y <= a.y && (b.x < a.x || b.y < a.y) {
+					return true
+				}
+			}
+			return false
+		}
+		wantSet := make(map[[2]float64]bool)
+		for _, a := range pts {
+			if !dominated(a) {
+				wantSet[[2]float64{a.x, a.y}] = true
+			}
+		}
+		front := p.Front()
+		if len(front) != len(wantSet) {
+			t.Fatalf("trial %d: front size %d, want %d", trial, len(front), len(wantSet))
+		}
+		for i, b := range front {
+			if !wantSet[[2]float64{b.x, b.y}] {
+				t.Fatalf("trial %d: front holds dominated point %+v", trial, b)
+			}
+			if i > 0 && (front[i-1].x >= b.x || front[i-1].y <= b.y) {
+				t.Fatalf("trial %d: front not strictly sorted: %+v then %+v", trial, front[i-1], b)
+			}
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 {
+		t.Error("empty summary mean should be 0")
+	}
+	s.Observe("a", 4)
+	s.Observe("b", 1)
+	s.Observe("c", 7)
+	if s.Count != 3 || s.Min != 1 || s.Max != 7 || s.MinID != "b" || s.MaxID != "c" {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean() != 4 {
+		t.Errorf("mean = %v, want 4", s.Mean())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, whole Summary
+	for i, v := range []float64{5, 3, 9, 1, 7} {
+		if i%2 == 0 {
+			a.Observe(string(rune('a'+i)), v)
+		} else {
+			b.Observe(string(rune('a'+i)), v)
+		}
+		whole.Observe(string(rune('a'+i)), v)
+	}
+	a.Merge(b)
+	if a != whole {
+		t.Errorf("merged = %+v, want %+v", a, whole)
+	}
+	var empty Summary
+	a.Merge(empty) // no-op
+	if a != whole {
+		t.Errorf("merging an empty summary changed %+v", a)
+	}
+	empty.Merge(whole)
+	if empty != whole {
+		t.Errorf("merge into empty = %+v, want %+v", empty, whole)
+	}
+}

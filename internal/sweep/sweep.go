@@ -1,0 +1,405 @@
+// Package sweep implements the generation layer of the streaming
+// design-space exploration pipeline: a lazy iterator over the §6
+// search grid (node × packaging scheme × module area × chiplet count ×
+// quantity) plus cheap feasibility pruning that runs before any cost
+// math. Downstream layers (the session's Stream fan-out and the online
+// aggregators in this package) consume points one at a time, so a
+// 100k-point sweep never materializes as a slice.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/system"
+)
+
+// Point is one generated design point: an equal-partition system plus
+// the axis values that produced it.
+type Point struct {
+	// ID is the deterministic point label: the grid name plus one
+	// segment per multi-valued axis, always including area and count
+	// ("name-a800-k4", "name-5nm-a800-k4", ...).
+	ID string
+	// Node, Scheme, AreaMM2, K and Quantity echo the axis values.
+	// Scheme is the point's effective scheme: k = 1 points are
+	// monolithic SoCs regardless of the grid's scheme axis.
+	Node     string
+	Scheme   packaging.Scheme
+	AreaMM2  float64
+	K        int
+	Quantity float64
+	// System is the equal-partition system built from the axes.
+	System system.System
+}
+
+// Grid declares the axes of a design-space sweep. Every combination of
+// Nodes × Schemes × Quantities × AreasMM2 × Counts is one candidate
+// point; expansion is lazy (see Points) and never allocates the cross
+// product.
+type Grid struct {
+	// Name prefixes every generated point ID.
+	Name string
+	// Nodes are the process nodes to sweep.
+	Nodes []string
+	// Schemes are the multi-chip integration schemes. Count-1 points
+	// are always built as monolithic SoCs.
+	Schemes []packaging.Scheme
+	// AreasMM2 are the total module areas to sweep.
+	AreasMM2 []float64
+	// Counts are the partition counts to sweep.
+	Counts []int
+	// Quantities are the production volumes to sweep.
+	Quantities []float64
+	// D2D sizes the die-to-die interface of multi-chip points; nil
+	// means zero overhead.
+	D2D dtod.Overhead
+}
+
+// Size returns the number of candidate points (before pruning).
+func (g Grid) Size() int {
+	return len(g.Nodes) * len(g.Schemes) * len(g.Quantities) * len(g.AreasMM2) * len(g.Counts)
+}
+
+// Validate checks the axes. A grid that passes validation generates
+// every candidate point without build errors and never evaluates the
+// same design twice: duplicate axis values are rejected (they would
+// emit identical point IDs and crowd top-K lists).
+func (g Grid) Validate() error {
+	if len(g.Nodes) == 0 || len(g.Schemes) == 0 || len(g.AreasMM2) == 0 ||
+		len(g.Counts) == 0 || len(g.Quantities) == 0 {
+		return fmt.Errorf("sweep: grid %q has an empty axis (nodes/schemes/areas/counts/quantities)", g.Name)
+	}
+	for _, n := range g.Nodes {
+		if n == "" {
+			return fmt.Errorf("sweep: grid %q has an empty node", g.Name)
+		}
+	}
+	for _, a := range g.AreasMM2 {
+		if a <= 0 {
+			return fmt.Errorf("sweep: grid %q has non-positive area %v", g.Name, a)
+		}
+	}
+	maxK := 0
+	for _, k := range g.Counts {
+		if k < 1 {
+			return fmt.Errorf("sweep: grid %q has partition count %d < 1", g.Name, k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for _, s := range g.Schemes {
+		if s == packaging.SoC && maxK > 1 {
+			return fmt.Errorf("sweep: grid %q sweeps scheme SoC with multi-chip counts", g.Name)
+		}
+	}
+	for _, q := range g.Quantities {
+		if q <= 0 {
+			return fmt.Errorf("sweep: grid %q has non-positive quantity %v", g.Name, q)
+		}
+	}
+	for axis, dup := range map[string]bool{
+		"nodes":      hasDup(g.Nodes),
+		"schemes":    hasDup(g.Schemes),
+		"areas":      hasDup(g.AreasMM2),
+		"counts":     hasDup(g.Counts),
+		"quantities": hasDup(g.Quantities),
+	} {
+		if dup {
+			return fmt.Errorf("sweep: grid %q has duplicate %s entries", g.Name, axis)
+		}
+	}
+	return nil
+}
+
+// hasDup reports whether an axis repeats a value.
+func hasDup[T comparable](xs []T) bool {
+	seen := make(map[T]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}
+
+// MaxCount returns the largest entry of the Counts axis (0 when empty).
+func (g Grid) MaxCount() int {
+	maxK := 0
+	for _, k := range g.Counts {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	return maxK
+}
+
+// PointID returns the deterministic label of the (node, scheme, area,
+// k, quantity) combination: single-valued axes are elided so the IDs
+// of simple grids stay short and stable ("name-a800-k4").
+func (g Grid) PointID(node string, scheme packaging.Scheme, areaMM2 float64, k int, quantity float64) string {
+	id := g.ComboID(node, scheme, quantity)
+	return fmt.Sprintf("%s-a%g-k%d", id, areaMM2, k)
+}
+
+// ComboID is PointID without the area and count segments — the label
+// of one (node, scheme, quantity) axis combination, used by questions
+// that sweep area or count internally.
+func (g Grid) ComboID(node string, scheme packaging.Scheme, quantity float64) string {
+	id := g.AxisID(node, scheme)
+	if len(g.Quantities) > 1 {
+		id += fmt.Sprintf("-q%g", quantity)
+	}
+	return id
+}
+
+// AxisID is the quantity-free prefix of ComboID: the grid name plus a
+// node segment when the node axis is multi-valued and a scheme segment
+// when the scheme axis is. Quantity-independent questions (like the
+// area-crossover search) label their requests with it.
+func (g Grid) AxisID(node string, scheme packaging.Scheme) string {
+	id := g.Name
+	if len(g.Nodes) > 1 {
+		id += "-" + node
+	}
+	if len(g.Schemes) > 1 {
+		id += "-" + scheme.String()
+	}
+	return id
+}
+
+// Filter decides whether a generated point survives pre-evaluation
+// pruning; false drops the point before any cost math runs.
+type Filter func(Point) bool
+
+// ReticleFit drops points whose per-die area exceeds the lithographic
+// reticle — such dies cannot be manufactured, so evaluating their cost
+// would only produce an infeasibility error downstream.
+func ReticleFit() Filter {
+	return func(p Point) bool { return len(p.System.Warnings()) == 0 }
+}
+
+// InterposerFit drops interposer-scheme points whose estimated
+// interposer area exceeds the manufacturable limit, using the same
+// sizing rule as the packaging cost path (Params.InterposerFits).
+// Points on substrate-only schemes always pass.
+func InterposerFit(params packaging.Params) Filter {
+	return func(p Point) bool {
+		if !p.Scheme.HasInterposer() {
+			return true
+		}
+		return params.InterposerFits(p.System.TotalDieArea())
+	}
+}
+
+// Stats counts a generator's activity so far.
+type Stats struct {
+	// Generated is the number of points returned by Next.
+	Generated int
+	// Pruned is the number of candidates dropped by filters or
+	// unbuildable axis combinations.
+	Pruned int
+	// Deduped is the number of scheme-duplicate monolithic (k=1)
+	// candidates skipped on multi-scheme grids — identical designs,
+	// not infeasible ones.
+	Deduped int
+}
+
+// Odometer walks the cross product of axis lengths lazily, last axis
+// fastest — the shared traversal order of the streamed and the
+// materialized sweep paths. Next returns the current index tuple and
+// advances; the boolean is false once the product is exhausted (or
+// any axis is empty).
+type Odometer struct {
+	lens []int
+	idx  []int
+	done bool
+}
+
+// NewOdometer builds an iterator over the given axis lengths.
+func NewOdometer(lens ...int) *Odometer {
+	o := &Odometer{lens: lens, idx: make([]int, len(lens))}
+	for _, n := range lens {
+		if n <= 0 {
+			o.done = true
+		}
+	}
+	return o
+}
+
+// Next returns the next index tuple. The returned slice is freshly
+// allocated and safe to retain.
+func (o *Odometer) Next() ([]int, bool) {
+	cur, ok := o.current()
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, len(cur))
+	copy(out, cur)
+	o.advance()
+	return out, true
+}
+
+// current returns the live index tuple without copying — read it
+// before calling advance. Package-internal: the Generator hot path
+// must not allocate per candidate.
+func (o *Odometer) current() ([]int, bool) {
+	if o.done {
+		return nil, false
+	}
+	return o.idx, true
+}
+
+// advance steps to the next tuple, last axis fastest.
+func (o *Odometer) advance() {
+	for i := len(o.idx) - 1; i >= 0; i-- {
+		o.idx[i]++
+		if o.idx[i] < o.lens[i] {
+			return
+		}
+		o.idx[i] = 0
+	}
+	o.done = true
+}
+
+// Generator lazily walks a grid's cross product, skipping pruned
+// points. It is a single-consumer pull iterator: call Next until the
+// second return is false. A Generator is not safe for concurrent use;
+// fan-out happens downstream (Session.Stream pumps one generator into
+// a bounded channel).
+type Generator struct {
+	grid    Grid
+	filters []Filter
+	d2d     dtod.Overhead
+	abort   func() bool
+	// odo walks (node, scheme, quantity, area, count), count fastest —
+	// the traversal order of the materialized v2 scenario path, so
+	// streamed and batched results correspond.
+	odo   *Odometer
+	stats Stats
+}
+
+// Points returns a fresh lazy iterator over the grid, applying the
+// filters to every candidate. Multiple calls return independent
+// iterators.
+func (g Grid) Points(filters ...Filter) *Generator {
+	d2d := g.D2D
+	if d2d == nil {
+		d2d = dtod.None{}
+	}
+	odo := NewOdometer(len(g.Nodes), len(g.Schemes), len(g.Quantities), len(g.AreasMM2), len(g.Counts))
+	return &Generator{grid: g, filters: filters, d2d: d2d, odo: odo}
+}
+
+// Grid returns the grid this generator walks.
+func (it *Generator) Grid() Grid { return it.grid }
+
+// AbortWhen installs an early-exit hook checked once per candidate
+// (not per surviving point): when f returns true, Next returns false
+// for good. Long pruning runs between surviving points stay
+// cancelable this way. It returns the generator for chaining.
+func (it *Generator) AbortWhen(f func() bool) *Generator {
+	it.abort = f
+	return it
+}
+
+// Next returns the next surviving point. The boolean is false when the
+// grid is exhausted (or the AbortWhen hook fired).
+func (it *Generator) Next() (Point, bool) {
+	for {
+		idx, ok := it.odo.current()
+		if !ok {
+			return Point{}, false
+		}
+		if it.abort != nil && it.abort() {
+			return Point{}, false
+		}
+		// idx is the odometer's live slice: copy out everything needed
+		// before advance mutates it.
+		g := it.grid
+		node := g.Nodes[idx[0]]
+		schemeIdx := idx[1]
+		scheme := g.Schemes[schemeIdx]
+		quantity := g.Quantities[idx[2]]
+		area := g.AreasMM2[idx[3]]
+		k := g.Counts[idx[4]]
+		it.odo.advance()
+
+		sch := scheme
+		if k == 1 {
+			sch = packaging.SoC
+			// The monolithic point is scheme-independent: on a
+			// multi-scheme grid emit it once (labelled SoC) instead of
+			// once per scheme — duplicates would waste evaluations and
+			// crowd top-K lists.
+			if schemeIdx > 0 {
+				it.stats.Deduped++
+				continue
+			}
+		}
+		id := g.PointID(node, sch, area, k, quantity)
+		sys, err := system.PartitionEqual(id, node, area, k, sch, it.d2d, quantity)
+		if err != nil {
+			// Unbuildable combination (e.g. an SoC scheme asked to host
+			// k > 1): prune rather than poison the stream.
+			it.stats.Pruned++
+			continue
+		}
+		p := Point{ID: id, Node: node, Scheme: sch, AreaMM2: area, K: k, Quantity: quantity, System: sys}
+		if !it.keep(p) {
+			it.stats.Pruned++
+			continue
+		}
+		it.stats.Generated++
+		return p, true
+	}
+}
+
+// Stats reports how many points have been generated and pruned so far.
+func (it *Generator) Stats() Stats { return it.stats }
+
+func (it *Generator) keep(p Point) bool {
+	for _, f := range it.filters {
+		if !f(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// AreaRange expands an inclusive [lo, hi] module-area range with the
+// given step into an explicit axis. The step must be positive and the
+// range not inverted.
+func AreaRange(loMM2, hiMM2, stepMM2 float64) ([]float64, error) {
+	if loMM2 <= 0 || hiMM2 < loMM2 {
+		return nil, fmt.Errorf("sweep: inverted or non-positive area range [%v, %v]", loMM2, hiMM2)
+	}
+	if stepMM2 <= 0 {
+		return nil, fmt.Errorf("sweep: area range step %v must be positive", stepMM2)
+	}
+	// Index-based expansion: accumulating `a += step` drifts over long
+	// ranges and can gain or lose the final point.
+	n := int(math.Floor((hiMM2-loMM2)/stepMM2+1e-9)) + 1
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = loMM2 + float64(i)*stepMM2
+	}
+	return out, nil
+}
+
+// CountRange expands an inclusive [lo, hi] partition-count range into
+// an explicit axis.
+func CountRange(lo, hi int) ([]int, error) {
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("sweep: inverted or sub-1 count range [%d, %d]", lo, hi)
+	}
+	out := make([]int, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		out = append(out, k)
+	}
+	return out, nil
+}

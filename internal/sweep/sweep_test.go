@@ -1,0 +1,225 @@
+package sweep
+
+import (
+	"testing"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Name:       "g",
+		Nodes:      []string{"5nm"},
+		Schemes:    []packaging.Scheme{packaging.MCM},
+		AreasMM2:   []float64{400, 800},
+		Counts:     []int{1, 2, 4},
+		Quantities: []float64{1_000_000},
+		D2D:        dtod.Fraction{F: 0.10},
+	}
+}
+
+func drain(t *testing.T, it *Generator) []Point {
+	t.Helper()
+	var out []Point
+	for {
+		p, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+func TestGridPointsLazyExpansion(t *testing.T) {
+	g := testGrid()
+	if got := g.Size(); got != 6 {
+		t.Fatalf("Size = %d, want 6", got)
+	}
+	pts := drain(t, g.Points())
+	if len(pts) != 6 {
+		t.Fatalf("generated %d points, want 6", len(pts))
+	}
+	// Area-outer, count-inner traversal with the v2 scenario's ID
+	// convention; k = 1 collapses to a monolithic SoC.
+	wantIDs := []string{"g-a400-k1", "g-a400-k2", "g-a400-k4", "g-a800-k1", "g-a800-k2", "g-a800-k4"}
+	for i, p := range pts {
+		if p.ID != wantIDs[i] {
+			t.Errorf("point %d ID = %q, want %q", i, p.ID, wantIDs[i])
+		}
+		wantScheme := packaging.MCM
+		if p.K == 1 {
+			wantScheme = packaging.SoC
+		}
+		if p.Scheme != wantScheme || p.System.Scheme != wantScheme {
+			t.Errorf("point %s scheme = %v, want %v", p.ID, p.Scheme, wantScheme)
+		}
+		if p.System.DieCount() != p.K {
+			t.Errorf("point %s has %d dies, want %d", p.ID, p.System.DieCount(), p.K)
+		}
+		if p.System.Quantity != 1_000_000 {
+			t.Errorf("point %s lost its quantity", p.ID)
+		}
+	}
+	if st := g.Points().Stats(); st.Generated != 0 || st.Pruned != 0 {
+		t.Errorf("fresh generator has non-zero stats: %+v", st)
+	}
+}
+
+func TestGridMultiAxisIDs(t *testing.T) {
+	g := testGrid()
+	g.Nodes = []string{"5nm", "7nm"}
+	g.Schemes = []packaging.Scheme{packaging.MCM, packaging.TwoPointFiveD}
+	g.Quantities = []float64{1000, 2000}
+	pts := drain(t, g.Points())
+	// 2 nodes × 2 schemes × 2 quantities × 2 areas × 3 counts, minus
+	// the scheme-independent k=1 monolithic points which are emitted
+	// once per (node, quantity, area) instead of once per scheme.
+	if want := 2*2*2*2*3 - 2*2*2; len(pts) != want {
+		t.Fatalf("generated %d points, want %d", len(pts), want)
+	}
+	seen := make(map[string]bool)
+	for _, p := range pts {
+		if seen[p.ID] {
+			t.Fatalf("duplicate point ID %q across a multi-axis grid", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	// k=1 points carry the SoC label; multi-chip points their scheme.
+	for _, want := range []string{"g-5nm-SoC-q1000-a400-k1", "g-5nm-MCM-q1000-a400-k2", "g-7nm-2.5D-q2000-a800-k4"} {
+		if !seen[want] {
+			t.Errorf("multi-axis ID %q missing", want)
+		}
+	}
+	for _, p := range pts {
+		if p.K == 1 && p.Scheme != packaging.SoC {
+			t.Errorf("monolithic point %q not SoC", p.ID)
+		}
+	}
+	// The skipped monolithic twins are counted as deduped, not pruned.
+	gen := g.Points()
+	drain(t, gen)
+	if st := gen.Stats(); st.Deduped != 2*2*2 || st.Pruned != 0 {
+		t.Errorf("stats = %+v, want 8 deduped / 0 pruned", st)
+	}
+}
+
+func TestGridReticlePruning(t *testing.T) {
+	g := testGrid()
+	g.AreasMM2 = []float64{900} // monolithic die beyond the 858 mm² reticle
+	gen := g.Points(ReticleFit())
+	pts := drain(t, gen)
+	for _, p := range pts {
+		if p.K == 1 {
+			t.Errorf("reticle-infeasible monolithic point %q survived pruning", p.ID)
+		}
+	}
+	st := gen.Stats()
+	if st.Pruned != 1 || st.Generated != len(pts) {
+		t.Errorf("stats = %+v, want 1 pruned / %d generated", st, len(pts))
+	}
+	// Without the filter the point is generated (the paper models
+	// over-reticle SoCs deliberately).
+	if got := len(drain(t, g.Points())); got != 3 {
+		t.Errorf("unfiltered grid generated %d points, want 3", got)
+	}
+}
+
+func TestGridInterposerPruning(t *testing.T) {
+	params := packaging.DefaultParams()
+	g := testGrid()
+	g.Schemes = []packaging.Scheme{packaging.TwoPointFiveD}
+	g.Counts = []int{4}
+	// 4 chiplets of 2400/4 = 600 mm² module area + D2D ⇒ interposer
+	// estimate far beyond MaxInterposerMM2 (2500 mm²).
+	g.AreasMM2 = []float64{2400}
+	if pts := drain(t, g.Points(InterposerFit(params))); len(pts) != 0 {
+		t.Errorf("interposer-infeasible points survived: %d", len(pts))
+	}
+	// MCM points of the same geometry pass (no interposer).
+	g.Schemes = []packaging.Scheme{packaging.MCM}
+	if pts := drain(t, g.Points(InterposerFit(params))); len(pts) != 1 {
+		t.Errorf("substrate-only points pruned by the interposer filter: %d", len(pts))
+	}
+}
+
+func TestGridPrunesUnbuildableCombos(t *testing.T) {
+	// An SoC scheme cannot host multi-chip counts: those combinations
+	// are pruned, not fatal, matching the explore layer's behaviour.
+	g := testGrid()
+	g.Schemes = []packaging.Scheme{packaging.SoC}
+	gen := g.Points()
+	pts := drain(t, gen)
+	if len(pts) != 2 { // the two k=1 points
+		t.Fatalf("generated %d points, want 2", len(pts))
+	}
+	if st := gen.Stats(); st.Pruned != 4 {
+		t.Errorf("pruned %d, want 4", st.Pruned)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Grid)
+	}{
+		{"no nodes", func(g *Grid) { g.Nodes = nil }},
+		{"empty node", func(g *Grid) { g.Nodes = []string{""} }},
+		{"no schemes", func(g *Grid) { g.Schemes = nil }},
+		{"no areas", func(g *Grid) { g.AreasMM2 = nil }},
+		{"bad area", func(g *Grid) { g.AreasMM2 = []float64{-4} }},
+		{"no counts", func(g *Grid) { g.Counts = nil }},
+		{"bad count", func(g *Grid) { g.Counts = []int{0} }},
+		{"no quantities", func(g *Grid) { g.Quantities = nil }},
+		{"bad quantity", func(g *Grid) { g.Quantities = []float64{0} }},
+		{"soc multichip", func(g *Grid) { g.Schemes = []packaging.Scheme{packaging.SoC} }},
+		{"duplicate node", func(g *Grid) { g.Nodes = []string{"5nm", "5nm"} }},
+		{"duplicate scheme", func(g *Grid) { g.Schemes = []packaging.Scheme{packaging.MCM, packaging.MCM} }},
+		{"duplicate area", func(g *Grid) { g.AreasMM2 = []float64{400, 400} }},
+		{"duplicate count", func(g *Grid) { g.Counts = []int{2, 2} }},
+		{"duplicate quantity", func(g *Grid) { g.Quantities = []float64{5, 5} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGrid()
+			tc.mutate(&g)
+			if err := g.Validate(); err == nil {
+				t.Errorf("invalid grid accepted")
+			}
+		})
+	}
+	g := testGrid()
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+}
+
+func TestAreaRange(t *testing.T) {
+	axis, err := AreaRange(100, 300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axis) != 3 || axis[0] != 100 || axis[2] != 300 {
+		t.Errorf("AreaRange = %v", axis)
+	}
+	for _, bad := range [][3]float64{{300, 100, 50}, {0, 100, 50}, {100, 300, 0}, {100, 300, -5}} {
+		if _, err := AreaRange(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("AreaRange(%v) accepted", bad)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	axis, err := CountRange(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axis) != 4 || axis[0] != 1 || axis[3] != 4 {
+		t.Errorf("CountRange = %v", axis)
+	}
+	for _, bad := range [][2]int{{4, 1}, {0, 3}} {
+		if _, err := CountRange(bad[0], bad[1]); err == nil {
+			t.Errorf("CountRange(%v) accepted", bad)
+		}
+	}
+}

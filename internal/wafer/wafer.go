@@ -19,9 +19,16 @@
 package wafer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrDoesNotFit is the typed cause wrapped by die-cost and wafer-
+// demand computations when a die (or interposer) exceeds what a single
+// wafer can hold. Callers classify with errors.Is instead of matching
+// message text.
+var ErrDoesNotFit = errors.New("does not fit a wafer")
 
 // Wafer describes a production wafer.
 type Wafer struct {
@@ -197,11 +204,12 @@ func (w Wafer) BestAspectRatio(dieAreaMM2, maxRatio float64, steps int) (ratio f
 
 // CostPerRawDie returns the manufacturing cost of one untested die
 // from a wafer of the given price: waferCost / DPW. It returns an
-// error when no die fits.
+// error wrapping ErrDoesNotFit when no die fits.
 func (w Wafer) CostPerRawDie(e Estimator, waferCost, dieAreaMM2 float64) (float64, error) {
 	dpw := w.DiesPerWafer(e, dieAreaMM2)
 	if dpw <= 0 {
-		return 0, fmt.Errorf("wafer: no %.0f mm² die fits on a %.0f mm wafer", dieAreaMM2, w.DiameterMM)
+		return 0, fmt.Errorf("wafer: no %.0f mm² die fits on a %.0f mm wafer: %w",
+			dieAreaMM2, w.DiameterMM, ErrDoesNotFit)
 	}
 	return waferCost / float64(dpw), nil
 }

@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 
 	"chipletactuary/internal/cost"
 	"chipletactuary/internal/explore"
 	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/sweep"
 	"chipletactuary/internal/tech"
 )
 
@@ -45,6 +45,11 @@ const (
 	// [Request.LoMM2, Request.HiMM2] where Request.K chiplets start
 	// beating the monolithic SoC on RE (§4.1).
 	QuestionAreaCrossover
+	// QuestionSweepBest streams Request.Grid through online
+	// aggregators and returns the Request.TopK cheapest points, the
+	// RE-vs-NRE Pareto front and a summary — O(K) memory however large
+	// the grid.
+	QuestionSweepBest
 )
 
 // String implements fmt.Stringer with the names ParseQuestion accepts.
@@ -62,6 +67,8 @@ func (q Question) String() string {
 		return "optimal-chiplet-count"
 	case QuestionAreaCrossover:
 		return "area-crossover"
+	case QuestionSweepBest:
+		return "sweep-best"
 	default:
 		return fmt.Sprintf("Question(%d)", int(q))
 	}
@@ -82,8 +89,10 @@ func ParseQuestion(name string) (Question, error) {
 		return QuestionOptimalChipletCount, nil
 	case "area-crossover", "turning":
 		return QuestionAreaCrossover, nil
+	case "sweep-best", "best":
+		return QuestionSweepBest, nil
 	default:
-		return 0, fmt.Errorf("actuary: unknown question %q (want total-cost, re, wafers, crossover-quantity, optimal-chiplet-count or area-crossover)", name)
+		return 0, fmt.Errorf("actuary: unknown question %q (want total-cost, re, wafers, crossover-quantity, optimal-chiplet-count, area-crossover or sweep-best)", name)
 	}
 }
 
@@ -96,6 +105,7 @@ func ParseQuestion(name string) (Question, error) {
 //	QuestionCrossoverQuantity    Incumbent, Challenger
 //	QuestionOptimalChipletCount  Node, ModuleAreaMM2, MaxK, Scheme, D2D, Quantity
 //	QuestionAreaCrossover        Node, K, Scheme, D2D, LoMM2, HiMM2
+//	QuestionSweepBest            Grid, TopK, Policy
 type Request struct {
 	// ID optionally labels the request; it is echoed in the Result and
 	// in structured errors. Purely for the caller's bookkeeping.
@@ -130,6 +140,12 @@ type Request struct {
 	// LoMM2 and HiMM2 bracket the AreaCrossover search.
 	LoMM2 float64
 	HiMM2 float64
+
+	// Grid declares the design space of a SweepBest request; it is
+	// expanded lazily, never materialized. TopK bounds the best-point
+	// list (0 means 1).
+	Grid *SweepGrid
+	TopK int
 }
 
 // Result is the answer to one Request. Index, ID and Question echo
@@ -158,10 +174,47 @@ type Result struct {
 	// Points and Best answer QuestionOptimalChipletCount.
 	Points []PartitionPoint
 	Best   int
+	// SweepBest answers QuestionSweepBest.
+	SweepBest *SweepBest
 
 	// Err is nil on success and an *Error otherwise; one bad request
 	// never fails the rest of the batch.
 	Err error
+}
+
+// SweepPoint pairs one generated design point with its evaluated cost.
+type SweepPoint struct {
+	// ID, Node, Scheme, AreaMM2, K and Quantity identify the design
+	// point (see DesignPoint).
+	ID       string
+	Node     string
+	Scheme   Scheme
+	AreaMM2  float64
+	K        int
+	Quantity float64
+	// Total is the point's RE + amortized-NRE cost.
+	Total TotalCost
+}
+
+// SweepBest is the payload of QuestionSweepBest: the online reductions
+// of one streamed design-space sweep.
+type SweepBest struct {
+	// Top holds the K cheapest feasible points, ascending total cost.
+	Top []SweepPoint
+	// Pareto is the RE-vs-amortized-NRE front, ascending RE.
+	Pareto []SweepPoint
+	// Summary covers every feasible point's total cost.
+	Summary SweepSummary
+	// Pruned counts points dropped before evaluation (reticle or
+	// interposer infeasibility); Deduped counts scheme-duplicate
+	// monolithic candidates skipped on multi-scheme grids; Infeasible
+	// counts points that failed during evaluation, with FirstFailure
+	// retaining the first such error so a typo'd axis value (an
+	// unknown node, say) does not silently shrink the answered space.
+	Pruned       int
+	Deduped      int
+	Infeasible   int
+	FirstFailure error
 }
 
 // Option configures a Session (functional options).
@@ -261,35 +314,47 @@ func (s *Session) CacheStats() KGDCacheStats { return s.ev.Cost.CacheStats() }
 // node or infeasible sweep yields a Result with a structured *Error
 // while the rest of the batch proceeds. Canceling ctx stops the
 // batch; requests not yet evaluated return ErrCanceled results.
+//
+// Evaluate is the materialized face of the streaming pipeline: it
+// wraps the slice in a RequestSource, drives Session.Stream, and
+// reassembles results by index. Callers whose batches are generated
+// rather than hand-built should use Stream directly and skip the
+// slice.
 func (s *Session) Evaluate(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
 	if len(reqs) == 0 {
 		return results
 	}
-	workers := s.workers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	jobs := make(chan int, len(reqs))
-	for i := range reqs {
-		jobs <- i
+	// Blocking delivery: this loop drains until the channel closes, so
+	// a mid-batch cancel never discards work a worker already finished
+	// (the pre-streaming Evaluate kept every computed result, and
+	// callers rely on that for partial batches).
+	ch, err := s.Stream(ctx, SliceSource(reqs), streamWorkerCap(len(reqs)), streamDeliverAll())
+	if err != nil { // unreachable: the source is never nil
+		for i := range reqs {
+			results[i] = s.fail(i, reqs[i], err)
+		}
+		return results
 	}
-	close(jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					results[i] = s.fail(i, reqs[i], err)
-					continue
-				}
-				results[i] = s.evaluateOne(i, reqs[i])
+	delivered := make([]bool, len(reqs))
+	for r := range ch {
+		results[r.Index] = r
+		delivered[r.Index] = true
+	}
+	// A canceled stream abandons undelivered requests; restore the
+	// per-request contract with explicit ErrCanceled results.
+	for i, ok := range delivered {
+		if !ok {
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.Canceled
 			}
-		}()
+			results[i] = s.fail(i, reqs[i], cause)
+		}
 	}
-	wg.Wait()
 	return results
 }
 
@@ -304,8 +369,11 @@ func (s *Session) fail(i int, req Request, err error) Result {
 	}}
 }
 
-// evaluateOne answers a single request synchronously.
-func (s *Session) evaluateOne(i int, req Request) Result {
+// evaluateOne answers a single request synchronously. The context is
+// consulted only by long-running per-request sweeps (QuestionSweepBest
+// checks it periodically); scheduling-level cancellation lives in
+// Stream.
+func (s *Session) evaluateOne(ctx context.Context, i int, req Request) Result {
 	res := Result{Index: i, ID: req.ID, Question: req.Question}
 	switch req.Question {
 	case QuestionTotalCost:
@@ -356,10 +424,86 @@ func (s *Session) evaluateOne(i int, req Request) Result {
 		}
 		res.AreaMM2 = area
 
+	case QuestionSweepBest:
+		best, err := s.sweepBest(ctx, req)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.SweepBest = best
+
 	default:
 		return s.fail(i, req, fmt.Errorf("actuary: unknown question %v", req.Question))
 	}
 	return res
+}
+
+// sweepBest streams a request's grid through the online aggregators:
+// lazy generation with reticle and interposer pruning, one total-cost
+// evaluation per surviving point, O(TopK + front) retained state.
+func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error) {
+	if req.Grid == nil {
+		return nil, fmt.Errorf("actuary: sweep-best request needs a Grid")
+	}
+	if err := req.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	k := req.TopK
+	if k < 1 {
+		k = 1
+	}
+	top := sweep.NewTopK(k, func(p SweepPoint) float64 { return p.Total.Total() })
+	front := sweep.NewPareto(func(p SweepPoint) (float64, float64) {
+		return p.Total.RE.Total(), p.Total.NRE.Total()
+	})
+	var summary SweepSummary
+	var firstErr error
+	infeasible := 0
+	// The abort hook fires per candidate, so cancellation lands even
+	// inside a long all-pruned stretch of the grid walk.
+	gen := req.Grid.Points(sweep.ReticleFit(), sweep.InterposerFit(s.params)).
+		AbortWhen(func() bool { return ctx.Err() != nil })
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		tc, err := s.ev.Single(p.System, req.Policy)
+		if err != nil {
+			infeasible++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sp := SweepPoint{ID: p.ID, Node: p.Node, Scheme: p.Scheme,
+			AreaMM2: p.AreaMM2, K: p.K, Quantity: p.Quantity, Total: tc}
+		top.Observe(sp)
+		front.Observe(sp)
+		summary.Observe(sp.ID, tc.Total())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if summary.Count == 0 {
+		err := fmt.Errorf("actuary: %w: no feasible point in sweep grid %q (%d pruned, %d infeasible)",
+			explore.ErrInfeasible, req.Grid.Name, gen.Stats().Pruned, infeasible)
+		if firstErr != nil {
+			// Keep the first per-point cause in the chain so the error
+			// taxonomy survives: a typo'd node classifies ErrUnknownNode
+			// (classify checks it before ErrInfeasible), not infeasible.
+			err = fmt.Errorf("%w; first failure: %w", err, firstErr)
+		}
+		return nil, err
+	}
+	return &SweepBest{
+		Top:          top.Sorted(),
+		Pareto:       front.Front(),
+		Summary:      summary,
+		Pruned:       gen.Stats().Pruned,
+		Deduped:      gen.Stats().Deduped,
+		Infeasible:   infeasible,
+		FirstFailure: firstErr,
+	}, nil
 }
 
 // Portfolio evaluates a family of systems that share module, chip and

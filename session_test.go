@@ -323,3 +323,23 @@ func TestQuestionRoundTrip(t *testing.T) {
 		t.Error("nonsense question accepted")
 	}
 }
+
+// TestSessionWaferFitClassification checks a die too large for the
+// wafer fails with the typed sentinel and an invalid-config code.
+func TestSessionWaferFitClassification(t *testing.T) {
+	s := newTestSession(t)
+	huge := actuary.Monolithic("huge", "5nm", 45_000, 1000)
+	r := s.Evaluate(context.Background(), []actuary.Request{
+		{ID: "huge", Question: actuary.QuestionWafers, System: huge},
+	})[0]
+	ae, ok := actuary.AsError(r.Err)
+	if !ok {
+		t.Fatalf("want a structured error, got %v", r.Err)
+	}
+	if ae.Code != actuary.ErrInvalidConfig {
+		t.Errorf("code %v, want ErrInvalidConfig", ae.Code)
+	}
+	if !errors.Is(r.Err, actuary.ErrDoesNotFitWafer) {
+		t.Errorf("error chain %v lost ErrDoesNotFitWafer", r.Err)
+	}
+}

@@ -1,0 +1,374 @@
+package actuary
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"chipletactuary/internal/sweep"
+)
+
+// Streaming design-space exploration: instead of materializing a sweep
+// into a []Request and batching it through Evaluate, a lazy
+// RequestSource feeds Session.Stream, which fans requests over the
+// worker pool with a bounded number in flight and emits Results as
+// they complete. Online aggregators (CostTopK, CostPareto,
+// StreamStats) reduce the stream in O(K) memory, so sweep size no
+// longer bounds what a session can serve.
+
+// Types of the generation layer (see internal/sweep), re-exported so
+// callers can build lazy sweeps without importing internal packages.
+type (
+	// SweepGrid declares the axes of a design-space sweep
+	// (node × scheme × area × chiplet count × quantity).
+	SweepGrid = sweep.Grid
+	// DesignPoint is one lazily generated point of a SweepGrid.
+	DesignPoint = sweep.Point
+	// SweepGenerator lazily walks a SweepGrid's cross product.
+	SweepGenerator = sweep.Generator
+	// SweepFilter prunes candidate points before any cost math runs.
+	SweepFilter = sweep.Filter
+	// SweepSummary is the O(1) min/max/count reduction of a sweep.
+	SweepSummary = sweep.Summary
+)
+
+// Pre-evaluation pruning filters and axis-range helpers, re-exported
+// from the generation layer.
+var (
+	// SweepReticleFit drops design points whose dies exceed the
+	// lithographic reticle.
+	SweepReticleFit = sweep.ReticleFit
+	// SweepInterposerFit drops points whose estimated interposer
+	// exceeds the manufacturable limit of the given parameters.
+	SweepInterposerFit = sweep.InterposerFit
+	// SweepAreaRange and SweepCountRange expand inclusive ranges into
+	// explicit grid axes.
+	SweepAreaRange  = sweep.AreaRange
+	SweepCountRange = sweep.CountRange
+)
+
+// RequestSource is a pull iterator over requests: Next returns the
+// next request until the second return is false. Sources are consumed
+// by a single goroutine (Session.Stream's pump), so implementations
+// need not be safe for concurrent use.
+type RequestSource interface {
+	Next() (Request, bool)
+}
+
+// sourceFunc adapts a closure to a RequestSource.
+type sourceFunc func() (Request, bool)
+
+func (f sourceFunc) Next() (Request, bool) { return f() }
+
+// sliceSource streams a materialized batch.
+type sliceSource struct {
+	reqs []Request
+	i    int
+}
+
+func (s *sliceSource) Next() (Request, bool) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
+// SliceSource adapts an explicit batch to the streaming API.
+func SliceSource(reqs []Request) RequestSource { return &sliceSource{reqs: reqs} }
+
+// SweepSource adapts a lazy design-point generator into a request
+// source asking one per-system question (QuestionTotalCost, QuestionRE
+// or QuestionWafers) of every generated point. Request IDs follow the
+// scenario convention "<point>/<question>". The generator's grid is
+// validated here: a misconfigured axis fails fast instead of
+// degenerating into an empty stream.
+func SweepSource(gen *SweepGenerator, question Question, policy AmortizationPolicy) (RequestSource, error) {
+	if !perSystemQuestion(question) {
+		return nil, fmt.Errorf("actuary: SweepSource supports the per-system questions, not %v", question)
+	}
+	if err := gen.Grid().Validate(); err != nil {
+		return nil, err
+	}
+	return sourceFunc(func() (Request, bool) {
+		p, ok := gen.Next()
+		if !ok {
+			return Request{}, false
+		}
+		return Request{
+			ID:       p.ID + "/" + question.String(),
+			Question: question,
+			System:   p.System,
+			Policy:   policy,
+		}, true
+	}), nil
+}
+
+// StreamOption tunes Session.Stream.
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	inFlight   int
+	maxWorkers int
+	deliverAll bool
+}
+
+// streamWorkerCap bounds how many workers the stream spawns — used by
+// Evaluate so a two-request batch does not pay for a full pool.
+func streamWorkerCap(n int) StreamOption {
+	return func(c *streamConfig) { c.maxWorkers = n }
+}
+
+// streamDeliverAll makes workers deliver every computed result with a
+// blocking send, never dropping one on cancellation. Only safe when
+// the consumer is guaranteed to drain the channel until it closes —
+// Evaluate does; an abandoning consumer would leak the workers.
+func streamDeliverAll() StreamOption {
+	return func(c *streamConfig) { c.deliverAll = true }
+}
+
+// StreamInFlight bounds how many requests may be pulled from the
+// source ahead of the consumer (the job queue and result buffer each
+// hold this many). The default is twice the session's worker count;
+// values below 1 are raised to 1. Together with the worker count this
+// caps the stream's memory: at most inFlight queued + workers running
+// + inFlight buffered results exist at any moment, independent of
+// sweep size.
+func StreamInFlight(n int) StreamOption {
+	return func(c *streamConfig) { c.inFlight = n }
+}
+
+type streamJob struct {
+	index int
+	req   Request
+}
+
+// Stream pulls requests lazily from src, fans them over the session's
+// worker pool, and emits Results on the returned channel as they
+// complete (not in generation order — correlate by Result.Index or
+// ID). The channel closes when the source is exhausted and all results
+// are delivered. Generation is demand-driven: no more than the
+// in-flight bound (see StreamInFlight) is ever pulled ahead, so an
+// arbitrarily large sweep runs in bounded memory.
+//
+// Canceling ctx stops generation; requests already dequeued drain with
+// ErrCanceled results on a best-effort basis. The caller must either
+// consume the channel until it closes or cancel ctx — abandoning the
+// channel with a live context leaks the stream's workers.
+func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamOption) (<-chan Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("actuary: Stream needs a request source")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := streamConfig{inFlight: 2 * s.workers}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.inFlight < 1 {
+		cfg.inFlight = 1
+	}
+	workers := s.workers
+	if cfg.maxWorkers > 0 && cfg.maxWorkers < workers {
+		workers = cfg.maxWorkers
+	}
+	jobs := make(chan streamJob, cfg.inFlight)
+	out := make(chan Result, cfg.inFlight)
+
+	// Pump: the only goroutine touching the source. It blocks when the
+	// job queue is full, which is what keeps generation lazy.
+	go func() {
+		defer close(jobs)
+		for i := 0; ; i++ {
+			req, ok := src.Next()
+			if !ok {
+				return
+			}
+			select {
+			case jobs <- streamJob{index: i, req: req}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				var r Result
+				if err := ctx.Err(); err != nil {
+					r = s.fail(j.index, j.req, err)
+				} else {
+					r = s.evaluateOne(ctx, j.index, j.req)
+				}
+				if cfg.deliverAll {
+					out <- r // consumer drains until close, never blocks forever
+					continue
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					// The consumer may have stopped reading; deliver if
+					// there is room, otherwise drop — Evaluate restores
+					// per-request ErrCanceled results for the gaps.
+					select {
+					case out <- r:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// StreamAggregator is an online consumer of results; see Reduce.
+type StreamAggregator interface {
+	Observe(Result)
+}
+
+// Reduce drains a result stream through the given aggregators and
+// reports how many results were seen. It returns when the channel
+// closes (or, with a canceled context, once the stream drains its
+// in-flight work).
+//
+// Compose the stream so each design point reaches the aggregators
+// once: a scenario asking both a per-point cost question and
+// sweep-best over the same grid delivers its winners twice (once as
+// per-point results, once unpacked from the SweepBest payload), and a
+// sweep-best answer contributes only the TopK points it retained — so
+// drop the redundant question (as cmd/actuary does under -top/-pareto)
+// and size Request.TopK at least as large as any downstream CostTopK.
+func Reduce(ch <-chan Result, aggs ...StreamAggregator) int {
+	n := 0
+	for r := range ch {
+		n++
+		for _, a := range aggs {
+			a.Observe(r)
+		}
+	}
+	return n
+}
+
+// pointResult lifts one evaluated sweep point into a synthetic
+// total-cost Result so per-point and whole-sweep answers aggregate
+// uniformly.
+func pointResult(base Result, p SweepPoint) Result {
+	tc := p.Total
+	return Result{Index: base.Index, ID: p.ID, Question: QuestionTotalCost, TotalCost: &tc}
+}
+
+// CostTopK keeps the K cheapest successful total-cost results of a
+// stream in O(K) memory. SweepBest payloads contribute their top
+// points as synthetic total-cost results; other results without a
+// TotalCost payload, and failures, are ignored. Feed each design point
+// once: a stream carrying both per-point results and a sweep-best
+// answer over the same grid would count its winners twice.
+type CostTopK struct {
+	top *sweep.TopK[Result]
+}
+
+// NewCostTopK builds a top-K selector over total cost per unit.
+func NewCostTopK(k int) *CostTopK {
+	return &CostTopK{top: sweep.NewTopK(k, func(r Result) float64 { return r.TotalCost.Total() })}
+}
+
+// Observe implements StreamAggregator.
+func (c *CostTopK) Observe(r Result) {
+	if r.Err != nil {
+		return
+	}
+	if r.SweepBest != nil {
+		for _, p := range r.SweepBest.Top {
+			c.top.Observe(pointResult(r, p))
+		}
+		return
+	}
+	if r.TotalCost == nil {
+		return
+	}
+	c.top.Observe(r)
+}
+
+// Results returns the retained results, cheapest first.
+func (c *CostTopK) Results() []Result { return c.top.Sorted() }
+
+// Seen returns how many total-cost results were considered.
+func (c *CostTopK) Seen() int { return c.top.Seen() }
+
+// CostPareto maintains the two-objective Pareto front of a stream —
+// recurring cost versus amortized NRE per unit, both minimized — in
+// O(front) memory. SweepBest payloads contribute their own front as
+// synthetic total-cost results; other results without a TotalCost
+// payload, and failures, are ignored. As with CostTopK, feed each
+// design point once.
+type CostPareto struct {
+	front *sweep.Pareto[Result]
+}
+
+// NewCostPareto builds the RE-vs-NRE front aggregator.
+func NewCostPareto() *CostPareto {
+	return &CostPareto{front: sweep.NewPareto(func(r Result) (float64, float64) {
+		return r.TotalCost.RE.Total(), r.TotalCost.NRE.Total()
+	})}
+}
+
+// Observe implements StreamAggregator.
+func (c *CostPareto) Observe(r Result) {
+	if r.Err != nil {
+		return
+	}
+	if r.SweepBest != nil {
+		for _, p := range r.SweepBest.Pareto {
+			c.front.Observe(pointResult(r, p))
+		}
+		return
+	}
+	if r.TotalCost == nil {
+		return
+	}
+	c.front.Observe(r)
+}
+
+// Front returns the non-dominated results, ascending in RE.
+func (c *CostPareto) Front() []Result { return c.front.Front() }
+
+// StreamStats counts stream outcomes and summarizes total cost online.
+type StreamStats struct {
+	// OK and Failed count successful and failed results. Skipped is
+	// the subset of OK that contributes nothing to the Cost summary:
+	// answers without cost data. SweepBest results are not Skipped —
+	// they carry no TotalCost field but their whole-sweep summary is
+	// merged into Cost.
+	OK, Failed, Skipped int
+	// Cost summarizes the total cost of the OK results that carry cost
+	// data (per-point results and merged sweep-best summaries).
+	Cost SweepSummary
+}
+
+// Observe implements StreamAggregator.
+func (s *StreamStats) Observe(r Result) {
+	if r.Err != nil {
+		s.Failed++
+		return
+	}
+	s.OK++
+	if r.SweepBest != nil {
+		s.Cost.Merge(r.SweepBest.Summary)
+		return
+	}
+	if r.TotalCost == nil {
+		s.Skipped++
+		return
+	}
+	s.Cost.Observe(r.ID, r.TotalCost.Total())
+}
