@@ -29,6 +29,11 @@
 // (CostTopK, CostPareto, StreamStats) reduce arbitrarily large grids
 // in O(K) memory — see the stream.go API and QuestionSweepBest.
 //
+// Every API type has a canonical JSON wire form (wire.go) served over
+// HTTP by cmd/actuaryd and spoken by the client package, so remote
+// and in-process evaluation are interchangeable; Session.Metrics
+// exposes the stream's back-pressure counters for such deployments.
+//
 // The internal packages (yield, wafer geometry, technology database,
 // packaging, NRE, reuse schemes, exploration, paper experiments) are
 // exposed here through type aliases, so this package is the only

@@ -1,0 +1,265 @@
+// Package client is the typed Go client for the actuaryd service: it
+// speaks the wire protocol of the root package over HTTP and hands
+// back the same Request/Result types a local Session produces, so a
+// program can switch between in-process and remote evaluation through
+// one interface (Backend).
+//
+//	c, err := client.Dial("http://localhost:8833")
+//	results, err := c.Evaluate(ctx, reqs)
+//	ch, err := c.Stream(ctx, scenario) // <-chan actuary.Result
+//
+// Transport failures are classified actuary.ErrTransport: batch calls
+// return them as the call's error; a stream that dies mid-flight
+// delivers one final in-band Result carrying the transport error, so
+// aggregators draining the channel observe the failure instead of a
+// silently short stream.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"chipletactuary"
+)
+
+// Backend is the one interface for local and remote evaluation.
+// *Client implements it over HTTP; Local wraps an in-process Session.
+type Backend interface {
+	// Evaluate answers a batch, results in input order.
+	Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error)
+	// Stream compiles a scenario and emits results as they complete.
+	// The channel closes when the scenario is exhausted (or the
+	// context is canceled); failures arrive in-band on Result.Err.
+	Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error)
+}
+
+// Client speaks the wire protocol to one actuaryd base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the HTTP client (timeouts, transports,
+// middleware). The default is http.DefaultClient; streaming responses
+// hold the connection open, so per-request timeouts belong on the
+// context, not the client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// Dial validates the base URL ("http://host:port") and returns a
+// Client. No connection is made — use Ping for a liveness check.
+func Dial(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q needs an http or https scheme", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// transportError wraps a client-side failure with the ErrTransport
+// code so callers can route on the taxonomy.
+func transportError(err error) error {
+	return &actuary.Error{Code: actuary.ErrTransport, Index: -1, Question: -1, Err: err}
+}
+
+// serverError decodes a non-200 response into an error, preserving
+// the server's structured code when the body carries an
+// actuary.ErrorBody.
+func serverError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb actuary.ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+		code, perr := actuary.ParseErrorCode(eb.Error.Code)
+		if perr != nil {
+			code = actuary.ErrTransport
+		}
+		return &actuary.Error{Code: code, Index: -1, Question: -1,
+			Err: fmt.Errorf("server: %s (HTTP %d)", eb.Error.Message, resp.StatusCode)}
+	}
+	return transportError(fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body)))
+}
+
+// post issues one POST with a JSON body.
+func (c *Client) post(ctx context.Context, path, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, transportError(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	return resp, nil
+}
+
+// get issues one GET and maps non-200 statuses to structured errors.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, serverError(resp)
+	}
+	return resp, nil
+}
+
+// Evaluate implements Backend over POST /v1/evaluate.
+func (c *Client) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, transportError(fmt.Errorf("encoding requests: %w", err))
+	}
+	resp, err := c.post(ctx, "/v1/evaluate", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, serverError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	results, err := actuary.DecodeResults(data)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	return results, nil
+}
+
+// Stream implements Backend over POST /v1/stream: the scenario is
+// shipped to the server, compiled there, and results arrive on the
+// returned channel as NDJSON lines complete. The caller must drain
+// the channel or cancel ctx; a transport failure mid-stream is
+// delivered as a final in-band Result with an ErrTransport error.
+func (c *Client) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	// A scenario loaded from a v1 document carries Version 1 as a
+	// provenance marker, but its in-memory shape is the v2 schema —
+	// re-serializing it as "version": 1 would make the server reject
+	// what the Local backend happily streams. Normalize before
+	// shipping so both backends accept exactly the same configs.
+	if cfg.Version == 1 {
+		cfg.Version = 2
+	}
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, transportError(fmt.Errorf("encoding scenario: %w", err))
+	}
+	resp, err := c.post(ctx, "/v1/stream", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, serverError(resp)
+	}
+	out := make(chan actuary.Result)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		// NDJSON is a stream of self-delimiting JSON values, so a
+		// json.Decoder reads it directly — no line scanner, and no
+		// arbitrary cap on how large one result (a sweep-best answer
+		// with a huge top-K, say) may be.
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var res actuary.Result
+			if err := dec.Decode(&res); err != nil {
+				// EOF ends the stream; anything else is a broken
+				// transport unless the caller caused it by canceling.
+				if errors.Is(err, io.EOF) || ctx.Err() != nil {
+					return
+				}
+				select {
+				case out <- actuary.Result{Index: -1, Err: transportError(fmt.Errorf("decoding stream: %w", err))}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			select {
+			case out <- res:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Questions fetches the server's evaluation-API self-description.
+func (c *Client) Questions(ctx context.Context) ([]actuary.QuestionInfo, error) {
+	resp, err := c.get(ctx, "/v1/questions")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var infos []actuary.QuestionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, transportError(err)
+	}
+	return infos, nil
+}
+
+// Ping checks GET /healthz.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// local adapts an in-process Session to the Backend interface.
+type local struct {
+	s *actuary.Session
+}
+
+// Local wraps a Session so in-process evaluation satisfies the same
+// Backend interface the remote client does — the switch between
+// linking the library and calling a service is one constructor.
+func Local(s *actuary.Session) Backend { return local{s: s} }
+
+// Evaluate implements Backend on the wrapped session.
+func (l local) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	return l.s.Evaluate(ctx, reqs), nil
+}
+
+// Stream implements Backend: the scenario compiles locally and
+// streams through the session's worker pool.
+func (l local) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	src, err := cfg.Source()
+	if err != nil {
+		return nil, err
+	}
+	return l.s.Stream(ctx, src)
+}

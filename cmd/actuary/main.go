@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"chipletactuary"
 	"chipletactuary/internal/report"
@@ -35,13 +37,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the context, which stops scenario generation and
+	// drains in-flight Stream/Evaluate work instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "actuary:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("actuary", flag.ContinueOnError)
 	configPath := fs.String("config", "", "path to the system JSON description")
 	portfolioPath := fs.String("portfolio", "", "path to a portfolio JSON description (family of systems sharing designs)")
@@ -97,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		if *topN < 0 {
 			return fmt.Errorf("-top wants a positive count, got %d", *topN)
 		}
-		return runScenario(out, db, *scenarioPath, *workers, policyOverride, *topN, *pareto)
+		return runScenario(ctx, out, db, *scenarioPath, *workers, policyOverride, *topN, *pareto)
 	}
 	if *topN != 0 || *pareto {
 		return fmt.Errorf("-top and -pareto require -scenario")
@@ -157,7 +164,7 @@ func run(args []string, out io.Writer) error {
 // runScenario evaluates a v2 scenario on a concurrent Session: as a
 // materialized batch by default, or — when -top/-pareto ask for an
 // aggregate — as a lazy stream reduced online in bounded memory.
-func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers int,
+func runScenario(ctx context.Context, out io.Writer, db *actuary.TechDatabase, path string, workers int,
 	policyOverride string, topN int, pareto bool) error {
 	cfg, err := actuary.LoadScenarioConfig(path)
 	if err != nil {
@@ -175,13 +182,16 @@ func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers i
 		return err
 	}
 	if topN > 0 || pareto {
-		return streamScenario(out, s, cfg, topN, pareto)
+		return streamScenario(ctx, out, s, cfg, topN, pareto)
 	}
 	reqs, err := cfg.Requests()
 	if err != nil {
 		return err
 	}
-	results := s.Evaluate(context.Background(), reqs)
+	results := s.Evaluate(ctx, reqs)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("scenario %q interrupted: %w", cfg.Name, err)
+	}
 
 	fmt.Fprintf(out, "scenario %q: %d request(s)\n\n", cfg.Name, len(reqs))
 	tab := report.NewTable("Batch evaluation results", "request", "question", "answer")
@@ -203,7 +213,7 @@ func runScenario(out io.Writer, db *actuary.TechDatabase, path string, workers i
 
 // streamScenario drives the scenario through Session.Stream and online
 // aggregators instead of materializing a request slice.
-func streamScenario(out io.Writer, s *actuary.Session, cfg actuary.ScenarioConfig, topN int, pareto bool) error {
+func streamScenario(ctx context.Context, out io.Writer, s *actuary.Session, cfg actuary.ScenarioConfig, topN int, pareto bool) error {
 	// When total-cost is also selected, every sweep point already
 	// reaches the aggregators as its own result; a sweep-best answer
 	// over the same grid would feed them the winners a second time.
@@ -243,7 +253,7 @@ func streamScenario(out io.Writer, s *actuary.Session, cfg actuary.ScenarioConfi
 	if err != nil {
 		return err
 	}
-	ch, err := s.Stream(context.Background(), src)
+	ch, err := s.Stream(ctx, src)
 	if err != nil {
 		return err
 	}
@@ -260,6 +270,9 @@ func streamScenario(out io.Writer, s *actuary.Session, cfg actuary.ScenarioConfi
 		aggs = append(aggs, front)
 	}
 	seen := actuary.Reduce(ch, aggs...)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("scenario %q interrupted after %d result(s): %w", cfg.Name, seen, err)
+	}
 	if seen == 0 {
 		return fmt.Errorf("scenario %q streamed no results (every sweep point pruned)", cfg.Name)
 	}

@@ -14,7 +14,7 @@ import (
 
 func TestRunEPYCExample(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-config", "testdata/epyc.json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -31,10 +31,10 @@ func TestRunEPYCExample(t *testing.T) {
 
 func TestRunQuantityOverride(t *testing.T) {
 	var lo, hi bytes.Buffer
-	if err := run([]string{"-config", "testdata/epyc.json", "-quantity", "100000"}, &lo); err != nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-quantity", "100000"}, &lo); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-config", "testdata/epyc.json", "-quantity", "10000000"}, &hi); err != nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-quantity", "10000000"}, &hi); err != nil {
 		t.Fatal(err)
 	}
 	if lo.String() == hi.String() {
@@ -44,7 +44,7 @@ func TestRunQuantityOverride(t *testing.T) {
 
 func TestRunPortfolio(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-portfolio", "testdata/scms-family.json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-portfolio", "testdata/scms-family.json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -66,17 +66,17 @@ func TestRunPortfolio(t *testing.T) {
 func TestRunPortfolioErrors(t *testing.T) {
 	var out bytes.Buffer
 	// Both -config and -portfolio.
-	if err := run([]string{"-config", "testdata/epyc.json", "-portfolio", "testdata/scms-family.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-portfolio", "testdata/scms-family.json"}, &out); err == nil {
 		t.Error("both flags accepted")
 	}
-	if err := run([]string{"-portfolio", "/missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-portfolio", "/missing.json"}, &out); err == nil {
 		t.Error("missing portfolio accepted")
 	}
 }
 
 func TestRunScenario(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-workers", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-workers", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -96,7 +96,7 @@ func TestRunScenario(t *testing.T) {
 func TestRunScenarioAcceptsV1Config(t *testing.T) {
 	// A bare v1 SystemConfig is a one-system scenario.
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "testdata/epyc.json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/epyc.json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -107,10 +107,10 @@ func TestRunScenarioAcceptsV1Config(t *testing.T) {
 
 func TestRunScenarioErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "/missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "/missing.json"}, &out); err == nil {
 		t.Error("missing scenario accepted")
 	}
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-config", "testdata/epyc.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-config", "testdata/epyc.json"}, &out); err == nil {
 		t.Error("-scenario together with -config accepted")
 	}
 	dir := t.TempDir()
@@ -118,13 +118,13 @@ func TestRunScenarioErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"version": 3, "name": "x"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scenario", bad}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", bad}, &out); err == nil {
 		t.Error("unsupported scenario version accepted")
 	}
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-quantity", "5"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-quantity", "5"}, &out); err == nil {
 		t.Error("-quantity accepted with -scenario")
 	}
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-designs"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-designs"}, &out); err == nil {
 		t.Error("-designs accepted with -scenario")
 	}
 }
@@ -158,7 +158,7 @@ func TestRunScenarioTopMatchesMaterialized(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-top", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-top", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -192,7 +192,7 @@ func TestRunScenarioTopMatchesMaterialized(t *testing.T) {
 
 func TestRunScenarioPareto(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-pareto"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-pareto"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -208,7 +208,7 @@ func TestRunScenarioSweepBest(t *testing.T) {
 	// count_range) compiles to one sweep-best request answered in
 	// O(top_k) memory.
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "testdata/streaming-scenario.json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/streaming-scenario.json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -236,7 +236,7 @@ func TestRunTopNoDoubleCountWithSweepBest(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", path, "-top", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-top", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// Count table rows only (the footer repeats the cheapest ID).
@@ -258,13 +258,13 @@ func TestRunTopNoDoubleCountWithSweepBest(t *testing.T) {
 
 func TestRunTopParetoFlagErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-config", "testdata/epyc.json", "-top", "3"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-top", "3"}, &out); err == nil {
 		t.Error("-top accepted without -scenario")
 	}
-	if err := run([]string{"-portfolio", "testdata/scms-family.json", "-pareto"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-portfolio", "testdata/scms-family.json", "-pareto"}, &out); err == nil {
 		t.Error("-pareto accepted without -scenario")
 	}
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-top", "-2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-top", "-2"}, &out); err == nil {
 		t.Error("negative -top accepted")
 	}
 }
@@ -274,17 +274,17 @@ func TestRunScenarioPolicyOverride(t *testing.T) {
 	// portfolios a scenario evaluates, so just check the override is
 	// accepted and a bad one still rejected.
 	var out bytes.Buffer
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-policy", "per-instance"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-policy", "per-instance"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scenario", "testdata/roadmap-scenario.json", "-policy", "nonsense"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "testdata/roadmap-scenario.json", "-policy", "nonsense"}, &out); err == nil {
 		t.Error("unknown policy accepted with -scenario")
 	}
 }
 
 func TestRunDesignsInventory(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-config", "testdata/epyc.json", "-designs"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-designs"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -297,10 +297,10 @@ func TestRunDesignsInventory(t *testing.T) {
 
 func TestRunPerInstancePolicy(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-config", "testdata/epyc.json", "-policy", "per-instance"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-policy", "per-instance"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-config", "testdata/epyc.json", "-policy", "nonsense"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-policy", "nonsense"}, &out); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -317,23 +317,23 @@ func TestRunCustomTechFile(t *testing.T) {
 	}
 	f.Close()
 	var out bytes.Buffer
-	if err := run([]string{"-config", "testdata/epyc.json", "-tech", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-tech", path}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-config", "testdata/epyc.json", "-tech", "/missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-config", "testdata/epyc.json", "-tech", "/missing.json"}, &out); err == nil {
 		t.Error("missing tech file accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing -config accepted")
 	}
-	if err := run([]string{"-config", "/missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-config", "/missing.json"}, &out); err == nil {
 		t.Error("missing config accepted")
 	}
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
 		t.Error("bogus flag accepted")
 	}
 }
@@ -347,7 +347,7 @@ func TestRunWarnsOverReticle(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-config", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-config", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "warning") || !strings.Contains(out.String(), "reticle") {

@@ -1,0 +1,150 @@
+// Command actuaryd serves the chiplet-actuary evaluation API over
+// HTTP: the wire protocol of the root package, one shared Session,
+// bounded streaming back-pressure, and Prometheus metrics.
+//
+// Usage:
+//
+//	actuaryd [-addr :8833] [-tech tech.json] [-workers N] [-inflight N] [-cache N]
+//
+// Endpoints (see the server package):
+//
+//	POST /v1/evaluate   batch of wire requests → batch of results
+//	POST /v1/stream     scenario JSON → NDJSON result stream
+//	GET  /v1/questions  API self-description
+//	GET  /healthz       liveness
+//	GET  /metrics       back-pressure + cache counters
+//
+// The daemon prints "actuaryd listening on http://HOST:PORT" once the
+// listener is up (with -addr :0 the kernel-assigned port appears
+// there), and shuts down cleanly on SIGINT/SIGTERM: the listener
+// closes, in-flight streams get a grace period to drain, and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chipletactuary"
+	"chipletactuary/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "actuaryd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("actuaryd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8833", "listen address (use :0 for a kernel-assigned port)")
+	techPath := fs.String("tech", "", "optional technology database JSON (default: built-in)")
+	workers := fs.Int("workers", 0, "session worker pool width (default: one per CPU)")
+	inFlight := fs.Int("inflight", 0, "per-stream in-flight bound (default: twice the worker count)")
+	cacheSize := fs.Int("cache", 0, "KGD cache entries (default: 4096)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db := actuary.DefaultTech()
+	if *techPath != "" {
+		var err error
+		db, err = actuary.LoadTechFile(*techPath)
+		if err != nil {
+			return err
+		}
+	}
+	opts := []actuary.Option{actuary.WithTech(db)}
+	if *workers > 0 {
+		opts = append(opts, actuary.WithWorkers(*workers))
+	}
+	if *cacheSize > 0 {
+		opts = append(opts, actuary.WithCacheSize(*cacheSize))
+	}
+	session, err := actuary.NewSession(opts...)
+	if err != nil {
+		return err
+	}
+	var srvOpts []server.Option
+	if *inFlight > 0 {
+		srvOpts = append(srvOpts, server.WithInFlight(*inFlight))
+	}
+	srv := server.New(session, srvOpts...)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Request contexts hang off baseCtx, NOT the signal context: a
+	// SIGTERM must leave in-flight batches and streams running through
+	// the grace period, not cancel them instantly. baseCtx is canceled
+	// only after the grace expires, to cut off work that would not
+	// drain.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	httpSrv := &http.Server{
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+		// Header and idle timeouts shed slowloris-style connections.
+		// No ReadTimeout/WriteTimeout: /v1/stream responses legitimately
+		// run as long as the sweep does.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(out, "actuaryd listening on http://%s\n", listenHost(ln.Addr()))
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "actuaryd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// The grace period expired with work still in flight (a long
+		// sweep, a slow reader). Cancel the request contexts — which
+		// stops generation and drains the streams — and give the
+		// handlers a moment to retire before giving up.
+		cancelBase()
+		finalCtx, cancelFinal := context.WithTimeout(context.Background(), time.Second)
+		defer cancelFinal()
+		if err := httpSrv.Shutdown(finalCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// listenHost renders a listener address for display, substituting
+// 127.0.0.1 for the unspecified host so the printed URL is curlable.
+func listenHost(addr net.Addr) string {
+	tcp, ok := addr.(*net.TCPAddr)
+	if !ok {
+		return addr.String()
+	}
+	host := tcp.IP.String()
+	if tcp.IP == nil || tcp.IP.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("%s:%d", host, tcp.Port)
+}

@@ -1,7 +1,8 @@
 // Command explore answers the §6 decision questions from the command
 // line: when does a partition pay back, how many chiplets are optimal,
-// where is the area turning point, and which packaging parameters
-// matter most.
+// where is the area turning point, which packaging parameters matter
+// most, and — in sweep mode — which corner of a multi-axis grid is
+// cheapest, without writing a scenario file.
 //
 // Usage:
 //
@@ -9,6 +10,15 @@
 //	explore -mode optimal-k -node 5nm -area 800 -quantity 2000000 -scheme MCM [-maxk 8]
 //	explore -mode turning   -node 5nm -chiplets 2 -scheme MCM
 //	explore -mode sensitivity -node 7nm -area 600 -chiplets 3 -scheme 2.5D
+//	explore -mode sweep -nodes 5nm,7nm -schemes MCM,2.5D \
+//	        -area-range 200:800:100 -count-range 1:8 -top 5
+//
+// Sweep mode maps the grid flags onto the same SweepConfig the
+// scenario schema uses, streams the grid lazily through a sweep-best
+// request, and prints the top-N points, the RE-vs-NRE Pareto front
+// and a summary. List flags (-nodes, -schemes) take comma-separated
+// values and override their singular forms; -area-range is
+// lo:hi:step in mm², -count-range is lo:hi.
 package main
 
 import (
@@ -17,6 +27,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"chipletactuary"
 	"chipletactuary/internal/explore"
@@ -25,25 +39,52 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the context: in-flight Evaluate work (including a
+	// long sweep walk) stops at the next cancellation check instead of
+	// the process dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
-	mode := fs.String("mode", "", "payback, optimal-k, turning or sensitivity")
+	mode := fs.String("mode", "", "payback, optimal-k, turning, sensitivity or sweep")
 	node := fs.String("node", "5nm", "process node")
 	area := fs.Float64("area", 800, "total module area in mm²")
 	chiplets := fs.Int("chiplets", 2, "partition count for payback/turning/sensitivity")
-	maxK := fs.Int("maxk", 8, "maximum partition count for optimal-k")
+	maxK := fs.Int("maxk", 8, "maximum partition count for optimal-k (and the default count axis of sweep)")
 	schemeName := fs.String("scheme", "MCM", "integration scheme: MCM, InFO or 2.5D")
-	quantity := fs.Float64("quantity", 2_000_000, "production quantity for optimal-k")
+	quantity := fs.Float64("quantity", 2_000_000, "production quantity for optimal-k and sweep")
 	d2dFrac := fs.Float64("d2d", 0.10, "D2D interface fraction of die area")
+	nodes := fs.String("nodes", "", "sweep: comma-separated node axis (overrides -node)")
+	schemes := fs.String("schemes", "", "sweep: comma-separated scheme axis (overrides -scheme)")
+	areaRange := fs.String("area-range", "", "sweep: module-area axis lo:hi:step in mm² (default: -area only)")
+	countRange := fs.String("count-range", "", "sweep: partition-count axis lo:hi (default: 1:-maxk)")
+	topN := fs.Int("top", 5, "sweep: how many cheapest points to print")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mode == "sweep" {
+		return runSweep(ctx, out, sweepFlags{
+			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
+			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
+			quantity: *quantity, d2d: *d2dFrac, top: *topN,
+		})
+	}
+	// The grid flags mean nothing outside sweep mode; reject them
+	// (including an explicitly set -top, whose default would otherwise
+	// hide the mistake) instead of silently ignoring them.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top"} {
+		if set[name] {
+			return fmt.Errorf("-%s requires -mode sweep", name)
+		}
 	}
 	scheme, err := actuary.ParseScheme(*schemeName)
 	if err != nil {
@@ -57,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	// Each mode is one request of a one-member batch; the Session API
 	// returns a structured per-request error either way.
 	ask := func(req actuary.Request) (actuary.Result, error) {
-		res := s.Evaluate(context.Background(), []actuary.Request{req})[0]
+		res := s.Evaluate(ctx, []actuary.Request{req})[0]
 		return res, res.Err
 	}
 
@@ -131,4 +172,155 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+}
+
+// sweepFlags carries the grid flags of -mode sweep.
+type sweepFlags struct {
+	node, nodes     string
+	scheme, schemes string
+	area            float64
+	areaRange       string
+	maxK            int
+	countRange      string
+	quantity        float64
+	d2d             float64
+	top             int
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseAreaRange parses "lo:hi:step" in mm².
+func parseAreaRange(s string) (*actuary.AreaRangeConfig, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-area-range wants lo:hi:step, got %q", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-area-range %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	return &actuary.AreaRangeConfig{LoMM2: vals[0], HiMM2: vals[1], StepMM2: vals[2]}, nil
+}
+
+// parseCountRange parses "lo:hi".
+func parseCountRange(s string) (*actuary.CountRangeConfig, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("-count-range wants lo:hi, got %q", s)
+	}
+	lo, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("-count-range %q: %w", s, err)
+	}
+	hi, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("-count-range %q: %w", s, err)
+	}
+	return &actuary.CountRangeConfig{Lo: lo, Hi: hi}, nil
+}
+
+// runSweep maps the grid flags onto a SweepConfig — the same
+// declaration a scenario file would hold — and answers it with one
+// streaming sweep-best request: lazy generation, reticle/interposer
+// pruning, O(top + front) memory however many points the axes span.
+func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
+	if f.top < 1 {
+		return fmt.Errorf("-top wants a positive count, got %d", f.top)
+	}
+	sc := actuary.SweepConfig{
+		Name:        "sweep",
+		D2DFraction: f.d2d,
+		Quantity:    f.quantity,
+		TopK:        f.top,
+	}
+	if f.nodes != "" {
+		sc.Nodes = splitList(f.nodes)
+	} else {
+		sc.Node = f.node
+	}
+	if f.schemes != "" {
+		sc.Schemes = splitList(f.schemes)
+	} else {
+		sc.Scheme = f.scheme
+	}
+	if f.areaRange != "" {
+		r, err := parseAreaRange(f.areaRange)
+		if err != nil {
+			return err
+		}
+		sc.AreaRange = r
+	} else {
+		sc.AreasMM2 = []float64{f.area}
+	}
+	if f.countRange != "" {
+		r, err := parseCountRange(f.countRange)
+		if err != nil {
+			return err
+		}
+		sc.CountRange = r
+	} else {
+		sc.CountRange = &actuary.CountRangeConfig{Lo: 1, Hi: f.maxK}
+	}
+
+	s, err := actuary.NewSession()
+	if err != nil {
+		return err
+	}
+	// Compiling through the scenario schema reuses its validation and
+	// axis merging; the single compiled request streams the grid
+	// internally.
+	cfg := actuary.ScenarioConfig{Name: "explore", Questions: []string{"sweep-best"},
+		Sweeps: []actuary.SweepConfig{sc}}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		return err
+	}
+	res := s.Evaluate(ctx, reqs)[0]
+	if res.Err != nil {
+		return res.Err
+	}
+	b := res.SweepBest
+
+	tab := report.NewTable(
+		fmt.Sprintf("Top %d of %d feasible design points (%d pruned, %d infeasible)",
+			len(b.Top), b.Summary.Count, b.Pruned, b.Infeasible),
+		"point", "node", "scheme", "area", "k", "total/unit")
+	for _, p := range b.Top {
+		tab.MustAddRow(p.ID, p.Node, p.Scheme.String(), units.Area(p.AreaMM2),
+			fmt.Sprintf("%d", p.K), units.Dollars(p.Total.Total()))
+	}
+	if err := tab.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	front := report.NewTable("Pareto front: RE vs amortized NRE (both minimized)",
+		"point", "RE", "NRE/unit", "total")
+	for _, p := range b.Pareto {
+		front.MustAddRow(p.ID, units.Dollars(p.Total.RE.Total()),
+			units.Dollars(p.Total.NRE.Total()), units.Dollars(p.Total.Total()))
+	}
+	if err := front.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ncheapest %s at %s/unit; mean %s over %d points\n",
+		b.Summary.MinID, units.Dollars(b.Summary.Min), units.Dollars(b.Summary.Mean()), b.Summary.Count)
+	if b.FirstFailure != nil {
+		fmt.Fprintf(out, "first infeasible point: %v\n", b.FirstFailure)
+	}
+	return nil
 }

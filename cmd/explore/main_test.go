@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestPaybackMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mode", "payback", "-node", "5nm", "-area", "800"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-mode", "payback", "-node", "5nm", "-area", "800"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "pays back") {
@@ -18,7 +19,7 @@ func TestPaybackMode(t *testing.T) {
 
 func TestOptimalKMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mode", "optimal-k", "-node", "5nm", "-area", "800", "-quantity", "2000000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-mode", "optimal-k", "-node", "5nm", "-area", "800", "-quantity", "2000000"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -29,7 +30,7 @@ func TestOptimalKMode(t *testing.T) {
 
 func TestTurningMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mode", "turning", "-node", "5nm", "-chiplets", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-mode", "turning", "-node", "5nm", "-chiplets", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "starts beating") {
@@ -39,7 +40,7 @@ func TestTurningMode(t *testing.T) {
 
 func TestSensitivityMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mode", "sensitivity", "-node", "7nm", "-area", "600", "-chiplets", "3", "-scheme", "2.5D"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-mode", "sensitivity", "-node", "7nm", "-area", "600", "-chiplets", "3", "-scheme", "2.5D"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "swing") {
@@ -49,17 +50,64 @@ func TestSensitivityMode(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-mode", "nonsense"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-mode", "nonsense"}, &out); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run([]string{"-mode", "payback", "-scheme", "3D"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-mode", "payback", "-scheme", "3D"}, &out); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
 		t.Error("bogus flag accepted")
 	}
 	// Payback that never happens: tiny cheap system on 2.5D.
-	if err := run([]string{"-mode", "payback", "-node", "14nm", "-area", "100", "-scheme", "2.5D"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-mode", "payback", "-node", "14nm", "-area", "100", "-scheme", "2.5D"}, &out); err == nil {
 		t.Error("expected never-pays-back error")
+	}
+}
+
+func TestSweepMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-mode", "sweep",
+		"-nodes", "5nm,7nm", "-schemes", "MCM,2.5D",
+		"-area-range", "200:600:200", "-count-range", "1:4", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Top 3 of", "Pareto front", "cheapest"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep output lacks %q:\n%s", want, s)
+		}
+	}
+	// Axis values must show up as generated point IDs.
+	if !strings.Contains(s, "sweep-7nm-") {
+		t.Errorf("sweep output names no 7nm points:\n%s", s)
+	}
+}
+
+func TestSweepModeDefaultsAndErrors(t *testing.T) {
+	// Singular -node/-scheme/-area defaults with the implicit 1:-maxk
+	// count axis still sweep.
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-mode", "sweep", "-node", "7nm",
+		"-scheme", "MCM", "-area", "400", "-maxk", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Top ") {
+		t.Errorf("default sweep produced no table:\n%s", out.String())
+	}
+	for _, args := range [][]string{
+		{"-mode", "sweep", "-area-range", "bad"},
+		{"-mode", "sweep", "-area-range", "100:500"},
+		{"-mode", "sweep", "-count-range", "1:2:3"},
+		{"-mode", "sweep", "-count-range", "x:2"},
+		{"-mode", "sweep", "-top", "0"},
+		{"-mode", "sweep", "-nodes", "2nm"},
+		{"-mode", "payback", "-nodes", "5nm,7nm"},
+		{"-mode", "optimal-k", "-top", "3"},
+	} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/nre"
 	"chipletactuary/internal/packaging"
 	"chipletactuary/internal/sweep"
 	"chipletactuary/internal/system"
@@ -282,16 +283,15 @@ func LoadScenarioConfig(path string) (ScenarioConfig, error) {
 }
 
 // ParsePolicy converts "per-system-unit" (or "") and "per-instance"
-// to an AmortizationPolicy.
+// to an AmortizationPolicy. It delegates to the same parser the wire
+// protocol uses, so scenario files and the service speak one
+// vocabulary.
 func ParsePolicy(name string) (AmortizationPolicy, error) {
-	switch name {
-	case "", "per-system-unit":
-		return PerSystemUnit, nil
-	case "per-instance":
-		return PerInstance, nil
-	default:
+	p, err := nre.ParsePolicy(name)
+	if err != nil {
 		return 0, fmt.Errorf("actuary: unknown policy %q (want per-system-unit or per-instance)", name)
 	}
+	return p, nil
 }
 
 // Source compiles the scenario into a lazy RequestSource for
@@ -706,12 +706,8 @@ func (c SystemConfig) Build() (System, error) {
 	if err != nil {
 		return System{}, err
 	}
-	flow := packaging.ChipLast
-	switch c.Flow {
-	case "", "chip-last":
-	case "chip-first":
-		flow = packaging.ChipFirst
-	default:
+	flow, err := packaging.ParseFlow(c.Flow)
+	if err != nil {
 		return System{}, fmt.Errorf("actuary: unknown flow %q (want chip-last or chip-first)", c.Flow)
 	}
 	if len(c.Chiplets) == 0 {

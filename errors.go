@@ -20,7 +20,9 @@ var ErrDoesNotFitWafer = cost.ErrDoesNotFitWafer
 // taxonomy lets callers route failures without parsing messages:
 // retry nothing on ErrInvalidConfig, fix the technology database on
 // ErrUnknownNode, treat ErrInfeasible as a legitimate "no" answer,
-// and resubmit on ErrCanceled.
+// resubmit on ErrCanceled, and check the connection on ErrTransport.
+// Codes have stable string forms (see ParseErrorCode in wire.go) so
+// the taxonomy survives the wire protocol.
 type ErrorCode int
 
 const (
@@ -37,6 +39,11 @@ const (
 	// ErrCanceled marks a request abandoned because the batch context
 	// was canceled or timed out before the request ran.
 	ErrCanceled
+	// ErrTransport marks a request that never reached an evaluator:
+	// a network failure, a malformed wire message, or a server-side
+	// rejection with no structured body. Produced by the client
+	// package, never by a local Session.
+	ErrTransport
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +57,8 @@ func (c ErrorCode) String() string {
 		return "infeasible"
 	case ErrCanceled:
 		return "canceled"
+	case ErrTransport:
+		return "transport"
 	default:
 		return fmt.Sprintf("ErrorCode(%d)", int(c))
 	}
@@ -73,13 +82,22 @@ type Error struct {
 	Err error
 }
 
-// Error implements the error interface.
+// Error implements the error interface. Location and question
+// segments appear only when they carry information — client-side
+// transport failures have neither a batch index nor a question.
 func (e *Error) Error() string {
-	label := e.ID
-	if label == "" {
-		label = fmt.Sprintf("#%d", e.Index)
+	var loc string
+	switch {
+	case e.ID != "":
+		loc = " " + e.ID
+	case e.Index >= 0:
+		loc = fmt.Sprintf(" #%d", e.Index)
 	}
-	return fmt.Sprintf("actuary: request %s (%s): %s: %v", label, e.Question, e.Code, e.Err)
+	var q string
+	if _, err := e.Question.MarshalText(); err == nil {
+		q = fmt.Sprintf(" (%s)", e.Question)
+	}
+	return fmt.Sprintf("actuary: request%s%s: %s: %v", loc, q, e.Code, e.Err)
 }
 
 // Unwrap exposes the underlying cause.

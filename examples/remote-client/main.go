@@ -1,0 +1,101 @@
+// Remote client: the same exploration program running against a
+// local Session or a remote actuaryd, switched by one flag.
+//
+// The client.Backend interface is the whole trick — client.Local
+// wraps an in-process Session, client.Dial speaks the wire protocol
+// to a daemon, and everything below the constructor is identical:
+// batch a few questions, then stream a scenario's sweep and reduce it
+// online.
+//
+// Run in-process:     go run ./examples/remote-client
+// Against a daemon:   go run ./cmd/actuaryd &
+//
+//	go run ./examples/remote-client -remote http://localhost:8833
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"chipletactuary"
+	"chipletactuary/client"
+)
+
+func main() {
+	remote := flag.String("remote", "", "actuaryd base URL (empty: evaluate in-process)")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var backend client.Backend
+	if *remote != "" {
+		c, err := client.Dial(*remote)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Ping(ctx); err != nil {
+			log.Fatalf("actuaryd at %s is not answering: %v", *remote, err)
+		}
+		backend = c
+		fmt.Printf("evaluating remotely via %s\n\n", *remote)
+	} else {
+		s, err := actuary.NewSession()
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = client.Local(s)
+		fmt.Printf("evaluating in-process\n\n")
+	}
+
+	// A small batch: the §4.1 SoC-vs-MCM comparison.
+	const quantity = 2_000_000
+	soc := actuary.Monolithic("big-soc", "5nm", 800, quantity)
+	mcm, err := actuary.PartitionEqual("big-mcm", "5nm", 800, 2,
+		actuary.MCM, actuary.D2DFraction(0.10), quantity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := backend.Evaluate(ctx, []actuary.Request{
+		{ID: "soc", Question: actuary.QuestionTotalCost, System: soc},
+		{ID: "mcm", Question: actuary.QuestionTotalCost, System: mcm},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%-4s $%8.2f/unit (RE $%.2f + NRE $%.2f)\n", r.ID,
+			r.TotalCost.Total(), r.TotalCost.RE.Total(), r.TotalCost.NRE.Total())
+	}
+
+	// A streamed scenario: the same document a file (or a curl to
+	// /v1/stream) would carry, reduced online to its five cheapest
+	// points — whether the sweep runs here or in the daemon.
+	scenario := actuary.ScenarioConfig{
+		Version: 2, Name: "granularity", Questions: []string{"total-cost"},
+		Sweeps: []actuary.SweepConfig{{
+			Name: "grid", Nodes: []string{"5nm", "7nm"}, Schemes: []string{"MCM", "2.5D"},
+			D2DFraction: 0.10, Quantity: quantity,
+			AreaRange:  &actuary.AreaRangeConfig{LoMM2: 200, HiMM2: 800, StepMM2: 100},
+			CountRange: &actuary.CountRangeConfig{Lo: 1, Hi: 6},
+		}},
+	}
+	ch, err := backend.Stream(ctx, scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := actuary.NewCostTopK(5)
+	var stats actuary.StreamStats
+	seen := actuary.Reduce(ch, top, &stats)
+
+	fmt.Printf("\nstreamed %d sweep points (%d ok, %d failed); top 5:\n", seen, stats.OK, stats.Failed)
+	for i, r := range top.Results() {
+		fmt.Printf("%d. %-28s $%8.2f/unit\n", i+1, r.ID, r.TotalCost.Total())
+	}
+}

@@ -1,0 +1,82 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/wirejson"
+)
+
+// wireDieCost is the canonical JSON shape of a per-die cost line.
+type wireDieCost struct {
+	Name    string  `json:"name"`
+	Node    string  `json:"node"`
+	AreaMM2 float64 `json:"area_mm2"`
+	Raw     float64 `json:"raw"`
+	Yield   float64 `json:"yield"`
+	KGD     float64 `json:"kgd"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (d DieCost) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireDieCost(d))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (d *DieCost) UnmarshalJSON(data []byte) error {
+	var w wireDieCost
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("cost: decoding die cost: %w", err)
+	}
+	*d = DieCost(w)
+	return nil
+}
+
+// wireBreakdown is the canonical JSON shape of the five-part RE
+// breakdown.
+type wireBreakdown struct {
+	RawChips       float64          `json:"raw_chips"`
+	ChipDefects    float64          `json:"chip_defects"`
+	RawPackage     float64          `json:"raw_package"`
+	PackageDefects float64          `json:"package_defects"`
+	WastedKGD      float64          `json:"wasted_kgd"`
+	Dies           []DieCost        `json:"dies,omitempty"`
+	Packaging      packaging.Result `json:"packaging"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireBreakdown(b))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var w wireBreakdown
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("cost: decoding RE breakdown: %w", err)
+	}
+	*b = Breakdown(w)
+	return nil
+}
+
+// wireWaferDemand is the canonical JSON shape of a wafer demand.
+type wireWaferDemand struct {
+	WafersByNode map[string]float64 `json:"wafers_by_node"`
+	DiesByNode   map[string]float64 `json:"dies_by_node"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (d WaferDemand) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireWaferDemand(d))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (d *WaferDemand) UnmarshalJSON(data []byte) error {
+	var w wireWaferDemand
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("cost: decoding wafer demand: %w", err)
+	}
+	*d = WaferDemand(w)
+	return nil
+}

@@ -1,0 +1,175 @@
+package dtod
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/wirejson"
+)
+
+// ParseTopology converts "hub", "mesh" or "fully-connected" to a
+// Topology.
+func ParseTopology(name string) (Topology, error) {
+	switch name {
+	case "hub":
+		return Hub, nil
+	case "mesh":
+		return Mesh, nil
+	case "fully-connected":
+		return FullyConnected, nil
+	default:
+		return 0, fmt.Errorf("dtod: unknown topology %q (want hub, mesh or fully-connected)", name)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler with the labels
+// ParseTopology accepts.
+func (t Topology) MarshalText() ([]byte, error) {
+	switch t {
+	case Hub, Mesh, FullyConnected:
+		return []byte(t.String()), nil
+	default:
+		return nil, fmt.Errorf("dtod: cannot marshal unknown topology %d", int(t))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseTopology.
+func (t *Topology) UnmarshalText(text []byte) error {
+	parsed, err := ParseTopology(string(text))
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// wirePHY is the canonical JSON shape of a D2D interface technology.
+type wirePHY struct {
+	Name           string  `json:"name"`
+	GbpsPerLane    float64 `json:"gbps_per_lane"`
+	LanePitchMM    float64 `json:"lane_pitch_mm"`
+	AreaPerLaneMM2 float64 `json:"area_per_lane_mm2"`
+	MaxLanes       int     `json:"max_lanes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (p PHY) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wirePHY(p))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (p *PHY) UnmarshalJSON(data []byte) error {
+	var w wirePHY
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("dtod: decoding PHY: %w", err)
+	}
+	*p = PHY(w)
+	return nil
+}
+
+// wireOverhead is the tagged-union JSON shape of an Overhead model.
+// Exactly the fields of the selected kind may be set.
+type wireOverhead struct {
+	Kind string `json:"kind"`
+	// fraction
+	Fraction float64 `json:"fraction,omitempty"`
+	// beachfront
+	PHY            *PHY    `json:"phy,omitempty"`
+	BandwidthGBs   float64 `json:"bandwidth_gbs,omitempty"`
+	EdgesAvailable int     `json:"edges_available,omitempty"`
+	// scaled
+	Topology       *Topology `json:"topology,omitempty"`
+	Count          int       `json:"count,omitempty"`
+	AreaPerLinkMM2 float64   `json:"area_per_link_mm2,omitempty"`
+	FixedMM2       float64   `json:"fixed_mm2,omitempty"`
+}
+
+// MarshalOverhead encodes an Overhead model as a tagged JSON union:
+// {"kind":"none"}, {"kind":"fraction","fraction":0.1},
+// {"kind":"beachfront",...} or {"kind":"scaled",...}. A nil overhead
+// encodes as JSON null; models outside the four concrete types of
+// this package are rejected — the wire protocol only carries what it
+// can reconstruct.
+func MarshalOverhead(o Overhead) ([]byte, error) {
+	switch v := o.(type) {
+	case nil:
+		return []byte("null"), nil
+	case None:
+		return json.Marshal(wireOverhead{Kind: "none"})
+	case Fraction:
+		return json.Marshal(wireOverhead{Kind: "fraction", Fraction: v.F})
+	case Beachfront:
+		phy := v.PHY
+		return json.Marshal(wireOverhead{Kind: "beachfront", PHY: &phy,
+			BandwidthGBs: v.BandwidthGBs, EdgesAvailable: v.EdgesAvailable})
+	case Scaled:
+		topo := v.Topology
+		return json.Marshal(wireOverhead{Kind: "scaled", Topology: &topo, Count: v.Count,
+			AreaPerLinkMM2: v.AreaPerLinkMM2, FixedMM2: v.FixedMM2})
+	default:
+		return nil, fmt.Errorf("dtod: overhead model %T is not wire-representable", o)
+	}
+}
+
+// strayFields reports which fields of other union arms are set, so a
+// payload that mixes arms (say "kind":"fraction" carrying a PHY) is
+// rejected instead of silently dropping the foreign data.
+func (w wireOverhead) strayFields() map[string]bool {
+	return map[string]bool{
+		"fraction":   w.Fraction != 0,
+		"beachfront": w.PHY != nil || w.BandwidthGBs != 0 || w.EdgesAvailable != 0,
+		"scaled":     w.Topology != nil || w.Count != 0 || w.AreaPerLinkMM2 != 0 || w.FixedMM2 != 0,
+	}
+}
+
+// checkArms rejects fields belonging to arms other than the selected
+// kind ("none" allows nothing beyond the tag).
+func (w wireOverhead) checkArms() error {
+	allowed := w.Kind
+	if allowed == "none" {
+		allowed = ""
+	}
+	for arm, set := range w.strayFields() {
+		if set && arm != allowed {
+			return fmt.Errorf("dtod: overhead kind %q carries %s fields — wrong kind or mixed union", w.Kind, arm)
+		}
+	}
+	return nil
+}
+
+// UnmarshalOverhead decodes the tagged union written by
+// MarshalOverhead. JSON null decodes to a nil Overhead; payloads
+// mixing fields from several arms are rejected.
+func UnmarshalOverhead(data []byte) (Overhead, error) {
+	if string(data) == "null" {
+		return nil, nil
+	}
+	var w wireOverhead
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return nil, fmt.Errorf("dtod: decoding overhead: %w", err)
+	}
+	if err := w.checkArms(); err != nil {
+		return nil, err
+	}
+	switch w.Kind {
+	case "none":
+		return None{}, nil
+	case "fraction":
+		return Fraction{F: w.Fraction}, nil
+	case "beachfront":
+		var phy PHY
+		if w.PHY != nil {
+			phy = *w.PHY
+		}
+		return Beachfront{PHY: phy, BandwidthGBs: w.BandwidthGBs, EdgesAvailable: w.EdgesAvailable}, nil
+	case "scaled":
+		var topo Topology
+		if w.Topology != nil {
+			topo = *w.Topology
+		}
+		return Scaled{Topology: topo, Count: w.Count,
+			AreaPerLinkMM2: w.AreaPerLinkMM2, FixedMM2: w.FixedMM2}, nil
+	default:
+		return nil, fmt.Errorf("dtod: unknown overhead kind %q (want none, fraction, beachfront or scaled)", w.Kind)
+	}
+}

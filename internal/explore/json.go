@@ -1,0 +1,55 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/wirejson"
+)
+
+// wireTotalCost is the canonical JSON shape of a per-unit total cost.
+type wireTotalCost struct {
+	RE  cost.Breakdown `json:"re"`
+	NRE nre.Breakdown  `json:"nre"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (t TotalCost) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireTotalCost(t))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (t *TotalCost) UnmarshalJSON(data []byte) error {
+	var w wireTotalCost
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("explore: decoding total cost: %w", err)
+	}
+	*t = TotalCost(w)
+	return nil
+}
+
+// wirePartitionPoint is the canonical JSON shape of one entry of a
+// chiplet-count sweep.
+type wirePartitionPoint struct {
+	Chiplets int              `json:"chiplets"`
+	Scheme   packaging.Scheme `json:"scheme"`
+	Total    TotalCost        `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (p PartitionPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wirePartitionPoint(p))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (p *PartitionPoint) UnmarshalJSON(data []byte) error {
+	var w wirePartitionPoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("explore: decoding partition point: %w", err)
+	}
+	*p = PartitionPoint(w)
+	return nil
+}

@@ -1,0 +1,67 @@
+package nre
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/wirejson"
+)
+
+// ParsePolicy converts "per-system-unit" (or "") and "per-instance"
+// to a Policy. It is the single parser behind both the scenario
+// schema and the wire protocol.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "per-system-unit":
+		return PerSystemUnit, nil
+	case "per-instance":
+		return PerInstance, nil
+	default:
+		return 0, fmt.Errorf("nre: unknown policy %q (want per-system-unit or per-instance)", name)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler with the labels
+// ParsePolicy accepts.
+func (p Policy) MarshalText() ([]byte, error) {
+	switch p {
+	case PerSystemUnit, PerInstance:
+		return []byte(p.String()), nil
+	default:
+		return nil, fmt.Errorf("nre: cannot marshal unknown policy %d", int(p))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePolicy.
+func (p *Policy) UnmarshalText(text []byte) error {
+	parsed, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// wireBreakdown is the canonical JSON shape of an amortized NRE
+// breakdown.
+type wireBreakdown struct {
+	Modules  float64 `json:"modules"`
+	Chips    float64 `json:"chips"`
+	Packages float64 `json:"packages"`
+	D2D      float64 `json:"d2d"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireBreakdown(b))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var w wireBreakdown
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("nre: decoding breakdown: %w", err)
+	}
+	*b = Breakdown(w)
+	return nil
+}

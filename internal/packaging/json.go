@@ -1,0 +1,97 @@
+package packaging
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/wirejson"
+)
+
+// Wire forms. Scheme and Flow marshal as the same stable labels the
+// scenario schema and ParseScheme accept, so JSON written by the
+// service layer and JSON read from scenario files cannot drift.
+
+// MarshalText implements encoding.TextMarshaler with the canonical
+// labels ("SoC", "MCM", "InFO", "2.5D").
+func (s Scheme) MarshalText() ([]byte, error) {
+	switch s {
+	case SoC, MCM, InFO, TwoPointFiveD:
+		return []byte(s.String()), nil
+	default:
+		return nil, fmt.Errorf("packaging: cannot marshal unknown scheme %d", int(s))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseScheme.
+func (s *Scheme) UnmarshalText(text []byte) error {
+	parsed, err := ParseScheme(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// ParseFlow converts "chip-last" (or "") and "chip-first" to a Flow.
+func ParseFlow(name string) (Flow, error) {
+	switch name {
+	case "", "chip-last":
+		return ChipLast, nil
+	case "chip-first":
+		return ChipFirst, nil
+	default:
+		return 0, fmt.Errorf("packaging: unknown flow %q (want chip-last or chip-first)", name)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler ("chip-last",
+// "chip-first").
+func (f Flow) MarshalText() ([]byte, error) {
+	switch f {
+	case ChipLast, ChipFirst:
+		return []byte(f.String()), nil
+	default:
+		return nil, fmt.Errorf("packaging: cannot marshal unknown flow %d", int(f))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseFlow.
+func (f *Flow) UnmarshalText(text []byte) error {
+	parsed, err := ParseFlow(string(text))
+	if err != nil {
+		return err
+	}
+	*f = parsed
+	return nil
+}
+
+// wireResult is the canonical JSON shape of a packaging Result.
+type wireResult struct {
+	Scheme            Scheme  `json:"scheme"`
+	Flow              Flow    `json:"flow"`
+	RawPackage        float64 `json:"raw_package"`
+	PackageDefects    float64 `json:"package_defects"`
+	WastedKGD         float64 `json:"wasted_kgd"`
+	Yield             float64 `json:"yield"`
+	FootprintMM2      float64 `json:"footprint_mm2"`
+	InterposerAreaMM2 float64 `json:"interposer_area_mm2"`
+	SubstrateAreaMM2  float64 `json:"substrate_area_mm2"`
+	RawInterposer     float64 `json:"raw_interposer"`
+	RawSubstrate      float64 `json:"raw_substrate"`
+	AssemblyCost      float64 `json:"assembly_cost"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireResult(r))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w wireResult
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("packaging: decoding result: %w", err)
+	}
+	*r = Result(w)
+	return nil
+}

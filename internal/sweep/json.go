@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/wirejson"
+)
+
+// wireGrid is the canonical JSON shape of a sweep Grid. The D2D model
+// is the dtod tagged union; absent means nil (zero overhead).
+type wireGrid struct {
+	Name       string             `json:"name"`
+	Nodes      []string           `json:"nodes"`
+	Schemes    []packaging.Scheme `json:"schemes"`
+	AreasMM2   []float64          `json:"areas_mm2"`
+	Counts     []int              `json:"counts"`
+	Quantities []float64          `json:"quantities"`
+	D2D        json.RawMessage    `json:"d2d,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (g Grid) MarshalJSON() ([]byte, error) {
+	w := wireGrid{Name: g.Name, Nodes: g.Nodes, Schemes: g.Schemes,
+		AreasMM2: g.AreasMM2, Counts: g.Counts, Quantities: g.Quantities}
+	if g.D2D != nil {
+		d2d, err := dtod.MarshalOverhead(g.D2D)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: grid %q: %w", g.Name, err)
+		}
+		w.D2D = d2d
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (g *Grid) UnmarshalJSON(data []byte) error {
+	var w wireGrid
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("sweep: decoding grid: %w", err)
+	}
+	var d2d dtod.Overhead
+	if len(w.D2D) > 0 {
+		var err error
+		if d2d, err = dtod.UnmarshalOverhead(w.D2D); err != nil {
+			return fmt.Errorf("sweep: grid %q: %w", w.Name, err)
+		}
+	}
+	*g = Grid{Name: w.Name, Nodes: w.Nodes, Schemes: w.Schemes,
+		AreasMM2: w.AreasMM2, Counts: w.Counts, Quantities: w.Quantities, D2D: d2d}
+	return nil
+}
+
+// wireSummary is the canonical JSON shape of an online sweep summary.
+type wireSummary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	MinID string  `json:"min_id,omitempty"`
+	MaxID string  `json:"max_id,omitempty"`
+	Sum   float64 `json:"sum"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSummary{Count: s.Count, Min: s.Min, Max: s.Max,
+		MinID: s.MinID, MaxID: s.MaxID, Sum: s.Sum})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w wireSummary
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("sweep: decoding summary: %w", err)
+	}
+	*s = Summary{Count: w.Count, Min: w.Min, Max: w.Max, MinID: w.MinID, MaxID: w.MaxID, Sum: w.Sum}
+	return nil
+}

@@ -1,0 +1,167 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/wirejson"
+)
+
+// Wire forms: the canonical JSON encoding of the architecture types,
+// shared by the service protocol and programmatic callers. Systems
+// round-trip exactly as long as every D2D model is one of the dtod
+// package's concrete types (always true for systems built through
+// this module's constructors).
+
+// wireModule is the canonical JSON shape of a Module.
+type wireModule struct {
+	Name     string  `json:"name"`
+	AreaMM2  float64 `json:"area_mm2"`
+	Scalable bool    `json:"scalable,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (m Module) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireModule(m))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (m *Module) UnmarshalJSON(data []byte) error {
+	var w wireModule
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("system: decoding module: %w", err)
+	}
+	*m = Module(w)
+	return nil
+}
+
+// wireSalvage is the canonical JSON shape of a SalvageSpec.
+type wireSalvage struct {
+	Fraction float64 `json:"fraction"`
+	Value    float64 `json:"value"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (s SalvageSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSalvage(s))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (s *SalvageSpec) UnmarshalJSON(data []byte) error {
+	var w wireSalvage
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("system: decoding salvage spec: %w", err)
+	}
+	*s = SalvageSpec(w)
+	return nil
+}
+
+// wireChiplet is the canonical JSON shape of a Chiplet. The D2D model
+// is the dtod tagged union; absent means nil (zero overhead).
+type wireChiplet struct {
+	Name    string          `json:"name"`
+	Node    string          `json:"node"`
+	Modules []Module        `json:"modules"`
+	D2D     json.RawMessage `json:"d2d,omitempty"`
+	Salvage *SalvageSpec    `json:"salvage,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c Chiplet) MarshalJSON() ([]byte, error) {
+	w := wireChiplet{Name: c.Name, Node: c.Node, Modules: c.Modules, Salvage: c.Salvage}
+	if c.D2D != nil {
+		d2d, err := dtod.MarshalOverhead(c.D2D)
+		if err != nil {
+			return nil, fmt.Errorf("system: chiplet %q: %w", c.Name, err)
+		}
+		w.D2D = d2d
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (c *Chiplet) UnmarshalJSON(data []byte) error {
+	var w wireChiplet
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("system: decoding chiplet: %w", err)
+	}
+	var d2d dtod.Overhead
+	if len(w.D2D) > 0 {
+		var err error
+		if d2d, err = dtod.UnmarshalOverhead(w.D2D); err != nil {
+			return fmt.Errorf("system: chiplet %q: %w", w.Name, err)
+		}
+	}
+	*c = Chiplet{Name: w.Name, Node: w.Node, Modules: w.Modules, D2D: d2d, Salvage: w.Salvage}
+	return nil
+}
+
+// wirePlacement is the canonical JSON shape of a Placement.
+type wirePlacement struct {
+	Chiplet Chiplet `json:"chiplet"`
+	Count   int     `json:"count"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (p Placement) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wirePlacement(p))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (p *Placement) UnmarshalJSON(data []byte) error {
+	var w wirePlacement
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("system: decoding placement: %w", err)
+	}
+	*p = Placement(w)
+	return nil
+}
+
+// wireEnvelope is the canonical JSON shape of an Envelope.
+type wireEnvelope struct {
+	Name              string  `json:"name"`
+	FootprintMM2      float64 `json:"footprint_mm2"`
+	InterposerAreaMM2 float64 `json:"interposer_area_mm2,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (e Envelope) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireEnvelope(e))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (e *Envelope) UnmarshalJSON(data []byte) error {
+	var w wireEnvelope
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("system: decoding envelope: %w", err)
+	}
+	*e = Envelope(w)
+	return nil
+}
+
+// wireSystem is the canonical JSON shape of a System.
+type wireSystem struct {
+	Name       string           `json:"name"`
+	Scheme     packaging.Scheme `json:"scheme"`
+	Flow       packaging.Flow   `json:"flow,omitempty"`
+	Placements []Placement      `json:"placements"`
+	Quantity   float64          `json:"quantity,omitempty"`
+	Envelope   *Envelope        `json:"envelope,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (s System) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSystem(s))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (s *System) UnmarshalJSON(data []byte) error {
+	var w wireSystem
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("system: decoding system: %w", err)
+	}
+	*s = System(w)
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package wirejson holds the tiny shared encoding discipline of the
+// wire protocol: marshaling is plain encoding/json over canonical
+// snake_case DTOs, and unmarshaling is strict — unknown fields are
+// rejected so schema drift between client and server surfaces as an
+// error instead of silent data loss.
+package wirejson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// UnmarshalStrict decodes data into v, rejecting unknown fields and
+// trailing garbage.
+func UnmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second token means trailing garbage after the value.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("wirejson: trailing data after JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"chipletactuary"
+	"chipletactuary/server"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// newTestServer builds a server on a fresh session plus an httptest
+// front end.
+func newTestServer(t *testing.T, sessOpts []actuary.Option, srvOpts ...server.Option) (*server.Server, *httptest.Server) {
+	t.Helper()
+	session, err := actuary.NewSession(sessOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(session, srvOpts...)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestEvaluateEndpointMatchesLocalSession(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	reqs := []actuary.Request{
+		{ID: "soc", Question: actuary.QuestionTotalCost,
+			System: actuary.Monolithic("big", "5nm", 800, 2e6)},
+		{ID: "opt", Question: actuary.QuestionOptimalChipletCount, Node: "7nm",
+			ModuleAreaMM2: 700, MaxK: 4, Scheme: actuary.MCM,
+			D2D: actuary.D2DFraction(0.10), Quantity: 2e6},
+		{ID: "bad", Question: actuary.QuestionTotalCost,
+			System: actuary.Monolithic("x", "2nm", 100, 1e6)},
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/evaluate", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := actuary.DecodeResults(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := local.Evaluate(context.Background(), reqs)
+	if len(got) != len(want) {
+		t.Fatalf("result count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wj, err := json.Marshal(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := json.Marshal(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wj, gj) {
+			t.Errorf("result %d differs:\nremote: %s\n local: %s", i, gj, wj)
+		}
+	}
+	if got[2].Err == nil {
+		t.Fatal("bad request should fail per-request")
+	}
+	if ae, ok := actuary.AsError(got[2].Err); !ok || ae.Code != actuary.ErrUnknownNode {
+		t.Errorf("bad request error = %v, want unknown-node", got[2].Err)
+	}
+}
+
+// TestStreamEndpointMatchesScenarioCLI is the end-to-end acceptance
+// check: a scenario JSON posted to /v1/stream must yield byte-identical
+// wire results (modulo ordering) to evaluating the same file locally —
+// the exact path cmd/actuary -scenario takes (LoadScenarioConfig →
+// Requests → Session.Evaluate) — and the stream must leave nonzero
+// back-pressure samples in Session.Metrics.
+func TestStreamEndpointMatchesScenarioCLI(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	scenario, err := os.ReadFile(filepath.Join("testdata", "scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/stream", scenario)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := strings.Split(strings.TrimSpace(string(data)), "\n")
+
+	// The CLI path: load the same file, materialize its requests,
+	// evaluate on a local session, marshal each result to the wire.
+	cfg, err := actuary.LoadScenarioConfig(filepath.Join("testdata", "scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := local.Evaluate(context.Background(), reqs)
+	want := make([]string, len(results))
+	for i, r := range results {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = string(line)
+	}
+	if len(streamed) != len(want) {
+		t.Fatalf("streamed %d lines, CLI path yields %d results", len(streamed), len(want))
+	}
+	sort.Strings(streamed)
+	sort.Strings(want)
+	for i := range want {
+		if streamed[i] != want[i] {
+			t.Errorf("stream and CLI results diverge:\nstream: %s\n   cli: %s", streamed[i], want[i])
+		}
+	}
+
+	// Back-pressure instrumentation must have observed the stream.
+	m := srv.Session().Metrics()
+	if m.QueueDepthSamples == 0 || m.QueueDepthMax < 1 || m.MeanQueueDepth() <= 0 {
+		t.Errorf("no queue-depth samples recorded: %+v", m)
+	}
+	if m.Utilization() <= 0 {
+		t.Errorf("utilization = %v, want > 0 (busy %v, lifetime %v)",
+			m.Utilization(), m.WorkerBusy, m.WorkerTime)
+	}
+	if m.Requests() != int64(len(want)) {
+		t.Errorf("metrics saw %d requests, want %d", m.Requests(), len(want))
+	}
+}
+
+// TestStreamGoldenFraming pins the NDJSON framing: one worker and an
+// in-flight bound of one make emission order deterministic (generation
+// order), so the whole response is reproducible byte for byte.
+func TestStreamGoldenFraming(t *testing.T) {
+	_, ts := newTestServer(t,
+		[]actuary.Option{actuary.WithWorkers(1)}, server.WithInFlight(1))
+	scenario, err := os.ReadFile(filepath.Join("testdata", "golden-scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/stream", scenario)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "stream.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("NDJSON framing drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestQuestionsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/questions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []actuary.QuestionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(actuary.Questions()) {
+		t.Errorf("%d questions advertised, want %d", len(infos), len(actuary.Questions()))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"ok"`) {
+		t.Errorf("healthz: HTTP %d %s", resp.StatusCode, data)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	// Drive one batch so per-question series exist.
+	body, _ := json.Marshal([]actuary.Request{{Question: actuary.QuestionTotalCost,
+		System: actuary.Monolithic("m", "7nm", 400, 1e6)}})
+	postJSON(t, ts.URL+"/v1/evaluate", body).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, series := range []string{
+		"actuary_streams_started_total 1",
+		"actuary_queue_depth_max 1",
+		"actuary_worker_utilization",
+		`actuary_requests_total{question="total-cost"} 1`,
+		"actuary_kgd_cache_misses_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics output lacks %q:\n%s", series, text)
+		}
+	}
+}
+
+func TestTransportErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.WithMaxBodyBytes(256))
+
+	resp := postJSON(t, ts.URL+"/v1/evaluate", []byte(`{not json`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: HTTP %d, want 400", resp.StatusCode)
+	}
+	var eb struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error.Code != "invalid-config" {
+		t.Errorf("error body = %+v (%v), want invalid-config", eb, err)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/stream", []byte(`{"version":2,"name":"empty"}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty scenario: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/evaluate", bytes.Repeat([]byte(" "), 512))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	getResp, err := http.Get(ts.URL + "/v1/evaluate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on evaluate: HTTP %d, want 405", getResp.StatusCode)
+	}
+	getResp.Body.Close()
+}
+
+// TestStreamClientDisconnect verifies an abandoned stream drains
+// without wedging the session: a canceled request context stops
+// generation and later streams still run.
+func TestStreamClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, []actuary.Option{actuary.WithWorkers(2)}, server.WithInFlight(2))
+	big, err := json.Marshal(actuary.ScenarioConfig{
+		Version: 2, Name: "big", Questions: []string{"total-cost"},
+		Sweeps: []actuary.SweepConfig{{
+			Name: "wide", Node: "7nm", Scheme: "MCM", D2DFraction: 0.10, Quantity: 2e6,
+			AreaRange:  &actuary.AreaRangeConfig{LoMM2: 100, HiMM2: 800, StepMM2: 1},
+			CountRange: &actuary.CountRangeConfig{Lo: 1, Hi: 8},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a few lines, then walk away.
+	buf := make([]byte, 4096)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The session must still serve a fresh batch afterwards.
+	results := srv.Session().Evaluate(context.Background(), []actuary.Request{{
+		Question: actuary.QuestionTotalCost, System: actuary.Monolithic("m", "7nm", 300, 1e6)}})
+	if results[0].Err != nil {
+		t.Fatalf("session wedged after disconnect: %v", results[0].Err)
+	}
+}
+
+func TestWithInFlightBoundsStream(t *testing.T) {
+	_, ts := newTestServer(t, []actuary.Option{actuary.WithWorkers(2)}, server.WithInFlight(1))
+	scenario, err := os.ReadFile(filepath.Join("testdata", "scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/stream", scenario)
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	for _, line := range lines {
+		var res actuary.Result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+	}
+	if len(lines) < 2 {
+		t.Fatalf("expected several results, got %d", len(lines))
+	}
+}

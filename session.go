@@ -269,6 +269,7 @@ type Session struct {
 	params  PackagingParams
 	ev      *explore.Evaluator
 	workers int
+	metrics *sessionMetrics
 }
 
 // NewSession builds a Session. With no options it mirrors New():
@@ -292,7 +293,8 @@ func NewSession(opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{db: cfg.db, params: cfg.params, ev: ev, workers: cfg.workers}, nil
+	return &Session{db: cfg.db, params: cfg.params, ev: ev, workers: cfg.workers,
+		metrics: &sessionMetrics{}}, nil
 }
 
 // Tech returns the session's technology database.

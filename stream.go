@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"chipletactuary/internal/sweep"
 )
@@ -176,9 +177,16 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	}
 	jobs := make(chan streamJob, cfg.inFlight)
 	out := make(chan Result, cfg.inFlight)
+	metrics := s.metrics
+	metrics.streamsStarted.Add(1)
 
 	// Pump: the only goroutine touching the source. It blocks when the
-	// job queue is full, which is what keeps generation lazy.
+	// job queue is full, which is what keeps generation lazy. Each
+	// enqueue records a queue-depth sample — the back-pressure signal
+	// Session.Metrics surfaces. The gauge is raised before the send so
+	// a worker's decrement can never observe it un-incremented (the
+	// depth gauge must not go negative); an abandoned send rolls it
+	// back.
 	go func() {
 		defer close(jobs)
 		for i := 0; ; i++ {
@@ -186,9 +194,11 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 			if !ok {
 				return
 			}
+			metrics.enqueued()
 			select {
 			case jobs <- streamJob{index: i, req: req}:
 			case <-ctx.Done():
+				metrics.enqueueAborted()
 				return
 			}
 		}
@@ -198,14 +208,22 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
-			defer wg.Done()
+			start := time.Now()
+			metrics.workerStarted(start)
+			defer func() {
+				metrics.workerStopped(start)
+				wg.Done()
+			}()
 			for j := range jobs {
+				metrics.dequeued()
+				t0 := time.Now()
 				var r Result
 				if err := ctx.Err(); err != nil {
 					r = s.fail(j.index, j.req, err)
 				} else {
 					r = s.evaluateOne(ctx, j.index, j.req)
 				}
+				metrics.finished(j.req.Question, time.Since(t0), r.Err != nil)
 				if cfg.deliverAll {
 					out <- r // consumer drains until close, never blocks forever
 					continue
@@ -226,6 +244,7 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	}
 	go func() {
 		wg.Wait()
+		metrics.streamsCompleted.Add(1)
 		close(out)
 	}()
 	return out, nil

@@ -1,0 +1,448 @@
+package actuary
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/wirejson"
+)
+
+// Wire protocol v1: the canonical, transport-neutral JSON forms of
+// the evaluation API. Request, Result, Question, *Error, SweepBest
+// and TotalCost all implement json.Marshaler/json.Unmarshaler with
+// these guarantees:
+//
+//   - Round trip: Unmarshal(Marshal(v)) reconstructs v exactly, for
+//     every value the Session can produce (errors keep their code,
+//     location and message; the wrapped Go error chain itself cannot
+//     cross a process boundary).
+//   - Strictness: unknown fields, unknown question names, unknown
+//     scheme/flow/policy/topology labels and malformed unions are
+//     rejected at decode time, so client/server schema drift surfaces
+//     as an error instead of silent data loss.
+//   - Shared vocabulary: enum labels on the wire are exactly the
+//     strings the scenario schema (ScenarioConfig) accepts —
+//     "total-cost", "MCM", "chip-last", "per-system-unit" — parsed by
+//     the same functions, so scenario files and the wire format
+//     cannot drift apart.
+//
+// cmd/actuaryd serves this protocol over HTTP (see the server
+// package); the client package speaks it back. Programs embedding the
+// library can also persist Requests/Results with plain encoding/json.
+
+// MarshalText implements encoding.TextMarshaler with the names
+// ParseQuestion accepts; unknown question values are rejected.
+func (q Question) MarshalText() ([]byte, error) {
+	switch q {
+	case QuestionTotalCost, QuestionRE, QuestionWafers, QuestionCrossoverQuantity,
+		QuestionOptimalChipletCount, QuestionAreaCrossover, QuestionSweepBest:
+		return []byte(q.String()), nil
+	default:
+		return nil, fmt.Errorf("actuary: cannot marshal unknown question %d", int(q))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseQuestion.
+func (q *Question) UnmarshalText(text []byte) error {
+	parsed, err := ParseQuestion(string(text))
+	if err != nil {
+		return err
+	}
+	*q = parsed
+	return nil
+}
+
+// QuestionInfo describes one question of the evaluation API for
+// discovery (GET /v1/questions).
+type QuestionInfo struct {
+	// Name is the canonical wire name.
+	Name string `json:"name"`
+	// Aliases are the alternative names ParseQuestion accepts.
+	Aliases []string `json:"aliases,omitempty"`
+	// Summary is a one-line human description.
+	Summary string `json:"summary"`
+	// Fields lists the Request fields the question consumes.
+	Fields []string `json:"fields"`
+}
+
+// Questions enumerates the evaluation API, in Question order.
+func Questions() []QuestionInfo {
+	return []QuestionInfo{
+		{Name: "total-cost", Aliases: []string{"total"},
+			Summary: "RE plus amortized NRE per unit of one system (§3.2 + §3.3)",
+			Fields:  []string{"system", "policy"}},
+		{Name: "re", Aliases: []string{"recurring"},
+			Summary: "recurring manufacturing cost per unit of one system (§3.2)",
+			Fields:  []string{"system"}},
+		{Name: "wafers", Aliases: nil,
+			Summary: "wafer starts per node to ship a production quantity",
+			Fields:  []string{"system", "quantity"}},
+		{Name: "crossover-quantity", Aliases: []string{"payback"},
+			Summary: "production quantity where the challenger's total cost drops to the incumbent's (§4.2)",
+			Fields:  []string{"incumbent", "challenger"}},
+		{Name: "optimal-chiplet-count", Aliases: []string{"optimal-k"},
+			Summary: "partition-count sweep 1..max_k with the cheapest point (§6)",
+			Fields:  []string{"node", "module_area_mm2", "max_k", "scheme", "d2d", "quantity"}},
+		{Name: "area-crossover", Aliases: []string{"turning"},
+			Summary: "module area where k chiplets start beating the monolithic SoC on RE (§4.1)",
+			Fields:  []string{"node", "k", "scheme", "d2d", "lo_mm2", "hi_mm2"}},
+		{Name: "sweep-best", Aliases: []string{"best"},
+			Summary: "top-K, Pareto front and summary of a lazily streamed design-space grid",
+			Fields:  []string{"grid", "top_k", "policy"}},
+	}
+}
+
+// ParseErrorCode converts a stable wire label ("invalid-config",
+// "unknown-node", "infeasible", "canceled", "transport") to an
+// ErrorCode.
+func ParseErrorCode(name string) (ErrorCode, error) {
+	switch name {
+	case "invalid-config":
+		return ErrInvalidConfig, nil
+	case "unknown-node":
+		return ErrUnknownNode, nil
+	case "infeasible":
+		return ErrInfeasible, nil
+	case "canceled":
+		return ErrCanceled, nil
+	case "transport":
+		return ErrTransport, nil
+	default:
+		return 0, fmt.Errorf("actuary: unknown error code %q", name)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler with the labels
+// ParseErrorCode accepts.
+func (c ErrorCode) MarshalText() ([]byte, error) {
+	switch c {
+	case ErrInvalidConfig, ErrUnknownNode, ErrInfeasible, ErrCanceled, ErrTransport:
+		return []byte(c.String()), nil
+	default:
+		return nil, fmt.Errorf("actuary: cannot marshal unknown error code %d", int(c))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via
+// ParseErrorCode.
+func (c *ErrorCode) UnmarshalText(text []byte) error {
+	parsed, err := ParseErrorCode(string(text))
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// wireError is the canonical JSON shape of a structured error. The
+// question travels as its wire name; errors without one (client-side
+// transport failures) omit the field.
+type wireError struct {
+	Code     ErrorCode `json:"code"`
+	Index    int       `json:"index,omitempty"`
+	ID       string    `json:"id,omitempty"`
+	Question string    `json:"question,omitempty"`
+	Message  string    `json:"message,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. The underlying cause crosses
+// the wire as its message; the classified code, batch location and
+// question survive structurally.
+func (e *Error) MarshalJSON() ([]byte, error) {
+	w := wireError{Code: e.Code, Index: e.Index, ID: e.ID}
+	if text, err := e.Question.MarshalText(); err == nil {
+		w.Question = string(text)
+	}
+	if e.Err != nil {
+		w.Message = e.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+// The decoded cause is an opaque error carrying the sender's message;
+// route on Code rather than errors.Is across a process boundary.
+func (e *Error) UnmarshalJSON(data []byte) error {
+	var w wireError
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding error: %w", err)
+	}
+	*e = Error{Code: w.Code, Index: w.Index, ID: w.ID}
+	if w.Question != "" {
+		if err := e.Question.UnmarshalText([]byte(w.Question)); err != nil {
+			return err
+		}
+	} else {
+		// No question on the wire means the error never had one (a
+		// transport failure); keep that explicit rather than letting
+		// the zero value masquerade as total-cost.
+		e.Question = -1
+	}
+	if w.Message != "" {
+		e.Err = errors.New(w.Message)
+	}
+	return nil
+}
+
+// wireRequest is the canonical JSON shape of a Request. Only the
+// fields the question consumes appear on the wire; zero-valued
+// defaults are omitted and reconstructed on decode. The question is a
+// string here (not a Question) so decoding can distinguish an absent
+// field from total-cost and reject it — defaulting would silently
+// answer the wrong question.
+type wireRequest struct {
+	ID            string             `json:"id,omitempty"`
+	Question      string             `json:"question"`
+	System        *System            `json:"system,omitempty"`
+	Policy        AmortizationPolicy `json:"policy,omitempty"`
+	Quantity      float64            `json:"quantity,omitempty"`
+	Incumbent     *System            `json:"incumbent,omitempty"`
+	Challenger    *System            `json:"challenger,omitempty"`
+	Node          string             `json:"node,omitempty"`
+	ModuleAreaMM2 float64            `json:"module_area_mm2,omitempty"`
+	Scheme        Scheme             `json:"scheme,omitempty"`
+	D2D           json.RawMessage    `json:"d2d,omitempty"`
+	MaxK          int                `json:"max_k,omitempty"`
+	K             int                `json:"k,omitempty"`
+	LoMM2         float64            `json:"lo_mm2,omitempty"`
+	HiMM2         float64            `json:"hi_mm2,omitempty"`
+	Grid          *SweepGrid         `json:"grid,omitempty"`
+	TopK          int                `json:"top_k,omitempty"`
+}
+
+// systemOrNil returns &s when s carries any data, nil for the zero
+// System, so unused system slots stay off the wire.
+func systemOrNil(s System) *System {
+	if reflect.DeepEqual(s, System{}) {
+		return nil
+	}
+	return &s
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (r Request) MarshalJSON() ([]byte, error) {
+	question, err := r.Question.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	w := wireRequest{
+		ID: r.ID, Question: string(question),
+		System: systemOrNil(r.System), Policy: r.Policy, Quantity: r.Quantity,
+		Incumbent: systemOrNil(r.Incumbent), Challenger: systemOrNil(r.Challenger),
+		Node: r.Node, ModuleAreaMM2: r.ModuleAreaMM2, Scheme: r.Scheme,
+		MaxK: r.MaxK, K: r.K, LoMM2: r.LoMM2, HiMM2: r.HiMM2,
+		Grid: r.Grid, TopK: r.TopK,
+	}
+	if r.D2D != nil {
+		d2d, err := dtod.MarshalOverhead(r.D2D)
+		if err != nil {
+			return nil, fmt.Errorf("actuary: request %q: %w", r.ID, err)
+		}
+		w.D2D = d2d
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// and unknown question names.
+func (r *Request) UnmarshalJSON(data []byte) error {
+	var w wireRequest
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding request: %w", err)
+	}
+	if w.Question == "" {
+		return fmt.Errorf("actuary: decoding request %q: missing question", w.ID)
+	}
+	question, err := ParseQuestion(w.Question)
+	if err != nil {
+		return fmt.Errorf("actuary: decoding request %q: %w", w.ID, err)
+	}
+	req := Request{
+		ID: w.ID, Question: question,
+		Policy: w.Policy, Quantity: w.Quantity,
+		Node: w.Node, ModuleAreaMM2: w.ModuleAreaMM2, Scheme: w.Scheme,
+		MaxK: w.MaxK, K: w.K, LoMM2: w.LoMM2, HiMM2: w.HiMM2,
+		Grid: w.Grid, TopK: w.TopK,
+	}
+	if w.System != nil {
+		req.System = *w.System
+	}
+	if w.Incumbent != nil {
+		req.Incumbent = *w.Incumbent
+	}
+	if w.Challenger != nil {
+		req.Challenger = *w.Challenger
+	}
+	if len(w.D2D) > 0 {
+		d2d, err := dtod.UnmarshalOverhead(w.D2D)
+		if err != nil {
+			return fmt.Errorf("actuary: decoding request %q: %w", w.ID, err)
+		}
+		req.D2D = d2d
+	}
+	*r = req
+	return nil
+}
+
+// wireSweepPoint is the canonical JSON shape of an evaluated sweep
+// point.
+type wireSweepPoint struct {
+	ID       string    `json:"id"`
+	Node     string    `json:"node"`
+	Scheme   Scheme    `json:"scheme"`
+	AreaMM2  float64   `json:"area_mm2"`
+	K        int       `json:"k"`
+	Quantity float64   `json:"quantity"`
+	Total    TotalCost `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (p SweepPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSweepPoint(p))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (p *SweepPoint) UnmarshalJSON(data []byte) error {
+	var w wireSweepPoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding sweep point: %w", err)
+	}
+	*p = SweepPoint(w)
+	return nil
+}
+
+// wireSweepBest is the canonical JSON shape of a sweep-best answer.
+// The first per-point failure crosses the wire as its message.
+type wireSweepBest struct {
+	Top          []SweepPoint `json:"top"`
+	Pareto       []SweepPoint `json:"pareto"`
+	Summary      SweepSummary `json:"summary"`
+	Pruned       int          `json:"pruned,omitempty"`
+	Deduped      int          `json:"deduped,omitempty"`
+	Infeasible   int          `json:"infeasible,omitempty"`
+	FirstFailure string       `json:"first_failure,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (b SweepBest) MarshalJSON() ([]byte, error) {
+	w := wireSweepBest{Top: b.Top, Pareto: b.Pareto, Summary: b.Summary,
+		Pruned: b.Pruned, Deduped: b.Deduped, Infeasible: b.Infeasible}
+	if b.FirstFailure != nil {
+		w.FirstFailure = b.FirstFailure.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (b *SweepBest) UnmarshalJSON(data []byte) error {
+	var w wireSweepBest
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding sweep-best: %w", err)
+	}
+	*b = SweepBest{Top: w.Top, Pareto: w.Pareto, Summary: w.Summary,
+		Pruned: w.Pruned, Deduped: w.Deduped, Infeasible: w.Infeasible}
+	if w.FirstFailure != "" {
+		b.FirstFailure = errors.New(w.FirstFailure)
+	}
+	return nil
+}
+
+// wireResult is the canonical JSON shape of a Result: the request
+// echo, exactly one payload field on success, or a structured error.
+type wireResult struct {
+	Index     int              `json:"index"`
+	ID        string           `json:"id,omitempty"`
+	Question  Question         `json:"question"`
+	TotalCost *TotalCost       `json:"total_cost,omitempty"`
+	RE        *REBreakdown     `json:"re,omitempty"`
+	Wafers    *WaferDemand     `json:"wafers,omitempty"`
+	Quantity  float64          `json:"quantity,omitempty"`
+	AreaMM2   float64          `json:"area_mm2,omitempty"`
+	Points    []PartitionPoint `json:"points,omitempty"`
+	Best      int              `json:"best,omitempty"`
+	SweepBest *SweepBest       `json:"sweep_best,omitempty"`
+	Error     *Error           `json:"error,omitempty"`
+}
+
+// WireError lifts an arbitrary result error into the structured form
+// the wire carries: a *Error passes through, anything else is
+// classified and wrapped in place.
+func WireError(r Result) *Error {
+	if r.Err == nil {
+		return nil
+	}
+	if ae, ok := AsError(r.Err); ok {
+		return ae
+	}
+	return &Error{Code: classify(r.Err), Index: r.Index, ID: r.ID,
+		Question: r.Question, Err: r.Err}
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireResult{
+		Index: r.Index, ID: r.ID, Question: r.Question,
+		TotalCost: r.TotalCost, RE: r.RE, Wafers: r.Wafers,
+		Quantity: r.Quantity, AreaMM2: r.AreaMM2,
+		Points: r.Points, Best: r.Best, SweepBest: r.SweepBest,
+		Error: WireError(r),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w wireResult
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding result: %w", err)
+	}
+	res := Result{
+		Index: w.Index, ID: w.ID, Question: w.Question,
+		TotalCost: w.TotalCost, RE: w.RE, Wafers: w.Wafers,
+		Quantity: w.Quantity, AreaMM2: w.AreaMM2,
+		Points: w.Points, Best: w.Best, SweepBest: w.SweepBest,
+	}
+	if w.Error != nil {
+		res.Err = w.Error
+	}
+	*r = res
+	return nil
+}
+
+// ErrorBody is the JSON envelope of a transport-level HTTP failure —
+// a malformed body, an oversized payload, a scenario that does not
+// compile. Per-request evaluation failures never use it; they travel
+// inside Result.error with HTTP 200. Defined here so server and
+// client share one shape.
+type ErrorBody struct {
+	Error ErrorBodyDetail `json:"error"`
+}
+
+// ErrorBodyDetail carries the classified code (an ErrorCode string
+// form) and the human-readable message.
+type ErrorBodyDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// DecodeRequests strictly decodes a JSON array of wire requests, the
+// body of POST /v1/evaluate.
+func DecodeRequests(data []byte) ([]Request, error) {
+	var reqs []Request
+	if err := wirejson.UnmarshalStrict(data, &reqs); err != nil {
+		return nil, fmt.Errorf("actuary: decoding request batch: %w", err)
+	}
+	return reqs, nil
+}
+
+// DecodeResults strictly decodes a JSON array of wire results, the
+// body of a /v1/evaluate response.
+func DecodeResults(data []byte) ([]Result, error) {
+	var results []Result
+	if err := wirejson.UnmarshalStrict(data, &results); err != nil {
+		return nil, fmt.Errorf("actuary: decoding result batch: %w", err)
+	}
+	return results, nil
+}

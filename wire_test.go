@@ -1,0 +1,351 @@
+package actuary_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chipletactuary"
+)
+
+// reencode marshals v, unmarshals into out (a pointer), and returns
+// the first marshaling plus the re-marshaling of the decoded value —
+// both must match for a stable wire form.
+func reencode(t *testing.T, v any, out any) (first, second []byte) {
+	t.Helper()
+	first, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	if err := json.Unmarshal(first, out); err != nil {
+		t.Fatalf("unmarshal %T from %s: %v", out, first, err)
+	}
+	second, err = json.Marshal(out)
+	if err != nil {
+		t.Fatalf("re-marshal %T: %v", out, err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("wire form not stable:\n first: %s\nsecond: %s", first, second)
+	}
+	return first, second
+}
+
+func TestQuestionWireRoundTrip(t *testing.T) {
+	all := []actuary.Question{
+		actuary.QuestionTotalCost, actuary.QuestionRE, actuary.QuestionWafers,
+		actuary.QuestionCrossoverQuantity, actuary.QuestionOptimalChipletCount,
+		actuary.QuestionAreaCrossover, actuary.QuestionSweepBest,
+	}
+	for _, q := range all {
+		data, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", q, err)
+		}
+		var back actuary.Question
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != q {
+			t.Errorf("round trip %v -> %s -> %v", q, data, back)
+		}
+	}
+	if _, err := json.Marshal(actuary.Question(99)); err == nil {
+		t.Error("marshaling an unknown question should fail")
+	}
+	var q actuary.Question
+	if err := json.Unmarshal([]byte(`"no-such-question"`), &q); err == nil {
+		t.Error("unknown question name should be rejected")
+	}
+}
+
+func TestErrorCodeWireRoundTrip(t *testing.T) {
+	for _, c := range []actuary.ErrorCode{actuary.ErrInvalidConfig, actuary.ErrUnknownNode,
+		actuary.ErrInfeasible, actuary.ErrCanceled, actuary.ErrTransport} {
+		parsed, err := actuary.ParseErrorCode(c.String())
+		if err != nil || parsed != c {
+			t.Errorf("ParseErrorCode(%q) = %v, %v", c.String(), parsed, err)
+		}
+	}
+	if _, err := actuary.ParseErrorCode("nonsense"); err == nil {
+		t.Error("unknown error code should be rejected")
+	}
+}
+
+func TestErrorWireRoundTrip(t *testing.T) {
+	orig := &actuary.Error{
+		Code:     actuary.ErrUnknownNode,
+		Index:    3,
+		ID:       "sweep-a800-k4/total-cost",
+		Question: actuary.QuestionTotalCost,
+		Err:      errors.New("tech: unknown node \"3nm\""),
+	}
+	var back actuary.Error
+	reencode(t, orig, &back)
+	if back.Code != orig.Code || back.Index != orig.Index || back.ID != orig.ID ||
+		back.Question != orig.Question {
+		t.Errorf("structured fields lost: %+v", back)
+	}
+	if back.Err == nil || back.Err.Error() != orig.Err.Error() {
+		t.Errorf("cause message lost: %v", back.Err)
+	}
+
+	var e actuary.Error
+	if err := json.Unmarshal([]byte(`{"code":"unknown-node","surprise":1}`), &e); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"code":"not-a-code"}`), &e); err == nil {
+		t.Error("unknown code should be rejected")
+	}
+}
+
+func TestErrorWireWithoutQuestion(t *testing.T) {
+	// Transport-style errors carry no question; the round trip must
+	// not let the zero value masquerade as total-cost.
+	orig := &actuary.Error{Code: actuary.ErrTransport, Index: -1, Question: -1,
+		Err: errors.New("connection refused")}
+	var back actuary.Error
+	first, _ := reencode(t, orig, &back)
+	if strings.Contains(string(first), "question") {
+		t.Errorf("question-less error leaked a question field: %s", first)
+	}
+	if back.Question != -1 {
+		t.Errorf("absent question decoded to %v, want -1", back.Question)
+	}
+	if strings.Contains(back.Error(), "total-cost") {
+		t.Errorf("rendered error invents a question: %s", back.Error())
+	}
+}
+
+func mustPartition(t *testing.T, name string, k int) actuary.System {
+	t.Helper()
+	s, err := actuary.PartitionEqual(name, "7nm", 600, k, actuary.MCM, actuary.D2DFraction(0.10), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRequestWireRoundTrip(t *testing.T) {
+	grid := &actuary.SweepGrid{
+		Name:       "g",
+		Nodes:      []string{"5nm", "7nm"},
+		Schemes:    []actuary.Scheme{actuary.MCM, actuary.TwoPointFiveD},
+		AreasMM2:   []float64{400, 800},
+		Counts:     []int{1, 2, 4},
+		Quantities: []float64{2_000_000},
+		D2D:        actuary.D2DFraction(0.10),
+	}
+	reqs := []actuary.Request{
+		{ID: "soc", Question: actuary.QuestionTotalCost,
+			System: actuary.Monolithic("big", "5nm", 800, 2_000_000), Policy: actuary.PerInstance},
+		{Question: actuary.QuestionRE, System: mustPartition(t, "mcm", 4)},
+		{ID: "w", Question: actuary.QuestionWafers,
+			System: actuary.Monolithic("w", "7nm", 300, 1e6), Quantity: 5e6},
+		{ID: "pay", Question: actuary.QuestionCrossoverQuantity,
+			Incumbent:  actuary.Monolithic("inc", "7nm", 600, 1),
+			Challenger: mustPartition(t, "ch", 2)},
+		{ID: "opt", Question: actuary.QuestionOptimalChipletCount, Node: "5nm",
+			ModuleAreaMM2: 800, MaxK: 8, Scheme: actuary.InFO,
+			D2D: actuary.D2DFraction(0.10), Quantity: 2e6},
+		{ID: "turn", Question: actuary.QuestionAreaCrossover, Node: "5nm", K: 2,
+			Scheme: actuary.MCM, D2D: actuary.D2DFraction(0.08), LoMM2: 100, HiMM2: 900},
+		{ID: "best", Question: actuary.QuestionSweepBest, Grid: grid, TopK: 5},
+	}
+	for _, req := range reqs {
+		var back actuary.Request
+		data, _ := reencode(t, req, &back)
+		if !reflect.DeepEqual(req, back) {
+			t.Errorf("request %q did not round trip:\nwire: %s\n got: %+v\nwant: %+v",
+				req.ID, data, back, req)
+		}
+	}
+}
+
+func TestRequestWireD2DModels(t *testing.T) {
+	models := []actuary.D2DOverhead{
+		actuary.D2DNone(),
+		actuary.D2DFraction(0.12),
+		actuary.D2DBeachfront{PHY: actuary.MCMSerDes, BandwidthGBs: 400, EdgesAvailable: 2},
+		actuary.D2DScaled{Topology: actuary.D2DMesh, Count: 4, AreaPerLinkMM2: 1.5, FixedMM2: 2},
+	}
+	for _, m := range models {
+		req := actuary.Request{ID: "d2d", Question: actuary.QuestionAreaCrossover,
+			Node: "7nm", K: 2, Scheme: actuary.MCM, D2D: m, LoMM2: 100, HiMM2: 900}
+		var back actuary.Request
+		reencode(t, req, &back)
+		if !reflect.DeepEqual(req, back) {
+			t.Errorf("D2D model %T did not round trip: %+v", m, back.D2D)
+		}
+	}
+}
+
+func TestRequestWireRejectsUnknown(t *testing.T) {
+	var req actuary.Request
+	cases := map[string]string{
+		"unknown field":    `{"question":"re","bogus":1}`,
+		"unknown question": `{"question":"divine"}`,
+		"missing question": `{"id":"a","node":"5nm"}`,
+		"unknown d2d kind": `{"question":"re","d2d":{"kind":"psychic"}}`,
+		"mixed d2d union":  `{"question":"re","d2d":{"kind":"fraction","fraction":0.1,"bandwidth_gbs":500}}`,
+		"none with cargo":  `{"question":"re","d2d":{"kind":"none","fraction":0.1}}`,
+		"unknown scheme":   `{"question":"re","scheme":"3D"}`,
+		"trailing garbage": `{"question":"re"} {}`,
+	}
+	for name, body := range cases {
+		if err := json.Unmarshal([]byte(body), &req); err == nil {
+			t.Errorf("%s should be rejected: %s", name, body)
+		}
+	}
+}
+
+// evaluateAll answers one request per question kind so result
+// round-trips cover every payload arm.
+func evaluateAll(t *testing.T) []actuary.Result {
+	t.Helper()
+	s, err := actuary.NewSession(actuary.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := &actuary.SweepGrid{Name: "g", Nodes: []string{"7nm"},
+		Schemes: []actuary.Scheme{actuary.MCM}, AreasMM2: []float64{400, 600},
+		Counts: []int{1, 2, 3}, Quantities: []float64{2e6}, D2D: actuary.D2DFraction(0.10)}
+	return s.Evaluate(t.Context(), []actuary.Request{
+		{ID: "tc", Question: actuary.QuestionTotalCost, System: actuary.Monolithic("m", "7nm", 500, 2e6)},
+		{ID: "re", Question: actuary.QuestionRE, System: mustPartition(t, "p", 2)},
+		{ID: "w", Question: actuary.QuestionWafers, System: actuary.Monolithic("w", "7nm", 300, 1e6)},
+		{ID: "pay", Question: actuary.QuestionCrossoverQuantity,
+			Incumbent: actuary.Monolithic("inc", "7nm", 600, 1), Challenger: mustPartition(t, "ch", 2)},
+		{ID: "opt", Question: actuary.QuestionOptimalChipletCount, Node: "7nm",
+			ModuleAreaMM2: 700, MaxK: 6, Scheme: actuary.MCM, D2D: actuary.D2DFraction(0.10), Quantity: 2e6},
+		{ID: "turn", Question: actuary.QuestionAreaCrossover, Node: "7nm", K: 3,
+			Scheme: actuary.MCM, D2D: actuary.D2DFraction(0.10), LoMM2: 100, HiMM2: 900},
+		{ID: "best", Question: actuary.QuestionSweepBest, Grid: grid, TopK: 3},
+		{ID: "bad", Question: actuary.QuestionTotalCost, System: actuary.Monolithic("x", "2nm", 500, 1e6)},
+	})
+}
+
+func TestResultWireRoundTrip(t *testing.T) {
+	for _, res := range evaluateAll(t) {
+		var back actuary.Result
+		data, _ := reencode(t, res, &back)
+		// Error chains flatten to their message on the wire; compare
+		// them textually, then strip for the deep comparison.
+		if (res.Err == nil) != (back.Err == nil) {
+			t.Fatalf("result %q error presence changed: %v vs %v", res.ID, res.Err, back.Err)
+		}
+		if res.Err != nil {
+			ae, _ := actuary.AsError(res.Err)
+			be, ok := actuary.AsError(back.Err)
+			if !ok || be.Code != ae.Code || be.Err.Error() != ae.Err.Error() {
+				t.Errorf("result %q error did not survive: %v vs %v", res.ID, res.Err, back.Err)
+			}
+			res.Err, back.Err = nil, nil
+		}
+		if res.SweepBest != nil && res.SweepBest.FirstFailure != nil {
+			want := res.SweepBest.FirstFailure.Error()
+			if back.SweepBest == nil || back.SweepBest.FirstFailure == nil ||
+				back.SweepBest.FirstFailure.Error() != want {
+				t.Errorf("result %q sweep first-failure lost", res.ID)
+			}
+			res.SweepBest.FirstFailure, back.SweepBest.FirstFailure = nil, nil
+		}
+		if !reflect.DeepEqual(res, back) {
+			t.Errorf("result %q did not round trip:\nwire: %s\n got: %+v\nwant: %+v",
+				res.ID, data, back, res)
+		}
+	}
+}
+
+func TestResultWireRejectsUnknownField(t *testing.T) {
+	var res actuary.Result
+	if err := json.Unmarshal([]byte(`{"question":"re","mystery":true}`), &res); err == nil {
+		t.Error("unknown result field should be rejected")
+	}
+}
+
+func TestTotalCostWireRoundTrip(t *testing.T) {
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Evaluate(t.Context(), []actuary.Request{{
+		Question: actuary.QuestionTotalCost, System: mustPartition(t, "p", 3)}})[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var back actuary.TotalCost
+	reencode(t, res.TotalCost, &back)
+	if !reflect.DeepEqual(*res.TotalCost, back) {
+		t.Errorf("total cost did not round trip: %+v vs %+v", *res.TotalCost, back)
+	}
+	if back.Total() != res.TotalCost.Total() {
+		t.Errorf("totals diverge: %v vs %v", back.Total(), res.TotalCost.Total())
+	}
+}
+
+func TestDecodeRequestsStrict(t *testing.T) {
+	reqs, err := actuary.DecodeRequests([]byte(`[{"question":"re","system":{"name":"x","scheme":"SoC","placements":[{"chiplet":{"name":"d","node":"7nm","modules":[{"name":"m","area_mm2":100,"scalable":true}]},"count":1}],"quantity":1}}]`))
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("DecodeRequests: %v (%d)", err, len(reqs))
+	}
+	if reqs[0].System.Name != "x" || reqs[0].System.Placements[0].Chiplet.Node != "7nm" {
+		t.Errorf("system fields lost: %+v", reqs[0].System)
+	}
+	if _, err := actuary.DecodeRequests([]byte(`[{"question":"re","oops":1}]`)); err == nil {
+		t.Error("unknown field inside a batch should be rejected")
+	}
+	if _, err := actuary.DecodeRequests([]byte(`[] trailing`)); err == nil {
+		t.Error("trailing garbage should be rejected")
+	}
+}
+
+func TestQuestionsCoverTheAPI(t *testing.T) {
+	infos := actuary.Questions()
+	if len(infos) != 7 {
+		t.Fatalf("Questions() lists %d entries, want 7", len(infos))
+	}
+	for _, info := range infos {
+		q, err := actuary.ParseQuestion(info.Name)
+		if err != nil {
+			t.Errorf("advertised question %q does not parse: %v", info.Name, err)
+		}
+		if q.String() != info.Name {
+			t.Errorf("advertised name %q is not canonical (String says %q)", info.Name, q)
+		}
+		for _, alias := range info.Aliases {
+			if _, err := actuary.ParseQuestion(alias); err != nil {
+				t.Errorf("advertised alias %q does not parse: %v", alias, err)
+			}
+		}
+		if info.Summary == "" || len(info.Fields) == 0 {
+			t.Errorf("question %q lacks a summary or fields", info.Name)
+		}
+	}
+}
+
+func TestScenarioVocabularyMatchesWire(t *testing.T) {
+	// The wire form of a Scheme/Flow/Policy must be exactly what the
+	// scenario schema accepts, so the two formats cannot drift.
+	for _, s := range []actuary.Scheme{actuary.SoC, actuary.MCM, actuary.InFO, actuary.TwoPointFiveD} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := strings.Trim(string(data), `"`)
+		if parsed, err := actuary.ParseScheme(label); err != nil || parsed != s {
+			t.Errorf("scheme wire label %q does not parse back: %v", label, err)
+		}
+	}
+	for _, p := range []actuary.AmortizationPolicy{actuary.PerSystemUnit, actuary.PerInstance} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := strings.Trim(string(data), `"`)
+		if parsed, err := actuary.ParsePolicy(label); err != nil || parsed != p {
+			t.Errorf("policy wire label %q does not parse back: %v", label, err)
+		}
+	}
+}
