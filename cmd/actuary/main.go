@@ -345,7 +345,8 @@ func renderAnswer(r actuary.Result) string {
 		answer := fmt.Sprintf("best %s at %s/unit (%d evaluated, %d pruned, front %d)",
 			best.ID, units.Dollars(best.Total.Total()), b.Summary.Count, b.Pruned, len(b.Pareto))
 		if b.Infeasible > 0 {
-			answer += fmt.Sprintf("; %d point(s) failed, first: %v", b.Infeasible, b.FirstFailure)
+			answer += fmt.Sprintf("; %d point(s) failed, first: %v",
+				b.Infeasible, actuary.FailureCause(b.FirstFailure))
 		}
 		return answer
 	default:

@@ -12,6 +12,7 @@
 //	explore -mode sensitivity -node 7nm -area 600 -chiplets 3 -scheme 2.5D
 //	explore -mode sweep -nodes 5nm,7nm -schemes MCM,2.5D \
 //	        -area-range 200:800:100 -count-range 1:8 -top 5
+//	explore -mode sweep -backends http://host1:8833,http://host2:8833 ...
 //
 // Sweep mode maps the grid flags onto the same SweepConfig the
 // scenario schema uses, streams the grid lazily through a sweep-best
@@ -19,6 +20,14 @@
 // and a summary. List flags (-nodes, -schemes) take comma-separated
 // values and override their singular forms; -area-range is
 // lo:hi:step in mm², -count-range is lo:hi.
+//
+// With -backends the sweep is sharded across several evaluation
+// backends — actuaryd base URLs, or the literal "local" for an
+// in-process session — and the per-shard aggregates merge into
+// exactly the single-process answer (same top-K, Pareto front and
+// summary, whatever the fan-out). -shards overrides the default of
+// one shard per backend; smaller shards reassign more cheaply when a
+// backend dies mid-sweep.
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 	"syscall"
 
 	"chipletactuary"
+	"chipletactuary/client"
+	"chipletactuary/distribute"
 	"chipletactuary/internal/explore"
 	"chipletactuary/internal/report"
 	"chipletactuary/internal/units"
@@ -65,6 +76,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	areaRange := fs.String("area-range", "", "sweep: module-area axis lo:hi:step in mm² (default: -area only)")
 	countRange := fs.String("count-range", "", "sweep: partition-count axis lo:hi (default: 1:-maxk)")
 	topN := fs.Int("top", 5, "sweep: how many cheapest points to print")
+	backends := fs.String("backends", "", "sweep: comma-separated evaluation backends (actuaryd URLs, or \"local\" for in-process); empty evaluates in-process")
+	shards := fs.Int("shards", 0, "sweep: how many shards to split the grid into (default: one per backend)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +87,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
 			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
 			quantity: *quantity, d2d: *d2dFrac, top: *topN,
+			backends: *backends, shards: *shards,
 		})
 	}
 	// The grid flags mean nothing outside sweep mode; reject them
@@ -81,7 +95,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// hide the mistake) instead of silently ignoring them.
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top"} {
+	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "shards"} {
 		if set[name] {
 			return fmt.Errorf("-%s requires -mode sweep", name)
 		}
@@ -185,6 +199,8 @@ type sweepFlags struct {
 	quantity        float64
 	d2d             float64
 	top             int
+	backends        string
+	shards          int
 }
 
 // splitList parses a comma-separated flag value.
@@ -276,25 +292,70 @@ func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
 		sc.CountRange = &actuary.CountRangeConfig{Lo: 1, Hi: f.maxK}
 	}
 
-	s, err := actuary.NewSession()
-	if err != nil {
-		return err
-	}
 	// Compiling through the scenario schema reuses its validation and
 	// axis merging; the single compiled request streams the grid
 	// internally.
 	cfg := actuary.ScenarioConfig{Name: "explore", Questions: []string{"sweep-best"},
 		Sweeps: []actuary.SweepConfig{sc}}
-	reqs, err := cfg.Requests()
-	if err != nil {
-		return err
+	var b *actuary.SweepBest
+	if f.backends != "" {
+		var err error
+		if b, err = runDistributed(ctx, f, cfg); err != nil {
+			return err
+		}
+	} else {
+		reqs, err := cfg.Requests()
+		if err != nil {
+			return err
+		}
+		s, err := actuary.NewSession()
+		if err != nil {
+			return err
+		}
+		res := s.Evaluate(ctx, reqs)[0]
+		if res.Err != nil {
+			return res.Err
+		}
+		b = res.SweepBest
 	}
-	res := s.Evaluate(ctx, reqs)[0]
-	if res.Err != nil {
-		return res.Err
-	}
-	b := res.SweepBest
+	return printSweepBest(out, b)
+}
 
+// runDistributed fans the compiled sweep-best scenario across the
+// -backends list: "local" entries evaluate in-process, everything else
+// dials an actuaryd. The merged answer is identical to the
+// single-process one whatever the fan-out.
+func runDistributed(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+	var backends []client.Backend
+	for _, name := range splitList(f.backends) {
+		if name == "local" {
+			s, err := actuary.NewSession()
+			if err != nil {
+				return nil, err
+			}
+			backends = append(backends, client.Local(s))
+			continue
+		}
+		c, err := client.Dial(name)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, c)
+	}
+	var opts []distribute.Option
+	if f.shards > 0 {
+		opts = append(opts, distribute.WithShards(f.shards))
+	}
+	coord, err := distribute.New(backends, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return coord.SweepBestScenario(ctx, cfg)
+}
+
+// printSweepBest renders a sweep-best answer — local or merged from
+// shards — as the top table, the Pareto front and the summary line.
+func printSweepBest(out io.Writer, b *actuary.SweepBest) error {
 	tab := report.NewTable(
 		fmt.Sprintf("Top %d of %d feasible design points (%d pruned, %d infeasible)",
 			len(b.Top), b.Summary.Count, b.Pruned, b.Infeasible),
@@ -320,7 +381,9 @@ func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
 	fmt.Fprintf(out, "\ncheapest %s at %s/unit; mean %s over %d points\n",
 		b.Summary.MinID, units.Dollars(b.Summary.Min), units.Dollars(b.Summary.Mean()), b.Summary.Count)
 	if b.FirstFailure != nil {
-		fmt.Fprintf(out, "first infeasible point: %v\n", b.FirstFailure)
+		// FailureCause renders identically whether the failure stayed
+		// in-process or crossed the wire from a remote shard.
+		fmt.Fprintf(out, "first infeasible point: %v\n", actuary.FailureCause(b.FirstFailure))
 	}
 	return nil
 }

@@ -111,3 +111,62 @@ func TestSweepModeDefaultsAndErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepModeBackends(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"-mode", "sweep", "-nodes", "5nm,7nm",
+			"-area-range", "200:500:100", "-count-range", "1:4", "-top", "3"}, extra...)
+	}
+	var single bytes.Buffer
+	if err := run(context.Background(), args(), &single); err != nil {
+		t.Fatal(err)
+	}
+	// Three in-process backends over five shards must print exactly the
+	// single-process answer — the determinism guarantee, CLI edition.
+	var dist bytes.Buffer
+	if err := run(context.Background(), args("-backends", "local,local,local", "-shards", "5"), &dist); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != dist.String() {
+		t.Errorf("distributed output diverged:\n--- single\n%s--- distributed\n%s", single.String(), dist.String())
+	}
+	// A daemon URL that is not listening fails with a transport error.
+	var buf bytes.Buffer
+	if err := run(context.Background(), args("-backends", "http://127.0.0.1:1"), &buf); err == nil {
+		t.Error("unreachable backend accepted")
+	}
+	// -backends and -shards are sweep-only flags.
+	for _, bad := range [][]string{
+		{"-mode", "payback", "-backends", "local"},
+		{"-mode", "turning", "-shards", "2"},
+		{"-mode", "sweep", "-backends", "ftp://nope"},
+	} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), bad, &buf); err == nil {
+			t.Errorf("args %v should fail", bad)
+		}
+	}
+}
+
+func TestSweepModeBackendsPartialFailure(t *testing.T) {
+	// A grid with one failing node axis value: the printed "first
+	// infeasible point" line must match the single-process run even
+	// though the failure is found by whichever shard owns it.
+	args := func(extra ...string) []string {
+		return append([]string{"-mode", "sweep", "-nodes", "7nm,2nm",
+			"-area-range", "200:400:100", "-count-range", "1:3", "-top", "2"}, extra...)
+	}
+	var single, dist bytes.Buffer
+	if err := run(context.Background(), args(), &single); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(single.String(), "first infeasible point") {
+		t.Fatalf("partial-failure sweep printed no failure line:\n%s", single.String())
+	}
+	if err := run(context.Background(), args("-backends", "local,local", "-shards", "4"), &dist); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != dist.String() {
+		t.Errorf("distributed output diverged:\n--- single\n%s--- distributed\n%s", single.String(), dist.String())
+	}
+}

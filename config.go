@@ -178,6 +178,20 @@ type ScenarioConfig struct {
 	Systems []SystemConfig `json:"systems,omitempty"`
 	// Sweeps declare families of equal partitions to generate.
 	Sweeps []SweepConfig `json:"sweeps,omitempty"`
+	// ShardIndex and ShardCount restrict the compiled request stream to
+	// shard ShardIndex of ShardCount (0 ≤ ShardIndex < ShardCount;
+	// count 0 means unsharded). Per-point sweep questions partition at
+	// the grid-candidate level (each design point is generated by
+	// exactly one shard, pruning statistics preserved per shard);
+	// explicit systems and the derived sweep questions are dealt
+	// round-robin; a sweep-best question is answered by every shard,
+	// each result carrying the shard spec, so the partial answers merge
+	// into the whole-grid answer (see SweepBestMerger). The ShardCount
+	// streams of a scenario together cover exactly the unsharded
+	// stream. POST /v1/stream honors the spec, which is how the
+	// distribute coordinator fans one scenario across daemons.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 }
 
 // SweepConfig declares a grid of equal-partition design points: every
@@ -308,6 +322,10 @@ func (c ScenarioConfig) Source() (RequestSource, error) {
 	if len(c.Systems) == 0 && len(c.Sweeps) == 0 {
 		return nil, fmt.Errorf("actuary: scenario %q has no systems and no sweeps", c.Name)
 	}
+	if err := validShardSpec(c.ShardIndex, c.ShardCount); err != nil {
+		return nil, fmt.Errorf("actuary: scenario %q: %w", c.Name, err)
+	}
+	shard := shardSpec{index: c.ShardIndex, count: c.ShardCount}
 	policy, err := ParsePolicy(c.Policy)
 	if err != nil {
 		return nil, err
@@ -355,10 +373,16 @@ func (c ScenarioConfig) Source() (RequestSource, error) {
 			c.Name, names)
 	}
 
-	stages := []func() RequestSource{systemsStage(systems, questions, policy)}
+	// One dealer is shared by every striped stage so round-robin
+	// ownership balances across the whole scenario, not per stage. The
+	// chain is drained by a single consumer in stage order, so the
+	// dealt sequence — and therefore each shard's request set — is
+	// deterministic.
+	dealer := &stripe{spec: shard}
+	stages := []func() RequestSource{systemsStage(systems, questions, policy, dealer)}
 	for _, cs := range sweeps {
 		for _, q := range questions {
-			stages = append(stages, cs.stage(q, policy))
+			stages = append(stages, cs.stage(q, policy, shard, dealer))
 		}
 	}
 	return &chainSource{stages: stages}, nil
@@ -381,8 +405,9 @@ func (c ScenarioConfig) Requests() ([]Request, error) {
 		reqs = append(reqs, r)
 	}
 	// Source's static count check cannot see pruning; a prune-enabled
-	// sweep whose every point is infeasible drains to nothing.
-	if len(reqs) == 0 {
+	// sweep whose every point is infeasible drains to nothing. One
+	// shard of a sharded scenario may legitimately own no requests.
+	if len(reqs) == 0 && c.ShardCount == 0 {
 		return nil, fmt.Errorf("actuary: scenario %q compiles to no requests (every sweep point pruned)", c.Name)
 	}
 	return reqs, nil
@@ -392,6 +417,48 @@ func (c ScenarioConfig) Requests() ([]Request, error) {
 // and of every generated sweep point.
 func perSystemQuestion(q Question) bool {
 	return q == QuestionTotalCost || q == QuestionRE || q == QuestionWafers
+}
+
+// shardSpec is a validated scenario shard selection; count 0 means
+// unsharded.
+type shardSpec struct{ index, count int }
+
+// active reports whether the spec actually partitions anything.
+func (sp shardSpec) active() bool { return sp.count > 1 }
+
+// stripe deals a sequence of requests round-robin across shards: the
+// i-th dealt request belongs to shard i mod count. Shared by every
+// striped stage of one Source so ownership is a pure function of the
+// request's position in the unsharded stream.
+type stripe struct {
+	spec shardSpec
+	next int
+}
+
+// owns reports whether the current shard owns the next dealt request.
+func (st *stripe) owns() bool {
+	if !st.spec.active() {
+		return true
+	}
+	own := st.next%st.spec.count == st.spec.index
+	st.next++
+	return own
+}
+
+// stripedSource filters a source down to the requests the stripe
+// deals to this shard.
+func stripedSource(src RequestSource, st *stripe) RequestSource {
+	return sourceFunc(func() (Request, bool) {
+		for {
+			r, ok := src.Next()
+			if !ok {
+				return Request{}, false
+			}
+			if st.owns() {
+				return r, true
+			}
+		}
+	})
 }
 
 // chainSource concatenates lazily constructed sub-sources.
@@ -418,9 +485,10 @@ func (c *chainSource) Next() (Request, bool) {
 }
 
 // systemsStage yields every per-system question of every explicit
-// system, in scenario order. The systems are already materialized (a
-// scenario declares at most a handful), so this is a plain slice.
-func systemsStage(systems []System, questions []Question, policy AmortizationPolicy) func() RequestSource {
+// system, in scenario order, dealt through the shard stripe. The
+// systems are already materialized (a scenario declares at most a
+// handful), so this is a plain slice.
+func systemsStage(systems []System, questions []Question, policy AmortizationPolicy, dealer *stripe) func() RequestSource {
 	return func() RequestSource {
 		var reqs []Request
 		for _, s := range systems {
@@ -430,7 +498,7 @@ func systemsStage(systems []System, questions []Question, policy AmortizationPol
 				}
 			}
 		}
-		return SliceSource(reqs)
+		return stripedSource(SliceSource(reqs), dealer)
 	}
 }
 
@@ -572,6 +640,16 @@ func (cs compiledSweep) points() *SweepGenerator {
 	return cs.grid.Points()
 }
 
+// shardPoints returns a fresh iterator restricted to the scenario's
+// shard of the grid's candidate space (the whole grid when unsharded).
+func (cs compiledSweep) shardPoints(sp shardSpec) *SweepGenerator {
+	gen := cs.points()
+	if sp.count > 0 {
+		gen.Shard(sp.index, sp.count)
+	}
+	return gen
+}
+
 // countsAbove returns how many count-axis entries exceed k.
 func (cs compiledSweep) countsAbove(k int) int {
 	n := 0
@@ -608,18 +686,22 @@ func (cs compiledSweep) size(q Question) int {
 // question re-walks the grid), matching the materialized Requests()
 // order of the pre-streaming schema; rebuilding a point's System per
 // question costs ~100 ns against the ~10 µs its evaluation takes.
-func (cs compiledSweep) stage(q Question, policy AmortizationPolicy) func() RequestSource {
+// Under a scenario shard spec the grid-walking questions partition at
+// the generator (candidate stripes), the odometer questions at the
+// dealer (request stripes), and sweep-best is emitted once per shard
+// with the spec stamped onto the request.
+func (cs compiledSweep) stage(q Question, policy AmortizationPolicy, shard shardSpec, dealer *stripe) func() RequestSource {
 	return func() RequestSource {
 		switch {
 		case perSystemQuestion(q):
-			src, err := SweepSource(cs.points(), q, policy)
+			src, err := SweepSource(cs.shardPoints(shard), q, policy)
 			if err != nil { // unreachable: the grid was validated in compile
 				return sourceFunc(func() (Request, bool) { return Request{}, false })
 			}
 			return src
 
 		case q == QuestionCrossoverQuantity:
-			gen := cs.points()
+			gen := cs.shardPoints(shard)
 			return sourceFunc(func() (Request, bool) {
 				for {
 					p, ok := gen.Next()
@@ -642,7 +724,7 @@ func (cs compiledSweep) stage(q Question, policy AmortizationPolicy) func() Requ
 		case q == QuestionOptimalChipletCount:
 			g := cs.grid
 			combos := sweep.NewOdometer(len(g.Nodes), len(g.Schemes), len(g.Quantities), len(g.AreasMM2))
-			return sourceFunc(func() (Request, bool) {
+			return stripedSource(sourceFunc(func() (Request, bool) {
 				idx, ok := combos.Next()
 				if !ok {
 					return Request{}, false
@@ -654,12 +736,12 @@ func (cs compiledSweep) stage(q Question, policy AmortizationPolicy) func() Requ
 					Question: q, Node: node, ModuleAreaMM2: area, MaxK: cs.maxK,
 					Scheme: scheme, D2D: g.D2D, Quantity: quantity,
 				}, true
-			})
+			}), dealer)
 
 		case q == QuestionAreaCrossover:
 			g := cs.grid
 			combos := sweep.NewOdometer(len(g.Nodes), len(g.Schemes), len(g.Counts))
-			return sourceFunc(func() (Request, bool) {
+			return stripedSource(sourceFunc(func() (Request, bool) {
 				for {
 					idx, ok := combos.Next()
 					if !ok {
@@ -676,7 +758,7 @@ func (cs compiledSweep) stage(q Question, policy AmortizationPolicy) func() Requ
 						LoMM2: cs.lo, HiMM2: cs.hi,
 					}, true
 				}
-			})
+			}), dealer)
 
 		case q == QuestionSweepBest:
 			grid := cs.grid
@@ -686,10 +768,17 @@ func (cs compiledSweep) stage(q Question, policy AmortizationPolicy) func() Requ
 					return Request{}, false
 				}
 				emitted = true
-				return Request{
+				req := Request{
 					ID:       grid.Name + "/" + q.String(),
 					Question: q, Grid: &grid, TopK: cs.topK, Policy: policy,
-				}, true
+				}
+				if shard.count > 0 {
+					// Every shard answers its stripe of the grid; the
+					// partial answers merge into the whole-grid answer.
+					req.ID = ShardID(req.ID, shard.index, shard.count)
+					req.ShardIndex, req.ShardCount = shard.index, shard.count
+				}
+				return req, true
 			})
 		}
 		return sourceFunc(func() (Request, bool) { return Request{}, false })

@@ -437,3 +437,102 @@ func TestScenarioAllPointsPrunedErrors(t *testing.T) {
 		t.Errorf("unpruned scenario: %d requests, %v", len(reqs), err)
 	}
 }
+
+// TestScenarioSharding checks that the shard streams of a scenario
+// partition the unsharded request stream: every per-point and derived
+// request is owned by exactly one shard, while the sweep-best question
+// is answered once per shard with the spec stamped on.
+func TestScenarioSharding(t *testing.T) {
+	cfg := ScenarioConfig{
+		Name:      "x",
+		Questions: []string{"total-cost", "optimal-chiplet-count", "area-crossover", "crossover-quantity", "sweep-best"},
+		Systems: []SystemConfig{{
+			Name: "epyc-ish", Scheme: "MCM", Quantity: 1e6,
+			Chiplets: []ChipletConfig{{Name: "d", Node: "7nm", ModuleAreaMM2: 80, Count: 4}},
+		}},
+		Sweeps: []SweepConfig{{
+			Name: "ms", Nodes: []string{"5nm", "7nm"}, Schemes: []string{"MCM", "2.5D"},
+			Quantity: 1000, AreasMM2: []float64{300, 400}, Counts: []int{1, 2, 3},
+			LoMM2: 100, HiMM2: 900, TopK: 2,
+		}},
+	}
+	whole, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := make(map[string]bool)
+	for _, r := range whole {
+		wantIDs[r.ID] = true
+	}
+	for n := 2; n <= 4; n++ {
+		got := make(map[string]int)
+		sweepBest := 0
+		for i := 0; i < n; i++ {
+			shard := cfg
+			shard.ShardIndex, shard.ShardCount = i, n
+			reqs, err := shard.Requests()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range reqs {
+				if r.Question == QuestionSweepBest {
+					sweepBest++
+					if r.ShardIndex != i || r.ShardCount != n {
+						t.Errorf("n=%d: sweep-best carries shard %d/%d, want %d/%d",
+							n, r.ShardIndex, r.ShardCount, i, n)
+					}
+					continue
+				}
+				if r.ShardIndex != 0 || r.ShardCount != 0 {
+					t.Errorf("n=%d: request %q carries a shard spec", n, r.ID)
+				}
+				got[r.ID]++
+			}
+		}
+		if sweepBest != n {
+			t.Errorf("n=%d: sweep-best asked %d times, want once per shard", n, sweepBest)
+		}
+		for id, c := range got {
+			if c != 1 {
+				t.Errorf("n=%d: request %q owned by %d shards", n, id, c)
+			}
+		}
+		// Every non-sweep-best request of the unsharded stream is owned
+		// by exactly one shard.
+		for id := range wantIDs {
+			if strings.Contains(id, "sweep-best") {
+				continue
+			}
+			if got[id] != 1 {
+				t.Errorf("n=%d: request %q missing from the shard union", n, id)
+			}
+		}
+	}
+}
+
+func TestScenarioShardingRejectsBadSpec(t *testing.T) {
+	base := ScenarioConfig{
+		Name: "x",
+		Sweeps: []SweepConfig{{
+			Name: "sw", Node: "5nm", Scheme: "MCM", Quantity: 1000,
+			AreasMM2: []float64{400}, Counts: []int{1, 2},
+		}},
+	}
+	for _, bad := range [][2]int{{2, 2}, {-1, 2}, {1, 0}, {0, -3}} {
+		cfg := base
+		cfg.ShardIndex, cfg.ShardCount = bad[0], bad[1]
+		if _, err := cfg.Source(); err == nil {
+			t.Errorf("shard spec %d/%d accepted", bad[0], bad[1])
+		}
+	}
+	// A shard owning no requests is a valid empty stream, not an error.
+	cfg := base
+	cfg.ShardIndex, cfg.ShardCount = 3, 4
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatalf("empty shard errored: %v", err)
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("shard 3/4 of a 4-point sweep owns %d requests", len(reqs))
+	}
+}

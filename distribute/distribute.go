@@ -1,0 +1,353 @@
+// Package distribute fans one design-space sweep across many
+// evaluation backends — in-process Sessions, remote actuaryd daemons,
+// or a mix — and merges the per-shard aggregates back into the exact
+// single-process answer.
+//
+// The Coordinator splits a sweep-best question into candidate-space
+// shards (see actuary.Request's ShardIndex/ShardCount), dispatches one
+// shard per backend through the client.Backend interface, and merges
+// top-K, Pareto front, summary and pruning statistics as shards drain.
+// Transport failures are retried on another backend (each backend
+// tries a shard at most once, so retries are bounded by the backend
+// count); deterministic evaluation failures are not retried — every
+// backend would reproduce them. The determinism guarantee of the
+// sharded pipeline means the shard count and the fan-out never change
+// the answer: top-K and Pareto are byte-identical to the unsharded
+// sweep, and the summary differs at most by floating-point
+// reassociation in its Sum/Mean. Byte-identity assumes backends
+// computing identical floats (same Go version and CPU architecture);
+// across a heterogeneous fleet, last-ulp cost differences can resolve
+// an exact tie differently.
+//
+//	backends := []client.Backend{client.Local(session), remoteA, remoteB}
+//	coord, err := distribute.New(backends)
+//	best, err := coord.SweepBest(ctx, actuary.Request{
+//	    Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 5,
+//	})
+package distribute
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"chipletactuary"
+	"chipletactuary/client"
+)
+
+// Option configures a Coordinator.
+type Option func(*Coordinator)
+
+// WithShards sets how many candidate-space shards a sweep is split
+// into. The default is one per backend; more shards than backends
+// makes reassignment after a backend failure cheaper (only the small
+// lost shard is redone) at the cost of a little per-shard overhead.
+// Values below 1 are raised to the backend count.
+func WithShards(n int) Option {
+	return func(c *Coordinator) { c.shards = n }
+}
+
+// Coordinator fans sweep-best questions across a fixed set of
+// backends. It is stateless between calls and safe for concurrent use.
+type Coordinator struct {
+	backends []client.Backend
+	shards   int
+}
+
+// New builds a Coordinator over the given backends. At least one is
+// required; mixing client.Local sessions and remote daemons is fine —
+// the determinism guarantee makes them interchangeable.
+func New(backends []client.Backend, opts ...Option) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("distribute: coordinator needs at least one backend")
+	}
+	c := &Coordinator{backends: backends, shards: len(backends)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.shards < 1 {
+		c.shards = len(backends)
+	}
+	return c, nil
+}
+
+// shardTask is one stripe of the sweep waiting for a backend. tried
+// marks backends that failed it on transport, so reassignment never
+// hands a shard back to the backend that just dropped it.
+type shardTask struct {
+	index int
+	tried []bool
+}
+
+// scheduler hands shards to backend workers: a mutex-guarded pending
+// list with a condition variable, so a worker that cannot take any
+// remaining shard (it failed them all already) parks instead of
+// spinning, and wakes when the situation changes.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*shardTask
+	done    int
+	total   int
+	failed  error  // first fatal failure; stops the run
+	stop    func() // invoked once when failed is set; cancels in-flight work
+}
+
+func newScheduler(total int) *scheduler {
+	s := &scheduler{total: total}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < total; i++ {
+		s.pending = append(s.pending, &shardTask{index: i, tried: nil})
+	}
+	return s
+}
+
+// next blocks until a shard is available for backend b, every shard is
+// done, or the run failed. The boolean reports whether a task was
+// handed out.
+func (s *scheduler) next(b int) (*shardTask, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.failed != nil || s.done == s.total {
+			return nil, false
+		}
+		for i, t := range s.pending {
+			if b < len(t.tried) && t.tried[b] {
+				continue
+			}
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return t, true
+		}
+		// Nothing this worker may take right now (empty pending, or it
+		// already failed every pending shard): park until a requeue,
+		// completion or failure changes the picture.
+		s.cond.Wait()
+	}
+}
+
+// complete marks one shard finished.
+func (s *scheduler) complete() {
+	s.mu.Lock()
+	s.done++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// requeue returns a shard after a transport failure on backend b,
+// excluding b from its future assignments. When every backend has now
+// failed the shard, the run fails with the last transport error.
+func (s *scheduler) requeue(t *shardTask, b, backends int, cause error) {
+	s.mu.Lock()
+	for len(t.tried) < backends {
+		t.tried = append(t.tried, false)
+	}
+	t.tried[b] = true
+	exhausted := true
+	for _, tried := range t.tried {
+		if !tried {
+			exhausted = false
+			break
+		}
+	}
+	var stop func()
+	if exhausted {
+		if s.failed == nil {
+			s.failed = fmt.Errorf("distribute: shard %d failed on every backend: %w", t.index, cause)
+			stop = s.stop
+		}
+	} else {
+		s.pending = append(s.pending, t)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if stop != nil {
+		stop()
+	}
+}
+
+// fail aborts the run with a fatal error (a deterministic evaluation
+// failure, or a canceled context). A run whose every shard already
+// completed cannot fail retroactively: the context watcher may observe
+// cancellation in the gap after the last merge, and the fully-computed
+// answer must win that race. (Fatal evaluation errors always arrive
+// with their own shard incomplete, so the guard never masks one.)
+func (s *scheduler) fail(err error) {
+	var stop func()
+	s.mu.Lock()
+	if s.failed == nil && s.done < s.total {
+		s.failed = err
+		stop = s.stop
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if stop != nil {
+		stop()
+	}
+}
+
+// err returns the fatal failure, if any.
+func (s *scheduler) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// SweepBest answers one sweep-best request by fanning its grid across
+// the coordinator's backends: shard i of n is dispatched as the same
+// request with the shard spec stamped on, and the partial answers
+// merge — as shards drain — into exactly the answer a single
+// unsharded evaluation would produce. The request must carry a Grid,
+// ask QuestionSweepBest (the zero Question is promoted), and not carry
+// a shard spec of its own.
+//
+// A backend that fails a shard on transport is excluded from that
+// shard and the shard is reassigned, so the sweep survives backends
+// dying mid-run as long as every shard completes somewhere. Evaluation
+// failures (bad grid, unknown node) abort the run immediately — they
+// are deterministic, and every backend would reproduce them.
+func (c *Coordinator) SweepBest(ctx context.Context, req actuary.Request) (*actuary.SweepBest, error) {
+	if req.Question == 0 {
+		req.Question = actuary.QuestionSweepBest
+	}
+	if req.Question != actuary.QuestionSweepBest {
+		return nil, fmt.Errorf("distribute: SweepBest wants a sweep-best request, not %v", req.Question)
+	}
+	if req.Grid == nil {
+		return nil, fmt.Errorf("distribute: sweep-best request needs a Grid")
+	}
+	if err := req.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if req.ShardIndex != 0 || req.ShardCount != 0 {
+		return nil, fmt.Errorf("distribute: request already carries shard %d of %d; the coordinator assigns shards",
+			req.ShardIndex, req.ShardCount)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	n := c.shards
+	merger := actuary.NewSweepBestMerger(req.TopK)
+	var mergeMu sync.Mutex
+
+	// A fatal failure cancels runCtx so in-flight shard walks on the
+	// other backends stop at their next cancellation check instead of
+	// computing answers nobody will merge.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	sched := newScheduler(n)
+	sched.stop = cancelRun
+
+	var wg sync.WaitGroup
+	for b := range c.backends {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for {
+				task, ok := sched.next(b)
+				if !ok {
+					return
+				}
+				best, err := c.evaluateShard(runCtx, b, req, task.index, n)
+				switch {
+				case err == nil:
+					mergeMu.Lock()
+					merger.Add(best)
+					mergeMu.Unlock()
+					sched.complete()
+				case retryable(err):
+					sched.requeue(task, b, len(c.backends), err)
+				default:
+					sched.fail(err)
+				}
+			}
+		}(b)
+	}
+
+	// A canceled caller context must unblock workers parked in next().
+	watch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			sched.fail(ctx.Err())
+		case <-watch:
+		}
+	}()
+	wg.Wait()
+	close(watch)
+
+	if err := sched.err(); err != nil {
+		return nil, err
+	}
+	return merger.Result(req.Grid.Name)
+}
+
+// evaluateShard runs one shard of the request on one backend as a
+// single-member batch.
+func (c *Coordinator) evaluateShard(ctx context.Context, b int, req actuary.Request, shard, count int) (*actuary.SweepBest, error) {
+	sr := req
+	sr.ShardIndex, sr.ShardCount = shard, count
+	if sr.ID == "" {
+		sr.ID = req.Grid.Name + "/" + actuary.QuestionSweepBest.String()
+	}
+	sr.ID = actuary.ShardID(sr.ID, shard, count)
+	results, err := c.backends[b].Evaluate(ctx, []actuary.Request{sr})
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != 1 {
+		return nil, transportError(fmt.Errorf("distribute: backend returned %d results for a 1-request batch", len(results)))
+	}
+	if results[0].Err != nil {
+		return nil, results[0].Err
+	}
+	if results[0].SweepBest == nil {
+		return nil, transportError(fmt.Errorf("distribute: backend returned no sweep-best payload for %q", sr.ID))
+	}
+	return results[0].SweepBest, nil
+}
+
+// transportError classifies a malformed backend response as
+// ErrTransport so it is retried elsewhere like any other broken
+// transport.
+func transportError(err error) error {
+	return &actuary.Error{Code: actuary.ErrTransport, Index: -1, Question: -1, Err: err}
+}
+
+// retryable reports whether another backend might succeed where this
+// one failed: transport failures are worth reassigning, evaluation
+// failures and cancellations are not.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if ae, ok := actuary.AsError(err); ok {
+		return ae.Code == actuary.ErrTransport
+	}
+	// An error outside the taxonomy came from the transport layer, not
+	// from an evaluator.
+	return true
+}
+
+// SweepBestScenario answers the single sweep-best question of a
+// scenario by fanning it across the backends — the scenario-file face
+// of SweepBest, used by cmd/explore -backends. The scenario must
+// compile to exactly one request, a sweep-best (one sweep, the
+// "sweep-best" question, no explicit systems).
+func (c *Coordinator) SweepBestScenario(ctx context.Context, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+	if cfg.ShardIndex != 0 || cfg.ShardCount != 0 {
+		return nil, fmt.Errorf("distribute: scenario already carries shard %d of %d; the coordinator assigns shards",
+			cfg.ShardIndex, cfg.ShardCount)
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) != 1 || reqs[0].Question != actuary.QuestionSweepBest {
+		return nil, fmt.Errorf("distribute: scenario %q compiles to %d requests; SweepBestScenario wants exactly one sweep-best",
+			cfg.Name, len(reqs))
+	}
+	return c.SweepBest(ctx, reqs[0])
+}

@@ -5,15 +5,21 @@ import "sort"
 // TopK is an online selector keeping the k lowest-cost items seen, in
 // O(k) memory: a bounded max-heap where the most expensive retained
 // item sits at the root, evicted as soon as something cheaper arrives.
+//
+// With a TieBreak key installed the retained set and Sorted order are
+// a pure function of the observed multiset — independent of arrival
+// order and therefore of how a sweep was sharded (see Merge).
 type TopK[T any] struct {
 	k    int
 	cost func(T) float64
-	heap []topEntry[T] // max-heap by cost
+	key  func(T) string
+	heap []topEntry[T] // max-heap under the (cost, key) order
 	seen int
 }
 
 type topEntry[T any] struct {
 	cost float64
+	key  string
 	item T
 }
 
@@ -26,20 +32,67 @@ func NewTopK[T any](k int, cost func(T) float64) *TopK[T] {
 	return &TopK[T]{k: k, cost: cost, heap: make([]topEntry[T], 0, k)}
 }
 
+// TieBreak installs a deterministic tie-breaking key: items of equal
+// cost are ordered by ascending key, so the retained set and Sorted()
+// output no longer depend on arrival order. Keys must be unique across
+// the observed items (point and result IDs are). Without a key, ties
+// at the retention boundary keep the earlier arrival. It returns the
+// selector for chaining and must be called before the first Observe.
+func (t *TopK[T]) TieBreak(key func(T) string) *TopK[T] {
+	t.key = key
+	return t
+}
+
+// entry builds the heap entry of one item, computing the tie-break key
+// once.
+func (t *TopK[T]) entry(x T) topEntry[T] {
+	e := topEntry[T]{cost: t.cost(x), item: x}
+	if t.key != nil {
+		e.key = t.key(x)
+	}
+	return e
+}
+
+// less orders entries by cost, then by the tie-break key.
+func less[T any](a, b topEntry[T]) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.key < b.key
+}
+
 // Observe offers one item to the selector.
 func (t *TopK[T]) Observe(x T) {
 	t.seen++
-	c := t.cost(x)
+	t.offer(t.entry(x))
+}
+
+// offer inserts one entry, evicting the current maximum when full.
+func (t *TopK[T]) offer(e topEntry[T]) {
 	if len(t.heap) < t.k {
-		t.heap = append(t.heap, topEntry[T]{cost: c, item: x})
+		t.heap = append(t.heap, e)
 		t.siftUp(len(t.heap) - 1)
 		return
 	}
-	if c >= t.heap[0].cost {
+	if !less(e, t.heap[0]) {
 		return
 	}
-	t.heap[0] = topEntry[T]{cost: c, item: x}
+	t.heap[0] = e
 	t.siftDown(0)
+}
+
+// Merge folds another selector into this one, as if every item behind
+// o had been observed here. Both selectors should share the cost and
+// tie-break functions; o remains usable. With tie-breaking installed,
+// merging per-shard selectors of any partition of a sweep yields
+// exactly the unsharded selector's retained set.
+func (t *TopK[T]) Merge(o *TopK[T]) {
+	t.seen += o.seen
+	for _, e := range o.heap {
+		// Re-enter through entry() so this selector's own functions
+		// decide cost and key even if o was configured differently.
+		t.offer(t.entry(e.item))
+	}
 }
 
 // Seen returns how many items have been observed.
@@ -48,12 +101,12 @@ func (t *TopK[T]) Seen() int { return t.seen }
 // Len returns how many items are currently retained (≤ k).
 func (t *TopK[T]) Len() int { return len(t.heap) }
 
-// Sorted returns the retained items in ascending cost order. The
-// selector remains usable afterwards.
+// Sorted returns the retained items in ascending cost order (ties by
+// the tie-break key). The selector remains usable afterwards.
 func (t *TopK[T]) Sorted() []T {
 	entries := make([]topEntry[T], len(t.heap))
 	copy(entries, t.heap)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].cost < entries[j].cost })
+	sort.Slice(entries, func(i, j int) bool { return less(entries[i], entries[j]) })
 	out := make([]T, len(entries))
 	for i, e := range entries {
 		out[i] = e.item
@@ -64,7 +117,7 @@ func (t *TopK[T]) Sorted() []T {
 func (t *TopK[T]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].cost >= t.heap[i].cost {
+		if !less(t.heap[parent], t.heap[i]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -76,7 +129,7 @@ func (t *TopK[T]) siftDown(i int) {
 	for {
 		largest := i
 		for _, c := range []int{2*i + 1, 2*i + 2} {
-			if c < len(t.heap) && t.heap[c].cost > t.heap[largest].cost {
+			if c < len(t.heap) && less(t.heap[largest], t.heap[c]) {
 				largest = c
 			}
 		}
@@ -92,14 +145,20 @@ func (t *TopK[T]) siftDown(i int) {
 // minimization online. Memory is O(front size): dominated items are
 // discarded on arrival, and arrivals that dominate retained items
 // evict them.
+//
+// The front of distinct objective pairs is inherently order-
+// independent; installing a TieBreak key makes exact-duplicate pairs
+// deterministic too, so sharded and unsharded walks agree (see Merge).
 type Pareto[T any] struct {
 	objectives func(T) (x, y float64)
+	key        func(T) string
 	front      []paretoEntry[T] // ascending x, strictly descending y
 	seen       int
 }
 
 type paretoEntry[T any] struct {
 	x, y float64
+	key  string
 	item T
 }
 
@@ -108,21 +167,44 @@ func NewPareto[T any](objectives func(T) (x, y float64)) *Pareto[T] {
 	return &Pareto[T]{objectives: objectives}
 }
 
+// TieBreak installs a deterministic key for exact objective ties: when
+// two items share both objective values, the one with the smaller key
+// is retained regardless of arrival order. Without a key the first
+// arrival wins. It returns the front for chaining and must be called
+// before the first Observe.
+func (p *Pareto[T]) TieBreak(key func(T) string) *Pareto[T] {
+	p.key = key
+	return p
+}
+
 // Observe offers one item to the front.
 func (p *Pareto[T]) Observe(item T) {
 	p.seen++
+	p.observe(item)
+}
+
+// observe inserts without counting, shared by Observe and Merge.
+func (p *Pareto[T]) observe(item T) {
 	x, y := p.objectives(item)
+	var key string
+	if p.key != nil {
+		key = p.key(item)
+	}
 	// Invariant: strictly ascending x, strictly descending y. i is the
 	// insertion position — the first entry with x ≥ the newcomer's.
 	i := sort.Search(len(p.front), func(j int) bool { return p.front[j].x >= x })
 	// Entries left of i have strictly smaller x; the nearest one holds
 	// the smallest y among them, so it alone decides domination from
 	// that side. An equal-x entry (at most one, at position i) with
-	// y ≤ y also dominates.
+	// y ≤ y also dominates — except an exact (x, y) duplicate, which
+	// the tie-break key may overturn.
 	if i > 0 && p.front[i-1].y <= y {
 		return
 	}
 	if i < len(p.front) && p.front[i].x == x && p.front[i].y <= y {
+		if p.front[i].y == y && p.key != nil && key < p.front[i].key {
+			p.front[i] = paretoEntry[T]{x: x, y: y, key: key, item: item}
+		}
 		return
 	}
 	// Evict the entries the newcomer dominates: a contiguous run from
@@ -131,7 +213,19 @@ func (p *Pareto[T]) Observe(item T) {
 	for j < len(p.front) && p.front[j].y >= y {
 		j++
 	}
-	p.front = append(p.front[:i], append([]paretoEntry[T]{{x: x, y: y, item: item}}, p.front[j:]...)...)
+	p.front = append(p.front[:i], append([]paretoEntry[T]{{x: x, y: y, key: key, item: item}}, p.front[j:]...)...)
+}
+
+// Merge folds another front into this one, as if every item behind o
+// had been observed here. Both fronts should share the objective and
+// tie-break functions; o remains usable. The union of per-shard fronts
+// contains the whole sweep's front, so merging shard fronts of any
+// partition reproduces the unsharded front exactly.
+func (p *Pareto[T]) Merge(o *Pareto[T]) {
+	p.seen += o.seen
+	for _, e := range o.front {
+		p.observe(e.item)
+	}
 }
 
 // Seen returns how many items have been observed.
@@ -159,12 +253,14 @@ type Summary struct {
 	Sum float64
 }
 
-// Observe records one labelled value.
+// Observe records one labelled value. Exact value ties keep the
+// smaller label, so Min/Max and their IDs are independent of
+// observation order (and of how a sweep was sharded).
 func (s *Summary) Observe(id string, v float64) {
-	if s.Count == 0 || v < s.Min {
+	if s.Count == 0 || v < s.Min || (v == s.Min && id < s.MinID) {
 		s.Min, s.MinID = v, id
 	}
-	if s.Count == 0 || v > s.Max {
+	if s.Count == 0 || v > s.Max || (v == s.Max && id < s.MaxID) {
 		s.Max, s.MaxID = v, id
 	}
 	s.Count++
@@ -180,15 +276,17 @@ func (s *Summary) Mean() float64 {
 }
 
 // Merge folds another summary into this one, as if every observation
-// behind o had been observed here.
+// behind o had been observed here. Count, Min, Max and their labels
+// merge exactly; Sum (and therefore Mean) may differ from the
+// single-stream value by floating-point reassociation error.
 func (s *Summary) Merge(o Summary) {
 	if o.Count == 0 {
 		return
 	}
-	if s.Count == 0 || o.Min < s.Min {
+	if s.Count == 0 || o.Min < s.Min || (o.Min == s.Min && o.MinID < s.MinID) {
 		s.Min, s.MinID = o.Min, o.MinID
 	}
-	if s.Count == 0 || o.Max > s.Max {
+	if s.Count == 0 || o.Max > s.Max || (o.Max == s.Max && o.MaxID < s.MaxID) {
 		s.Max, s.MaxID = o.Max, o.MaxID
 	}
 	s.Count += o.Count

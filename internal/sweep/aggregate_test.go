@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -193,5 +194,145 @@ func TestSummaryMerge(t *testing.T) {
 	empty.Merge(whole)
 	if empty != whole {
 		t.Errorf("merge into empty = %+v, want %+v", empty, whole)
+	}
+}
+
+func TestTopKTieBreakDeterminism(t *testing.T) {
+	// Many equal-cost items: with a tie-break key the retained set and
+	// order are identical under every arrival permutation.
+	items := []scored{
+		{"e", 2}, {"a", 1}, {"c", 1}, {"b", 1}, {"d", 1}, {"f", 2}, {"g", 0.5},
+	}
+	want := []string{"g", "a", "b"}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]scored(nil), items...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		top := NewTopK(3, func(s scored) float64 { return s.cost }).
+			TieBreak(func(s scored) string { return s.id })
+		for _, it := range perm {
+			top.Observe(it)
+		}
+		got := top.Sorted()
+		for i, w := range want {
+			if got[i].id != w {
+				t.Fatalf("trial %d: Sorted = %v, want ids %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	cost := func(s scored) float64 { return s.cost }
+	key := func(s scored) string { return s.id }
+	var items []scored
+	for i := 0; i < 40; i++ {
+		items = append(items, scored{id: fmt.Sprintf("p%02d", i), cost: float64(i % 7)})
+	}
+	want := NewTopK(5, cost).TieBreak(key)
+	for _, it := range items {
+		want.Observe(it)
+	}
+	// Any partition of the stream, merged, reproduces the whole.
+	for n := 1; n <= 5; n++ {
+		merged := NewTopK(5, cost).TieBreak(key)
+		for i := 0; i < n; i++ {
+			part := NewTopK(5, cost).TieBreak(key)
+			for j, it := range items {
+				if j%n == i {
+					part.Observe(it)
+				}
+			}
+			merged.Merge(part)
+		}
+		if merged.Seen() != want.Seen() {
+			t.Fatalf("n=%d: merged saw %d, want %d", n, merged.Seen(), want.Seen())
+		}
+		got, exp := merged.Sorted(), want.Sorted()
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("n=%d: merged Sorted = %v, want %v", n, got, exp)
+			}
+		}
+	}
+}
+
+func TestParetoTieBreakAndMerge(t *testing.T) {
+	obj := func(b biObj) (float64, float64) { return b.x, b.y }
+	key := func(b biObj) string { return b.id }
+	// Two exact duplicates of the same objective pair: the smaller id
+	// wins regardless of order.
+	for _, order := range [][]biObj{
+		{{id: "z", x: 1, y: 1}, {id: "a", x: 1, y: 1}},
+		{{id: "a", x: 1, y: 1}, {id: "z", x: 1, y: 1}},
+	} {
+		p := NewPareto(obj).TieBreak(key)
+		for _, b := range order {
+			p.Observe(b)
+		}
+		front := p.Front()
+		if len(front) != 1 || front[0].id != "a" {
+			t.Fatalf("duplicate tie kept %v, want [a]", front)
+		}
+	}
+	// Merged shard fronts reproduce the whole front.
+	var items []biObj
+	for i := 0; i < 30; i++ {
+		items = append(items, biObj{id: fmt.Sprintf("b%02d", i),
+			x: float64(i % 6), y: float64((13 * i) % 7)})
+	}
+	want := NewPareto(obj).TieBreak(key)
+	for _, b := range items {
+		want.Observe(b)
+	}
+	for n := 1; n <= 4; n++ {
+		merged := NewPareto(obj).TieBreak(key)
+		for i := 0; i < n; i++ {
+			part := NewPareto(obj).TieBreak(key)
+			for j, b := range items {
+				if j%n == i {
+					part.Observe(b)
+				}
+			}
+			merged.Merge(part)
+		}
+		if merged.Seen() != want.Seen() {
+			t.Fatalf("n=%d: merged saw %d, want %d", n, merged.Seen(), want.Seen())
+		}
+		got, exp := merged.Front(), want.Front()
+		if len(got) != len(exp) {
+			t.Fatalf("n=%d: merged front %v, want %v", n, got, exp)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("n=%d: merged front %v, want %v", n, got, exp)
+			}
+		}
+	}
+}
+
+func TestSummaryTieBreakAndMerge(t *testing.T) {
+	var a, b, whole Summary
+	obs := []struct {
+		id string
+		v  float64
+	}{{"m", 3}, {"b", 1}, {"a", 1}, {"z", 9}, {"y", 9}}
+	for i, o := range obs {
+		whole.Observe(o.id, o.v)
+		if i%2 == 0 {
+			a.Observe(o.id, o.v)
+		} else {
+			b.Observe(o.id, o.v)
+		}
+	}
+	if whole.MinID != "a" || whole.MaxID != "y" {
+		t.Fatalf("tie-broken summary labels = %q/%q, want a/y", whole.MinID, whole.MaxID)
+	}
+	var merged Summary
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.Count != whole.Count || merged.Min != whole.Min || merged.Max != whole.Max ||
+		merged.MinID != whole.MinID || merged.MaxID != whole.MaxID {
+		t.Fatalf("merged summary %+v != whole %+v", merged, whole)
 	}
 }

@@ -196,7 +196,11 @@ func InterposerFit(params packaging.Params) Filter {
 	}
 }
 
-// Stats counts a generator's activity so far.
+// Stats counts a generator's activity so far. A sharded generator
+// (see Generator.Shard) accounts only the candidates its stripe owns —
+// every candidate, including each skipped monolithic twin, belongs to
+// exactly one shard — so per-shard stats of a full partition sum to
+// the unsharded generator's stats (see Merge).
 type Stats struct {
 	// Generated is the number of points returned by Next.
 	Generated int
@@ -207,6 +211,14 @@ type Stats struct {
 	// candidates skipped on multi-scheme grids — identical designs,
 	// not infeasible ones.
 	Deduped int
+}
+
+// Merge adds another generator's counters to this one — the whole-grid
+// totals of a sweep fanned out across shards.
+func (s *Stats) Merge(o Stats) {
+	s.Generated += o.Generated
+	s.Pruned += o.Pruned
+	s.Deduped += o.Deduped
 }
 
 // Odometer walks the cross product of axis lengths lazily, last axis
@@ -281,6 +293,14 @@ type Generator struct {
 	// streamed and batched results correspond.
 	odo   *Odometer
 	stats Stats
+	// cand numbers the candidates in odometer order; with shardCount
+	// ≥ 1 only candidates whose number ≡ shardIndex (mod shardCount)
+	// are owned by this generator (see Shard). lastCand is the number
+	// of the candidate behind the most recent point.
+	cand       int
+	lastCand   int
+	shardIndex int
+	shardCount int
 }
 
 // Points returns a fresh lazy iterator over the grid, applying the
@@ -297,6 +317,26 @@ func (g Grid) Points(filters ...Filter) *Generator {
 
 // Grid returns the grid this generator walks.
 func (it *Generator) Grid() Grid { return it.grid }
+
+// Shard restricts the generator to the i-th of n stripes of the
+// candidate index space: candidate c (in odometer order, before any
+// pruning or dedup) belongs to shard c mod n. The n shards of a grid
+// are pairwise disjoint and their union is exactly the unsharded
+// walk, each shard preserves odometer order, and every candidate —
+// including each pruned point and each skipped monolithic twin — is
+// accounted in exactly one shard's Stats, so per-shard stats sum to
+// the unsharded totals. Skipping a foreign candidate costs one
+// odometer step and no system construction. Shard(0, 1) is the
+// identity. It returns the generator for chaining and must be called
+// before the first Next; i and n outside 0 ≤ i < n panic (validate
+// shard specs at the API boundary, not here).
+func (it *Generator) Shard(i, n int) *Generator {
+	if n < 1 || i < 0 || i >= n {
+		panic(fmt.Sprintf("sweep: invalid shard %d of %d", i, n))
+	}
+	it.shardIndex, it.shardCount = i, n
+	return it
+}
 
 // AbortWhen installs an early-exit hook checked once per candidate
 // (not per surviving point): when f returns true, Next returns false
@@ -317,6 +357,14 @@ func (it *Generator) Next() (Point, bool) {
 		}
 		if it.abort != nil && it.abort() {
 			return Point{}, false
+		}
+		cand := it.cand
+		it.cand++
+		if it.shardCount > 1 && cand%it.shardCount != it.shardIndex {
+			// A foreign stripe's candidate: step past it without
+			// building the point or touching this shard's stats.
+			it.odo.advance()
+			continue
 		}
 		// idx is the odometer's live slice: copy out everything needed
 		// before advance mutates it.
@@ -355,9 +403,16 @@ func (it *Generator) Next() (Point, bool) {
 			continue
 		}
 		it.stats.Generated++
+		it.lastCand = cand
 		return p, true
 	}
 }
+
+// LastCandidate returns the odometer-order candidate number of the
+// point most recently returned by Next — the same numbering whatever
+// the shard spec, so positions compare across shards (the merge layer
+// uses it to find the globally first failing point).
+func (it *Generator) LastCandidate() int { return it.lastCand }
 
 // Stats reports how many points have been generated and pruned so far.
 func (it *Generator) Stats() Stats { return it.stats }

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"chipletactuary/internal/dtod"
@@ -221,5 +223,181 @@ func TestCountRange(t *testing.T) {
 		if _, err := CountRange(bad[0], bad[1]); err == nil {
 			t.Errorf("CountRange(%v) accepted", bad)
 		}
+	}
+}
+
+// TestGeneratorShardPartition is the sharding property test: for
+// random grids and every shard count 1..7, the shards are pairwise
+// disjoint, their multiset union is exactly the unsharded walk, and
+// per-shard stats (including the exactly-once dedup accounting) sum to
+// the unsharded stats.
+func TestGeneratorShardPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nodePool := []string{"5nm", "7nm", "12nm", "28nm"}
+	schemePool := []packaging.Scheme{packaging.MCM, packaging.TwoPointFiveD, packaging.InFO}
+	pick := func(n int) int { return 1 + rng.Intn(n) }
+	for trial := 0; trial < 12; trial++ {
+		g := Grid{
+			Name:       fmt.Sprintf("rand%d", trial),
+			Nodes:      append([]string(nil), nodePool[:pick(len(nodePool))]...),
+			Schemes:    append([]packaging.Scheme(nil), schemePool[:pick(len(schemePool))]...),
+			Quantities: []float64{1e5, 1e6, 1e7}[:pick(3)],
+			D2D:        dtod.Fraction{F: 0.10},
+		}
+		for i := 0; i < pick(5); i++ {
+			g.AreasMM2 = append(g.AreasMM2, 100+float64(i)*190) // up to 860: some over-reticle
+		}
+		for k := 1; k <= pick(6); k++ {
+			g.Counts = append(g.Counts, k)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random grid: %v", trial, err)
+		}
+		var filters []Filter
+		if trial%2 == 0 {
+			filters = []Filter{ReticleFit()}
+		}
+		whole := g.Points(filters...)
+		wholePts := drain(t, whole)
+		wantIDs := make(map[string]int)
+		for _, p := range wholePts {
+			wantIDs[p.ID]++
+		}
+		for n := 1; n <= 7; n++ {
+			gotIDs := make(map[string]int)
+			var stats Stats
+			for i := 0; i < n; i++ {
+				shard := g.Points(filters...).Shard(i, n)
+				for _, p := range drain(t, shard) {
+					gotIDs[p.ID]++
+				}
+				stats.Merge(shard.Stats())
+			}
+			for id, c := range gotIDs {
+				if c != 1 {
+					t.Fatalf("trial %d n=%d: point %q emitted by %d shards", trial, n, id, c)
+				}
+			}
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("trial %d n=%d: union has %d points, unsharded %d", trial, n, len(gotIDs), len(wantIDs))
+			}
+			for id := range wantIDs {
+				if gotIDs[id] != 1 {
+					t.Fatalf("trial %d n=%d: point %q missing from the shard union", trial, n, id)
+				}
+			}
+			if whole := whole.Stats(); stats != whole {
+				t.Fatalf("trial %d n=%d: summed shard stats %+v != unsharded %+v", trial, n, stats, whole)
+			}
+			// Merged TopK and Pareto over shard streams must reproduce
+			// the unsharded aggregates exactly. The synthetic cost has
+			// deliberate collisions (k alone), so the tie-break carries
+			// the determinism.
+			cost := func(p Point) float64 { return float64(p.K) }
+			obj := func(p Point) (float64, float64) { return float64(p.K), p.AreaMM2 }
+			id := func(p Point) string { return p.ID }
+			wantTop := NewTopK(3, cost).TieBreak(id)
+			wantFront := NewPareto(obj).TieBreak(id)
+			var wantSum Summary
+			for _, p := range wholePts {
+				wantTop.Observe(p)
+				wantFront.Observe(p)
+				wantSum.Observe(p.ID, cost(p))
+			}
+			gotTop := NewTopK(3, cost).TieBreak(id)
+			gotFront := NewPareto(obj).TieBreak(id)
+			var gotSum Summary
+			for i := 0; i < n; i++ {
+				shardTop := NewTopK(3, cost).TieBreak(id)
+				shardFront := NewPareto(obj).TieBreak(id)
+				var shardSum Summary
+				for _, p := range drain(t, g.Points(filters...).Shard(i, n)) {
+					shardTop.Observe(p)
+					shardFront.Observe(p)
+					shardSum.Observe(p.ID, cost(p))
+				}
+				gotTop.Merge(shardTop)
+				gotFront.Merge(shardFront)
+				gotSum.Merge(shardSum)
+			}
+			if !samePointIDs(gotTop.Sorted(), wantTop.Sorted()) {
+				t.Fatalf("trial %d n=%d: merged TopK %v != unsharded %v",
+					trial, n, pointIDs(gotTop.Sorted()), pointIDs(wantTop.Sorted()))
+			}
+			if gotTop.Seen() != wantTop.Seen() {
+				t.Fatalf("trial %d n=%d: merged TopK saw %d, unsharded %d", trial, n, gotTop.Seen(), wantTop.Seen())
+			}
+			if !samePointIDs(gotFront.Front(), wantFront.Front()) {
+				t.Fatalf("trial %d n=%d: merged Pareto %v != unsharded %v",
+					trial, n, pointIDs(gotFront.Front()), pointIDs(wantFront.Front()))
+			}
+			if gotSum.Count != wantSum.Count || gotSum.Min != wantSum.Min || gotSum.Max != wantSum.Max ||
+				gotSum.MinID != wantSum.MinID || gotSum.MaxID != wantSum.MaxID {
+				t.Fatalf("trial %d n=%d: merged summary %+v != unsharded %+v", trial, n, gotSum, wantSum)
+			}
+		}
+	}
+}
+
+func pointIDs(pts []Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.ID
+	}
+	return out
+}
+
+func samePointIDs(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGeneratorShardDedupExactlyOnce(t *testing.T) {
+	// Multi-scheme grid with k=1 points: each skipped monolithic twin
+	// must be counted deduped in exactly one shard, so the summed
+	// Deduped equals the unsharded count.
+	g := testGrid()
+	g.Schemes = []packaging.Scheme{packaging.MCM, packaging.TwoPointFiveD, packaging.InFO}
+	whole := g.Points()
+	drain(t, whole)
+	want := whole.Stats()
+	if want.Deduped == 0 {
+		t.Fatal("test grid produced no deduped twins")
+	}
+	for n := 2; n <= 5; n++ {
+		var got Stats
+		for i := 0; i < n; i++ {
+			shard := g.Points().Shard(i, n)
+			drain(t, shard)
+			got.Merge(shard.Stats())
+		}
+		if got != want {
+			t.Errorf("n=%d: summed stats %+v, want %+v", n, got, want)
+		}
+	}
+}
+
+func TestGeneratorShardValidation(t *testing.T) {
+	g := testGrid()
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			g.Points().Shard(bad[0], bad[1])
+		}()
+	}
+	// Shard(0, 1) is the identity.
+	if got, want := len(drain(t, g.Points().Shard(0, 1))), len(drain(t, g.Points())); got != want {
+		t.Errorf("Shard(0,1) generated %d points, want %d", got, want)
 	}
 }

@@ -372,3 +372,112 @@ func TestWithInFlightBoundsStream(t *testing.T) {
 		t.Fatalf("expected several results, got %d", len(lines))
 	}
 }
+
+// TestStreamEndpointHonorsShardSpec posts the same scenario once
+// unsharded and once as two shards: the shard streams must partition
+// the per-point results exactly (by ID) and each carry their own
+// shard-stamped sweep-best answer that merges to the whole.
+func TestStreamEndpointHonorsShardSpec(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	scenario := map[string]any{
+		"version": 2, "name": "shards",
+		"questions": []string{"total-cost", "sweep-best"},
+		"sweeps": []map[string]any{{
+			"name": "g", "nodes": []string{"5nm", "7nm"}, "scheme": "MCM",
+			"quantity": 1e6, "areas_mm2": []float64{300, 500}, "counts": []int{1, 2, 3},
+			"d2d_fraction": 0.10, "top_k": 3,
+		}},
+	}
+	drainIDs := func(extra map[string]any) (map[string]bool, []actuary.Result) {
+		doc := map[string]any{}
+		for k, v := range scenario {
+			doc[k] = v
+		}
+		for k, v := range extra {
+			doc[k] = v
+		}
+		body, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := postJSON(t, ts.URL+"/v1/stream", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+		ids := make(map[string]bool)
+		var sweepBests []actuary.Result
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var r actuary.Result
+			if err := dec.Decode(&r); err != nil {
+				break
+			}
+			if r.Err != nil {
+				t.Fatalf("result %q failed: %v", r.ID, r.Err)
+			}
+			if r.SweepBest != nil {
+				sweepBests = append(sweepBests, r)
+				continue
+			}
+			if ids[r.ID] {
+				t.Fatalf("duplicate streamed ID %q", r.ID)
+			}
+			ids[r.ID] = true
+		}
+		return ids, sweepBests
+	}
+
+	wholeIDs, wholeBest := drainIDs(nil)
+	if len(wholeBest) != 1 {
+		t.Fatalf("unsharded stream answered sweep-best %d times", len(wholeBest))
+	}
+	union := make(map[string]int)
+	merger := actuary.NewSweepBestMerger(3)
+	for i := 0; i < 2; i++ {
+		ids, bests := drainIDs(map[string]any{"shard_index": i, "shard_count": 2})
+		for id := range ids {
+			union[id]++
+		}
+		if len(bests) != 1 {
+			t.Fatalf("shard %d answered sweep-best %d times", i, len(bests))
+		}
+		merger.Add(bests[0].SweepBest)
+	}
+	if len(union) != len(wholeIDs) {
+		t.Fatalf("shard union has %d per-point results, unsharded %d", len(union), len(wholeIDs))
+	}
+	for id, c := range union {
+		if c != 1 || !wholeIDs[id] {
+			t.Errorf("per-point result %q owned by %d shards", id, c)
+		}
+	}
+	merged, err := merger.Result("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wholeBest[0].SweepBest
+	if len(merged.Top) != len(want.Top) {
+		t.Fatalf("merged top has %d points, want %d", len(merged.Top), len(want.Top))
+	}
+	for i := range want.Top {
+		if merged.Top[i].ID != want.Top[i].ID || merged.Top[i].Total.Total() != want.Top[i].Total.Total() {
+			t.Errorf("merged top[%d] = %q, want %q", i, merged.Top[i].ID, want.Top[i].ID)
+		}
+	}
+	if merged.Summary.Count != want.Summary.Count {
+		t.Errorf("merged summary count %d, want %d", merged.Summary.Count, want.Summary.Count)
+	}
+
+	// A malformed shard spec is rejected at the transport boundary.
+	body, _ := json.Marshal(map[string]any{
+		"version": 2, "name": "bad", "shard_index": 2, "shard_count": 2,
+		"sweeps": scenario["sweeps"],
+	})
+	resp := postJSON(t, ts.URL+"/v1/stream", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid shard spec got HTTP %d, want 400", resp.StatusCode)
+	}
+}

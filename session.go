@@ -146,6 +146,16 @@ type Request struct {
 	// list (0 means 1).
 	Grid *SweepGrid
 	TopK int
+	// ShardIndex and ShardCount restrict a SweepBest request to one
+	// stripe of its grid's candidate index space: shard ShardIndex of
+	// ShardCount (0 ≤ ShardIndex < ShardCount). ShardCount 0 means
+	// unsharded. A sharded answer covers only its stripe — an empty
+	// stripe is a valid empty SweepBest, not an error — and the
+	// ShardCount answers of a grid merge into exactly the unsharded
+	// answer (see SweepBestMerger). Other questions reject a non-zero
+	// shard spec.
+	ShardIndex int
+	ShardCount int
 }
 
 // Result is the answer to one Request. Index, ID and Question echo
@@ -211,10 +221,15 @@ type SweepBest struct {
 	// counts points that failed during evaluation, with FirstFailure
 	// retaining the first such error so a typo'd axis value (an
 	// unknown node, say) does not silently shrink the answered space.
-	Pruned       int
-	Deduped      int
-	Infeasible   int
-	FirstFailure error
+	// FirstFailureCandidate is the failing point's position in the
+	// grid's odometer order — shard answers carry it so the merge
+	// layer reports the globally first failure, exactly like an
+	// unsharded walk, whatever the fan-out.
+	Pruned                int
+	Deduped               int
+	Infeasible            int
+	FirstFailure          error
+	FirstFailureCandidate int
 }
 
 // Option configures a Session (functional options).
@@ -377,6 +392,9 @@ func (s *Session) fail(i int, req Request, err error) Result {
 // Stream.
 func (s *Session) evaluateOne(ctx context.Context, i int, req Request) Result {
 	res := Result{Index: i, ID: req.ID, Question: req.Question}
+	if req.Question != QuestionSweepBest && (req.ShardIndex != 0 || req.ShardCount != 0) {
+		return s.fail(i, req, fmt.Errorf("actuary: question %v does not accept a shard spec", req.Question))
+	}
 	switch req.Question {
 	case QuestionTotalCost:
 		tc, err := s.ev.Single(req.System, req.Policy)
@@ -441,7 +459,9 @@ func (s *Session) evaluateOne(ctx context.Context, i int, req Request) Result {
 
 // sweepBest streams a request's grid through the online aggregators:
 // lazy generation with reticle and interposer pruning, one total-cost
-// evaluation per surviving point, O(TopK + front) retained state.
+// evaluation per surviving point, O(TopK + front) retained state. A
+// shard spec restricts the walk to one stripe of the candidate space;
+// shard answers merge back into the unsharded answer (SweepBestMerger).
 func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error) {
 	if req.Grid == nil {
 		return nil, fmt.Errorf("actuary: sweep-best request needs a Grid")
@@ -449,21 +469,28 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 	if err := req.Grid.Validate(); err != nil {
 		return nil, err
 	}
+	if err := validShardSpec(req.ShardIndex, req.ShardCount); err != nil {
+		return nil, err
+	}
 	k := req.TopK
 	if k < 1 {
 		k = 1
 	}
-	top := sweep.NewTopK(k, func(p SweepPoint) float64 { return p.Total.Total() })
-	front := sweep.NewPareto(func(p SweepPoint) (float64, float64) {
-		return p.Total.RE.Total(), p.Total.NRE.Total()
-	})
+	// The ranking definitions are shared with SweepBestMerger (see
+	// merge.go): shards and the merge must rank under one metric.
+	top := newSweepTopK(k)
+	front := newSweepPareto()
 	var summary SweepSummary
 	var firstErr error
+	firstCand := 0
 	infeasible := 0
 	// The abort hook fires per candidate, so cancellation lands even
 	// inside a long all-pruned stretch of the grid walk.
 	gen := req.Grid.Points(sweep.ReticleFit(), sweep.InterposerFit(s.params)).
 		AbortWhen(func() bool { return ctx.Err() != nil })
+	if req.ShardCount > 0 {
+		gen.Shard(req.ShardIndex, req.ShardCount)
+	}
 	for {
 		p, ok := gen.Next()
 		if !ok {
@@ -474,6 +501,7 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 			infeasible++
 			if firstErr == nil {
 				firstErr = err
+				firstCand = gen.LastCandidate()
 			}
 			continue
 		}
@@ -486,7 +514,11 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if summary.Count == 0 {
+	if summary.Count == 0 && req.ShardCount == 0 {
+		// Unsharded: an empty answer means the whole grid is infeasible.
+		// A shard, in contrast, may legitimately own zero feasible
+		// candidates — it returns an empty SweepBest and the merge layer
+		// decides whether the grid as a whole came up empty.
 		err := fmt.Errorf("actuary: %w: no feasible point in sweep grid %q (%d pruned, %d infeasible)",
 			explore.ErrInfeasible, req.Grid.Name, gen.Stats().Pruned, infeasible)
 		if firstErr != nil {
@@ -498,14 +530,28 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 		return nil, err
 	}
 	return &SweepBest{
-		Top:          top.Sorted(),
-		Pareto:       front.Front(),
-		Summary:      summary,
-		Pruned:       gen.Stats().Pruned,
-		Deduped:      gen.Stats().Deduped,
-		Infeasible:   infeasible,
-		FirstFailure: firstErr,
+		Top:                   top.Sorted(),
+		Pareto:                front.Front(),
+		Summary:               summary,
+		Pruned:                gen.Stats().Pruned,
+		Deduped:               gen.Stats().Deduped,
+		Infeasible:            infeasible,
+		FirstFailure:          firstErr,
+		FirstFailureCandidate: firstCand,
 	}, nil
+}
+
+// validShardSpec checks a wire shard spec: ShardCount 0 (with index 0)
+// means unsharded; otherwise the index must name one of the ShardCount
+// stripes.
+func validShardSpec(index, count int) error {
+	if count == 0 && index == 0 {
+		return nil
+	}
+	if count < 1 || index < 0 || index >= count {
+		return fmt.Errorf("actuary: invalid shard spec %d of %d (want 0 ≤ index < count)", index, count)
+	}
+	return nil
 }
 
 // Portfolio evaluates a family of systems that share module, chip and

@@ -296,9 +296,12 @@ type CostTopK struct {
 	top *sweep.TopK[Result]
 }
 
-// NewCostTopK builds a top-K selector over total cost per unit.
+// NewCostTopK builds a top-K selector over total cost per unit. Equal
+// costs are tie-broken by result ID, so the retained set is
+// independent of completion order — and of how the stream was sharded.
 func NewCostTopK(k int) *CostTopK {
-	return &CostTopK{top: sweep.NewTopK(k, func(r Result) float64 { return r.TotalCost.Total() })}
+	return &CostTopK{top: sweep.NewTopK(k, func(r Result) float64 { return r.TotalCost.Total() }).
+		TieBreak(func(r Result) string { return r.ID })}
 }
 
 // Observe implements StreamAggregator.
@@ -324,6 +327,12 @@ func (c *CostTopK) Results() []Result { return c.top.Sorted() }
 // Seen returns how many total-cost results were considered.
 func (c *CostTopK) Seen() int { return c.top.Seen() }
 
+// Merge folds another selector into this one — the reduction of a
+// stream that was split across sessions or daemons. Merging the
+// per-shard selectors of any partition reproduces the single-stream
+// selector exactly.
+func (c *CostTopK) Merge(o *CostTopK) { c.top.Merge(o.top) }
+
 // CostPareto maintains the two-objective Pareto front of a stream —
 // recurring cost versus amortized NRE per unit, both minimized — in
 // O(front) memory. SweepBest payloads contribute their own front as
@@ -334,11 +343,13 @@ type CostPareto struct {
 	front *sweep.Pareto[Result]
 }
 
-// NewCostPareto builds the RE-vs-NRE front aggregator.
+// NewCostPareto builds the RE-vs-NRE front aggregator. Exact
+// objective ties are broken by result ID, so the front is independent
+// of completion order — and of how the stream was sharded.
 func NewCostPareto() *CostPareto {
 	return &CostPareto{front: sweep.NewPareto(func(r Result) (float64, float64) {
 		return r.TotalCost.RE.Total(), r.TotalCost.NRE.Total()
-	})}
+	}).TieBreak(func(r Result) string { return r.ID })}
 }
 
 // Observe implements StreamAggregator.
@@ -360,6 +371,10 @@ func (c *CostPareto) Observe(r Result) {
 
 // Front returns the non-dominated results, ascending in RE.
 func (c *CostPareto) Front() []Result { return c.front.Front() }
+
+// Merge folds another front into this one — the reduction of a stream
+// that was split across sessions or daemons.
+func (c *CostPareto) Merge(o *CostPareto) { c.front.Merge(o.front) }
 
 // StreamStats counts stream outcomes and summarizes total cost online.
 type StreamStats struct {
@@ -390,4 +405,13 @@ func (s *StreamStats) Observe(r Result) {
 		return
 	}
 	s.Cost.Observe(r.ID, r.TotalCost.Total())
+}
+
+// Merge folds another stats aggregator into this one — the outcome
+// counters of a stream that was split across sessions or daemons.
+func (s *StreamStats) Merge(o StreamStats) {
+	s.OK += o.OK
+	s.Failed += o.Failed
+	s.Skipped += o.Skipped
+	s.Cost.Merge(o.Cost)
 }

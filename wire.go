@@ -91,7 +91,7 @@ func Questions() []QuestionInfo {
 			Fields:  []string{"node", "k", "scheme", "d2d", "lo_mm2", "hi_mm2"}},
 		{Name: "sweep-best", Aliases: []string{"best"},
 			Summary: "top-K, Pareto front and summary of a lazily streamed design-space grid",
-			Fields:  []string{"grid", "top_k", "policy"}},
+			Fields:  []string{"grid", "top_k", "policy", "shard_index", "shard_count"}},
 	}
 }
 
@@ -211,6 +211,8 @@ type wireRequest struct {
 	HiMM2         float64            `json:"hi_mm2,omitempty"`
 	Grid          *SweepGrid         `json:"grid,omitempty"`
 	TopK          int                `json:"top_k,omitempty"`
+	ShardIndex    int                `json:"shard_index,omitempty"`
+	ShardCount    int                `json:"shard_count,omitempty"`
 }
 
 // systemOrNil returns &s when s carries any data, nil for the zero
@@ -235,6 +237,7 @@ func (r Request) MarshalJSON() ([]byte, error) {
 		Node: r.Node, ModuleAreaMM2: r.ModuleAreaMM2, Scheme: r.Scheme,
 		MaxK: r.MaxK, K: r.K, LoMM2: r.LoMM2, HiMM2: r.HiMM2,
 		Grid: r.Grid, TopK: r.TopK,
+		ShardIndex: r.ShardIndex, ShardCount: r.ShardCount,
 	}
 	if r.D2D != nil {
 		d2d, err := dtod.MarshalOverhead(r.D2D)
@@ -266,6 +269,7 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 		Node: w.Node, ModuleAreaMM2: w.ModuleAreaMM2, Scheme: w.Scheme,
 		MaxK: w.MaxK, K: w.K, LoMM2: w.LoMM2, HiMM2: w.HiMM2,
 		Grid: w.Grid, TopK: w.TopK,
+		ShardIndex: w.ShardIndex, ShardCount: w.ShardCount,
 	}
 	if w.System != nil {
 		req.System = *w.System
@@ -315,23 +319,53 @@ func (p *SweepPoint) UnmarshalJSON(data []byte) error {
 }
 
 // wireSweepBest is the canonical JSON shape of a sweep-best answer.
-// The first per-point failure crosses the wire as its message.
+// The first per-point failure crosses the wire in the structured error
+// form, so its classified code survives the transport — a shard
+// answered by a remote daemon still explains a typo'd node as
+// unknown-node when the merged sweep comes up empty (the raw Go error
+// chain itself cannot cross a process boundary).
 type wireSweepBest struct {
-	Top          []SweepPoint `json:"top"`
-	Pareto       []SweepPoint `json:"pareto"`
-	Summary      SweepSummary `json:"summary"`
-	Pruned       int          `json:"pruned,omitempty"`
-	Deduped      int          `json:"deduped,omitempty"`
-	Infeasible   int          `json:"infeasible,omitempty"`
-	FirstFailure string       `json:"first_failure,omitempty"`
+	Top        []SweepPoint `json:"top"`
+	Pareto     []SweepPoint `json:"pareto"`
+	Summary    SweepSummary `json:"summary"`
+	Pruned     int          `json:"pruned,omitempty"`
+	Deduped    int          `json:"deduped,omitempty"`
+	Infeasible int          `json:"infeasible,omitempty"`
+	// FirstFailure is encoded as a structured Error; decode also
+	// accepts the bare message string earlier v1 encoders emitted, so
+	// a newer reader still understands an older daemon (a legacy
+	// string decodes to the same opaque error it always did, without
+	// a code).
+	FirstFailure json.RawMessage `json:"first_failure,omitempty"`
+	// FirstFailureCandidate positions the failure in the grid's
+	// odometer order, so merged shards report the globally first one.
+	FirstFailureCandidate int `json:"first_failure_candidate,omitempty"`
+}
+
+// wireFirstFailure lifts a per-point sweep failure into the structured
+// wire form: a *Error passes through, anything else is classified in
+// place. The location fields carry no information inside a SweepBest.
+func wireFirstFailure(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	if ae, ok := AsError(err); ok {
+		return ae
+	}
+	return &Error{Code: classify(err), Index: -1, Question: -1, Err: err}
 }
 
 // MarshalJSON implements json.Marshaler with snake_case field names.
 func (b SweepBest) MarshalJSON() ([]byte, error) {
 	w := wireSweepBest{Top: b.Top, Pareto: b.Pareto, Summary: b.Summary,
-		Pruned: b.Pruned, Deduped: b.Deduped, Infeasible: b.Infeasible}
-	if b.FirstFailure != nil {
-		w.FirstFailure = b.FirstFailure.Error()
+		Pruned: b.Pruned, Deduped: b.Deduped, Infeasible: b.Infeasible,
+		FirstFailureCandidate: b.FirstFailureCandidate}
+	if fe := wireFirstFailure(b.FirstFailure); fe != nil {
+		data, err := json.Marshal(fe)
+		if err != nil {
+			return nil, fmt.Errorf("actuary: encoding sweep-best failure: %w", err)
+		}
+		w.FirstFailure = data
 	}
 	return json.Marshal(w)
 }
@@ -343,9 +377,19 @@ func (b *SweepBest) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("actuary: decoding sweep-best: %w", err)
 	}
 	*b = SweepBest{Top: w.Top, Pareto: w.Pareto, Summary: w.Summary,
-		Pruned: w.Pruned, Deduped: w.Deduped, Infeasible: w.Infeasible}
-	if w.FirstFailure != "" {
-		b.FirstFailure = errors.New(w.FirstFailure)
+		Pruned: w.Pruned, Deduped: w.Deduped, Infeasible: w.Infeasible,
+		FirstFailureCandidate: w.FirstFailureCandidate}
+	if len(w.FirstFailure) > 0 {
+		var legacy string
+		if err := json.Unmarshal(w.FirstFailure, &legacy); err == nil {
+			b.FirstFailure = errors.New(legacy)
+			return nil
+		}
+		fe := new(Error)
+		if err := fe.UnmarshalJSON(w.FirstFailure); err != nil {
+			return fmt.Errorf("actuary: decoding sweep-best failure: %w", err)
+		}
+		b.FirstFailure = fe
 	}
 	return nil
 }

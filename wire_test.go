@@ -244,10 +244,16 @@ func TestResultWireRoundTrip(t *testing.T) {
 			res.Err, back.Err = nil, nil
 		}
 		if res.SweepBest != nil && res.SweepBest.FirstFailure != nil {
+			// The failure crosses the wire in structured form: the
+			// cause message must survive even though the Go chain
+			// flattens, and the classified code rides along.
 			want := res.SweepBest.FirstFailure.Error()
-			if back.SweepBest == nil || back.SweepBest.FirstFailure == nil ||
-				back.SweepBest.FirstFailure.Error() != want {
-				t.Errorf("result %q sweep first-failure lost", res.ID)
+			if ae, ok := actuary.AsError(res.SweepBest.FirstFailure); ok {
+				want = ae.Err.Error()
+			}
+			be, ok := actuary.AsError(back.SweepBest.FirstFailure)
+			if !ok || be.Err.Error() != want {
+				t.Errorf("result %q sweep first-failure did not survive: %v", res.ID, back.SweepBest.FirstFailure)
 			}
 			res.SweepBest.FirstFailure, back.SweepBest.FirstFailure = nil, nil
 		}
@@ -347,5 +353,125 @@ func TestScenarioVocabularyMatchesWire(t *testing.T) {
 		if parsed, err := actuary.ParsePolicy(label); err != nil || parsed != p {
 			t.Errorf("policy wire label %q does not parse back: %v", label, err)
 		}
+	}
+}
+
+func TestRequestWireShardSpec(t *testing.T) {
+	grid := &actuary.SweepGrid{Name: "g", Nodes: []string{"7nm"},
+		Schemes: []actuary.Scheme{actuary.MCM}, AreasMM2: []float64{400},
+		Counts: []int{1, 2}, Quantities: []float64{2e6}}
+	req := actuary.Request{ID: "shard", Question: actuary.QuestionSweepBest,
+		Grid: grid, TopK: 3, ShardIndex: 2, ShardCount: 5}
+	var back actuary.Request
+	data, _ := reencode(t, req, &back)
+	if !reflect.DeepEqual(req, back) {
+		t.Errorf("sharded request did not round trip:\nwire: %s\n got: %+v", data, back)
+	}
+	for _, want := range []string{`"shard_index":2`, `"shard_count":5`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire form %s lacks %s", data, want)
+		}
+	}
+	// The unsharded request keeps the fields off the wire entirely.
+	req.ShardIndex, req.ShardCount = 0, 0
+	plain, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "shard_index") || strings.Contains(string(plain), "shard_count") {
+		t.Errorf("unsharded request leaks shard fields: %s", plain)
+	}
+}
+
+func TestShardSpecValidation(t *testing.T) {
+	grid := &actuary.SweepGrid{Name: "g", Nodes: []string{"7nm"},
+		Schemes: []actuary.Scheme{actuary.MCM}, AreasMM2: []float64{400},
+		Counts: []int{1, 2}, Quantities: []float64{2e6}}
+	s, err := actuary.NewSession(actuary.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []actuary.Request{
+		{Question: actuary.QuestionSweepBest, Grid: grid, ShardIndex: 2, ShardCount: 2},
+		{Question: actuary.QuestionSweepBest, Grid: grid, ShardIndex: -1, ShardCount: 2},
+		{Question: actuary.QuestionSweepBest, Grid: grid, ShardIndex: 1},
+		{Question: actuary.QuestionSweepBest, Grid: grid, ShardCount: -1},
+		// Only sweep-best accepts a shard spec at all.
+		{Question: actuary.QuestionRE, System: actuary.Monolithic("m", "7nm", 500, 1e6), ShardCount: 2},
+	}
+	for i, req := range bad {
+		res := s.Evaluate(t.Context(), []actuary.Request{req})[0]
+		if res.Err == nil {
+			t.Errorf("case %d: invalid shard spec accepted", i)
+			continue
+		}
+		if ae, ok := actuary.AsError(res.Err); !ok || ae.Code != actuary.ErrInvalidConfig {
+			t.Errorf("case %d: error %v, want invalid-config", i, res.Err)
+		}
+	}
+}
+
+// TestSweepBestFirstFailureSurvivesWire: an empty shard's FirstFailure
+// keeps its classified code across the wire, so a merged all-empty
+// sweep explains a typo'd node as unknown-node even when every shard
+// was answered by a remote daemon.
+func TestSweepBestFirstFailureSurvivesWire(t *testing.T) {
+	s, err := actuary.NewSession(actuary.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := &actuary.SweepGrid{Name: "typo", Nodes: []string{"not-a-node"},
+		Schemes: []actuary.Scheme{actuary.MCM}, AreasMM2: []float64{400},
+		Counts: []int{2}, Quantities: []float64{1e6}}
+	res := s.Evaluate(t.Context(), []actuary.Request{{
+		Question: actuary.QuestionSweepBest, Grid: grid, ShardIndex: 0, ShardCount: 2,
+	}})[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.SweepBest.FirstFailure == nil {
+		t.Fatal("empty shard kept no first failure")
+	}
+	var back actuary.SweepBest
+	data, err := json.Marshal(res.SweepBest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	fe, ok := actuary.AsError(back.FirstFailure)
+	if !ok || fe.Code != actuary.ErrUnknownNode {
+		t.Fatalf("decoded first failure = %v, want structured unknown-node", back.FirstFailure)
+	}
+	// The merge layer routes on that code: all shards empty ⇒ the
+	// merged error classifies unknown-node, exactly like a local chain.
+	merger := actuary.NewSweepBestMerger(1)
+	merger.Add(&back)
+	_, err = merger.Result(grid.Name)
+	if ae, ok := actuary.AsError(err); !ok || ae.Code != actuary.ErrUnknownNode {
+		t.Errorf("merged error = %v, want classified unknown-node", err)
+	}
+}
+
+func TestSweepBestLegacyFirstFailureDecodes(t *testing.T) {
+	// Earlier v1 encoders shipped first_failure as a bare message
+	// string; a newer reader must still decode it (to the same opaque
+	// error it always produced, without a code).
+	legacy := `{"top":[],"pareto":[],"summary":{"count":0,"min":0,"max":0,"sum":0},` +
+		`"infeasible":1,"first_failure":"tech: unknown node \"2nm\""}`
+	var b actuary.SweepBest
+	if err := json.Unmarshal([]byte(legacy), &b); err != nil {
+		t.Fatalf("legacy first_failure rejected: %v", err)
+	}
+	if b.FirstFailure == nil || !strings.Contains(b.FirstFailure.Error(), "unknown node") {
+		t.Errorf("legacy first_failure = %v", b.FirstFailure)
+	}
+	if _, ok := actuary.AsError(b.FirstFailure); ok {
+		t.Error("legacy string invented a structured error code")
+	}
+	// Garbage in the field is still rejected.
+	if err := json.Unmarshal([]byte(`{"top":[],"pareto":[],"summary":{"count":0,"min":0,"max":0,"sum":0},"first_failure":42}`), &b); err == nil {
+		t.Error("numeric first_failure accepted")
 	}
 }
