@@ -255,11 +255,23 @@ func (l local) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.
 }
 
 // Stream implements Backend: the scenario compiles locally and
-// streams through the session's worker pool.
+// streams through the session's worker pool. A scenario "resume"
+// field means the same thing it means on /v1/stream — index-ordered
+// delivery from the resume point, prefix regenerated but not
+// re-evaluated — so a consumer checkpointing a stream need not care
+// which backend serves it.
 func (l local) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	next, ordered, err := cfg.ResumeIndex()
+	if err != nil {
+		return nil, err
+	}
 	src, err := cfg.Source()
 	if err != nil {
 		return nil, err
 	}
-	return l.s.Stream(ctx, src)
+	var opts []actuary.StreamOption
+	if ordered {
+		opts = append(opts, actuary.StreamResumeAt(next), actuary.StreamOrdered())
+	}
+	return l.s.Stream(ctx, src, opts...)
 }

@@ -255,3 +255,59 @@ func TestQuestionsAndPing(t *testing.T) {
 		t.Errorf("dead-port error should classify transport: %v", err)
 	}
 }
+
+// TestStreamResumeParity checks that a scenario "resume" field means
+// the same thing on both backends: ordered delivery from the resume
+// point, indexes continuing where the original stream stopped, and
+// identical result sequences remote vs local.
+func TestStreamResumeParity(t *testing.T) {
+	remote, local := newBackends(t)
+	cfg := testScenario()
+	cfg.Resume = &actuary.StreamResume{NextIndex: 0}
+
+	ordered := func(b client.Backend, next int) []actuary.Result {
+		t.Helper()
+		cfg.Resume = &actuary.StreamResume{NextIndex: next}
+		ch, err := b.Stream(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []actuary.Result
+		for r := range ch {
+			if r.Err != nil {
+				t.Fatalf("result %q failed: %v", r.ID, r.Err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	fullRemote := ordered(remote, 0)
+	fullLocal := ordered(local, 0)
+	if len(fullRemote) != 6 || len(fullLocal) != 6 {
+		t.Fatalf("streams yield %d/%d results, want 6", len(fullRemote), len(fullLocal))
+	}
+	for i := range fullRemote {
+		if fullRemote[i].Index != i || fullLocal[i].Index != i {
+			t.Fatalf("position %d carries indexes %d (remote) / %d (local) — resumable streams must be ordered",
+				i, fullRemote[i].Index, fullLocal[i].Index)
+		}
+		if fullRemote[i].ID != fullLocal[i].ID {
+			t.Fatalf("position %d: remote %q != local %q", i, fullRemote[i].ID, fullLocal[i].ID)
+		}
+	}
+	for _, b := range []client.Backend{remote, local} {
+		tail := ordered(b, 4)
+		if len(tail) != 2 || tail[0].Index != 4 || tail[1].Index != 5 {
+			t.Fatalf("resume at 4 yields %d results starting at %v", len(tail), tail)
+		}
+		if tail[0].ID != fullLocal[4].ID || tail[1].ID != fullLocal[5].ID {
+			t.Fatalf("resumed tail %q/%q != original %q/%q",
+				tail[0].ID, tail[1].ID, fullLocal[4].ID, fullLocal[5].ID)
+		}
+	}
+	// Local rejects a negative resume index just like the server does.
+	cfg.Resume = &actuary.StreamResume{NextIndex: -3}
+	if _, err := local.Stream(context.Background(), cfg); err == nil {
+		t.Fatal("local backend accepted a negative resume index")
+	}
+}

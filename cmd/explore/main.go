@@ -28,10 +28,20 @@
 // summary, whatever the fan-out). -shards overrides the default of
 // one shard per backend; smaller shards reassign more cheaply when a
 // backend dies mid-sweep.
+//
+// With -checkpoint FILE the sweep is durable: progress is persisted
+// to FILE as the sweep runs (atomically — a crash or SIGKILL leaves a
+// valid checkpoint), an existing FILE auto-resumes instead of
+// starting over, and the resumed output is byte-identical to an
+// uninterrupted run. FILE is removed when the sweep completes. Local
+// sweeps checkpoint the walk cursor every -checkpoint-every grid
+// candidates; distributed sweeps (-backends) checkpoint per drained
+// shard and re-dispatch only the missing shards on resume.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -78,24 +88,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	topN := fs.Int("top", 5, "sweep: how many cheapest points to print")
 	backends := fs.String("backends", "", "sweep: comma-separated evaluation backends (actuaryd URLs, or \"local\" for in-process); empty evaluates in-process")
 	shards := fs.Int("shards", 0, "sweep: how many shards to split the grid into (default: one per backend)")
+	checkpoint := fs.String("checkpoint", "", "sweep: checkpoint file — written during the sweep, auto-resumed when present, removed on success")
+	checkpointEvery := fs.Int("checkpoint-every", 2000, "sweep: grid candidates between checkpoint writes (local sweeps; distributed runs checkpoint per shard)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *mode == "sweep" {
+		// -checkpoint-every tunes a checkpointed run; without
+		// -checkpoint it would silently configure durability that does
+		// not exist — the same class of mistake the non-sweep flag
+		// rejection below catches.
+		if set["checkpoint-every"] && *checkpoint == "" {
+			return fmt.Errorf("-checkpoint-every requires -checkpoint")
+		}
 		return runSweep(ctx, out, sweepFlags{
 			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
 			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
 			quantity: *quantity, d2d: *d2dFrac, top: *topN,
 			backends: *backends, shards: *shards,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 		})
 	}
 	// The grid flags mean nothing outside sweep mode; reject them
 	// (including an explicitly set -top, whose default would otherwise
 	// hide the mistake) instead of silently ignoring them.
-	set := make(map[string]bool)
-	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "shards"} {
+	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "shards", "checkpoint", "checkpoint-every"} {
 		if set[name] {
 			return fmt.Errorf("-%s requires -mode sweep", name)
 		}
@@ -201,6 +221,8 @@ type sweepFlags struct {
 	top             int
 	backends        string
 	shards          int
+	checkpoint      string
+	checkpointEvery int
 }
 
 // splitList parses a comma-separated flag value.
@@ -298,27 +320,73 @@ func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
 	cfg := actuary.ScenarioConfig{Name: "explore", Questions: []string{"sweep-best"},
 		Sweeps: []actuary.SweepConfig{sc}}
 	var b *actuary.SweepBest
-	if f.backends != "" {
-		var err error
-		if b, err = runDistributed(ctx, f, cfg); err != nil {
+	var err error
+	switch {
+	case f.backends != "":
+		b, err = runDistributed(ctx, f, cfg)
+	case f.checkpoint != "":
+		b, err = runCheckpointed(ctx, f, cfg)
+	default:
+		var reqs []actuary.Request
+		if reqs, err = cfg.Requests(); err != nil {
 			return err
 		}
-	} else {
-		reqs, err := cfg.Requests()
-		if err != nil {
-			return err
-		}
-		s, err := actuary.NewSession()
-		if err != nil {
+		var s *actuary.Session
+		if s, err = actuary.NewSession(); err != nil {
 			return err
 		}
 		res := s.Evaluate(ctx, reqs)[0]
-		if res.Err != nil {
-			return res.Err
-		}
-		b = res.SweepBest
+		b, err = res.SweepBest, res.Err
 	}
-	return printSweepBest(out, b)
+	if err != nil {
+		return err
+	}
+	if err := printSweepBest(out, b); err != nil {
+		return err
+	}
+	if f.checkpoint != "" {
+		// Remove only after the answer is safely out: a kill (or a
+		// broken pipe) between computing and printing must leave the
+		// checkpoint behind, so the re-run resumes from the last
+		// snapshot instead of re-walking the whole sweep. A stale file
+		// would otherwise make the next run of a different sweep fail
+		// its fingerprint check.
+		if err := os.Remove(f.checkpoint); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("removing completed checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// runCheckpointed evaluates the compiled sweep-best request in
+// process with a durable walk: the checkpoint file is written (tmp +
+// rename, SIGKILL-safe) every -checkpoint-every candidates, and an
+// existing file resumes the walk from its cursor instead of starting
+// over. The resumed output is byte-identical to an uninterrupted run
+// — the kill-and-resume CI harness diffs exactly that.
+func runCheckpointed(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+	reqs, err := cfg.Requests()
+	if err != nil {
+		return nil, err
+	}
+	req := reqs[0]
+	var resume *actuary.SweepCheckpoint
+	switch cp, err := actuary.LoadSweepCheckpointFile(f.checkpoint); {
+	case err == nil:
+		resume = cp
+		fmt.Fprintf(os.Stderr, "explore: resuming from checkpoint %s (candidate %d, %d feasible points so far)\n",
+			f.checkpoint, cp.Cursor.Candidate, cp.Summary.Count)
+	case !errors.Is(err, os.ErrNotExist):
+		return nil, err
+	}
+	s, err := actuary.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return s.SweepBestCheckpointed(ctx, req, resume, f.checkpointEvery,
+		func(cp *actuary.SweepCheckpoint) error {
+			return actuary.SaveCheckpointFile(f.checkpoint, cp)
+		})
 }
 
 // runDistributed fans the compiled sweep-best scenario across the
@@ -350,7 +418,25 @@ func runDistributed(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfi
 	if err != nil {
 		return nil, err
 	}
-	return coord.SweepBestScenario(ctx, cfg)
+	if f.checkpoint == "" {
+		return coord.SweepBestScenario(ctx, cfg)
+	}
+	// Durable distributed run: progress is recorded shard by shard, and
+	// an existing checkpoint pre-merges the drained shards so only the
+	// missing ones are re-dispatched.
+	var resume *actuary.CoordinatorCheckpoint
+	switch cp, err := actuary.LoadCoordinatorCheckpointFile(f.checkpoint); {
+	case err == nil:
+		resume = cp
+		fmt.Fprintf(os.Stderr, "explore: resuming from checkpoint %s (%d of %d shards drained)\n",
+			f.checkpoint, len(cp.Completed), cp.Shards)
+	case !errors.Is(err, os.ErrNotExist):
+		return nil, err
+	}
+	return coord.SweepBestScenarioCheckpointed(ctx, cfg, resume,
+		func(cp *actuary.CoordinatorCheckpoint) error {
+			return actuary.SaveCheckpointFile(f.checkpoint, cp)
+		})
 }
 
 // printSweepBest renders a sweep-best answer — local or merged from

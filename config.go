@@ -192,6 +192,25 @@ type ScenarioConfig struct {
 	// distribute coordinator fans one scenario across daemons.
 	ShardIndex int `json:"shard_index,omitempty"`
 	ShardCount int `json:"shard_count,omitempty"`
+	// Resume requests resumable delivery: results are emitted in
+	// source-index order (instead of completion order) starting at
+	// Resume.NextIndex, with the skipped prefix regenerated but never
+	// re-evaluated. POST /v1/stream honors it — an interrupted NDJSON
+	// response continues, byte-identical, from the last line the client
+	// durably received — and client.Local mirrors the semantics
+	// in-process. A fresh stream that wants to be resumable later asks
+	// for {"next_index": 0} up front, so every line's position is
+	// meaningful. Resume is delivery configuration, not workload: it
+	// stays out of Fingerprint, and Source() ignores it.
+	Resume *StreamResume `json:"resume,omitempty"`
+}
+
+// StreamResume is the resume point of a scenario stream request.
+type StreamResume struct {
+	// NextIndex is the stream index of the first result to deliver —
+	// the count of results already durably received (NDJSON lines, or
+	// StreamCheckpoint.Next).
+	NextIndex int `json:"next_index"`
 }
 
 // SweepConfig declares a grid of equal-partition design points: every
@@ -306,6 +325,41 @@ func ParsePolicy(name string) (AmortizationPolicy, error) {
 		return 0, fmt.Errorf("actuary: unknown policy %q (want per-system-unit or per-instance)", name)
 	}
 	return p, nil
+}
+
+// ResumeIndex returns the validated resume point of the scenario and
+// whether resumable (index-ordered) delivery was requested; scenarios
+// without a Resume field stream in completion order from index 0.
+// Both delivery paths — the server's /v1/stream handler and the
+// in-process client.Local backend — route through this one method, so
+// a scenario means the same thing whichever backend streams it.
+func (c ScenarioConfig) ResumeIndex() (int, bool, error) {
+	if c.Resume == nil {
+		return 0, false, nil
+	}
+	if c.Resume.NextIndex < 0 {
+		return 0, false, fmt.Errorf("actuary: scenario %q resumes at negative index %d", c.Name, c.Resume.NextIndex)
+	}
+	return c.Resume.NextIndex, true, nil
+}
+
+// Fingerprint returns the stable identity of the scenario workload: a
+// hash over the canonical scenario JSON with delivery configuration
+// (Resume) stripped and the schema version normalized — 0 (unset) and
+// 2 declare the same schema, and 1 is the v1 provenance marker
+// client.Stream already rewrites — so the original run and every
+// resumption of it agree on the fingerprint a StreamCheckpoint
+// carries, however the version field was spelled.
+func (c ScenarioConfig) Fingerprint() (string, error) {
+	c.Resume = nil
+	if c.Version == 0 || c.Version == 1 {
+		c.Version = 2
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("actuary: fingerprinting scenario %q: %w", c.Name, err)
+	}
+	return fingerprintHex(data), nil
 }
 
 // Source compiles the scenario into a lazy RequestSource for

@@ -19,6 +19,12 @@
 // across a heterogeneous fleet, last-ulp cost differences can resolve
 // an exact tie differently.
 //
+// Long runs can be made durable: SweepBestCheckpointed snapshots the
+// per-shard progress (a CoordinatorCheckpoint) every time a shard
+// drains, and a coordinator restarted with that checkpoint merges the
+// recorded answers and re-dispatches only the undrained shards — the
+// shard spec is the checkpoint unit.
+//
 //	backends := []client.Backend{client.Local(session), remoteA, remoteB}
 //	coord, err := distribute.New(backends)
 //	best, err := coord.SweepBest(ctx, actuary.Request{
@@ -30,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"chipletactuary"
@@ -94,10 +101,17 @@ type scheduler struct {
 	stop    func() // invoked once when failed is set; cancels in-flight work
 }
 
-func newScheduler(total int) *scheduler {
+// newScheduler builds the shard queue, skipping shards a resumed run
+// already drained: those count as done from the start and are never
+// handed to a backend.
+func newScheduler(total int, drained func(int) bool) *scheduler {
 	s := &scheduler{total: total}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < total; i++ {
+		if drained != nil && drained(i) {
+			s.done++
+			continue
+		}
 		s.pending = append(s.pending, &shardTask{index: i, tried: nil})
 	}
 	return s
@@ -208,6 +222,27 @@ func (s *scheduler) err() error {
 // failures (bad grid, unknown node) abort the run immediately — they
 // are deterministic, and every backend would reproduce them.
 func (c *Coordinator) SweepBest(ctx context.Context, req actuary.Request) (*actuary.SweepBest, error) {
+	return c.SweepBestCheckpointed(ctx, req, nil, nil)
+}
+
+// SweepBestCheckpointed is SweepBest with per-shard durability: every
+// time a shard drains, the run's progress — which shards completed,
+// with their answers — is snapshotted into a CoordinatorCheckpoint
+// and handed to save (persist it with actuary.SaveCheckpointFile). A
+// coordinator that dies mid-run restarts with the last saved
+// checkpoint as resume: the recorded answers merge immediately and
+// only the undrained shards are re-dispatched, so completed work —
+// possibly hours of it, spread over many hosts — is never re-walked.
+// The shard spec is the checkpoint unit, which is also what makes the
+// resumed answer exact: shard answers merge identically whether they
+// came off a backend or out of a file.
+//
+// resume must carry this workload's fingerprint (SweepFingerprint of
+// the request) and this coordinator's shard count; a mismatch is
+// rejected rather than silently merging two different sweeps. Save
+// calls are serialized and receive a snapshot that does not alias the
+// run's state; a save error aborts the run.
+func (c *Coordinator) SweepBestCheckpointed(ctx context.Context, req actuary.Request, resume *actuary.CoordinatorCheckpoint, save func(*actuary.CoordinatorCheckpoint) error) (*actuary.SweepBest, error) {
 	if req.Question == 0 {
 		req.Question = actuary.QuestionSweepBest
 	}
@@ -229,15 +264,57 @@ func (c *Coordinator) SweepBest(ctx context.Context, req actuary.Request) (*actu
 	}
 
 	n := c.shards
+	fingerprint := ""
+	if resume != nil || save != nil {
+		var err error
+		if fingerprint, err = actuary.SweepFingerprint(req); err != nil {
+			return nil, err
+		}
+	}
 	merger := actuary.NewSweepBestMerger(req.TopK)
+	drained := make(map[int]*actuary.SweepBest)
+	if resume != nil {
+		if resume.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("distribute: %w: checkpoint fingerprint %.12s does not match sweep grid %q (%.12s)",
+				actuary.ErrCheckpointMismatch, resume.Fingerprint, req.Grid.Name, fingerprint)
+		}
+		if resume.Shards != n {
+			return nil, fmt.Errorf("distribute: %w: checkpoint partitioned the sweep into %d shards, this coordinator into %d",
+				actuary.ErrCheckpointMismatch, resume.Shards, n)
+		}
+		// Re-validate what the wire decoder would have: an in-memory
+		// checkpoint handed straight to this method never passed
+		// through UnmarshalJSON, and a duplicate or absurd entry
+		// silently double-merged would corrupt the answer.
+		if err := resume.Validate(); err != nil {
+			return nil, fmt.Errorf("distribute: %w: %w", actuary.ErrCheckpointMismatch, err)
+		}
+		for _, sr := range resume.Completed {
+			drained[sr.Shard] = sr.Best
+			merger.Add(sr.Best)
+		}
+	}
 	var mergeMu sync.Mutex
+	// checkpoint snapshots the run's progress under mergeMu.
+	checkpoint := func() *actuary.CoordinatorCheckpoint {
+		cp := &actuary.CoordinatorCheckpoint{Fingerprint: fingerprint, Shards: n}
+		shards := make([]int, 0, len(drained))
+		for i := range drained {
+			shards = append(shards, i)
+		}
+		sort.Ints(shards)
+		for _, i := range shards {
+			cp.Completed = append(cp.Completed, actuary.ShardResult{Shard: i, Best: drained[i]})
+		}
+		return cp
+	}
 
 	// A fatal failure cancels runCtx so in-flight shard walks on the
 	// other backends stop at their next cancellation check instead of
 	// computing answers nobody will merge.
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
-	sched := newScheduler(n)
+	sched := newScheduler(n, func(i int) bool { _, ok := drained[i]; return ok })
 	sched.stop = cancelRun
 
 	var wg sync.WaitGroup
@@ -255,7 +332,16 @@ func (c *Coordinator) SweepBest(ctx context.Context, req actuary.Request) (*actu
 				case err == nil:
 					mergeMu.Lock()
 					merger.Add(best)
+					drained[task.index] = best
+					var saveErr error
+					if save != nil {
+						saveErr = save(checkpoint())
+					}
 					mergeMu.Unlock()
+					if saveErr != nil {
+						sched.fail(fmt.Errorf("distribute: saving coordinator checkpoint: %w", saveErr))
+						return
+					}
 					sched.complete()
 				case retryable(err):
 					sched.requeue(task, b, len(c.backends), err)
@@ -337,6 +423,14 @@ func retryable(err error) bool {
 // compile to exactly one request, a sweep-best (one sweep, the
 // "sweep-best" question, no explicit systems).
 func (c *Coordinator) SweepBestScenario(ctx context.Context, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+	return c.SweepBestScenarioCheckpointed(ctx, cfg, nil, nil)
+}
+
+// SweepBestScenarioCheckpointed is SweepBestScenario with the
+// per-shard durability of SweepBestCheckpointed — the scenario-file
+// face of a resumable distributed run, used by cmd/explore when
+// -backends and -checkpoint are combined.
+func (c *Coordinator) SweepBestScenarioCheckpointed(ctx context.Context, cfg actuary.ScenarioConfig, resume *actuary.CoordinatorCheckpoint, save func(*actuary.CoordinatorCheckpoint) error) (*actuary.SweepBest, error) {
 	if cfg.ShardIndex != 0 || cfg.ShardCount != 0 {
 		return nil, fmt.Errorf("distribute: scenario already carries shard %d of %d; the coordinator assigns shards",
 			cfg.ShardIndex, cfg.ShardCount)
@@ -349,5 +443,5 @@ func (c *Coordinator) SweepBestScenario(ctx context.Context, cfg actuary.Scenari
 		return nil, fmt.Errorf("distribute: scenario %q compiles to %d requests; SweepBestScenario wants exactly one sweep-best",
 			cfg.Name, len(reqs))
 	}
-	return c.SweepBest(ctx, reqs[0])
+	return c.SweepBestCheckpointed(ctx, reqs[0], resume, save)
 }

@@ -2,6 +2,7 @@ package distribute
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -497,4 +498,191 @@ func TestCoordinatorPartialFailureFirstFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertSameBest(t, got, want)
+}
+
+// shardCountingBackend wraps a Backend and counts evaluations per
+// shard index, so resume tests can prove drained shards are never
+// re-dispatched.
+type shardCountingBackend struct {
+	inner client.Backend
+	mu    sync.Mutex
+	calls map[int]int
+}
+
+func newShardCounting(inner client.Backend) *shardCountingBackend {
+	return &shardCountingBackend{inner: inner, calls: make(map[int]int)}
+}
+
+func (b *shardCountingBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	b.mu.Lock()
+	for _, r := range reqs {
+		b.calls[r.ShardIndex]++
+	}
+	b.mu.Unlock()
+	return b.inner.Evaluate(ctx, reqs)
+}
+
+func (b *shardCountingBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return b.inner.Stream(ctx, cfg)
+}
+
+func (b *shardCountingBackend) shardCalls() map[int]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int]int, len(b.calls))
+	for k, v := range b.calls {
+		out[k] = v
+	}
+	return out
+}
+
+// TestCoordinatorCheckpointResume is the coordinator acceptance test:
+// a run interrupted after some shards drained and restarted from its
+// checkpoint re-dispatches only the undrained shards and still merges
+// the exact single-process answer. The checkpoint takes the same
+// wire round trip a real restart would.
+func TestCoordinatorCheckpointResume(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 4}
+	want := singleProcessBest(t, req)
+	const shards = 6
+
+	// First run: abort (via context cancel) once half the shards have
+	// checkpointed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coord, err := New([]client.Backend{client.Local(newSession(t))}, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *actuary.CoordinatorCheckpoint
+	_, err = coord.SweepBestCheckpointed(ctx, req, nil, func(cp *actuary.CoordinatorCheckpoint) error {
+		data, err := json.Marshal(cp)
+		if err != nil {
+			return err
+		}
+		back := new(actuary.CoordinatorCheckpoint)
+		if err := json.Unmarshal(data, back); err != nil {
+			return err
+		}
+		last = back
+		if len(back.Completed) == shards/2 {
+			cancel() // the "kill"
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("interrupted run should fail with the cancellation")
+	}
+	if last == nil || len(last.Completed) < shards/2 {
+		t.Fatalf("no usable checkpoint before the interruption: %+v", last)
+	}
+	if len(last.Completed) == shards {
+		t.Fatal("every shard drained before the cancel — the resume proves nothing")
+	}
+
+	// Second run: a fresh coordinator (fresh session — a restarted
+	// process) resumes from the checkpoint.
+	backend := newShardCounting(client.Local(newSession(t)))
+	coord2, err := New([]client.Backend{backend}, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final *actuary.CoordinatorCheckpoint
+	got, err := coord2.SweepBestCheckpointed(context.Background(), req, last,
+		func(cp *actuary.CoordinatorCheckpoint) error { final = cp; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBest(t, got, want)
+	calls := backend.shardCalls()
+	for _, sr := range last.Completed {
+		if calls[sr.Shard] != 0 {
+			t.Errorf("drained shard %d was re-dispatched %d times", sr.Shard, calls[sr.Shard])
+		}
+	}
+	total := 0
+	for _, c := range calls {
+		total += c
+	}
+	if total != shards-len(last.Completed) {
+		t.Errorf("resumed run evaluated %d shards, want %d", total, shards-len(last.Completed))
+	}
+	if final == nil || len(final.Completed) != shards {
+		t.Errorf("final checkpoint records %d shards, want all %d", len(final.Completed), shards)
+	}
+}
+
+// TestCoordinatorCheckpointRejects covers the coordinator resume
+// guard rails: wrong fingerprint, wrong shard count, out-of-range
+// recorded shards.
+func TestCoordinatorCheckpointRejects(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 4}
+	fp, err := actuary.SweepFingerprint(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New([]client.Backend{client.Local(newSession(t))}, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cases := map[string]*actuary.CoordinatorCheckpoint{
+		"wrong fingerprint": {Fingerprint: "deadbeef", Shards: 3},
+		"wrong shard count": {Fingerprint: fp, Shards: 4},
+		"shard out of range": {Fingerprint: fp, Shards: 3,
+			Completed: []actuary.ShardResult{{Shard: 7, Best: &actuary.SweepBest{}}}},
+	}
+	for name, cp := range cases {
+		if _, err := coord.SweepBestCheckpointed(ctx, req, cp, nil); !errors.Is(err, actuary.ErrCheckpointMismatch) {
+			t.Errorf("%s: %v, want ErrCheckpointMismatch", name, err)
+		}
+	}
+	// And a complete checkpoint needs no backend at all: resuming it
+	// just merges.
+	var final *actuary.CoordinatorCheckpoint
+	got, err := coord.SweepBestCheckpointed(ctx, req, nil,
+		func(cp *actuary.CoordinatorCheckpoint) error { final = cp; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := New([]client.Backend{&flakyBackend{inner: nil, okCalls: 0}}, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := broken.SweepBestCheckpointed(ctx, req, final, nil)
+	if err != nil {
+		t.Fatalf("resume of a complete checkpoint touched a backend: %v", err)
+	}
+	assertSameBest(t, resumed, got)
+}
+
+// TestCoordinatorCheckpointRejectsInMemoryCorruption checks that the
+// resume path re-validates what the wire decoder would have: an
+// in-memory checkpoint (never JSON round-tripped) with negative,
+// duplicate or answerless shard entries is rejected, not merged.
+func TestCoordinatorCheckpointRejectsInMemoryCorruption(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 2}
+	fp, err := actuary.SweepFingerprint(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New([]client.Backend{client.Local(newSession(t))}, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &actuary.SweepBest{}
+	cases := map[string][]actuary.ShardResult{
+		"negative shard":  {{Shard: -1, Best: empty}},
+		"duplicate shard": {{Shard: 1, Best: empty}, {Shard: 1, Best: empty}},
+		"missing answer":  {{Shard: 0, Best: nil}},
+	}
+	for name, completed := range cases {
+		cp := &actuary.CoordinatorCheckpoint{Fingerprint: fp, Shards: 3, Completed: completed}
+		if _, err := coord.SweepBestCheckpointed(context.Background(), req, cp, nil); !errors.Is(err, actuary.ErrCheckpointMismatch) {
+			t.Errorf("%s: %v, want ErrCheckpointMismatch", name, err)
+		}
+	}
 }

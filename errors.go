@@ -16,6 +16,14 @@ import (
 // not the production plan, is at fault.
 var ErrDoesNotFitWafer = cost.ErrDoesNotFitWafer
 
+// ErrCheckpointMismatch is the sentinel wrapped by resume paths when
+// a checkpoint cannot seed the workload it was offered for: a
+// fingerprint from a different grid or policy, a cursor outside the
+// grid, aggregator state no live run could have produced. It
+// classifies as ErrInvalidConfig — fix the checkpoint file or the
+// request, retrying changes nothing.
+var ErrCheckpointMismatch = errors.New("checkpoint does not match this sweep")
+
 // ErrorCode classifies why one request of a batch failed. The
 // taxonomy lets callers route failures without parsing messages:
 // retry nothing on ErrInvalidConfig, fix the technology database on

@@ -1,6 +1,9 @@
 package sweep
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // TopK is an online selector keeping the k lowest-cost items seen, in
 // O(k) memory: a bounded max-heap where the most expensive retained
@@ -97,6 +100,46 @@ func (t *TopK[T]) Merge(o *TopK[T]) {
 
 // Seen returns how many items have been observed.
 func (t *TopK[T]) Seen() int { return t.seen }
+
+// TopKState is the serializable snapshot of a TopK selector: the
+// retention bound, the observation count, and the retained items in
+// Sorted order — a canonical form, so equal selectors snapshot to
+// equal states whatever their internal heap layout.
+type TopKState[T any] struct {
+	K     int `json:"k"`
+	Seen  int `json:"seen"`
+	Items []T `json:"items,omitempty"`
+}
+
+// State snapshots the selector; the selector remains usable and the
+// snapshot does not alias its heap.
+func (t *TopK[T]) State() TopKState[T] {
+	return TopKState[T]{K: t.k, Seen: t.seen, Items: t.Sorted()}
+}
+
+// SetState restores a snapshot into this selector, replacing whatever
+// it held. The selector must have been built with the same cost and
+// tie-break functions as the snapshotted one; the restored selector
+// then continues exactly where the snapshot stood. Inconsistent
+// states (decoded from a corrupt checkpoint, say) are rejected.
+func (t *TopK[T]) SetState(s TopKState[T]) error {
+	if s.K < 1 {
+		return fmt.Errorf("sweep: top-k state has bound %d < 1", s.K)
+	}
+	if len(s.Items) > s.K {
+		return fmt.Errorf("sweep: top-k state retains %d items over its bound %d", len(s.Items), s.K)
+	}
+	if s.Seen < len(s.Items) {
+		return fmt.Errorf("sweep: top-k state saw %d items but retains %d", s.Seen, len(s.Items))
+	}
+	t.k = s.K
+	t.heap = t.heap[:0]
+	for _, x := range s.Items {
+		t.offer(t.entry(x))
+	}
+	t.seen = s.Seen
+	return nil
+}
 
 // Len returns how many items are currently retained (≤ k).
 func (t *TopK[T]) Len() int { return len(t.heap) }
@@ -230,6 +273,43 @@ func (p *Pareto[T]) Merge(o *Pareto[T]) {
 
 // Seen returns how many items have been observed.
 func (p *Pareto[T]) Seen() int { return p.seen }
+
+// ParetoState is the serializable snapshot of a Pareto front: the
+// observation count and the non-dominated set ascending in the first
+// objective — the canonical Front order.
+type ParetoState[T any] struct {
+	Seen  int `json:"seen"`
+	Front []T `json:"front,omitempty"`
+}
+
+// State snapshots the front; the front remains usable and the
+// snapshot does not alias its storage.
+func (p *Pareto[T]) State() ParetoState[T] {
+	return ParetoState[T]{Seen: p.seen, Front: p.Front()}
+}
+
+// SetState restores a snapshot into this front, replacing whatever it
+// held. The front must have been built with the same objective and
+// tie-break functions as the snapshotted one. Items that dominate each
+// other cannot both sit on a real front, so re-observing the snapshot
+// silently discards any dominated entries a corrupted state smuggled
+// in; the seen counter is validated against the restored front size.
+// On error the receiver is unchanged, like TopK.SetState.
+func (p *Pareto[T]) SetState(s ParetoState[T]) error {
+	// Rebuild into a scratch front first: validation needs the
+	// re-pruned size, and a rejected state must not corrupt a live
+	// aggregator.
+	fresh := Pareto[T]{objectives: p.objectives, key: p.key}
+	for _, x := range s.Front {
+		fresh.observe(x)
+	}
+	if s.Seen < len(fresh.front) {
+		return fmt.Errorf("sweep: pareto state saw %d items but fronts %d", s.Seen, len(fresh.front))
+	}
+	p.front = fresh.front
+	p.seen = s.Seen
+	return nil
+}
 
 // Front returns the current non-dominated set, ascending in the first
 // objective. The aggregator remains usable afterwards.

@@ -336,3 +336,108 @@ func TestSummaryTieBreakAndMerge(t *testing.T) {
 		t.Fatalf("merged summary %+v != whole %+v", merged, whole)
 	}
 }
+
+// TestTopKStateRoundTrip: State/SetState reproduces the selector —
+// same retained set, same Seen — and continuing both selectors with
+// the same tail keeps them identical.
+func TestTopKStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cost := func(s scored) float64 { return s.cost }
+	key := func(s scored) string { return s.id }
+	orig := NewTopK(4, cost).TieBreak(key)
+	items := make([]scored, 40)
+	for i := range items {
+		items[i] = scored{id: fmt.Sprintf("p%02d", i), cost: float64(rng.Intn(10))}
+	}
+	for _, it := range items[:25] {
+		orig.Observe(it)
+	}
+	restored := NewTopK(4, cost).TieBreak(key)
+	if err := restored.SetState(orig.State()); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for _, it := range items[25:] {
+		orig.Observe(it)
+		restored.Observe(it)
+	}
+	if orig.Seen() != restored.Seen() {
+		t.Fatalf("seen %d != %d", restored.Seen(), orig.Seen())
+	}
+	a, b := orig.Sorted(), restored.Sorted()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("restored selector diverged: %v != %v", b, a)
+	}
+}
+
+// TestTopKSetStateRejectsCorrupt covers the state guard rails.
+func TestTopKSetStateRejectsCorrupt(t *testing.T) {
+	cost := func(s scored) float64 { return s.cost }
+	fresh := func() *TopK[scored] { return NewTopK(2, cost).TieBreak(func(s scored) string { return s.id }) }
+	cases := []TopKState[scored]{
+		{K: 0},
+		{K: 2, Seen: 3, Items: []scored{{id: "a"}, {id: "b"}, {id: "c"}}},
+		{K: 2, Seen: 1, Items: []scored{{id: "a"}, {id: "b"}}},
+	}
+	for _, st := range cases {
+		if err := fresh().SetState(st); err == nil {
+			t.Fatalf("SetState(%+v) should fail", st)
+		}
+	}
+}
+
+// TestParetoStateRoundTrip mirrors the TopK round trip for fronts,
+// and checks that a dominated entry smuggled into a state is dropped.
+func TestParetoStateRoundTrip(t *testing.T) {
+	obj := func(p biObj) (float64, float64) { return p.x, p.y }
+	key := func(p biObj) string { return p.id }
+	orig := NewPareto(obj).TieBreak(key)
+	rng := rand.New(rand.NewSource(22))
+	var pts []biObj
+	for i := 0; i < 30; i++ {
+		pts = append(pts, biObj{id: fmt.Sprintf("p%02d", i), x: float64(rng.Intn(8)), y: float64(rng.Intn(8))})
+	}
+	for _, p := range pts[:20] {
+		orig.Observe(p)
+	}
+	restored := NewPareto(obj).TieBreak(key)
+	if err := restored.SetState(orig.State()); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for _, p := range pts[20:] {
+		orig.Observe(p)
+		restored.Observe(p)
+	}
+	if orig.Seen() != restored.Seen() {
+		t.Fatalf("seen %d != %d", restored.Seen(), orig.Seen())
+	}
+	if fmt.Sprint(orig.Front()) != fmt.Sprint(restored.Front()) {
+		t.Fatalf("restored front diverged: %v != %v", restored.Front(), orig.Front())
+	}
+
+	bad := ParetoState[biObj]{Seen: 2, Front: []biObj{{id: "a", x: 1, y: 1}, {id: "b", x: 2, y: 2}}}
+	p := NewPareto(obj).TieBreak(key)
+	if err := p.SetState(bad); err != nil {
+		t.Fatalf("SetState with dominated entry: %v", err)
+	}
+	if len(p.Front()) != 1 {
+		t.Fatalf("dominated entry survived restore: %v", p.Front())
+	}
+	if err := p.SetState(ParetoState[biObj]{Seen: 0, Front: bad.Front}); err == nil {
+		t.Fatal("seen below front size should be rejected")
+	}
+}
+
+// TestParetoSetStateLeavesReceiverOnError pins the TopK-matching
+// guarantee: a rejected state must not touch a live front.
+func TestParetoSetStateLeavesReceiverOnError(t *testing.T) {
+	obj := func(p biObj) (float64, float64) { return p.x, p.y }
+	p := NewPareto(obj).TieBreak(func(p biObj) string { return p.id })
+	p.Observe(biObj{id: "keep", x: 1, y: 1})
+	bad := ParetoState[biObj]{Seen: 0, Front: []biObj{{id: "bogus", x: 2, y: 0}}}
+	if err := p.SetState(bad); err == nil {
+		t.Fatal("inconsistent state should be rejected")
+	}
+	if front := p.Front(); len(front) != 1 || front[0].id != "keep" || p.Seen() != 1 {
+		t.Fatalf("rejected SetState mutated the front: %v seen %d", front, p.Seen())
+	}
+}

@@ -53,6 +53,53 @@ func (g *Grid) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// wireStats is the canonical JSON shape of generator accounting.
+type wireStats struct {
+	Generated int `json:"generated"`
+	Pruned    int `json:"pruned,omitempty"`
+	Deduped   int `json:"deduped,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireStats(s))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var w wireStats
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("sweep: decoding stats: %w", err)
+	}
+	*s = Stats(w)
+	return nil
+}
+
+// wireCursor is the canonical JSON shape of a generator cursor — the
+// resume point a checkpoint persists across process and host
+// boundaries.
+type wireCursor struct {
+	Candidate int   `json:"candidate"`
+	Stats     Stats `json:"stats"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c Cursor) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireCursor(c))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+// Semantic validation (bounds against a concrete grid) happens in
+// Generator.Restore, which knows the grid.
+func (c *Cursor) UnmarshalJSON(data []byte) error {
+	var w wireCursor
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("sweep: decoding cursor: %w", err)
+	}
+	*c = Cursor(w)
+	return nil
+}
+
 // wireSummary is the canonical JSON shape of an online sweep summary.
 type wireSummary struct {
 	Count int     `json:"count"`

@@ -278,6 +278,39 @@ func (o *Odometer) advance() {
 	o.done = true
 }
 
+// size returns the cross-product cardinality (0 when any axis is
+// empty).
+func (o *Odometer) size() int {
+	n := 1
+	for _, l := range o.lens {
+		if l <= 0 {
+			return 0
+		}
+		n *= l
+	}
+	return n
+}
+
+// Seek positions the odometer at the n-th tuple of the cross product
+// (0-based, odometer order) in O(axes) by mixed-radix decomposition —
+// the restore path of a checkpointed walk never replays the skipped
+// prefix. n at or past the end exhausts the odometer; negative n
+// panics (validate cursors at the API boundary, not here).
+func (o *Odometer) Seek(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("sweep: seek to negative position %d", n))
+	}
+	if n >= o.size() {
+		o.done = true
+		return
+	}
+	o.done = false
+	for i := len(o.lens) - 1; i >= 0; i-- {
+		o.idx[i] = n % o.lens[i]
+		n /= o.lens[i]
+	}
+}
+
 // Generator lazily walks a grid's cross product, skipping pruned
 // points. It is a single-consumer pull iterator: call Next until the
 // second return is false. A Generator is not safe for concurrent use;
@@ -413,6 +446,47 @@ func (it *Generator) Next() (Point, bool) {
 // the shard spec, so positions compare across shards (the merge layer
 // uses it to find the globally first failing point).
 func (it *Generator) LastCandidate() int { return it.lastCand }
+
+// Cursor is the serializable resume point of a generator walk: the
+// next candidate to examine (odometer order, shard-independent
+// numbering) plus the accounting accumulated so far. A walk restored
+// from a cursor continues exactly where the snapshotted one stood —
+// same points, same order, same final Stats — which is what makes a
+// checkpointed sweep's output byte-identical to an uninterrupted run.
+type Cursor struct {
+	// Candidate is the odometer position of the next candidate.
+	Candidate int
+	// Stats is the generator's accounting up to Candidate.
+	Stats Stats
+}
+
+// Cursor snapshots the walk between two Next calls.
+func (it *Generator) Cursor() Cursor {
+	return Cursor{Candidate: it.cand, Stats: it.stats}
+}
+
+// Restore fast-forwards a fresh generator to a cursor taken from an
+// equivalent walk (same grid, filters and shard spec) without
+// replaying the skipped prefix: the odometer seeks directly and the
+// stats are adopted wholesale. It must be called before the first
+// Next and returns the generator for chaining.
+func (it *Generator) Restore(cur Cursor) (*Generator, error) {
+	if it.cand != 0 || it.stats != (Stats{}) {
+		return nil, fmt.Errorf("sweep: restore after Next on grid %q", it.grid.Name)
+	}
+	if cur.Candidate < 0 || cur.Candidate > it.grid.Size() {
+		return nil, fmt.Errorf("sweep: cursor candidate %d outside grid %q (0..%d candidates)",
+			cur.Candidate, it.grid.Name, it.grid.Size())
+	}
+	if cur.Stats.Generated < 0 || cur.Stats.Pruned < 0 || cur.Stats.Deduped < 0 ||
+		cur.Stats.Generated+cur.Stats.Pruned+cur.Stats.Deduped > cur.Candidate {
+		return nil, fmt.Errorf("sweep: cursor stats %+v inconsistent with candidate %d", cur.Stats, cur.Candidate)
+	}
+	it.cand = cur.Candidate
+	it.stats = cur.Stats
+	it.odo.Seek(cur.Candidate)
+	return it, nil
+}
 
 // Stats reports how many points have been generated and pruned so far.
 func (it *Generator) Stats() Stats { return it.stats }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -399,5 +400,171 @@ func TestGeneratorShardValidation(t *testing.T) {
 	// Shard(0, 1) is the identity.
 	if got, want := len(drain(t, g.Points().Shard(0, 1))), len(drain(t, g.Points())); got != want {
 		t.Errorf("Shard(0,1) generated %d points, want %d", got, want)
+	}
+}
+
+// TestOdometerSeek checks that Seek(n) lands exactly where n calls to
+// advance would, for every position of a mixed-radix product, and that
+// out-of-range positions exhaust the odometer.
+func TestOdometerSeek(t *testing.T) {
+	lens := []int{3, 1, 4, 2}
+	size := 3 * 1 * 4 * 2
+	walked := NewOdometer(lens...)
+	for n := 0; n <= size; n++ {
+		sought := NewOdometer(lens...)
+		sought.Seek(n)
+		want, wantOK := walked.Next()
+		got, gotOK := sought.Next()
+		if gotOK != wantOK {
+			t.Fatalf("Seek(%d): ok = %v, walk says %v", n, gotOK, wantOK)
+		}
+		if wantOK && fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("Seek(%d) = %v, walk says %v", n, got, want)
+		}
+	}
+	past := NewOdometer(lens...)
+	past.Seek(size + 5)
+	if _, ok := past.Next(); ok {
+		t.Fatal("Seek past the end should exhaust the odometer")
+	}
+	// Seeking backward after being exhausted revives the walk.
+	past.Seek(0)
+	if _, ok := past.Next(); !ok {
+		t.Fatal("Seek(0) after exhaustion should revive the odometer")
+	}
+}
+
+// TestGeneratorCursorResume is the cursor property: for random grids,
+// shard specs and interrupt points, draining a prefix, snapshotting
+// the cursor, and restoring it into a fresh generator continues with
+// exactly the remaining points and ends with identical stats.
+func TestGeneratorCursorResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nodePool := []string{"5nm", "7nm", "12nm", "28nm"}
+	schemePool := []packaging.Scheme{packaging.MCM, packaging.TwoPointFiveD, packaging.InFO}
+	pick := func(n int) int { return 1 + rng.Intn(n) }
+	for trial := 0; trial < 10; trial++ {
+		g := Grid{
+			Name:       fmt.Sprintf("cur%d", trial),
+			Nodes:      append([]string(nil), nodePool[:pick(len(nodePool))]...),
+			Schemes:    append([]packaging.Scheme(nil), schemePool[:pick(len(schemePool))]...),
+			Quantities: []float64{1e5, 1e6}[:pick(2)],
+			D2D:        dtod.Fraction{F: 0.10},
+		}
+		for i := 0; i < pick(5); i++ {
+			g.AreasMM2 = append(g.AreasMM2, 100+float64(i)*190)
+		}
+		for k := 1; k <= pick(6); k++ {
+			g.Counts = append(g.Counts, k)
+		}
+		var filters []Filter
+		if trial%2 == 0 {
+			filters = []Filter{ReticleFit()}
+		}
+		for n := 1; n <= 3; n++ {
+			shard := rng.Intn(n)
+			fresh := func() *Generator {
+				gen := g.Points(filters...)
+				if n > 1 {
+					gen.Shard(shard, n)
+				}
+				return gen
+			}
+			whole := fresh()
+			wholePts := drain(t, whole)
+			prefixLen := rng.Intn(len(wholePts) + 1)
+
+			first := fresh()
+			var prefix []Point
+			for i := 0; i < prefixLen; i++ {
+				p, ok := first.Next()
+				if !ok {
+					t.Fatalf("trial %d: prefix exhausted early", trial)
+				}
+				prefix = append(prefix, p)
+			}
+			cur := first.Cursor()
+			resumed, err := fresh().Restore(cur)
+			if err != nil {
+				t.Fatalf("trial %d: Restore: %v", trial, err)
+			}
+			rest := drain(t, resumed)
+			if len(prefix)+len(rest) != len(wholePts) {
+				t.Fatalf("trial %d n=%d: prefix %d + rest %d != whole %d",
+					trial, n, len(prefix), len(rest), len(wholePts))
+			}
+			for i, p := range append(prefix, rest...) {
+				if p.ID != wholePts[i].ID {
+					t.Fatalf("trial %d n=%d: point %d = %q, uninterrupted walk has %q",
+						trial, n, i, p.ID, wholePts[i].ID)
+				}
+			}
+			if resumed.Stats() != whole.Stats() {
+				t.Fatalf("trial %d n=%d: resumed stats %+v != uninterrupted %+v",
+					trial, n, resumed.Stats(), whole.Stats())
+			}
+			if resumed.Cursor() != whole.Cursor() {
+				t.Fatalf("trial %d n=%d: resumed cursor %+v != uninterrupted %+v",
+					trial, n, resumed.Cursor(), whole.Cursor())
+			}
+		}
+	}
+}
+
+// TestGeneratorRestoreRejectsBadCursors covers the restore guard
+// rails: restore after Next, out-of-range candidates, and stats that
+// cannot belong to the claimed position.
+func TestGeneratorRestoreRejectsBadCursors(t *testing.T) {
+	g := testGrid()
+	started := g.Points()
+	started.Next()
+	if _, err := started.Restore(Cursor{}); err == nil {
+		t.Fatal("Restore after Next should fail")
+	}
+	cases := []Cursor{
+		{Candidate: -1},
+		{Candidate: g.Size() + 1},
+		{Candidate: 2, Stats: Stats{Generated: -1}},
+		{Candidate: 2, Stats: Stats{Generated: 2, Pruned: 1}},
+	}
+	for _, cur := range cases {
+		if _, err := g.Points().Restore(cur); err == nil {
+			t.Fatalf("Restore(%+v) should fail", cur)
+		}
+	}
+	// The boundary cursor (everything consumed) is legal and yields an
+	// exhausted walk.
+	done := g.Points()
+	drain(t, done)
+	resumed, err := g.Points().Restore(done.Cursor())
+	if err != nil {
+		t.Fatalf("Restore at exhaustion: %v", err)
+	}
+	if pts := drain(t, resumed); len(pts) != 0 {
+		t.Fatalf("restored-at-exhaustion walk yielded %d points", len(pts))
+	}
+}
+
+// TestStatsCursorWireRoundTrip checks the canonical JSON forms of
+// Stats and Cursor: exact round trip, strict unknown-field rejection.
+func TestStatsCursorWireRoundTrip(t *testing.T) {
+	cur := Cursor{Candidate: 42, Stats: Stats{Generated: 30, Pruned: 10, Deduped: 2}}
+	data, err := json.Marshal(cur)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Cursor
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != cur {
+		t.Fatalf("round trip %+v != %+v", back, cur)
+	}
+	if err := json.Unmarshal([]byte(`{"candidate":1,"stats":{},"bogus":true}`), &back); err == nil {
+		t.Fatal("unknown cursor field should be rejected")
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(`{"generated":1,"bogus":2}`), &st); err == nil {
+		t.Fatal("unknown stats field should be rejected")
 	}
 }

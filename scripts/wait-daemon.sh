@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# wait-daemon.sh — wait for an actuaryd daemon to come up and print
+# its base URL.
+#
+# The daemon announces "actuaryd listening on http://HOST:PORT" on
+# stdout once its listener is bound (with -addr :0 the kernel-assigned
+# port appears there). This script polls the daemon's log file for
+# that line and echoes the URL, so smoke jobs share one copy of the
+# wait-and-grep dance instead of each reimplementing it.
+#
+# Usage: url=$(scripts/wait-daemon.sh LOGFILE [TIMEOUT_SECONDS])
+set -euo pipefail
+
+log=${1:?usage: wait-daemon.sh LOGFILE [TIMEOUT_SECONDS]}
+timeout=${2:-10}
+
+deadline=$(( $(date +%s) + timeout ))
+until grep -q 'listening on' "$log" 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "wait-daemon: no 'listening on' line in $log after ${timeout}s" >&2
+    if [ -f "$log" ]; then
+      sed 's/^/wait-daemon: log: /' "$log" >&2
+    fi
+    exit 1
+  fi
+  sleep 0.1
+done
+grep -o 'http://[0-9.:]*' "$log" | head -n1

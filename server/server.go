@@ -17,7 +17,10 @@
 // reads (ReadScenarioConfig), compiled through ScenarioConfig.Source
 // into a lazy request stream: the sweep grids are never materialized,
 // and the in-flight bound plus the client's read pace are the only
-// buffering between generation and the socket.
+// buffering between generation and the socket. A scenario "resume"
+// field switches the response to index-ordered delivery from the
+// given position, so a client that lost its connection can continue
+// the NDJSON from the last line it durably received.
 package server
 
 import (
@@ -149,6 +152,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, actuary.ErrInvalidConfig, err.Error())
 		return
 	}
+	// A scenario carrying a "resume" field asks for resumable delivery:
+	// results come back in source-index order starting at next_index,
+	// with the skipped prefix regenerated but never re-evaluated — the
+	// NDJSON continues exactly where the interrupted response stopped.
+	next, ordered, err := cfg.ResumeIndex()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, actuary.ErrInvalidConfig, err.Error())
+		return
+	}
 	src, err := cfg.Source()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, actuary.ErrInvalidConfig, err.Error())
@@ -157,6 +169,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var opts []actuary.StreamOption
 	if s.inFlight > 0 {
 		opts = append(opts, actuary.StreamInFlight(s.inFlight))
+	}
+	if ordered {
+		// In-stream ordering credit-limits dispatch, so a slow head
+		// request stalls generation instead of ballooning a reorder
+		// buffer — the back-pressure bound survives resumable delivery.
+		opts = append(opts, actuary.StreamResumeAt(next), actuary.StreamOrdered())
 	}
 	// r.Context() is canceled when the client disconnects, which stops
 	// generation and drains the workers — an abandoned stream cannot

@@ -463,6 +463,47 @@ func (s *Session) evaluateOne(ctx context.Context, i int, req Request) Result {
 // shard spec restricts the walk to one stripe of the candidate space;
 // shard answers merge back into the unsharded answer (SweepBestMerger).
 func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error) {
+	return s.sweepBestWalk(ctx, req, nil, 0, nil)
+}
+
+// SweepBestCheckpointed answers one sweep-best request exactly like
+// Evaluate would, but makes the walk durable: every `every` grid
+// candidates it snapshots the generator cursor and the aggregator
+// state into a SweepCheckpoint and hands it to save (persist it with
+// SaveCheckpointFile, ship it over a wire — the snapshot does not
+// alias walk state). A run killed at any point — even SIGKILL — can
+// be restarted with the last saved checkpoint as resume, skips
+// straight to its cursor without re-evaluating a single point, and
+// returns a SweepBest byte-identical to an uninterrupted run's.
+//
+// resume nil starts fresh. A resume checkpoint must carry the
+// fingerprint of this request (SweepFingerprint): resuming a
+// different grid, top-K bound, policy or shard spec is rejected with
+// an error wrapping ErrCheckpointMismatch (errors.Is-detectable)
+// rather than silently mixing two workloads. A save error aborts the
+// walk — a run that cannot persist progress should fail loudly, not
+// complete with a stale checkpoint behind it.
+//
+// Snapshots are taken between candidates, so `every` trades replay
+// work against checkpoint I/O; values below 1 are raised to 1. The
+// returned error taxonomy matches Evaluate's (the structured *Error
+// wrapper is applied by Evaluate, not here).
+func (s *Session) SweepBestCheckpointed(ctx context.Context, req Request, resume *SweepCheckpoint, every int, save func(*SweepCheckpoint) error) (*SweepBest, error) {
+	if req.Question == 0 {
+		req.Question = QuestionSweepBest
+	}
+	if req.Question != QuestionSweepBest {
+		return nil, fmt.Errorf("actuary: SweepBestCheckpointed wants a sweep-best request, not %v", req.Question)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.sweepBestWalk(ctx, req, resume, every, save)
+}
+
+// sweepBestWalk is the one implementation behind sweepBest and
+// SweepBestCheckpointed: the plain path passes a nil resume and save.
+func (s *Session) sweepBestWalk(ctx context.Context, req Request, resume *SweepCheckpoint, every int, save func(*SweepCheckpoint) error) (*SweepBest, error) {
 	if req.Grid == nil {
 		return nil, fmt.Errorf("actuary: sweep-best request needs a Grid")
 	}
@@ -471,6 +512,9 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 	}
 	if err := validShardSpec(req.ShardIndex, req.ShardCount); err != nil {
 		return nil, err
+	}
+	if every < 1 {
+		every = 1
 	}
 	k := req.TopK
 	if k < 1 {
@@ -491,6 +535,42 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 	if req.ShardCount > 0 {
 		gen.Shard(req.ShardIndex, req.ShardCount)
 	}
+	fingerprint := ""
+	if resume != nil || save != nil {
+		var err error
+		if fingerprint, err = SweepFingerprint(req); err != nil {
+			return nil, err
+		}
+	}
+	if resume != nil {
+		// A checkpoint is only as trustworthy as its provenance: the
+		// fingerprint binds it to this exact workload, and the restore
+		// path re-validates every piece of state it adopts.
+		if resume.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("actuary: %w: checkpoint fingerprint %.12s does not match sweep grid %q (%.12s)",
+				ErrCheckpointMismatch, resume.Fingerprint, req.Grid.Name, fingerprint)
+		}
+		if resume.Infeasible < 0 || resume.FirstFailureCandidate < 0 || resume.Summary.Count < 0 {
+			return nil, fmt.Errorf("actuary: %w: checkpoint carries negative counters (%d infeasible, candidate %d, %d summarized)",
+				ErrCheckpointMismatch, resume.Infeasible, resume.FirstFailureCandidate, resume.Summary.Count)
+		}
+		if _, err := gen.Restore(resume.Cursor); err != nil {
+			return nil, fmt.Errorf("actuary: %w: %w", ErrCheckpointMismatch, err)
+		}
+		// Every feasible point fed all three aggregators, so the
+		// observation counters are one number: the summary count.
+		if err := top.SetState(sweep.TopKState[SweepPoint]{K: k, Seen: resume.Summary.Count, Items: resume.Top}); err != nil {
+			return nil, fmt.Errorf("actuary: %w: %w", ErrCheckpointMismatch, err)
+		}
+		if err := front.SetState(sweep.ParetoState[SweepPoint]{Seen: resume.Summary.Count, Front: resume.Pareto}); err != nil {
+			return nil, fmt.Errorf("actuary: %w: %w", ErrCheckpointMismatch, err)
+		}
+		summary = resume.Summary
+		infeasible = resume.Infeasible
+		firstErr = resume.FirstFailure
+		firstCand = resume.FirstFailureCandidate
+	}
+	lastSaved := gen.Cursor().Candidate
 	for {
 		p, ok := gen.Next()
 		if !ok {
@@ -503,13 +583,29 @@ func (s *Session) sweepBest(ctx context.Context, req Request) (*SweepBest, error
 				firstErr = err
 				firstCand = gen.LastCandidate()
 			}
-			continue
+		} else {
+			sp := SweepPoint{ID: p.ID, Node: p.Node, Scheme: p.Scheme,
+				AreaMM2: p.AreaMM2, K: p.K, Quantity: p.Quantity, Total: tc}
+			top.Observe(sp)
+			front.Observe(sp)
+			summary.Observe(sp.ID, tc.Total())
 		}
-		sp := SweepPoint{ID: p.ID, Node: p.Node, Scheme: p.Scheme,
-			AreaMM2: p.AreaMM2, K: p.K, Quantity: p.Quantity, Total: tc}
-		top.Observe(sp)
-		front.Observe(sp)
-		summary.Observe(sp.ID, tc.Total())
+		if cur := gen.Cursor(); save != nil && cur.Candidate-lastSaved >= every {
+			cp := &SweepCheckpoint{
+				Fingerprint:           fingerprint,
+				Cursor:                cur,
+				Top:                   top.Sorted(),
+				Pareto:                front.Front(),
+				Summary:               summary,
+				Infeasible:            infeasible,
+				FirstFailure:          firstErr,
+				FirstFailureCandidate: firstCand,
+			}
+			if err := save(cp); err != nil {
+				return nil, fmt.Errorf("actuary: saving sweep checkpoint: %w", err)
+			}
+			lastSaved = cur.Candidate
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

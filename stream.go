@@ -3,6 +3,7 @@ package actuary
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -113,6 +114,8 @@ type streamConfig struct {
 	inFlight   int
 	maxWorkers int
 	deliverAll bool
+	resumeAt   int
+	ordered    bool
 }
 
 // streamWorkerCap bounds how many workers the stream spawns — used by
@@ -138,6 +141,37 @@ func streamDeliverAll() StreamOption {
 // sweep size.
 func StreamInFlight(n int) StreamOption {
 	return func(c *streamConfig) { c.inFlight = n }
+}
+
+// StreamResumeAt resumes an interrupted stream: the first n requests
+// of the source are pulled and discarded without evaluation, and the
+// survivors are numbered from n — so Result.Index means the same
+// stream position it meant before the interruption. Skipping replays
+// only generation (a sweep point costs ~100 ns to regenerate against
+// the ~10 µs its evaluation took), which is what makes "skip to the
+// cursor" cheap however deep into the sweep the checkpoint was taken.
+// Values below 1 mean a fresh stream. Sources are deterministic
+// (grids walk in odometer order, scenarios compile stage by stage),
+// so request n of the resumed stream is exactly request n of the
+// original one.
+func StreamResumeAt(n int) StreamOption {
+	return func(c *streamConfig) { c.resumeAt = n }
+}
+
+// StreamOrdered makes the stream emit results in source-index order
+// instead of completion order — the delivery mode resumable streams
+// need, because "the first n results" must mean "the first n
+// requests" for a resume point to be meaningful across processes.
+//
+// Ordering inside the stream keeps memory bounded even when request
+// costs are wildly skewed: dispatch is credit-limited to a window of
+// in-flight + workers indexes beyond the contiguous emission
+// watermark, so a single slow request (a sweep-best at index 0 ahead
+// of a thousand cheap per-point requests, say) stalls generation
+// rather than ballooning a reorder buffer. The abandonment contract
+// is unchanged: consume until close, or cancel ctx.
+func StreamOrdered() StreamOption {
+	return func(c *streamConfig) { c.ordered = true }
 }
 
 type streamJob struct {
@@ -180,6 +214,19 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	metrics := s.metrics
 	metrics.streamsStarted.Add(1)
 
+	// Ordered delivery: a credit per dispatchable index, released as
+	// results are emitted in order. The window (queue + workers) is
+	// exactly the dispatch-ahead an unordered stream has anyway, so
+	// ordering changes delivery, not throughput — but it caps the
+	// reorder buffer at the window however skewed request costs are.
+	var credits chan struct{}
+	if cfg.ordered {
+		credits = make(chan struct{}, cfg.inFlight+workers)
+		for i := 0; i < cap(credits); i++ {
+			credits <- struct{}{}
+		}
+	}
+
 	// Pump: the only goroutine touching the source. It blocks when the
 	// job queue is full, which is what keeps generation lazy. Each
 	// enqueue records a queue-depth sample — the back-pressure signal
@@ -189,7 +236,25 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	// back.
 	go func() {
 		defer close(jobs)
-		for i := 0; ; i++ {
+		// Resume: drain the already-delivered prefix without dispatching
+		// or touching the queue metrics — replayed generation is not
+		// back-pressure. Cancellation still lands between pulls.
+		for i := 0; i < cfg.resumeAt; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			if _, ok := src.Next(); !ok {
+				return
+			}
+		}
+		for i := max(cfg.resumeAt, 0); ; i++ {
+			if credits != nil {
+				select {
+				case <-credits:
+				case <-ctx.Done():
+					return
+				}
+			}
 			req, ok := src.Next()
 			if !ok {
 				return
@@ -247,7 +312,88 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 		metrics.streamsCompleted.Add(1)
 		close(out)
 	}()
-	return out, nil
+	if !cfg.ordered {
+		return out, nil
+	}
+	// The reorder stage sits between the workers and the consumer; its
+	// buffer cannot exceed the credit window, so the head result is
+	// always reachable by draining `out` eagerly — no deadlock, no
+	// unbounded pending map. Each in-order emission returns a credit to
+	// the pump.
+	ordered := make(chan Result, cfg.inFlight)
+	go reorderResults(ctx, out, ordered, max(cfg.resumeAt, 0), func() {
+		select {
+		case credits <- struct{}{}:
+		default: // gaps after cancellation may over-return; drop
+		}
+	})
+	return ordered, nil
+}
+
+// reorderResults is the one reorder loop behind StreamOrdered and
+// OrderedResults: it pumps a completion-order channel into out in
+// index order starting at next, closing out when done. onEmit (may be
+// nil) runs after every in-order emission — StreamOrdered returns a
+// dispatch credit there. Results with indexes below next pass through
+// immediately; a duplicate index can therefore never wedge the
+// watermark. When in closes with a gap outstanding (an interrupted
+// stream), the results beyond the gap flush in ascending order so no
+// computed result is silently dropped. A canceled ctx releases the
+// goroutine even if the consumer stopped reading, after draining in
+// as the stream contract requires.
+func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, next int, onEmit func()) {
+	defer close(out)
+	pending := make(map[int]Result)
+	send := func(r Result) bool {
+		select {
+		case out <- r:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for r := range in {
+		if r.Index < next {
+			if !send(r) {
+				break
+			}
+			continue
+		}
+		pending[r.Index] = r
+		delivered := true
+		for delivered {
+			head, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			delivered = send(head)
+			next++
+			if onEmit != nil {
+				onEmit()
+			}
+		}
+		if !delivered {
+			break
+		}
+	}
+	// Drain whatever the producer still delivers (its contract requires
+	// a drain after cancellation), then flush any post-gap stragglers
+	// in ascending order.
+	for range in {
+	}
+	if len(pending) > 0 {
+		rest := make([]int, 0, len(pending))
+		for i := range pending {
+			rest = append(rest, i)
+		}
+		sort.Ints(rest)
+		for _, i := range rest {
+			if !send(pending[i]) {
+				return
+			}
+		}
+	}
 }
 
 // StreamAggregator is an online consumer of results; see Reduce.
@@ -276,6 +422,100 @@ func Reduce(ch <-chan Result, aggs ...StreamAggregator) int {
 		}
 	}
 	return n
+}
+
+// OrderedResults reorders an arbitrary completion-order result
+// channel into source-index order, starting at next: result n is
+// emitted only once every result below n has been. Results with
+// indexes below next (client-side transport errors carry -1) pass
+// through immediately; when the input closes with a gap outstanding
+// (an interrupted stream), the results beyond the gap flush in
+// ascending order so no computed result is silently dropped.
+//
+// The buffer grows with however far the producer runs ahead of the
+// contiguous watermark — this helper cannot throttle a producer it
+// does not own. For Session streams use the StreamOrdered option
+// instead, which credit-limits dispatch so the reorder buffer stays
+// bounded even under heavily skewed request costs.
+//
+// The context keeps the wrapper's abandonment contract identical to
+// the stream it wraps: a consumer that cancels ctx and walks away
+// (instead of draining to close) releases the reordering goroutine —
+// use the same context the stream runs under.
+//
+// An ordered stream is what makes a stream position meaningful across
+// process boundaries: "the first n lines" of an ordered NDJSON
+// response is exactly "the first n requests of the scenario", which
+// is the contract the /v1/stream resume field and StreamCheckpoint
+// are built on.
+func OrderedResults(ctx context.Context, ch <-chan Result, next int) <-chan Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Result)
+	go reorderResults(ctx, ch, out, next, nil)
+	return out
+}
+
+// ReduceCheckpointed drains an index-ordered result stream (a
+// Session.Stream opened with StreamOrdered) through the
+// checkpoint's aggregators, persisting progress as it goes: after
+// every `every` accounted results the live checkpoint is handed to
+// save (marshal it — the wire form is a deep snapshot). cp.Next
+// advances with each accounted result, so the invariant "everything
+// below Next is aggregated, nothing at or above it" holds at every
+// save — exactly what a later StreamResumeAt(cp.Next) needs.
+//
+// Accounting stops — without failing — at the first interruption
+// artifact: a gap in the index sequence or an ErrCanceled result,
+// both of which exist only because the stream was cut short. The
+// remainder of the channel is drained unobserved (the stream contract
+// requires it) and the checkpoint stays valid for resumption. The
+// return value is the number of results accounted this call; a save
+// error aborts immediately.
+func ReduceCheckpointed(ch <-chan Result, cp *StreamCheckpoint, every int, save func(*StreamCheckpoint) error) (int, error) {
+	if every < 1 {
+		every = 1
+	}
+	aggs := cp.aggregators()
+	n := 0
+	interrupted := false
+	for r := range ch {
+		if interrupted {
+			continue
+		}
+		if r.Index != cp.Next || isCanceled(r.Err) {
+			interrupted = true
+			continue
+		}
+		for _, a := range aggs {
+			a.Observe(r)
+		}
+		cp.Next++
+		n++
+		if save != nil && n%every == 0 {
+			if err := save(cp); err != nil {
+				// Keep draining: the stream contract must hold even when
+				// persistence fails.
+				for range ch {
+				}
+				return n, fmt.Errorf("actuary: saving stream checkpoint: %w", err)
+			}
+		}
+	}
+	return n, nil
+}
+
+// isCanceled reports whether a result error classifies ErrCanceled —
+// an interruption artifact, not a workload outcome.
+func isCanceled(err error) bool {
+	if err == nil {
+		return false
+	}
+	if ae, ok := AsError(err); ok {
+		return ae.Code == ErrCanceled
+	}
+	return false
 }
 
 // pointResult lifts one evaluated sweep point into a synthetic

@@ -1,12 +1,15 @@
 package actuary
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
 
 	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/sweep"
 	"chipletactuary/internal/wirejson"
 )
 
@@ -452,6 +455,294 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		res.Err = w.Error
 	}
 	*r = res
+	return nil
+}
+
+// Checkpoint wire forms. A checkpoint is the versioned canonical JSON
+// snapshot of a partially drained sweep: enough state to continue the
+// walk on another process — or another host — and still produce output
+// byte-identical to an uninterrupted run. Three shapes exist, one per
+// pipeline layer: SweepCheckpoint (a single sweep-best walk),
+// StreamCheckpoint (a scenario result stream reduced through the
+// online aggregators), and CoordinatorCheckpoint (per-shard progress
+// of a distributed run). All three carry CheckpointVersion and a
+// workload fingerprint; decode rejects unknown fields, and a version
+// or fingerprint mismatch fails loudly instead of resuming the wrong
+// sweep.
+
+// CheckpointVersion is the format version stamped on every encoded
+// checkpoint. Decoding any other version is an error: a checkpoint is
+// a promise of byte-identical resumption, which a best-effort read of
+// an unknown format could not keep.
+const CheckpointVersion = 1
+
+// checkpointVersionError renders the one error message all three
+// checkpoint decoders share.
+func checkpointVersionError(kind string, got int) error {
+	return fmt.Errorf("actuary: %s checkpoint version %d (this build reads version %d)",
+		kind, got, CheckpointVersion)
+}
+
+// fingerprintHex hashes a canonical JSON payload into the fingerprint
+// string stored in checkpoints.
+func fingerprintHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// SweepFingerprint returns the stable identity of a sweep-best
+// workload: a hash over the canonical JSON of the grid, the
+// (normalized) top-K bound, the amortization policy and the shard
+// spec. Two requests with equal fingerprints walk the same candidates
+// under the same ranking, so a checkpoint from one may seed the other;
+// request IDs deliberately stay out of the hash — relabelling a run
+// must not orphan its checkpoint.
+func SweepFingerprint(req Request) (string, error) {
+	if req.Grid == nil {
+		return "", fmt.Errorf("actuary: fingerprinting a sweep-best request needs a Grid")
+	}
+	k := req.TopK
+	if k < 1 {
+		k = 1
+	}
+	payload := struct {
+		Grid       *SweepGrid         `json:"grid"`
+		TopK       int                `json:"top_k"`
+		Policy     AmortizationPolicy `json:"policy"`
+		ShardIndex int                `json:"shard_index,omitempty"`
+		ShardCount int                `json:"shard_count,omitempty"`
+	}{req.Grid, k, req.Policy, req.ShardIndex, req.ShardCount}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("actuary: fingerprinting sweep grid %q: %w", req.Grid.Name, err)
+	}
+	return fingerprintHex(data), nil
+}
+
+// wireSweepCheckpoint is the canonical JSON shape of a SweepCheckpoint.
+// The first failure crosses in the structured error form, exactly like
+// a SweepBest payload.
+type wireSweepCheckpoint struct {
+	Version               int             `json:"version"`
+	Fingerprint           string          `json:"fingerprint"`
+	Cursor                SweepCursor     `json:"cursor"`
+	Top                   []SweepPoint    `json:"top,omitempty"`
+	Pareto                []SweepPoint    `json:"pareto,omitempty"`
+	Summary               SweepSummary    `json:"summary"`
+	Infeasible            int             `json:"infeasible,omitempty"`
+	FirstFailure          json.RawMessage `json:"first_failure,omitempty"`
+	FirstFailureCandidate int             `json:"first_failure_candidate,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c SweepCheckpoint) MarshalJSON() ([]byte, error) {
+	w := wireSweepCheckpoint{Version: CheckpointVersion, Fingerprint: c.Fingerprint,
+		Cursor: c.Cursor, Top: c.Top, Pareto: c.Pareto, Summary: c.Summary,
+		Infeasible: c.Infeasible, FirstFailureCandidate: c.FirstFailureCandidate}
+	if fe := wireFirstFailure(c.FirstFailure); fe != nil {
+		data, err := json.Marshal(fe)
+		if err != nil {
+			return nil, fmt.Errorf("actuary: encoding checkpoint failure: %w", err)
+		}
+		w.FirstFailure = data
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// and any version this build does not read.
+func (c *SweepCheckpoint) UnmarshalJSON(data []byte) error {
+	var w wireSweepCheckpoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding sweep checkpoint: %w", err)
+	}
+	if w.Version != CheckpointVersion {
+		return checkpointVersionError("sweep", w.Version)
+	}
+	*c = SweepCheckpoint{Fingerprint: w.Fingerprint, Cursor: w.Cursor,
+		Top: w.Top, Pareto: w.Pareto, Summary: w.Summary,
+		Infeasible: w.Infeasible, FirstFailureCandidate: w.FirstFailureCandidate}
+	if len(w.FirstFailure) > 0 {
+		fe := new(Error)
+		if err := fe.UnmarshalJSON(w.FirstFailure); err != nil {
+			return fmt.Errorf("actuary: decoding checkpoint failure: %w", err)
+		}
+		c.FirstFailure = fe
+	}
+	return nil
+}
+
+// wireCostTopK is the canonical JSON shape of a CostTopK snapshot:
+// the bound, the observation count, and the retained results cheapest
+// first.
+type wireCostTopK struct {
+	K       int      `json:"k"`
+	Seen    int      `json:"seen"`
+	Results []Result `json:"results,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c *CostTopK) MarshalJSON() ([]byte, error) {
+	st := c.top.State()
+	return json.Marshal(wireCostTopK{K: st.K, Seen: st.Seen, Results: st.Items})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// and states a live selector could not have produced.
+func (c *CostTopK) UnmarshalJSON(data []byte) error {
+	var w wireCostTopK
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding top-k state: %w", err)
+	}
+	for _, r := range w.Results {
+		if r.Err != nil || r.TotalCost == nil {
+			return fmt.Errorf("actuary: top-k state retains result %q without a total cost", r.ID)
+		}
+	}
+	rebuilt := NewCostTopK(w.K)
+	if err := rebuilt.top.SetState(sweep.TopKState[Result]{K: w.K, Seen: w.Seen, Items: w.Results}); err != nil {
+		return fmt.Errorf("actuary: %w", err)
+	}
+	*c = *rebuilt
+	return nil
+}
+
+// wireCostPareto is the canonical JSON shape of a CostPareto snapshot.
+type wireCostPareto struct {
+	Seen  int      `json:"seen"`
+	Front []Result `json:"front,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c *CostPareto) MarshalJSON() ([]byte, error) {
+	st := c.front.State()
+	return json.Marshal(wireCostPareto{Seen: st.Seen, Front: st.Front})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// and states a live front could not have produced.
+func (c *CostPareto) UnmarshalJSON(data []byte) error {
+	var w wireCostPareto
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding pareto state: %w", err)
+	}
+	for _, r := range w.Front {
+		if r.Err != nil || r.TotalCost == nil {
+			return fmt.Errorf("actuary: pareto state fronts result %q without a total cost", r.ID)
+		}
+	}
+	rebuilt := NewCostPareto()
+	if err := rebuilt.front.SetState(sweep.ParetoState[Result]{Seen: w.Seen, Front: w.Front}); err != nil {
+		return fmt.Errorf("actuary: %w", err)
+	}
+	*c = *rebuilt
+	return nil
+}
+
+// wireStreamStats is the canonical JSON shape of StreamStats.
+type wireStreamStats struct {
+	OK      int          `json:"ok"`
+	Failed  int          `json:"failed,omitempty"`
+	Skipped int          `json:"skipped,omitempty"`
+	Cost    SweepSummary `json:"cost"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (s StreamStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireStreamStats{OK: s.OK, Failed: s.Failed, Skipped: s.Skipped, Cost: s.Cost})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (s *StreamStats) UnmarshalJSON(data []byte) error {
+	var w wireStreamStats
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding stream stats: %w", err)
+	}
+	*s = StreamStats{OK: w.OK, Failed: w.Failed, Skipped: w.Skipped, Cost: w.Cost}
+	return nil
+}
+
+// wireStreamCheckpoint is the canonical JSON shape of a
+// StreamCheckpoint. The aggregators are optional — a consumer that
+// only tracks, say, stats persists only what it uses.
+type wireStreamCheckpoint struct {
+	Version     int          `json:"version"`
+	Fingerprint string       `json:"fingerprint"`
+	Next        int          `json:"next"`
+	TopK        *CostTopK    `json:"top_k,omitempty"`
+	Pareto      *CostPareto  `json:"pareto,omitempty"`
+	Stats       *StreamStats `json:"stats,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c StreamCheckpoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireStreamCheckpoint{Version: CheckpointVersion,
+		Fingerprint: c.Fingerprint, Next: c.Next,
+		TopK: c.TopK, Pareto: c.Pareto, Stats: c.Stats})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// and any version this build does not read.
+func (c *StreamCheckpoint) UnmarshalJSON(data []byte) error {
+	var w wireStreamCheckpoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding stream checkpoint: %w", err)
+	}
+	if w.Version != CheckpointVersion {
+		return checkpointVersionError("stream", w.Version)
+	}
+	if w.Next < 0 {
+		return fmt.Errorf("actuary: stream checkpoint resumes at negative index %d", w.Next)
+	}
+	*c = StreamCheckpoint{Fingerprint: w.Fingerprint, Next: w.Next,
+		TopK: w.TopK, Pareto: w.Pareto, Stats: w.Stats}
+	return nil
+}
+
+// wireCoordinatorCheckpoint is the canonical JSON shape of a
+// CoordinatorCheckpoint.
+type wireCoordinatorCheckpoint struct {
+	Version     int               `json:"version"`
+	Fingerprint string            `json:"fingerprint"`
+	Shards      int               `json:"shards"`
+	Completed   []wireShardResult `json:"completed,omitempty"`
+}
+
+// wireShardResult pairs a drained shard's index with its answer.
+type wireShardResult struct {
+	Shard int        `json:"shard"`
+	Best  *SweepBest `json:"best"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c CoordinatorCheckpoint) MarshalJSON() ([]byte, error) {
+	w := wireCoordinatorCheckpoint{Version: CheckpointVersion,
+		Fingerprint: c.Fingerprint, Shards: c.Shards}
+	for _, sr := range c.Completed {
+		w.Completed = append(w.Completed, wireShardResult(sr))
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown
+// fields, unknown versions, and shard sets no coordinator could have
+// recorded (out-of-range indexes, duplicates, answers missing).
+func (c *CoordinatorCheckpoint) UnmarshalJSON(data []byte) error {
+	var w wireCoordinatorCheckpoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding coordinator checkpoint: %w", err)
+	}
+	if w.Version != CheckpointVersion {
+		return checkpointVersionError("coordinator", w.Version)
+	}
+	out := CoordinatorCheckpoint{Fingerprint: w.Fingerprint, Shards: w.Shards}
+	for _, sr := range w.Completed {
+		out.Completed = append(out.Completed, ShardResult(sr))
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*c = out
 	return nil
 }
 
