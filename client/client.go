@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"chipletactuary"
@@ -229,14 +230,190 @@ func (c *Client) Questions(ctx context.Context) ([]actuary.QuestionInfo, error) 
 	return infos, nil
 }
 
-// Ping checks GET /healthz.
+// ProbeError marks a health-probe failure: the backend could not be
+// reached, or answered the probe malformed. The wrapped error keeps
+// its taxonomy (a probe-time transport failure still classifies
+// actuary.ErrTransport), but the type lets schedulers distinguish
+// "never came up" — a Ping or Probe that failed — from a transport
+// error that killed real mid-sweep work.
+type ProbeError struct {
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *ProbeError) Error() string { return "probe: " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ProbeError) Unwrap() error { return e.Err }
+
+// Prober is the optional health surface of a Backend: one probe
+// observation of the backend's liveness and load. *Client and the
+// Local wrapper implement it; fleet.Monitor consumes it. Probe errors
+// are *ProbeError values.
+type Prober interface {
+	Probe(ctx context.Context) (Status, error)
+}
+
+// Status is one probe observation of a backend: scalars a scheduler
+// can score, whichever probe surface produced them.
+type Status struct {
+	// Source names the surface the observation came from: "metricz"
+	// (GET /v1/metricz), "metrics" (Prometheus text fallback) or
+	// "session" (an in-process Session).
+	Source string
+	// Workers is the backend's worker-pool target width (0 when the
+	// surface does not report it).
+	Workers int
+	// QueueDepth and InFlight are the instantaneous back-pressure
+	// gauges; MeanQueueDepth is the mean depth observed at enqueue.
+	QueueDepth     int64
+	InFlight       int64
+	MeanQueueDepth float64
+	// Utilization is the busy share of worker lifetime, in [0, 1].
+	Utilization float64
+	// Requests and Failures count evaluated and failed requests.
+	Requests int64
+	Failures int64
+}
+
+// Ping checks GET /healthz. Failures are typed *ProbeError (wrapping
+// the transport or server error) so callers can tell a failed
+// liveness check from a failure during real work.
 func (c *Client) Ping(ctx context.Context) error {
 	resp, err := c.get(ctx, "/healthz")
 	if err != nil {
-		return err
+		return &ProbeError{Err: err}
 	}
 	resp.Body.Close()
 	return nil
+}
+
+// Metricz fetches GET /v1/metricz: the backend's counters as one
+// strict-decoded snapshot.
+func (c *Client) Metricz(ctx context.Context) (*actuary.MetricsSnapshot, error) {
+	resp, err := c.get(ctx, "/v1/metricz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, transportError(err)
+	}
+	var snap actuary.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, transportError(err)
+	}
+	return &snap, nil
+}
+
+// Probe implements Prober over HTTP. It prefers GET /v1/metricz (one
+// strict-decoded JSON snapshot); against a daemon predating that
+// endpoint (a clean 404/405) it falls back to parsing the Prometheus
+// text of GET /metrics. Failures are *ProbeError values.
+func (c *Client) Probe(ctx context.Context) (Status, error) {
+	resp, err := c.fetch(ctx, "/v1/metricz")
+	if err != nil {
+		return Status{}, &ProbeError{Err: err}
+	}
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		// An older daemon: /v1/metricz does not exist there, but the
+		// Prometheus text carries enough to score the backend.
+		resp.Body.Close()
+		return c.probeProm(ctx)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, &ProbeError{Err: serverError(resp)}
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Status{}, &ProbeError{Err: transportError(err)}
+	}
+	var snap actuary.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Status{}, &ProbeError{Err: transportError(err)}
+	}
+	return Status{
+		Source:         "metricz",
+		Workers:        snap.Workers,
+		QueueDepth:     snap.Session.QueueDepth,
+		InFlight:       snap.Session.InFlight,
+		MeanQueueDepth: snap.Session.MeanQueueDepth(),
+		Utilization:    snap.Session.Utilization(),
+		Requests:       snap.Session.Requests(),
+		Failures:       snap.Session.Failures(),
+	}, nil
+}
+
+// probeProm scores a backend from its Prometheus text — the fallback
+// probe surface for daemons without /v1/metricz.
+func (c *Client) probeProm(ctx context.Context) (Status, error) {
+	resp, err := c.fetch(ctx, "/metrics")
+	if err != nil {
+		return Status{}, &ProbeError{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, &ProbeError{Err: serverError(resp)}
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Status{}, &ProbeError{Err: transportError(err)}
+	}
+	st := Status{Source: "metrics"}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		// Labeled series ("actuary_requests_total{question=...}") sum
+		// into their family total.
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "actuary_workers":
+			st.Workers = int(v)
+		case "actuary_queue_depth":
+			st.QueueDepth = int64(v)
+		case "actuary_queue_depth_mean":
+			st.MeanQueueDepth = v
+		case "actuary_in_flight":
+			st.InFlight = int64(v)
+		case "actuary_worker_utilization":
+			st.Utilization = v
+		case "actuary_requests_total":
+			st.Requests += int64(v)
+		case "actuary_request_failures_total":
+			st.Failures += int64(v)
+		}
+	}
+	return st, nil
+}
+
+// fetch issues one GET and returns the response whatever its status —
+// Probe needs the status code to pick its fallback, which the
+// error-mapping get() hides.
+func (c *Client) fetch(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, transportError(err)
+	}
+	return resp, nil
 }
 
 // local adapts an in-process Session to the Backend interface.
@@ -274,4 +451,21 @@ func (l local) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan a
 		opts = append(opts, actuary.StreamResumeAt(next), actuary.StreamOrdered())
 	}
 	return l.s.Stream(ctx, src, opts...)
+}
+
+// Probe implements Prober on the wrapped session: an in-process
+// backend is always reachable, so the observation is a direct
+// Session.Metrics read.
+func (l local) Probe(context.Context) (Status, error) {
+	m := l.s.Metrics()
+	return Status{
+		Source:         "session",
+		Workers:        l.s.Workers(),
+		QueueDepth:     m.QueueDepth,
+		InFlight:       m.InFlight,
+		MeanQueueDepth: m.MeanQueueDepth(),
+		Utilization:    m.Utilization(),
+		Requests:       m.Requests(),
+		Failures:       m.Failures(),
+	}, nil
 }

@@ -1,0 +1,144 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	actuary "chipletactuary"
+	"chipletactuary/client"
+)
+
+// TestProbeMetricz: against a real actuaryd the probe takes the
+// structured /v1/metricz path.
+func TestProbeMetricz(t *testing.T) {
+	remote, _ := newBackends(t)
+	res, err := remote.Evaluate(context.Background(), []actuary.Request{{
+		Question: actuary.QuestionTotalCost,
+		System:   actuary.Monolithic("m", "7nm", 400, 1e6)}})
+	if err != nil || res[0].Err != nil {
+		t.Fatalf("evaluate: %v / %v", err, res[0].Err)
+	}
+	st, err := remote.Probe(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "metricz" {
+		t.Errorf("Source = %q, want metricz", st.Source)
+	}
+	if st.Workers < 1 {
+		t.Errorf("Workers = %d, want at least 1", st.Workers)
+	}
+	if st.Requests != 1 {
+		t.Errorf("Requests = %d, want 1", st.Requests)
+	}
+	snap, err := remote.Metricz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Session.Requests() != 1 {
+		t.Errorf("Metricz requests = %d, want 1", snap.Session.Requests())
+	}
+}
+
+// TestProbeFallsBackToProm: a daemon predating /v1/metricz (404)
+// still yields a Status, parsed from the Prometheus text endpoint.
+func TestProbeFallsBackToProm(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `# HELP actuary_workers Worker pool target width.
+# TYPE actuary_workers gauge
+actuary_workers 4
+actuary_queue_depth 2
+actuary_queue_depth_mean 1.5
+actuary_in_flight 3
+actuary_worker_utilization 0.75
+actuary_requests_total{question="total-cost"} 10
+actuary_requests_total{question="sweep-best"} 5
+actuary_request_failures_total{question="total-cost"} 1
+`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c, err := client.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Probe(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "metrics" {
+		t.Errorf("Source = %q, want metrics (prom fallback)", st.Source)
+	}
+	if st.Workers != 4 || st.QueueDepth != 2 || st.InFlight != 3 {
+		t.Errorf("gauges = %d/%d/%d workers/depth/inflight, want 4/2/3",
+			st.Workers, st.QueueDepth, st.InFlight)
+	}
+	if st.MeanQueueDepth != 1.5 || st.Utilization != 0.75 {
+		t.Errorf("means = %v/%v depth/util, want 1.5/0.75", st.MeanQueueDepth, st.Utilization)
+	}
+	if st.Requests != 15 || st.Failures != 1 {
+		t.Errorf("totals = %d/%d requests/failures, want 15/1 (labeled series summed)",
+			st.Requests, st.Failures)
+	}
+}
+
+// TestProbeErrors: transport failures surface as *client.ProbeError —
+// the typed verdict fleet.Monitor classifies on — for Probe and Ping
+// alike.
+func TestProbeErrors(t *testing.T) {
+	down, err := client.Dial("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *client.ProbeError
+	if _, err := down.Probe(context.Background()); !errors.As(err, &pe) {
+		t.Errorf("Probe error = %v, want *client.ProbeError", err)
+	}
+	if err := down.Ping(context.Background()); !errors.As(err, &pe) {
+		t.Errorf("Ping error = %v, want *client.ProbeError", err)
+	}
+	// A daemon that answers with a server error is also a probe
+	// failure, not a parse attempt.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/metricz", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c, err := client.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Probe(context.Background()); !errors.As(err, &pe) {
+		t.Errorf("500 probe error = %v, want *client.ProbeError", err)
+	}
+}
+
+// TestLocalProbe: the in-process backend reports straight from its
+// session, no wire involved.
+func TestLocalProbe(t *testing.T) {
+	session, err := actuary.NewSession(actuary.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := client.Local(session)
+	prober, ok := local.(client.Prober)
+	if !ok {
+		t.Fatal("client.Local does not implement client.Prober")
+	}
+	st, err := prober.Probe(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "session" {
+		t.Errorf("Source = %q, want session", st.Source)
+	}
+	if st.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", st.Workers)
+	}
+}

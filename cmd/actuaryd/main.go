@@ -5,14 +5,23 @@
 // Usage:
 //
 //	actuaryd [-addr :8833] [-tech tech.json] [-workers N] [-inflight N] [-cache N]
+//	         [-workers-min N -workers-max N [-resize-every D]]
 //
 // Endpoints (see the server package):
 //
 //	POST /v1/evaluate   batch of wire requests → batch of results
 //	POST /v1/stream     scenario JSON → NDJSON result stream
 //	GET  /v1/questions  API self-description
+//	GET  /v1/metricz    metrics snapshot as canonical JSON
 //	GET  /healthz       liveness
 //	GET  /metrics       back-pressure + cache counters
+//
+// With -workers-min/-workers-max the worker pool is elastic: a
+// fleet.Resizer watches the session's back-pressure metrics every
+// -resize-every and walks the pool width within the bounds — growing
+// under sustained saturation, shrinking when workers sit idle. The
+// current width is observable as actuary_workers on /metrics and
+// "workers" on /v1/metricz.
 //
 // The daemon prints "actuaryd listening on http://HOST:PORT" once the
 // listener is up (with -addr :0 the kernel-assigned port appears
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	"chipletactuary"
+	"chipletactuary/fleet"
 	"chipletactuary/server"
 )
 
@@ -54,6 +64,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "session worker pool width (default: one per CPU)")
 	inFlight := fs.Int("inflight", 0, "per-stream in-flight bound (default: twice the worker count)")
 	cacheSize := fs.Int("cache", 0, "KGD cache entries (default: 4096)")
+	workersMin := fs.Int("workers-min", 0, "lower bound for the elastic worker pool (with -workers-max)")
+	workersMax := fs.Int("workers-max", 0, "upper bound for the elastic worker pool (with -workers-min)")
+	resizeEvery := fs.Duration("resize-every", 2*time.Second, "elastic pool resize interval (needs -workers-min/-workers-max)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -68,9 +81,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
+	elastic := *workersMin != 0 || *workersMax != 0
 	opts := []actuary.Option{actuary.WithTech(db)}
 	if *workers > 0 {
 		opts = append(opts, actuary.WithWorkers(*workers))
+	}
+	if elastic {
+		opts = append(opts, actuary.WithWorkerBounds(*workersMin, *workersMax))
 	}
 	if *cacheSize > 0 {
 		opts = append(opts, actuary.WithCacheSize(*cacheSize))
@@ -78,6 +95,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	session, err := actuary.NewSession(opts...)
 	if err != nil {
 		return err
+	}
+	if elastic {
+		resizer, err := fleet.NewResizer(session, fleet.ResizeEvery(*resizeEvery))
+		if err != nil {
+			return err
+		}
+		resizeCtx, stopResize := context.WithCancel(context.Background())
+		defer stopResize()
+		go resizer.Run(resizeCtx)
 	}
 	var srvOpts []server.Option
 	if *inFlight > 0 {

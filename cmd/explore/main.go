@@ -29,6 +29,17 @@
 // one shard per backend; smaller shards reassign more cheaply when a
 // backend dies mid-sweep.
 //
+// With -fleet the sweep runs on the health-aware elastic scheduler
+// instead: the same backend list syntax as -backends, but the grid is
+// over-partitioned, every backend is probed (mark-down/mark-up events
+// go to stderr), shards lost to dead or wedged backends are stolen by
+// live ones, and the last in-flight shards are speculatively
+// re-executed so one straggler cannot stall the run. The merged
+// answer is still byte-identical to the single-process sweep.
+// -fleet-probe-every tunes the probe cadence; -fleet-probe-timeout
+// bounds how long a single probe may hang before counting as a
+// failure (how fast a wedged-but-listening daemon is caught).
+//
 // With -checkpoint FILE the sweep is durable: progress is persisted
 // to FILE as the sweep runs (atomically — a crash or SIGKILL leaves a
 // valid checkpoint), an existing FILE auto-resumes instead of
@@ -50,10 +61,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"chipletactuary"
 	"chipletactuary/client"
 	"chipletactuary/distribute"
+	"chipletactuary/fleet"
 	"chipletactuary/internal/explore"
 	"chipletactuary/internal/report"
 	"chipletactuary/internal/units"
@@ -87,7 +100,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	countRange := fs.String("count-range", "", "sweep: partition-count axis lo:hi (default: 1:-maxk)")
 	topN := fs.Int("top", 5, "sweep: how many cheapest points to print")
 	backends := fs.String("backends", "", "sweep: comma-separated evaluation backends (actuaryd URLs, or \"local\" for in-process); empty evaluates in-process")
-	shards := fs.Int("shards", 0, "sweep: how many shards to split the grid into (default: one per backend)")
+	fleetList := fs.String("fleet", "", "sweep: like -backends but on the health-aware fleet scheduler (probing, work stealing, speculation, mid-run joins)")
+	fleetProbeEvery := fs.Duration("fleet-probe-every", 500*time.Millisecond, "sweep: fleet health-probe interval")
+	fleetProbeTimeout := fs.Duration("fleet-probe-timeout", time.Second, "sweep: per-probe timeout before a backend counts as failed")
+	shards := fs.Int("shards", 0, "sweep: how many shards to split the grid into (default: one per backend; fleet over-partitions)")
 	checkpoint := fs.String("checkpoint", "", "sweep: checkpoint file — written during the sweep, auto-resumed when present, removed on success")
 	checkpointEvery := fs.Int("checkpoint-every", 2000, "sweep: grid candidates between checkpoint writes (local sweeps; distributed runs checkpoint per shard)")
 	fs.SetOutput(out)
@@ -104,18 +120,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if set["checkpoint-every"] && *checkpoint == "" {
 			return fmt.Errorf("-checkpoint-every requires -checkpoint")
 		}
+		if *backends != "" && *fleetList != "" {
+			return fmt.Errorf("-backends and -fleet are mutually exclusive")
+		}
+		if set["fleet-probe-every"] && *fleetList == "" {
+			return fmt.Errorf("-fleet-probe-every requires -fleet")
+		}
+		if set["fleet-probe-timeout"] && *fleetList == "" {
+			return fmt.Errorf("-fleet-probe-timeout requires -fleet")
+		}
 		return runSweep(ctx, out, sweepFlags{
 			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
 			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
 			quantity: *quantity, d2d: *d2dFrac, top: *topN,
 			backends: *backends, shards: *shards,
-			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			fleet: *fleetList, fleetProbeEvery: *fleetProbeEvery,
+			fleetProbeTimeout: *fleetProbeTimeout,
+			checkpoint:        *checkpoint, checkpointEvery: *checkpointEvery,
 		})
 	}
 	// The grid flags mean nothing outside sweep mode; reject them
 	// (including an explicitly set -top, whose default would otherwise
 	// hide the mistake) instead of silently ignoring them.
-	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "shards", "checkpoint", "checkpoint-every"} {
+	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "fleet", "fleet-probe-every", "fleet-probe-timeout", "shards", "checkpoint", "checkpoint-every"} {
 		if set[name] {
 			return fmt.Errorf("-%s requires -mode sweep", name)
 		}
@@ -210,19 +237,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 // sweepFlags carries the grid flags of -mode sweep.
 type sweepFlags struct {
-	node, nodes     string
-	scheme, schemes string
-	area            float64
-	areaRange       string
-	maxK            int
-	countRange      string
-	quantity        float64
-	d2d             float64
-	top             int
-	backends        string
-	shards          int
-	checkpoint      string
-	checkpointEvery int
+	node, nodes       string
+	scheme, schemes   string
+	area              float64
+	areaRange         string
+	maxK              int
+	countRange        string
+	quantity          float64
+	d2d               float64
+	top               int
+	backends          string
+	shards            int
+	fleet             string
+	fleetProbeEvery   time.Duration
+	fleetProbeTimeout time.Duration
+	checkpoint        string
+	checkpointEvery   int
 }
 
 // splitList parses a comma-separated flag value.
@@ -322,6 +352,8 @@ func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
 	var b *actuary.SweepBest
 	var err error
 	switch {
+	case f.fleet != "":
+		b, err = runFleet(ctx, f, cfg)
 	case f.backends != "":
 		b, err = runDistributed(ctx, f, cfg)
 	case f.checkpoint != "":
@@ -437,6 +469,111 @@ func runDistributed(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfi
 		func(cp *actuary.CoordinatorCheckpoint) error {
 			return actuary.SaveCheckpointFile(f.checkpoint, cp)
 		})
+}
+
+// runFleet fans the compiled sweep-best scenario across the -fleet
+// list on the health-aware scheduler: every backend is probed on a
+// cadence, mark-down/mark-up and scheduling events stream to stderr,
+// and the run ends with a per-backend scheduling report. The merged
+// answer is identical to the single-process one whatever died, hung
+// or joined along the way.
+func runFleet(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+	reg := fleet.NewRegistry()
+	used := make(map[string]int)
+	for _, name := range splitList(f.fleet) {
+		label := name
+		if n := used[name]; n > 0 {
+			label = fmt.Sprintf("%s#%d", name, n+1)
+		}
+		used[name]++
+		var backend client.Backend
+		if name == "local" {
+			s, err := actuary.NewSession()
+			if err != nil {
+				return nil, err
+			}
+			backend = client.Local(s)
+		} else {
+			c, err := client.Dial(name)
+			if err != nil {
+				return nil, err
+			}
+			backend = c
+		}
+		if err := reg.Add(label, backend); err != nil {
+			return nil, err
+		}
+	}
+
+	// One event printer for monitor and scheduler: the straggler smoke
+	// harness greps these lines for "marked down" / "marked up".
+	logEvent := func(ev fleet.Event) {
+		switch ev.Kind {
+		case "mark-down":
+			fmt.Fprintf(os.Stderr, "explore: fleet: %s marked down (%s)\n", ev.Backend, ev.Detail)
+		case "mark-up":
+			fmt.Fprintf(os.Stderr, "explore: fleet: %s marked up (%s)\n", ev.Backend, ev.Detail)
+		default:
+			fmt.Fprintf(os.Stderr, "explore: fleet: %s %s: %s\n", ev.Backend, ev.Kind, ev.Detail)
+		}
+	}
+	mon, err := fleet.NewMonitor(reg,
+		fleet.ProbeEvery(f.fleetProbeEvery), fleet.ProbeTimeout(f.fleetProbeTimeout),
+		fleet.MonitorEvents(logEvent))
+	if err != nil {
+		return nil, err
+	}
+	probeCtx, stopProbes := context.WithCancel(ctx)
+	defer stopProbes()
+	go mon.Run(probeCtx)
+
+	opts := []fleet.Option{fleet.WithMonitor(mon), fleet.WithEvents(logEvent)}
+	if f.shards > 0 {
+		opts = append(opts, fleet.WithShards(f.shards))
+	}
+	coord, err := fleet.New(reg, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *actuary.SweepBest
+	if f.checkpoint == "" {
+		best, err = coord.SweepBestScenario(ctx, cfg)
+	} else {
+		var resume *actuary.CoordinatorCheckpoint
+		switch cp, loadErr := actuary.LoadCoordinatorCheckpointFile(f.checkpoint); {
+		case loadErr == nil:
+			resume = cp
+			fmt.Fprintf(os.Stderr, "explore: resuming from checkpoint %s (%d of %d shards drained)\n",
+				f.checkpoint, len(cp.Completed), cp.Shards)
+		case !errors.Is(loadErr, os.ErrNotExist):
+			return nil, loadErr
+		}
+		best, err = coord.SweepBestScenarioCheckpointed(ctx, cfg, resume,
+			func(cp *actuary.CoordinatorCheckpoint) error {
+				return actuary.SaveCheckpointFile(f.checkpoint, cp)
+			})
+	}
+	printFleetStats(coord.Stats())
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// printFleetStats renders the run's per-backend scheduling report to
+// stderr.
+func printFleetStats(st fleet.Stats) {
+	fmt.Fprintf(os.Stderr, "explore: fleet: %d shards, %d requeues, %d speculations, %d steals, %d duplicates\n",
+		st.Shards, st.Requeues, st.Speculations, st.Steals, st.Duplicates)
+	for _, bs := range st.Backends {
+		state := bs.State
+		if state == "" {
+			state = "unprobed"
+		}
+		fmt.Fprintf(os.Stderr, "explore: fleet:   %-24s %-8s shards=%d stolen=%d speculated=%d duplicates=%d transport-failures=%d\n",
+			bs.Name, state, bs.Shards, bs.Stolen, bs.Speculated, bs.Duplicates, bs.TransportFailures)
+	}
 }
 
 // printSweepBest renders a sweep-best answer — local or merged from

@@ -25,6 +25,15 @@
 // recorded answers and re-dispatches only the undrained shards — the
 // shard spec is the checkpoint unit.
 //
+// Since the fleet package arrived, distribute is a thin veneer over
+// fleet.Coordinator with the fleet behaviors switched off: a fixed
+// membership list, no health monitor, and no speculative re-execution
+// — a shard moves to another backend only after a completed transport
+// failure, never on mere slowness. Callers who want health-aware
+// scheduling, work stealing, elastic membership or speculation should
+// use package fleet directly; existing distribute callers keep the
+// exact semantics this package always had.
+//
 //	backends := []client.Backend{client.Local(session), remoteA, remoteB}
 //	coord, err := distribute.New(backends)
 //	best, err := coord.SweepBest(ctx, actuary.Request{
@@ -34,13 +43,11 @@ package distribute
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sort"
-	"sync"
 
 	"chipletactuary"
 	"chipletactuary/client"
+	"chipletactuary/fleet"
 )
 
 // Option configures a Coordinator.
@@ -58,8 +65,8 @@ func WithShards(n int) Option {
 // Coordinator fans sweep-best questions across a fixed set of
 // backends. It is stateless between calls and safe for concurrent use.
 type Coordinator struct {
-	backends []client.Backend
-	shards   int
+	fleet  *fleet.Coordinator
+	shards int
 }
 
 // New builds a Coordinator over the given backends. At least one is
@@ -69,143 +76,28 @@ func New(backends []client.Backend, opts ...Option) (*Coordinator, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("distribute: coordinator needs at least one backend")
 	}
-	c := &Coordinator{backends: backends, shards: len(backends)}
+	c := &Coordinator{shards: len(backends)}
 	for _, opt := range opts {
 		opt(c)
 	}
 	if c.shards < 1 {
 		c.shards = len(backends)
 	}
+	reg := fleet.NewRegistry()
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("distribute: backend %d is nil", i)
+		}
+		if err := reg.Add(fmt.Sprintf("backend-%d", i), b); err != nil {
+			return nil, fmt.Errorf("distribute: %w", err)
+		}
+	}
+	fc, err := fleet.New(reg, fleet.WithShards(c.shards), fleet.WithSpeculation(false))
+	if err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	c.fleet = fc
 	return c, nil
-}
-
-// shardTask is one stripe of the sweep waiting for a backend. tried
-// marks backends that failed it on transport, so reassignment never
-// hands a shard back to the backend that just dropped it.
-type shardTask struct {
-	index int
-	tried []bool
-}
-
-// scheduler hands shards to backend workers: a mutex-guarded pending
-// list with a condition variable, so a worker that cannot take any
-// remaining shard (it failed them all already) parks instead of
-// spinning, and wakes when the situation changes.
-type scheduler struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []*shardTask
-	done    int
-	total   int
-	failed  error  // first fatal failure; stops the run
-	stop    func() // invoked once when failed is set; cancels in-flight work
-}
-
-// newScheduler builds the shard queue, skipping shards a resumed run
-// already drained: those count as done from the start and are never
-// handed to a backend.
-func newScheduler(total int, drained func(int) bool) *scheduler {
-	s := &scheduler{total: total}
-	s.cond = sync.NewCond(&s.mu)
-	for i := 0; i < total; i++ {
-		if drained != nil && drained(i) {
-			s.done++
-			continue
-		}
-		s.pending = append(s.pending, &shardTask{index: i, tried: nil})
-	}
-	return s
-}
-
-// next blocks until a shard is available for backend b, every shard is
-// done, or the run failed. The boolean reports whether a task was
-// handed out.
-func (s *scheduler) next(b int) (*shardTask, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.failed != nil || s.done == s.total {
-			return nil, false
-		}
-		for i, t := range s.pending {
-			if b < len(t.tried) && t.tried[b] {
-				continue
-			}
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return t, true
-		}
-		// Nothing this worker may take right now (empty pending, or it
-		// already failed every pending shard): park until a requeue,
-		// completion or failure changes the picture.
-		s.cond.Wait()
-	}
-}
-
-// complete marks one shard finished.
-func (s *scheduler) complete() {
-	s.mu.Lock()
-	s.done++
-	s.mu.Unlock()
-	s.cond.Broadcast()
-}
-
-// requeue returns a shard after a transport failure on backend b,
-// excluding b from its future assignments. When every backend has now
-// failed the shard, the run fails with the last transport error.
-func (s *scheduler) requeue(t *shardTask, b, backends int, cause error) {
-	s.mu.Lock()
-	for len(t.tried) < backends {
-		t.tried = append(t.tried, false)
-	}
-	t.tried[b] = true
-	exhausted := true
-	for _, tried := range t.tried {
-		if !tried {
-			exhausted = false
-			break
-		}
-	}
-	var stop func()
-	if exhausted {
-		if s.failed == nil {
-			s.failed = fmt.Errorf("distribute: shard %d failed on every backend: %w", t.index, cause)
-			stop = s.stop
-		}
-	} else {
-		s.pending = append(s.pending, t)
-	}
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	if stop != nil {
-		stop()
-	}
-}
-
-// fail aborts the run with a fatal error (a deterministic evaluation
-// failure, or a canceled context). A run whose every shard already
-// completed cannot fail retroactively: the context watcher may observe
-// cancellation in the gap after the last merge, and the fully-computed
-// answer must win that race. (Fatal evaluation errors always arrive
-// with their own shard incomplete, so the guard never masks one.)
-func (s *scheduler) fail(err error) {
-	var stop func()
-	s.mu.Lock()
-	if s.failed == nil && s.done < s.total {
-		s.failed = err
-		stop = s.stop
-	}
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	if stop != nil {
-		stop()
-	}
-}
-
-// err returns the fatal failure, if any.
-func (s *scheduler) err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failed
 }
 
 // SweepBest answers one sweep-best request by fanning its grid across
@@ -252,169 +144,11 @@ func (c *Coordinator) SweepBestCheckpointed(ctx context.Context, req actuary.Req
 	if req.Grid == nil {
 		return nil, fmt.Errorf("distribute: sweep-best request needs a Grid")
 	}
-	if err := req.Grid.Validate(); err != nil {
-		return nil, err
-	}
 	if req.ShardIndex != 0 || req.ShardCount != 0 {
 		return nil, fmt.Errorf("distribute: request already carries shard %d of %d; the coordinator assigns shards",
 			req.ShardIndex, req.ShardCount)
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-
-	n := c.shards
-	fingerprint := ""
-	if resume != nil || save != nil {
-		var err error
-		if fingerprint, err = actuary.SweepFingerprint(req); err != nil {
-			return nil, err
-		}
-	}
-	merger := actuary.NewSweepBestMerger(req.TopK)
-	drained := make(map[int]*actuary.SweepBest)
-	if resume != nil {
-		if resume.Fingerprint != fingerprint {
-			return nil, fmt.Errorf("distribute: %w: checkpoint fingerprint %.12s does not match sweep grid %q (%.12s)",
-				actuary.ErrCheckpointMismatch, resume.Fingerprint, req.Grid.Name, fingerprint)
-		}
-		if resume.Shards != n {
-			return nil, fmt.Errorf("distribute: %w: checkpoint partitioned the sweep into %d shards, this coordinator into %d",
-				actuary.ErrCheckpointMismatch, resume.Shards, n)
-		}
-		// Re-validate what the wire decoder would have: an in-memory
-		// checkpoint handed straight to this method never passed
-		// through UnmarshalJSON, and a duplicate or absurd entry
-		// silently double-merged would corrupt the answer.
-		if err := resume.Validate(); err != nil {
-			return nil, fmt.Errorf("distribute: %w: %w", actuary.ErrCheckpointMismatch, err)
-		}
-		for _, sr := range resume.Completed {
-			drained[sr.Shard] = sr.Best
-			merger.Add(sr.Best)
-		}
-	}
-	var mergeMu sync.Mutex
-	// checkpoint snapshots the run's progress under mergeMu.
-	checkpoint := func() *actuary.CoordinatorCheckpoint {
-		cp := &actuary.CoordinatorCheckpoint{Fingerprint: fingerprint, Shards: n}
-		shards := make([]int, 0, len(drained))
-		for i := range drained {
-			shards = append(shards, i)
-		}
-		sort.Ints(shards)
-		for _, i := range shards {
-			cp.Completed = append(cp.Completed, actuary.ShardResult{Shard: i, Best: drained[i]})
-		}
-		return cp
-	}
-
-	// A fatal failure cancels runCtx so in-flight shard walks on the
-	// other backends stop at their next cancellation check instead of
-	// computing answers nobody will merge.
-	runCtx, cancelRun := context.WithCancel(ctx)
-	defer cancelRun()
-	sched := newScheduler(n, func(i int) bool { _, ok := drained[i]; return ok })
-	sched.stop = cancelRun
-
-	var wg sync.WaitGroup
-	for b := range c.backends {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			for {
-				task, ok := sched.next(b)
-				if !ok {
-					return
-				}
-				best, err := c.evaluateShard(runCtx, b, req, task.index, n)
-				switch {
-				case err == nil:
-					mergeMu.Lock()
-					merger.Add(best)
-					drained[task.index] = best
-					var saveErr error
-					if save != nil {
-						saveErr = save(checkpoint())
-					}
-					mergeMu.Unlock()
-					if saveErr != nil {
-						sched.fail(fmt.Errorf("distribute: saving coordinator checkpoint: %w", saveErr))
-						return
-					}
-					sched.complete()
-				case retryable(err):
-					sched.requeue(task, b, len(c.backends), err)
-				default:
-					sched.fail(err)
-				}
-			}
-		}(b)
-	}
-
-	// A canceled caller context must unblock workers parked in next().
-	watch := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-			sched.fail(ctx.Err())
-		case <-watch:
-		}
-	}()
-	wg.Wait()
-	close(watch)
-
-	if err := sched.err(); err != nil {
-		return nil, err
-	}
-	return merger.Result(req.Grid.Name)
-}
-
-// evaluateShard runs one shard of the request on one backend as a
-// single-member batch.
-func (c *Coordinator) evaluateShard(ctx context.Context, b int, req actuary.Request, shard, count int) (*actuary.SweepBest, error) {
-	sr := req
-	sr.ShardIndex, sr.ShardCount = shard, count
-	if sr.ID == "" {
-		sr.ID = req.Grid.Name + "/" + actuary.QuestionSweepBest.String()
-	}
-	sr.ID = actuary.ShardID(sr.ID, shard, count)
-	results, err := c.backends[b].Evaluate(ctx, []actuary.Request{sr})
-	if err != nil {
-		return nil, err
-	}
-	if len(results) != 1 {
-		return nil, transportError(fmt.Errorf("distribute: backend returned %d results for a 1-request batch", len(results)))
-	}
-	if results[0].Err != nil {
-		return nil, results[0].Err
-	}
-	if results[0].SweepBest == nil {
-		return nil, transportError(fmt.Errorf("distribute: backend returned no sweep-best payload for %q", sr.ID))
-	}
-	return results[0].SweepBest, nil
-}
-
-// transportError classifies a malformed backend response as
-// ErrTransport so it is retried elsewhere like any other broken
-// transport.
-func transportError(err error) error {
-	return &actuary.Error{Code: actuary.ErrTransport, Index: -1, Question: -1, Err: err}
-}
-
-// retryable reports whether another backend might succeed where this
-// one failed: transport failures are worth reassigning, evaluation
-// failures and cancellations are not.
-func retryable(err error) bool {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
-	}
-	if ae, ok := actuary.AsError(err); ok {
-		return ae.Code == actuary.ErrTransport
-	}
-	// An error outside the taxonomy came from the transport layer, not
-	// from an evaluator.
-	return true
+	return c.fleet.SweepBestCheckpointed(ctx, req, resume, save)
 }
 
 // SweepBestScenario answers the single sweep-best question of a

@@ -1,0 +1,455 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chipletactuary"
+	"chipletactuary/client"
+)
+
+// testGrid exercises every accounting path: multi-scheme dedup of the
+// k=1 twins, reticle pruning (860 mm² monolithic dies), and plain
+// feasible points.
+func testGrid() actuary.SweepGrid {
+	return actuary.SweepGrid{
+		Name:       "fleet",
+		Nodes:      []string{"5nm", "7nm"},
+		Schemes:    []actuary.Scheme{actuary.MCM, actuary.TwoPointFiveD},
+		AreasMM2:   []float64{200, 500, 860},
+		Counts:     []int{1, 2, 3, 4},
+		Quantities: []float64{1_000_000},
+		D2D:        actuary.D2DFraction(0.10),
+	}
+}
+
+func newSession(t testing.TB) *actuary.Session {
+	t.Helper()
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// singleProcessBest is the ground truth: the unsharded sweep-best
+// answer of one local session.
+func singleProcessBest(t testing.TB, req actuary.Request) *actuary.SweepBest {
+	t.Helper()
+	res := newSession(t).Evaluate(context.Background(), []actuary.Request{req})[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res.SweepBest
+}
+
+// assertSameBest checks a fleet answer against the single-process
+// one: top-K and Pareto byte-identical, summary exact except Sum
+// (floating-point reassociation), statistics exact.
+func assertSameBest(t *testing.T, got, want *actuary.SweepBest) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Top, want.Top) {
+		t.Errorf("Top diverged from the single-process answer")
+	}
+	if !reflect.DeepEqual(got.Pareto, want.Pareto) {
+		t.Errorf("Pareto diverged from the single-process answer")
+	}
+	gs, ws := got.Summary, want.Summary
+	if gs.Count != ws.Count || gs.Min != ws.Min || gs.Max != ws.Max ||
+		gs.MinID != ws.MinID || gs.MaxID != ws.MaxID {
+		t.Errorf("Summary = %+v, want %+v", gs, ws)
+	}
+	if math.Abs(gs.Sum-ws.Sum) > 1e-9*math.Abs(ws.Sum) {
+		t.Errorf("Summary.Sum = %v, want %v (beyond reassociation tolerance)", gs.Sum, ws.Sum)
+	}
+	if got.Pruned != want.Pruned || got.Deduped != want.Deduped || got.Infeasible != want.Infeasible {
+		t.Errorf("stats = %d/%d/%d pruned/deduped/infeasible, want %d/%d/%d",
+			got.Pruned, got.Deduped, got.Infeasible, want.Pruned, want.Deduped, want.Infeasible)
+	}
+}
+
+// countingBackend counts Evaluate calls.
+type countingBackend struct {
+	inner client.Backend
+	calls atomic.Int32
+}
+
+func (c *countingBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	c.calls.Add(1)
+	return c.inner.Evaluate(ctx, reqs)
+}
+
+func (c *countingBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return c.inner.Stream(ctx, cfg)
+}
+
+// blockedBackend hangs every Evaluate until its context is canceled —
+// a wedged daemon that accepted the connection and went silent.
+type blockedBackend struct {
+	calls atomic.Int32
+}
+
+func (b *blockedBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	b.calls.Add(1)
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *blockedBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return nil, errors.New("blocked backend cannot stream")
+}
+
+// TestFleetMatchesSingleProcess: the fleet scheduler — speculation
+// on, over-partitioned — merges the exact single-process answer for
+// any backend count.
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 5}
+	want := singleProcessBest(t, req)
+	for _, backends := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("backends=%d", backends), func(t *testing.T) {
+			reg := NewRegistry()
+			for i := 0; i < backends; i++ {
+				if err := reg.Add(fmt.Sprintf("local-%d", i), client.Local(newSession(t))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			coord, err := New(reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := coord.SweepBest(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameBest(t, got, want)
+			st := coord.Stats()
+			if st.Shards != DefaultOverPartition*backends {
+				t.Errorf("Shards = %d, want %d", st.Shards, DefaultOverPartition*backends)
+			}
+			won := 0
+			for _, bs := range st.Backends {
+				won += bs.Shards
+			}
+			if won != st.Shards {
+				t.Errorf("backends won %d shards of %d — a shard merged zero or twice", won, st.Shards)
+			}
+		})
+	}
+}
+
+// TestFleetRescuesStraggler is the tentpole acceptance test: one
+// backend wedges solid on its first shard, the healthy backend drains
+// the rest and then speculatively re-executes the wedged shard. The
+// wedged execution is canceled by the rival's win, and the answer
+// stays byte-identical to the single-process sweep.
+func TestFleetRescuesStraggler(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 5}
+	want := singleProcessBest(t, req)
+
+	reg := NewRegistry()
+	wedged := &blockedBackend{}
+	if err := reg.Add("wedged", wedged); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("healthy", client.Local(newSession(t))); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	kinds := map[string]int{}
+	coord, err := New(reg, WithShards(6),
+		WithEvents(func(ev Event) { mu.Lock(); kinds[ev.Kind]++; mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := coord.SweepBest(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBest(t, got, want)
+	if wedged.calls.Load() == 0 {
+		t.Fatal("wedged backend was never dispatched; the test proves nothing")
+	}
+	st := coord.Stats()
+	if st.Speculations == 0 || st.Steals == 0 {
+		t.Errorf("stats = %+v, want at least one speculation and one steal", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if kinds["speculate"] == 0 || kinds["steal"] == 0 {
+		t.Errorf("events = %v, want speculate and steal", kinds)
+	}
+}
+
+// TestFleetLateJoin: a sweep starts with only a wedged backend; a
+// healthy backend added to the registry mid-run is admitted, drains
+// everything (stealing the wedged shard), and the answer is exact.
+func TestFleetLateJoin(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 5}
+	want := singleProcessBest(t, req)
+
+	reg := NewRegistry()
+	wedged := &blockedBackend{}
+	if err := reg.Add("wedged", wedged); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var joined []string
+	coord, err := New(reg, WithShards(5), WithEvents(func(ev Event) {
+		if ev.Kind == "join" {
+			mu.Lock()
+			joined = append(joined, ev.Backend)
+			mu.Unlock()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	late := &countingBackend{inner: client.Local(newSession(t))}
+	result := make(chan error, 1)
+	var got *actuary.SweepBest
+	go func() {
+		var err error
+		got, err = coord.SweepBest(ctx, req)
+		result <- err
+	}()
+
+	// Wait until the wedged backend has taken a shard, then join.
+	for wedged.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := reg.Add("late", late); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-result; err != nil {
+		t.Fatal(err)
+	}
+	assertSameBest(t, got, want)
+	if late.calls.Load() < 5 {
+		t.Errorf("late joiner evaluated %d shards, want all 5", late.calls.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(joined, []string{"late"}) {
+		t.Errorf("join events = %v, want [late]", joined)
+	}
+}
+
+// TestFleetSkipsMarkedDownBackend: with a monitor attached, a backend
+// that never answers a probe is marked down before it can waste a
+// single shard; the sweep drains entirely through the healthy one.
+func TestFleetSkipsMarkedDownBackend(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 5}
+	want := singleProcessBest(t, req)
+
+	reg := NewRegistry()
+	dead := &probedBackend{inner: &blockedBackend{}, err: errors.New("connection refused")}
+	if err := reg.Add("dead", dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("healthy", client.Local(newSession(t))); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.ProbeOnce(context.Background()) // marks dead down before the sweep
+	coord, err := New(reg, WithMonitor(mon), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.SweepBest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBest(t, got, want)
+	if calls := dead.inner.(*blockedBackend).calls.Load(); calls != 0 {
+		t.Errorf("marked-down backend was dispatched %d shards", calls)
+	}
+	for _, bs := range coord.Stats().Backends {
+		if bs.Name == "dead" && bs.State != "down" {
+			t.Errorf("dead backend state %q, want down", bs.State)
+		}
+	}
+}
+
+// probedBackend pairs any backend with a scripted probe answer.
+type probedBackend struct {
+	inner client.Backend
+	err   error
+}
+
+func (p *probedBackend) Probe(context.Context) (client.Status, error) {
+	if p.err != nil {
+		return client.Status{}, p.err
+	}
+	return client.Status{Source: "test"}, nil
+}
+
+func (p *probedBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	return p.inner.Evaluate(ctx, reqs)
+}
+
+func (p *probedBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return p.inner.Stream(ctx, cfg)
+}
+
+// TestFleetAllBackendsDown: every backend marked down leaves the run
+// parked; the caller's deadline is what ends it.
+func TestFleetAllBackendsDown(t *testing.T) {
+	grid := testGrid()
+	reg := NewRegistry()
+	if err := reg.Add("dead", &probedBackend{inner: &blockedBackend{}, err: errors.New("refused")}); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.ProbeOnce(context.Background())
+	coord, err := New(reg, WithMonitor(mon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err = coord.SweepBest(ctx, actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's deadline", err)
+	}
+}
+
+// TestFleetCheckpointResumeNeverRedispatchesDrained: resuming from a
+// checkpoint dispatches only the undrained shards, speculation
+// notwithstanding, and the merged answer is exact.
+func TestFleetCheckpointResumeNeverRedispatchesDrained(t *testing.T) {
+	grid := testGrid()
+	req := actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid, TopK: 4}
+	want := singleProcessBest(t, req)
+	const shards = 6
+
+	reg := NewRegistry()
+	if err := reg.Add("one", client.Local(newSession(t))); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(reg, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *actuary.CoordinatorCheckpoint
+	_, err = coord.SweepBestCheckpointed(ctx, req, nil, func(cp *actuary.CoordinatorCheckpoint) error {
+		last = cp
+		if len(cp.Completed) == shards/2 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("interrupted run should fail with the cancellation")
+	}
+	if last == nil || len(last.Completed) < shards/2 || len(last.Completed) == shards {
+		t.Fatalf("unusable checkpoint: %+v", last)
+	}
+	// Deep-copy what a real restart would read back from disk.
+	resume := &actuary.CoordinatorCheckpoint{Fingerprint: last.Fingerprint, Shards: last.Shards,
+		Completed: append([]actuary.ShardResult(nil), last.Completed...)}
+
+	reg2 := NewRegistry()
+	counter := &shardCounter{inner: client.Local(newSession(t)), calls: map[int]int{}}
+	if err := reg2.Add("two", counter); err != nil {
+		t.Fatal(err)
+	}
+	coord2, err := New(reg2, WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord2.SweepBestCheckpointed(context.Background(), req, resume, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBest(t, got, want)
+	counter.mu.Lock()
+	defer counter.mu.Unlock()
+	for _, sr := range resume.Completed {
+		if counter.calls[sr.Shard] != 0 {
+			t.Errorf("drained shard %d re-dispatched %d times", sr.Shard, counter.calls[sr.Shard])
+		}
+	}
+	total := 0
+	for _, c := range counter.calls {
+		total += c
+	}
+	if total != shards-len(resume.Completed) {
+		t.Errorf("resumed run evaluated %d shards, want %d", total, shards-len(resume.Completed))
+	}
+}
+
+// shardCounter counts evaluations per shard index.
+type shardCounter struct {
+	inner client.Backend
+	mu    sync.Mutex
+	calls map[int]int
+}
+
+func (b *shardCounter) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error) {
+	b.mu.Lock()
+	for _, r := range reqs {
+		b.calls[r.ShardIndex]++
+	}
+	b.mu.Unlock()
+	return b.inner.Evaluate(ctx, reqs)
+}
+
+func (b *shardCounter) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return b.inner.Stream(ctx, cfg)
+}
+
+func TestFleetRejectsBadInputs(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	reg := NewRegistry()
+	if _, err := New(reg, WithOverPartition(0)); err == nil {
+		t.Error("zero over-partition factor accepted")
+	}
+	coord, err := New(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := testGrid()
+	if _, err := coord.SweepBest(context.Background(),
+		actuary.Request{Question: actuary.QuestionSweepBest, Grid: &grid}); err == nil {
+		t.Error("sweep over an empty registry accepted")
+	}
+	if err := reg.Add("a", client.Local(newSession(t))); err != nil {
+		t.Fatal(err)
+	}
+	bad := []actuary.Request{
+		{Question: actuary.QuestionSweepBest},                                            // no grid
+		{Question: actuary.QuestionRE, Grid: &grid},                                      // wrong question
+		{Question: actuary.QuestionSweepBest, Grid: &grid, ShardIndex: 1, ShardCount: 2}, // pre-sharded
+	}
+	for i, req := range bad {
+		if _, err := coord.SweepBest(context.Background(), req); err == nil {
+			t.Errorf("case %d: bad request accepted", i)
+		}
+	}
+}

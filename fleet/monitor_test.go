@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chipletactuary"
+	"chipletactuary/client"
+)
+
+// fakeProber is a backend whose probe answers are scripted.
+type fakeProber struct {
+	mu   sync.Mutex
+	st   client.Status
+	err  error
+	hang bool
+}
+
+func (f *fakeProber) set(st client.Status, err error) {
+	f.mu.Lock()
+	f.st, f.err = st, err
+	f.mu.Unlock()
+}
+
+func (f *fakeProber) Probe(ctx context.Context) (client.Status, error) {
+	f.mu.Lock()
+	st, err, hang := f.st, f.err, f.hang
+	f.mu.Unlock()
+	if hang {
+		<-ctx.Done()
+		return client.Status{}, &client.ProbeError{Err: ctx.Err()}
+	}
+	if err != nil {
+		return client.Status{}, err
+	}
+	return st, nil
+}
+
+func (f *fakeProber) Evaluate(context.Context, []actuary.Request) ([]actuary.Result, error) {
+	return nil, errors.New("fake prober cannot evaluate")
+}
+
+func (f *fakeProber) Stream(context.Context, actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return nil, errors.New("fake prober cannot stream")
+}
+
+func memberID(t *testing.T, reg *Registry, name string) int {
+	t.Helper()
+	for _, m := range reg.live() {
+		if m.name == name {
+			return m.id
+		}
+	}
+	t.Fatalf("no live member %q", name)
+	return -1
+}
+
+func TestMonitorHysteresis(t *testing.T) {
+	reg := NewRegistry()
+	probe := &fakeProber{}
+	if err := reg.Add("a", probe); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []Event
+	m, err := NewMonitor(reg, MarkDownAfter(3), MarkUpAfter(2),
+		MonitorEvents(func(ev Event) { mu.Lock(); events = append(events, ev); mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := memberID(t, reg, "a")
+	ctx := context.Background()
+
+	if !m.up(id) || m.weight(id) != 1 {
+		t.Error("unprobed backend should be optimistically up at weight 1")
+	}
+	m.ProbeOnce(ctx)
+	if got := m.stateOf(id); got != StateUp {
+		t.Fatalf("state after first success = %v, want up", got)
+	}
+
+	// Two failures: hysteresis keeps an Up backend admitted.
+	probe.set(client.Status{}, errors.New("flap"))
+	m.ProbeOnce(ctx)
+	m.ProbeOnce(ctx)
+	if got := m.stateOf(id); got != StateUp {
+		t.Fatalf("state after 2 failures = %v, want still up (markDown=3)", got)
+	}
+	// Third consecutive failure: marked down, weight zero.
+	m.ProbeOnce(ctx)
+	if got := m.stateOf(id); got != StateDown {
+		t.Fatalf("state after 3 failures = %v, want down", got)
+	}
+	if m.up(id) || m.weight(id) != 0 {
+		t.Error("down backend still schedulable")
+	}
+
+	// One success does not re-admit (markUp=2); two do.
+	probe.set(client.Status{}, nil)
+	m.ProbeOnce(ctx)
+	if got := m.stateOf(id); got != StateDown {
+		t.Fatalf("state after 1 success = %v, want still down (markUp=2)", got)
+	}
+	m.ProbeOnce(ctx)
+	if got := m.stateOf(id); got != StateUp {
+		t.Fatalf("state after 2 successes = %v, want up", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var kinds []string
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != "mark-down" || kinds[1] != "mark-up" {
+		t.Errorf("events = %v, want [mark-down mark-up]", kinds)
+	}
+}
+
+func TestMonitorNeverCameUp(t *testing.T) {
+	reg := NewRegistry()
+	probe := &fakeProber{err: errors.New("connection refused")}
+	if err := reg.Add("dead", probe); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []Event
+	m, err := NewMonitor(reg, MarkDownAfter(5),
+		MonitorEvents(func(ev Event) { mu.Lock(); events = append(events, ev); mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A backend with no track record is marked down on its FIRST
+	// failure: markDown hysteresis only defends a history of health.
+	m.ProbeOnce(context.Background())
+	if got := m.stateOf(memberID(t, reg, "dead")); got != StateDown {
+		t.Fatalf("state = %v, want down after one failure on a fresh backend", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 || !strings.Contains(events[0].Detail, "never came up") {
+		t.Errorf("events = %+v, want one never-came-up mark-down", events)
+	}
+}
+
+func TestMonitorProbeTimeout(t *testing.T) {
+	// A hung backend (SIGSTOP, wedged, partitioned) never errors its
+	// TCP connection — the probe timeout is what catches it.
+	reg := NewRegistry()
+	if err := reg.Add("hung", &fakeProber{hang: true}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(reg, ProbeTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	m.ProbeOnce(context.Background())
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("ProbeOnce hung for %v despite the timeout", took)
+	}
+	if got := m.stateOf(memberID(t, reg, "hung")); got != StateDown {
+		t.Fatalf("state = %v, want down after timed-out probe", got)
+	}
+}
+
+func TestMonitorWeight(t *testing.T) {
+	reg := NewRegistry()
+	idle := &fakeProber{st: client.Status{Utilization: 0.05, MeanQueueDepth: 0}}
+	busy := &fakeProber{st: client.Status{Utilization: 0.95, MeanQueueDepth: 8}}
+	if err := reg.Add("idle", idle); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("busy", busy); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		m.ProbeOnce(ctx)
+	}
+	wi, wb := m.weight(memberID(t, reg, "idle")), m.weight(memberID(t, reg, "busy"))
+	if wi <= wb {
+		t.Errorf("idle weight %v not above busy weight %v", wi, wb)
+	}
+	if wi <= 0 || wi > 1 || wb < 0.05 {
+		t.Errorf("weights outside bounds: idle %v, busy %v", wi, wb)
+	}
+	healths := m.Snapshot()
+	if len(healths) != 2 || healths[0].Name != "busy" || healths[1].Name != "idle" {
+		t.Fatalf("Snapshot = %+v, want busy, idle", healths)
+	}
+	if healths[1].Utilization >= healths[0].Utilization {
+		t.Errorf("snapshot utilization: idle %v, busy %v", healths[1].Utilization, healths[0].Utilization)
+	}
+}
+
+func TestMonitorListener(t *testing.T) {
+	reg := NewRegistry()
+	probe := &fakeProber{}
+	if err := reg.Add("a", probe); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(reg, MarkDownAfter(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fired := 0
+	remove := m.addListener(func() { mu.Lock(); fired++; mu.Unlock() })
+	ctx := context.Background()
+	m.ProbeOnce(ctx) // unknown -> up: a change
+	probe.set(client.Status{}, errors.New("down"))
+	m.ProbeOnce(ctx) // up -> down: a change
+	m.ProbeOnce(ctx) // already down: no change
+	mu.Lock()
+	got := fired
+	mu.Unlock()
+	if got != 2 {
+		t.Errorf("listener fired %d times, want 2", got)
+	}
+	remove()
+	probe.set(client.Status{}, nil)
+	m.ProbeOnce(ctx)
+	m.ProbeOnce(ctx)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 2 {
+		t.Errorf("removed listener still fired (%d)", fired)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	reg := NewRegistry()
+	cases := []MonitorOption{
+		ProbeEvery(0),
+		ProbeTimeout(-time.Second),
+		MarkDownAfter(0),
+		MarkUpAfter(0),
+		ProbeEWMA(0),
+		ProbeEWMA(1.5),
+	}
+	for i, opt := range cases {
+		if _, err := NewMonitor(reg, opt); err == nil {
+			t.Errorf("case %d: invalid option accepted", i)
+		}
+	}
+}

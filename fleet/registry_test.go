@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"chipletactuary"
+	"chipletactuary/client"
+)
+
+// stubBackend satisfies client.Backend for tests that never evaluate.
+type stubBackend struct{}
+
+func (stubBackend) Evaluate(context.Context, []actuary.Request) ([]actuary.Result, error) {
+	return nil, errors.New("stub backend cannot evaluate")
+}
+
+func (stubBackend) Stream(context.Context, actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return nil, errors.New("stub backend cannot stream")
+}
+
+func TestRegistryMembership(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("", stubBackend{}); err == nil {
+		t.Error("nameless backend accepted")
+	}
+	if err := reg.Add("a", nil); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if err := reg.Add("a", stubBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("a", stubBackend{}); err == nil {
+		t.Error("duplicate live name accepted")
+	}
+	if err := reg.Add("b", stubBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if !reg.Remove("a") {
+		t.Error("Remove(a) reported absent")
+	}
+	if reg.Remove("a") {
+		t.Error("second Remove(a) reported present")
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("Names after remove = %v", got)
+	}
+	// A departed name may rejoin — with a fresh member id, so stale
+	// scheduler state about the dead incarnation cannot apply to it.
+	if err := reg.Add("a", stubBackend{}); err != nil {
+		t.Fatalf("rejoin after remove: %v", err)
+	}
+	ids := reg.liveIDs()
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Errorf("liveIDs = %v, want two distinct ids", ids)
+	}
+	for _, id := range ids {
+		if id == 0 {
+			t.Errorf("rejoined backend reused the removed incarnation's id %v", ids)
+		}
+	}
+}
+
+func TestRegistrySubscribe(t *testing.T) {
+	reg := NewRegistry()
+	updates, cancel := reg.subscribe()
+	defer cancel()
+	if err := reg.Add("a", stubBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-updates:
+	default:
+		t.Fatal("Add did not notify the subscriber")
+	}
+	// Coalescing: many changes while the subscriber is away collapse
+	// into one pending notification, never a blocked registry.
+	reg.Add("b", stubBackend{})
+	reg.Add("c", stubBackend{})
+	reg.Remove("b")
+	select {
+	case <-updates:
+	default:
+		t.Fatal("changes did not leave a pending notification")
+	}
+	select {
+	case <-updates:
+		t.Fatal("notifications were queued, not coalesced")
+	default:
+	}
+	cancel()
+	reg.Add("d", stubBackend{})
+	select {
+	case <-updates:
+		t.Fatal("canceled subscriber still notified")
+	default:
+	}
+}
+
+var _ client.Backend = stubBackend{}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"chipletactuary"
+)
+
+// ResizerOption configures a Resizer.
+type ResizerOption func(*Resizer)
+
+// ResizeEvery sets the adjustment interval for Run. Default 2s.
+func ResizeEvery(d time.Duration) ResizerOption {
+	return func(r *Resizer) { r.every = d }
+}
+
+// ResizeStep sets how many workers one adjustment adds or removes.
+// Default 1: the resizer walks, it does not jump, so a one-interval
+// burst cannot whipsaw the pool.
+func ResizeStep(n int) ResizerOption {
+	return func(r *Resizer) { r.step = n }
+}
+
+// ResizeThresholds sets the decision boundaries: utilization at or
+// below lowUtil shrinks the pool; utilization at or above highUtil
+// with mean queue depth at or above highDepth grows it. Defaults
+// 0.35, 0.8 and 2.
+func ResizeThresholds(lowUtil, highUtil, highDepth float64) ResizerOption {
+	return func(r *Resizer) {
+		r.lowUtil, r.highUtil, r.highDepth = lowUtil, highUtil, highDepth
+	}
+}
+
+// ResizerEvents installs a sink for resize events.
+func ResizerEvents(f func(Event)) ResizerOption {
+	return func(r *Resizer) { r.onEvent = f }
+}
+
+// Resizer grows and shrinks a Session's worker pool from its own
+// back-pressure metrics: sustained high utilization with a standing
+// queue means the pool is the bottleneck, sustained low utilization
+// means workers are idle capital. Each Tick looks at the metrics
+// delta since the previous Tick — rates over the window, not
+// lifetime averages that stale history would anchor.
+//
+// The session must have been built with actuary.WithWorkerBounds;
+// Session.Resize clamps every adjustment to those bounds. Not safe
+// for concurrent use; run one Resizer per session.
+type Resizer struct {
+	session   *actuary.Session
+	every     time.Duration
+	step      int
+	lowUtil   float64
+	highUtil  float64
+	highDepth float64
+	onEvent   func(Event)
+	metrics   func() actuary.SessionMetrics // injectable for tests
+
+	prev     actuary.SessionMetrics
+	havePrev bool
+}
+
+// NewResizer builds a resizer for the session.
+func NewResizer(s *actuary.Session, opts ...ResizerOption) (*Resizer, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fleet: resizer needs a session")
+	}
+	r := &Resizer{
+		session:   s,
+		every:     2 * time.Second,
+		step:      1,
+		lowUtil:   0.35,
+		highUtil:  0.8,
+		highDepth: 2,
+		metrics:   s.Metrics,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.every <= 0 {
+		return nil, fmt.Errorf("fleet: resize interval must be positive")
+	}
+	if r.step < 1 {
+		return nil, fmt.Errorf("fleet: resize step %d below 1", r.step)
+	}
+	if !(r.lowUtil < r.highUtil) {
+		return nil, fmt.Errorf("fleet: resize thresholds want lowUtil %v < highUtil %v", r.lowUtil, r.highUtil)
+	}
+	return r, nil
+}
+
+// Run adjusts the pool every interval until ctx is canceled.
+func (r *Resizer) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			r.Tick()
+		}
+	}
+}
+
+// Tick observes the window since the previous Tick and applies at
+// most one resize step, returning the pool target afterward. The
+// first Tick only seeds the window.
+func (r *Resizer) Tick() int {
+	cur := r.metrics()
+	if !r.havePrev {
+		r.prev, r.havePrev = cur, true
+		return r.session.Workers()
+	}
+	d := cur.Delta(r.prev)
+	r.prev = cur
+	target := r.session.Workers()
+	want := target
+	switch {
+	case d.Requests == 0 && cur.QueueDepth == 0 && cur.InFlight == 0:
+		// Fully idle window: release capital.
+		want = target - r.step
+	case d.Utilization() >= r.highUtil && d.MeanQueueDepth() >= r.highDepth:
+		want = target + r.step
+	case d.Utilization() <= r.lowUtil:
+		want = target - r.step
+	}
+	applied := r.session.Resize(want)
+	if applied != target && r.onEvent != nil {
+		r.onEvent(Event{Kind: "resize",
+			Detail: fmt.Sprintf("worker pool %d -> %d (window utilization %.2f, mean queue depth %.2f)",
+				target, applied, d.Utilization(), d.MeanQueueDepth())})
+	}
+	return applied
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"chipletactuary"
+)
+
+// metricsScript drives a Resizer with hand-built metric windows.
+type metricsScript struct {
+	cur actuary.SessionMetrics
+}
+
+// window appends one observation window to the cumulative counters.
+func (s *metricsScript) window(busy, total time.Duration, requests, samples, depthSum int64) {
+	s.cur.WorkerBusy += busy
+	s.cur.WorkerTime += total
+	s.cur.QueueDepthSamples += samples
+	s.cur.QueueDepthSum += depthSum
+	// Rebuild PerQuestion rather than mutating in place: a snapshot
+	// handed out earlier (the resizer's prev) must not see this window.
+	pq := append([]actuary.QuestionMetrics(nil), s.cur.PerQuestion...)
+	if len(pq) == 0 {
+		pq = []actuary.QuestionMetrics{{Question: actuary.QuestionSweepBest}}
+	}
+	pq[0].Count += requests
+	s.cur.PerQuestion = pq
+}
+
+func TestResizerTick(t *testing.T) {
+	s, err := actuary.NewSession(actuary.WithWorkers(4), actuary.WithWorkerBounds(2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := &metricsScript{}
+	var events []Event
+	r, err := NewResizer(s, ResizeThresholds(0.35, 0.8, 2),
+		ResizerEvents(func(ev Event) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.metrics = func() actuary.SessionMetrics { return script.cur }
+
+	if got := r.Tick(); got != 4 {
+		t.Fatalf("seeding Tick resized to %d, want 4 untouched", got)
+	}
+
+	// Saturated window: high utilization AND a standing queue -> grow.
+	script.window(900*time.Millisecond, time.Second, 10, 10, 30)
+	if got := r.Tick(); got != 5 {
+		t.Fatalf("saturated window -> %d workers, want 5", got)
+	}
+
+	// High utilization but no queue: the pool keeps up -> hold.
+	script.window(950*time.Millisecond, time.Second, 10, 10, 5)
+	if got := r.Tick(); got != 5 {
+		t.Fatalf("busy-but-draining window -> %d workers, want 5 held", got)
+	}
+
+	// Mid utilization: hold.
+	script.window(600*time.Millisecond, time.Second, 10, 10, 5)
+	if got := r.Tick(); got != 5 {
+		t.Fatalf("mid window -> %d workers, want 5 held", got)
+	}
+
+	// Low utilization -> shrink.
+	script.window(100*time.Millisecond, time.Second, 10, 10, 5)
+	if got := r.Tick(); got != 4 {
+		t.Fatalf("low-utilization window -> %d workers, want 4", got)
+	}
+
+	// Fully idle windows -> walk down to the floor, never below.
+	for i := 0; i < 5; i++ {
+		r.Tick()
+	}
+	if got := s.Workers(); got != 2 {
+		t.Fatalf("idle windows left %d workers, want the floor 2", got)
+	}
+
+	// Sustained saturation -> walk up to the ceiling, never above.
+	for i := 0; i < 8; i++ {
+		script.window(990*time.Millisecond, time.Second, 10, 10, 40)
+		r.Tick()
+	}
+	if got := s.Workers(); got != 6 {
+		t.Fatalf("saturated windows left %d workers, want the ceiling 6", got)
+	}
+
+	if len(events) == 0 {
+		t.Error("no resize events fired")
+	}
+	for _, ev := range events {
+		if ev.Kind != "resize" {
+			t.Errorf("event kind %q, want resize", ev.Kind)
+		}
+	}
+}
+
+func TestResizerValidation(t *testing.T) {
+	if _, err := NewResizer(nil); err == nil {
+		t.Error("nil session accepted")
+	}
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []ResizerOption{
+		ResizeEvery(0),
+		ResizeStep(0),
+		ResizeThresholds(0.9, 0.5, 2),
+	}
+	for i, opt := range cases {
+		if _, err := NewResizer(s, opt); err == nil {
+			t.Errorf("case %d: invalid option accepted", i)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"chipletactuary"
+)
+
+func never() bool { return false }
+
+func liveSet(ids ...int) func() []int {
+	return func() []int { return append([]int(nil), ids...) }
+}
+
+// TestSchedulerExhaustion: every live backend fails a shard on
+// transport; the run must fail with a classified transport error that
+// wraps the last cause — not hang waiting for a backend that will
+// never exist.
+func TestSchedulerExhaustion(t *testing.T) {
+	sched := newScheduler(context.Background(), 1, nil, liveSet(0, 1))
+	stopped := false
+	sched.stop = func() { stopped = true }
+
+	tk, _, cancel, ok := sched.next(0, "a", never)
+	if !ok {
+		t.Fatal("no task for backend 0")
+	}
+	cancel()
+	sched.requeue(tk, 0, transportError(errors.New("a died")))
+	if sched.err() != nil {
+		t.Fatalf("run failed with backend 1 untried: %v", sched.err())
+	}
+
+	tk2, _, cancel2, ok := sched.next(1, "b", never)
+	if !ok || tk2 != tk {
+		t.Fatal("backend 1 did not get the requeued shard")
+	}
+	cancel2()
+	sched.requeue(tk2, 1, transportError(errors.New("b died")))
+
+	err := sched.err()
+	if err == nil {
+		t.Fatal("exhausted shard did not fail the run")
+	}
+	if !stopped {
+		t.Error("exhaustion did not invoke stop")
+	}
+	if ae, ok := actuary.AsError(err); !ok || ae.Code != actuary.ErrTransport {
+		t.Errorf("error = %v, want classified transport", err)
+	}
+	if !strings.Contains(err.Error(), "b died") {
+		t.Errorf("error %q does not carry the last cause", err)
+	}
+	// The failed run hands out nothing more.
+	if _, _, _, ok := sched.next(0, "a", never); ok {
+		t.Error("failed scheduler still hands out work")
+	}
+}
+
+// TestSchedulerRequeueRacesWin: with speculation, the losing rival's
+// transport failure can arrive after the winner already claimed the
+// shard. The late requeue must be a no-op — not re-dispatch or fail a
+// shard whose answer is already merged.
+func TestSchedulerRequeueRacesWin(t *testing.T) {
+	sched := newScheduler(context.Background(), 1, nil, liveSet(0, 1))
+	sched.stop = func() {}
+	sched.speculate = true
+
+	tk, _, cancelA, ok := sched.next(0, "a", never)
+	if !ok {
+		t.Fatal("no task for backend 0")
+	}
+	tk2, _, cancelB, ok := sched.next(1, "b", never)
+	if !ok || tk2 != tk {
+		t.Fatal("backend 1 did not speculate on the in-flight shard")
+	}
+	if sched.speculations != 1 {
+		t.Errorf("speculations = %d, want 1", sched.speculations)
+	}
+	defer cancelA()
+	defer cancelB()
+
+	if !sched.win(tk, 1, "b") {
+		t.Fatal("first finisher denied the win")
+	}
+	// The rival comes back with a transport error after the win.
+	sched.requeue(tk, 0, transportError(errors.New("too late")))
+	if sched.err() != nil {
+		t.Fatalf("late requeue failed the run: %v", sched.err())
+	}
+	sched.complete()
+	sched.await() // must not block: the only shard is done
+	if sched.err() != nil {
+		t.Fatal(sched.err())
+	}
+	if sched.steals != 1 {
+		t.Errorf("steals = %d, want 1 (winner was not the first starter)", sched.steals)
+	}
+}
+
+// TestSchedulerDuplicateWin: both racers finish; the second result is
+// discarded so the shard merges exactly once.
+func TestSchedulerDuplicateWin(t *testing.T) {
+	sched := newScheduler(context.Background(), 1, nil, liveSet(0, 1))
+	sched.stop = func() {}
+	sched.speculate = true
+	tk, _, cancelA, _ := sched.next(0, "a", never)
+	_, _, cancelB, ok := sched.next(1, "b", never)
+	if !ok {
+		t.Fatal("no speculative execution")
+	}
+	defer cancelA()
+	defer cancelB()
+	if !sched.win(tk, 0, "a") {
+		t.Fatal("owner denied the win")
+	}
+	if sched.win(tk, 1, "b") {
+		t.Fatal("duplicate result accepted; the shard would merge twice")
+	}
+	if sched.duplicates != 1 || sched.tally(1).duplicates != 1 {
+		t.Errorf("duplicates = %d (backend 1: %d), want 1/1",
+			sched.duplicates, sched.tally(1).duplicates)
+	}
+}
+
+// TestSchedulerDrainedSkip: shards a resumed run already drained are
+// done from the start and never handed to any backend.
+func TestSchedulerDrainedSkip(t *testing.T) {
+	drained := map[int]bool{0: true, 2: true}
+	sched := newScheduler(context.Background(), 4, func(i int) bool { return drained[i] }, liveSet(0))
+	sched.stop = func() {}
+	var got []int
+	for {
+		tk, _, cancel, ok := sched.next(0, "a", never)
+		if !ok {
+			break
+		}
+		got = append(got, tk.index)
+		if !sched.win(tk, 0, "a") {
+			t.Fatal("unexpected lost win")
+		}
+		cancel()
+		sched.complete()
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("dispatched shards %v, want [1 3]", got)
+	}
+	if sched.err() != nil {
+		t.Fatal(sched.err())
+	}
+	sched.await() // all four accounted for: two resumed, two evaluated
+}
+
+// TestSchedulerRecheckAfterRemoval: a shard that failed on every
+// remaining backend only becomes exhausted when the membership
+// shrinks — recheck must notice, or every worker parks forever.
+func TestSchedulerRecheckAfterRemoval(t *testing.T) {
+	live := []int{0, 1}
+	sched := newScheduler(context.Background(), 1, nil, func() []int { return append([]int(nil), live...) })
+	sched.stop = func() {}
+
+	tk, _, cancel, ok := sched.next(0, "a", never)
+	if !ok {
+		t.Fatal("no task")
+	}
+	cancel()
+	sched.requeue(tk, 0, transportError(errors.New("a dropped it")))
+	if sched.err() != nil {
+		t.Fatalf("premature failure: %v", sched.err())
+	}
+	live = []int{0} // backend 1 leaves before ever trying the shard
+	sched.recheck()
+	err := sched.err()
+	if err == nil {
+		t.Fatal("recheck did not fail the stranded shard")
+	}
+	if ae, ok := actuary.AsError(err); !ok || ae.Code != actuary.ErrTransport {
+		t.Errorf("error = %v, want the shard's transport cause", err)
+	}
+}
+
+// TestSchedulerRecheckAllRemoved: the registry empties mid-run with
+// an untouched shard outstanding.
+func TestSchedulerRecheckAllRemoved(t *testing.T) {
+	live := []int{0}
+	sched := newScheduler(context.Background(), 2, nil, func() []int { return append([]int(nil), live...) })
+	sched.stop = func() {}
+	live = nil
+	sched.recheck()
+	if err := sched.err(); err == nil || !strings.Contains(err.Error(), "every backend left") {
+		t.Errorf("err = %v, want every-backend-left failure", err)
+	}
+}
+
+// TestSchedulerUnhealthyParksUntilMarkUp: a backend the monitor marks
+// down gets no work; after mark-up it does. Health is consulted at
+// hand-out time, so flapping cannot strand an assigned shard.
+func TestSchedulerUnhealthyParksUntilMarkUp(t *testing.T) {
+	healthy := make(chan bool, 1)
+	healthy <- false
+	cur := false
+	sched := newScheduler(context.Background(), 1, nil, liveSet(0))
+	sched.stop = func() {}
+	sched.healthy = func(int) bool {
+		select {
+		case cur = <-healthy:
+		default:
+		}
+		return cur
+	}
+	done := make(chan int)
+	go func() {
+		tk, _, cancel, ok := sched.next(0, "a", never)
+		if !ok {
+			done <- -1
+			return
+		}
+		cancel()
+		done <- tk.index
+	}()
+	time.Sleep(20 * time.Millisecond) // let the worker reach the park
+	select {
+	case idx := <-done:
+		t.Fatalf("marked-down backend was handed shard %d", idx)
+	default:
+	}
+	healthy <- true
+	// A monitor listener broadcasts on mark-up; broadcast in a loop so
+	// the test cannot race the worker into its park.
+	for {
+		sched.cond.Broadcast()
+		select {
+		case idx := <-done:
+			if idx != 0 {
+				t.Fatalf("after mark-up got %d, want shard 0", idx)
+			}
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestSchedulerFailAfterCompletion: the context watcher may observe a
+// cancellation after the last merge; the computed answer wins.
+func TestSchedulerFailAfterCompletion(t *testing.T) {
+	sched := newScheduler(context.Background(), 1, nil, liveSet(0))
+	sched.stop = func() {}
+	tk, _, cancel, _ := sched.next(0, "a", never)
+	cancel()
+	if !sched.win(tk, 0, "a") {
+		t.Fatal("win denied")
+	}
+	sched.complete()
+	sched.fail(context.Canceled)
+	if err := sched.err(); err != nil {
+		t.Errorf("completed run failed retroactively: %v", err)
+	}
+}

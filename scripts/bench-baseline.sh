@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench-baseline.sh — record the hot-path benchmark baseline as JSON.
+#
+# Runs the two benchmarks the fleet work must not regress —
+# BenchmarkSessionStreamSweep (the single-process streaming pipeline)
+# and BenchmarkDistributedSweep (the sharded fan-out, now the fleet
+# scheduler under the distribute shim) — and distills ns/op, B/op,
+# allocs/op and derived points/sec into one JSON document. Points/sec
+# comes from the known grid size of each sub-benchmark: the stream
+# sweep runs 568- and 4488-point grids, the distributed sweep a
+# 50736-point grid (151 areas × 3 nodes × 2 schemes × 8 counts × 7
+# quantities).
+#
+# The checked-in snapshot (BENCH_PR6.json) is a reviewed baseline, not
+# a CI gate: absolute numbers move with hardware, so regressions are
+# judged by re-running this script on the same machine and comparing.
+#
+# Usage: scripts/bench-baseline.sh [OUTPUT.json]
+set -euo pipefail
+
+out=${1:-BENCH_PR6.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench-baseline: running BenchmarkSessionStreamSweep" >&2
+go test -run '^$' -bench '^BenchmarkSessionStreamSweep$' -benchmem -benchtime 2x . \
+  > "$tmp/stream.txt"
+echo "bench-baseline: running BenchmarkDistributedSweep" >&2
+go test -run '^$' -bench '^BenchmarkDistributedSweep$' -benchmem -benchtime 2x ./distribute \
+  > "$tmp/distribute.txt"
+
+# Benchmark output lines look like
+#   BenchmarkName/sub-8   	       2	 123456789 ns/op	 456 B/op	 7 allocs/op
+# awk turns each into a JSON entry, attaching points-per-op from the
+# sub-benchmark name (568pt/4488pt) or the per-file default (the
+# stream benchmark's sweep-best-question arm runs the 568-point grid;
+# the distributed benchmark always runs the fixed 50736-point grid).
+parse() {
+  awk -v points_default="$2" '
+    /ns\/op/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)                 # strip GOMAXPROCS suffix
+      ns = ""; bytes = ""; allocs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+      }
+      points = points_default
+      if (match(name, /[0-9]+pt/)) points = substr(name, RSTART, RLENGTH - 2)
+      pps = (ns > 0) ? points * 1e9 / ns : 0
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"points_per_op\": %s, \"points_per_sec\": %.0f},\n", \
+        name, ns, bytes, allocs, points, pps
+    }
+  ' "$1"
+}
+
+{
+  echo '{'
+  echo '  "benchmarks": ['
+  { parse "$tmp/stream.txt" 568; parse "$tmp/distribute.txt" 50736; } | sed '$ s/,$//'
+  echo '  ],'
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"goos\": \"$(go env GOOS)\","
+  echo "  \"goarch\": \"$(go env GOARCH)\","
+  echo "  \"note\": \"baseline for PR 6 (fleet scheduler); regenerate with scripts/bench-baseline.sh and compare on the same machine\""
+  echo '}'
+} > "$out"
+
+echo "bench-baseline: wrote $out" >&2

@@ -12,6 +12,7 @@
 //	GET  /v1/questions  the evaluation API, self-described
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text: back-pressure + cache counters
+//	GET  /v1/metricz    the same counters as one canonical-JSON snapshot
 //
 // /v1/stream accepts exactly the scenario files cmd/actuary -scenario
 // reads (ReadScenarioConfig), compiled through ScenarioConfig.Source
@@ -77,6 +78,7 @@ func New(session *actuary.Session, opts ...Option) *Server {
 	mux.HandleFunc("GET /v1/questions", s.handleQuestions)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
 	s.mux = mux
 	return s
 }
@@ -241,6 +243,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("actuary_worker_busy_seconds_total", "Worker time spent evaluating.", m.WorkerBusy.Seconds())
 	counter("actuary_worker_seconds_total", "Total worker lifetime.", m.WorkerTime.Seconds())
 	gauge("actuary_worker_utilization", "Busy share of worker lifetime, 0-1.", m.Utilization())
+	gauge("actuary_workers", "Worker pool target width.", float64(s.session.Workers()))
 
 	if len(m.PerQuestion) > 0 {
 		sorted := append([]actuary.QuestionMetrics(nil), m.PerQuestion...)
@@ -267,4 +270,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("actuary_kgd_cache_misses_total", "Shared die-cost cache misses.", float64(cache.Misses))
 	gauge("actuary_kgd_cache_entries", "Shared die-cost cache entries.", float64(cache.Entries))
 	_, _ = io.WriteString(w, b.String())
+}
+
+// handleMetricz answers GET /v1/metricz: the counters /metrics
+// exposes, as one strict-decodable canonical-JSON snapshot
+// (actuary.MetricsSnapshot) — the preferred probe of fleet.Monitor,
+// which falls back to parsing the Prometheus text against daemons
+// predating this endpoint.
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(actuary.MetricsSnapshotNow(s.session))
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chipletactuary/internal/sweep"
@@ -179,6 +180,27 @@ type streamJob struct {
 	req   Request
 }
 
+// elasticTick is how often a running stream reconciles its worker
+// count with the session's target width (see Session.Resize). Growth
+// lands within one tick; shrink lands at each worker's next job
+// boundary. A variable so tests can tighten it.
+var elasticTick = 5 * time.Millisecond
+
+// shrinkPool claims one worker retirement when the live count
+// overshoots the target. At least one worker always survives, so a
+// stream can never strand its queue.
+func shrinkPool(live *atomic.Int64, target int) bool {
+	for {
+		n := live.Load()
+		if n <= int64(target) || n <= 1 {
+			return false
+		}
+		if live.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
 // Stream pulls requests lazily from src, fans them over the session's
 // worker pool, and emits Results on the returned channel as they
 // complete (not in generation order — correlate by Result.Index or
@@ -198,17 +220,31 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := streamConfig{inFlight: 2 * s.workers}
+	cfg := streamConfig{inFlight: 2 * s.Workers()}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	if cfg.inFlight < 1 {
 		cfg.inFlight = 1
 	}
-	workers := s.workers
+	workers := s.Workers()
 	if cfg.maxWorkers > 0 && cfg.maxWorkers < workers {
 		workers = cfg.maxWorkers
 	}
+	// targetWidth is the width running workers converge to: the
+	// session's live target (moved by Resize) under the stream's own
+	// cap. Fixed-bound sessions never move it.
+	targetWidth := func() int {
+		t := s.Workers()
+		if cfg.maxWorkers > 0 && t > cfg.maxWorkers {
+			t = cfg.maxWorkers
+		}
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	elastic := s.workerMax > s.workerMin
 	jobs := make(chan streamJob, cfg.inFlight)
 	out := make(chan Result, cfg.inFlight)
 	metrics := s.metrics
@@ -234,7 +270,9 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	// a worker's decrement can never observe it un-incremented (the
 	// depth gauge must not go negative); an abandoned send rolls it
 	// back.
+	pumpDone := make(chan struct{})
 	go func() {
+		defer close(pumpDone)
 		defer close(jobs)
 		// Resume: drain the already-delivered prefix without dispatching
 		// or touching the queue metrics — replayed generation is not
@@ -270,29 +308,31 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	}()
 
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			start := time.Now()
-			metrics.workerStarted(start)
-			defer func() {
-				metrics.workerStopped(start)
-				wg.Done()
-			}()
-			for j := range jobs {
-				metrics.dequeued()
-				t0 := time.Now()
-				var r Result
-				if err := ctx.Err(); err != nil {
-					r = s.fail(j.index, j.req, err)
-				} else {
-					r = s.evaluateOne(ctx, j.index, j.req)
-				}
-				metrics.finished(j.req.Question, time.Since(t0), r.Err != nil)
-				if cfg.deliverAll {
-					out <- r // consumer drains until close, never blocks forever
-					continue
-				}
+	var live atomic.Int64
+	worker := func() {
+		start := time.Now()
+		metrics.workerStarted(start)
+		retired := false
+		defer func() {
+			if !retired {
+				live.Add(-1)
+			}
+			metrics.workerStopped(start)
+			wg.Done()
+		}()
+		for j := range jobs {
+			metrics.dequeued()
+			t0 := time.Now()
+			var r Result
+			if err := ctx.Err(); err != nil {
+				r = s.fail(j.index, j.req, err)
+			} else {
+				r = s.evaluateOne(ctx, j.index, j.req)
+			}
+			metrics.finished(j.req.Question, time.Since(t0), r.Err != nil)
+			if cfg.deliverAll {
+				out <- r // consumer drains until close, never blocks forever
+			} else {
 				select {
 				case out <- r:
 				case <-ctx.Done():
@@ -302,6 +342,44 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 					select {
 					case out <- r:
 					default:
+					}
+				}
+			}
+			// Elastic shrink lands at job boundaries: the worker retires
+			// after delivering its result, never mid-evaluation.
+			if elastic && shrinkPool(&live, targetWidth()) {
+				retired = true
+				return
+			}
+		}
+	}
+	spawn := func(n int) {
+		for i := 0; i < n; i++ {
+			live.Add(1)
+			wg.Add(1)
+			go worker()
+		}
+	}
+	spawn(workers)
+	if elastic {
+		// The reconciler grows the pool toward the target while the pump
+		// is generating (workers spawned after the queue closes would do
+		// nothing). It sits inside the WaitGroup, so close(out) still
+		// waits for every goroutine the stream started.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(elasticTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-pumpDone:
+					return
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n := int64(targetWidth()) - live.Load(); n > 0 {
+						spawn(int(n))
 					}
 				}
 			}

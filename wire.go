@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"time"
 
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/sweep"
@@ -780,4 +781,127 @@ func DecodeResults(data []byte) ([]Result, error) {
 		return nil, fmt.Errorf("actuary: decoding result batch: %w", err)
 	}
 	return results, nil
+}
+
+// MetricsSnapshot is the GET /v1/metricz payload: the session's
+// back-pressure counters, current worker width and KGD cache counters
+// as one canonical-JSON document — the programmatic face of the
+// Prometheus text GET /metrics serves, and the preferred probe of
+// fleet.Monitor.
+type MetricsSnapshot struct {
+	// Session is the back-pressure snapshot (Session.Metrics).
+	Session SessionMetrics
+	// Workers is the pool's current target width (Session.Workers) —
+	// live, so an elastic daemon's resizes are observable.
+	Workers int
+	// Cache is the shared KGD cache's counters (Session.CacheStats).
+	Cache KGDCacheStats
+}
+
+// wireMetricsSnapshot is the canonical JSON shape of a
+// MetricsSnapshot: snake_case, durations as integer nanoseconds,
+// questions by name.
+type wireMetricsSnapshot struct {
+	Workers           int                   `json:"workers"`
+	StreamsStarted    int64                 `json:"streams_started"`
+	StreamsCompleted  int64                 `json:"streams_completed"`
+	QueueDepth        int64                 `json:"queue_depth"`
+	QueueDepthMax     int64                 `json:"queue_depth_max"`
+	QueueDepthSamples int64                 `json:"queue_depth_samples"`
+	QueueDepthSum     int64                 `json:"queue_depth_sum"`
+	InFlight          int64                 `json:"in_flight"`
+	InFlightMax       int64                 `json:"in_flight_max"`
+	WorkerBusyNS      int64                 `json:"worker_busy_ns"`
+	WorkerTimeNS      int64                 `json:"worker_time_ns"`
+	PerQuestion       []wireQuestionMetrics `json:"per_question,omitempty"`
+	CacheHits         int64                 `json:"cache_hits"`
+	CacheMisses       int64                 `json:"cache_misses"`
+	CacheEntries      int                   `json:"cache_entries"`
+}
+
+// wireQuestionMetrics is the canonical JSON shape of one question's
+// latency profile.
+type wireQuestionMetrics struct {
+	Question Question `json:"question"`
+	Count    int64    `json:"count"`
+	Failures int64    `json:"failures,omitempty"`
+	TotalNS  int64    `json:"total_ns"`
+	MaxNS    int64    `json:"max_ns"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (m MetricsSnapshot) MarshalJSON() ([]byte, error) {
+	w := wireMetricsSnapshot{
+		Workers:           m.Workers,
+		StreamsStarted:    m.Session.StreamsStarted,
+		StreamsCompleted:  m.Session.StreamsCompleted,
+		QueueDepth:        m.Session.QueueDepth,
+		QueueDepthMax:     m.Session.QueueDepthMax,
+		QueueDepthSamples: m.Session.QueueDepthSamples,
+		QueueDepthSum:     m.Session.QueueDepthSum,
+		InFlight:          m.Session.InFlight,
+		InFlightMax:       m.Session.InFlightMax,
+		WorkerBusyNS:      int64(m.Session.WorkerBusy),
+		WorkerTimeNS:      int64(m.Session.WorkerTime),
+		CacheHits:         m.Cache.Hits,
+		CacheMisses:       m.Cache.Misses,
+		CacheEntries:      m.Cache.Entries,
+	}
+	for _, q := range m.Session.PerQuestion {
+		w.PerQuestion = append(w.PerQuestion, wireQuestionMetrics{
+			Question: q.Question, Count: q.Count, Failures: q.Failures,
+			TotalNS: int64(q.TotalLatency), MaxNS: int64(q.MaxLatency)})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// and counters no session could have recorded (negative values) —
+// schema drift or a corrupted probe response surfaces as an error,
+// not as a nonsense health score.
+func (m *MetricsSnapshot) UnmarshalJSON(data []byte) error {
+	var w wireMetricsSnapshot
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding metrics snapshot: %w", err)
+	}
+	for _, v := range []int64{int64(w.Workers), w.StreamsStarted, w.StreamsCompleted,
+		w.QueueDepth, w.QueueDepthMax, w.QueueDepthSamples, w.QueueDepthSum,
+		w.InFlight, w.InFlightMax, w.WorkerBusyNS, w.WorkerTimeNS,
+		w.CacheHits, w.CacheMisses, int64(w.CacheEntries)} {
+		if v < 0 {
+			return fmt.Errorf("actuary: metrics snapshot carries a negative counter")
+		}
+	}
+	out := MetricsSnapshot{
+		Workers: w.Workers,
+		Session: SessionMetrics{
+			StreamsStarted:    w.StreamsStarted,
+			StreamsCompleted:  w.StreamsCompleted,
+			QueueDepth:        w.QueueDepth,
+			QueueDepthMax:     w.QueueDepthMax,
+			QueueDepthSamples: w.QueueDepthSamples,
+			QueueDepthSum:     w.QueueDepthSum,
+			InFlight:          w.InFlight,
+			InFlightMax:       w.InFlightMax,
+			WorkerBusy:        time.Duration(w.WorkerBusyNS),
+			WorkerTime:        time.Duration(w.WorkerTimeNS),
+		},
+		Cache: KGDCacheStats{Hits: w.CacheHits, Misses: w.CacheMisses, Entries: w.CacheEntries},
+	}
+	for _, q := range w.PerQuestion {
+		if q.Count < 0 || q.Failures < 0 || q.TotalNS < 0 || q.MaxNS < 0 {
+			return fmt.Errorf("actuary: metrics snapshot carries a negative counter")
+		}
+		out.Session.PerQuestion = append(out.Session.PerQuestion, QuestionMetrics{
+			Question: q.Question, Count: q.Count, Failures: q.Failures,
+			TotalLatency: time.Duration(q.TotalNS), MaxLatency: time.Duration(q.MaxNS)})
+	}
+	*m = out
+	return nil
+}
+
+// MetricsSnapshotNow assembles the live snapshot of a session — the
+// document /v1/metricz serves.
+func MetricsSnapshotNow(s *Session) MetricsSnapshot {
+	return MetricsSnapshot{Session: s.Metrics(), Workers: s.Workers(), Cache: s.CacheStats()}
 }
