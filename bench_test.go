@@ -356,12 +356,26 @@ func streamBenchGrid(b *testing.B, stepMM2 float64) SweepGrid {
 // in-flight window ahead of the consumer).
 func BenchmarkSessionStreamSweep(b *testing.B) {
 	ctx := context.Background()
+	// reportThroughput turns the wall clock into the headline number:
+	// points/sec computed from b.Elapsed (not ns/op arithmetic after
+	// the fact), plus the partials-cache hit rate — the two signals
+	// BENCH_*.json and the CI bench-smoke gate track.
+	reportThroughput := func(b *testing.B, s *Session, points int) {
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(points*b.N)/sec, "points/sec")
+		}
+		ps := s.PartialsCacheStats()
+		if probes := ps.Packaging.Hits + ps.Packaging.Misses; probes > 0 {
+			b.ReportMetric(float64(ps.Packaging.Hits)/float64(probes), "partials-hit-rate")
+		}
+	}
 	sizes := []struct {
-		name string
-		step float64
+		name   string
+		step   float64
+		points int
 	}{
-		{"568pt", 10},
-		{"4488pt", 1.25},
+		{"568pt", 10, 568},
+		{"4488pt", 1.25, 4488},
 	}
 	for _, size := range sizes {
 		b.Run("streamed-"+size.name, func(b *testing.B) {
@@ -387,7 +401,12 @@ func BenchmarkSessionStreamSweep(b *testing.B) {
 				if stats.Failed != 0 || len(top.Results()) != 5 {
 					b.Fatalf("stream failed: %+v", stats)
 				}
+				if stats.OK != size.points {
+					b.Fatalf("streamed %d points, want %d", stats.OK, size.points)
+				}
 			}
+			b.StopTimer()
+			reportThroughput(b, s, size.points)
 		})
 		b.Run("materialized-"+size.name, func(b *testing.B) {
 			s, err := NewSession()
@@ -422,6 +441,8 @@ func BenchmarkSessionStreamSweep(b *testing.B) {
 					b.Fatal("top-K lost results")
 				}
 			}
+			b.StopTimer()
+			reportThroughput(b, s, size.points)
 		})
 	}
 	// One sweep-best request answers the whole grid inside the worker:
@@ -443,6 +464,8 @@ func BenchmarkSessionStreamSweep(b *testing.B) {
 				b.Fatal("sweep-best lost results")
 			}
 		}
+		b.StopTimer()
+		reportThroughput(b, s, 568)
 	})
 }
 

@@ -38,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +69,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workersMax := fs.Int("workers-max", 0, "upper bound for the elastic worker pool (with -workers-min)")
 	resizeEvery := fs.Duration("resize-every", 2*time.Second, "elastic pool resize interval (needs -workers-min/-workers-max)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+	partialsSize := fs.Int("partials-cache", 0, "partial-result cache entries (default: 8192)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +94,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *cacheSize > 0 {
 		opts = append(opts, actuary.WithCacheSize(*cacheSize))
+	}
+	if *partialsSize > 0 {
+		opts = append(opts, actuary.WithPartialsCacheSize(*partialsSize))
 	}
 	session, err := actuary.NewSession(opts...)
 	if err != nil {
@@ -122,8 +128,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// drain.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: the pprof endpoints expose heap and CPU
+		// internals and do not belong on a default deployment. The API
+		// handler keeps everything outside /debug/pprof/.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Handler:     srv.Handler(),
+		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 		// Header and idle timeouts shed slowloris-style connections.
 		// No ReadTimeout/WriteTimeout: /v1/stream responses legitimately

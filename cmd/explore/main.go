@@ -58,6 +58,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -106,12 +108,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "sweep: how many shards to split the grid into (default: one per backend; fleet over-partitions)")
 	checkpoint := fs.String("checkpoint", "", "sweep: checkpoint file — written during the sweep, auto-resumed when present, removed on success")
 	checkpointEvery := fs.Int("checkpoint-every", 2000, "sweep: grid candidates between checkpoint writes (local sweeps; distributed runs checkpoint per shard)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the run ends")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "explore: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "explore: -memprofile:", err)
+			}
+		}()
+	}
 	if *mode == "sweep" {
 		// -checkpoint-every tunes a checkpointed run; without
 		// -checkpoint it would silently configure durability that does

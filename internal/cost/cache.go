@@ -2,8 +2,8 @@ package cost
 
 import (
 	"math"
-	"sync"
-	"sync/atomic"
+
+	"chipletactuary/internal/memo"
 )
 
 // DieKey identifies one memoizable die evaluation. Two dies with the
@@ -42,117 +42,28 @@ type cacheTally struct {
 	misses int64
 }
 
-// kgdShards spreads the cache over independent shards so the workers
-// of a batch session do not serialize on one structure: a die
-// evaluation is only a few hundred nanoseconds, so any contention
-// here would cost more than memoization saves.
-const kgdShards = 16
-
-type shardMap = map[DieKey]dieValue
-
 // kgdCache is a bounded, concurrency-safe memoization table for die
-// evaluations. Reads are lock-free: each shard publishes an immutable
-// snapshot map through an atomic pointer, and writers (rare after
-// warm-up) copy-on-write under a mutex. Each shard evicts FIFO —
-// sweeps and portfolios revisit the same handful of die shapes over
-// and over, so recency tracking buys nothing at this working-set
-// size.
-type kgdCache struct {
-	hits   atomic.Int64
-	misses atomic.Int64
-	shards [kgdShards]kgdShard
-}
-
-type kgdShard struct {
-	snap  atomic.Value // shardMap, replaced wholesale on write
-	mu    sync.Mutex   // serializes writers
-	max   int
-	order []DieKey // insertion order, for FIFO eviction
-	next  int      // ring index of the next eviction victim
-
-	_ [64]byte // keep shards on separate cache lines
-}
+// evaluations, backed by the sharded memo cache. Each shard evicts
+// FIFO — sweeps and portfolios revisit the same handful of die shapes
+// over and over, so recency tracking buys nothing at this working-set
+// size, and a miss-heavy sweep (every candidate a new die shape) pays
+// O(1) per insert rather than the O(entries) a copy-on-write shard
+// would charge.
+type kgdCache = memo.Cache[DieKey, dieValue]
 
 func newKGDCache(max int) *kgdCache {
-	if max <= 0 {
-		return nil
-	}
-	c := &kgdCache{}
-	perShard := (max + kgdShards - 1) / kgdShards
-	for i := range c.shards {
-		c.shards[i].max = perShard
-		c.shards[i].snap.Store(shardMap{})
-	}
-	return c
+	return memo.New[DieKey, dieValue](max, dieKeyHash)
 }
 
-func (c *kgdCache) shard(k DieKey) *kgdShard {
-	// Inline FNV-1a over the node name and area bits: the shard choice
-	// only has to spread load, and a seeded hash here would cost as
-	// much as a cache miss. The salvage fields are left out — the
-	// in-shard map disambiguates.
+// dieKeyHash is inline FNV-1a over the node name and area bits: the
+// shard choice only has to spread load, and a seeded hash here would
+// cost as much as a cache miss. The salvage fields are left out — the
+// in-shard map disambiguates.
+func dieKeyHash(k DieKey) uint64 {
 	h := uint64(1469598103934665603)
 	for i := 0; i < len(k.Node); i++ {
 		h = (h ^ uint64(k.Node[i])) * 1099511628211
 	}
 	h = (h ^ math.Float64bits(k.AreaMM2)) * 1099511628211
-	return &c.shards[h%kgdShards]
-}
-
-// get is lock-free; hit/miss accounting goes to the caller's tally.
-func (c *kgdCache) get(k DieKey, t *cacheTally) (dieValue, bool) {
-	v, ok := c.shard(k).snap.Load().(shardMap)[k]
-	if ok {
-		t.hits++
-	} else {
-		t.misses++
-	}
-	return v, ok
-}
-
-func (c *kgdCache) put(k DieKey, v dieValue) {
-	s := c.shard(k)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := s.snap.Load().(shardMap)
-	if _, dup := old[k]; dup {
-		return // another worker computed it first; keep the original
-	}
-	var victim *DieKey
-	if len(old) >= s.max {
-		victim = &s.order[s.next]
-	}
-	m := make(shardMap, len(old)+1)
-	for kk, vv := range old {
-		if victim != nil && kk == *victim {
-			continue
-		}
-		m[kk] = vv
-	}
-	m[k] = v
-	if victim != nil {
-		s.order[s.next] = k
-		s.next = (s.next + 1) % s.max
-	} else {
-		s.order = append(s.order, k)
-	}
-	s.snap.Store(m)
-}
-
-// note publishes a tally accumulated over one evaluation.
-func (c *kgdCache) note(t cacheTally) {
-	if t.hits != 0 {
-		c.hits.Add(t.hits)
-	}
-	if t.misses != 0 {
-		c.misses.Add(t.misses)
-	}
-}
-
-func (c *kgdCache) stats() CacheStats {
-	out := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
-	for i := range c.shards {
-		out.Entries += len(c.shards[i].snap.Load().(shardMap))
-	}
-	return out
+	return h
 }

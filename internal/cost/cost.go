@@ -26,9 +26,10 @@ var ErrDoesNotFitWafer = wafer.ErrDoesNotFit
 // Engine evaluates RE costs against a technology database and a
 // packaging parameter set.
 type Engine struct {
-	db     *tech.Database
-	params packaging.Params
-	cache  *kgdCache // nil when memoization is disabled
+	db       *tech.Database
+	params   packaging.Params
+	cache    *kgdCache               // nil when memoization is disabled
+	partials *packaging.PartialCache // nil when partial memoization is disabled
 }
 
 // NewEngine builds an engine, validating the packaging parameters.
@@ -55,13 +56,25 @@ func NewEngineWithCache(db *tech.Database, params packaging.Params, cacheSize in
 	return e, nil
 }
 
+// NewEngineWithCaches additionally attaches a packaging partial cache
+// (typically shared with the NRE engine of the same evaluator, so
+// each sweep point prices its package once rather than once per
+// engine). A nil partials cache disables partial memoization; the
+// uniform fast path still runs, just cache-less.
+func NewEngineWithCaches(db *tech.Database, params packaging.Params, cacheSize int, partials *packaging.PartialCache) (*Engine, error) {
+	e, err := NewEngineWithCache(db, params, cacheSize)
+	if err != nil {
+		return nil, err
+	}
+	e.partials = partials
+	return e, nil
+}
+
 // CacheStats reports the KGD cache's hit/miss counters. The zero
 // value is returned when the cache is disabled.
 func (e *Engine) CacheStats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
-	}
-	return e.cache.stats()
+	st := e.cache.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
 }
 
 // DB returns the engine's technology database.
@@ -192,10 +205,12 @@ func (e *Engine) dieCost(c system.Chiplet, tally *cacheTally) (DieCost, error) {
 		key.SalvageValue = c.Salvage.Value
 	}
 	if e.cache != nil {
-		if v, ok := e.cache.get(key, tally); ok {
+		if v, ok := e.cache.Peek(key); ok {
+			tally.hits++
 			return DieCost{Name: c.Name, Node: c.Node, AreaMM2: area,
 				Raw: v.raw, Yield: v.yield, KGD: v.kgd}, nil
 		}
+		tally.misses++
 	}
 	node, err := e.db.Node(c.Node)
 	if err != nil {
@@ -217,14 +232,81 @@ func (e *Engine) dieCost(c system.Chiplet, tally *cacheTally) (DieCost, error) {
 		}.EffectiveYield(area)
 	}
 	kgd := raw / y
-	if e.cache != nil {
-		e.cache.put(key, dieValue{raw: raw, yield: y, kgd: kgd})
-	}
+	e.cache.Put(key, dieValue{raw: raw, yield: y, kgd: kgd})
 	return DieCost{Name: c.Name, Node: c.Node, AreaMM2: area, Raw: raw, Yield: y, KGD: kgd}, nil
 }
 
-// RE computes the recurring cost of one unit of the system.
+// RE computes the recurring cost of one unit of the system. Systems
+// the detector can prove uniform (the shape every sweep candidate
+// has) take a closed-form fast path with bit-identical results; any
+// other shape takes the general per-placement walk.
 func (e *Engine) RE(s system.System) (Breakdown, error) {
+	if u, ok := system.AsUniform(s); ok {
+		return e.reUniform(s, u)
+	}
+	return e.reSlow(s)
+}
+
+// reUniform evaluates a uniform k-way system with one die evaluation
+// and one (memoizable) packaging partial, reproducing reSlow's
+// arithmetic — including its error messages and cache accounting —
+// bit for bit.
+func (e *Engine) reUniform(s system.System, u system.Uniform) (Breakdown, error) {
+	// Validate-order errors this shape can still produce: unknown
+	// node first (from the placement walk), then negative quantity.
+	if _, err := e.db.Node(u.Node); err != nil {
+		return Breakdown{}, system.WrapUniformNodeErr(s, err)
+	}
+	if s.Quantity < 0 {
+		return Breakdown{}, fmt.Errorf("system: %q has negative quantity %v", s.Name, s.Quantity)
+	}
+	var tally cacheTally
+	dc, err := e.dieCost(s.Placements[0].Chiplet, &tally)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if !(dc.KGD >= 0) {
+		// A pathological tech database (negative cost coefficients)
+		// can price a die below zero; the general path rejects that
+		// in assembly validation, so let it.
+		return e.reSlow(s)
+	}
+	// One probe stood in for k identical dies; account as the per-die
+	// walk would have: the first outcome plus k−1 hits.
+	tally.hits += int64(u.K - 1)
+	e.cache.Note(tally.hits, tally.misses)
+
+	k := u.K
+	b := Breakdown{Dies: make([]DieCost, k)}
+	var totalArea, totalKGD float64
+	for i := 0; i < k; i++ {
+		d := dc
+		d.Name = s.Placements[i].Chiplet.Name
+		b.Dies[i] = d
+		b.RawChips += dc.Raw
+		b.ChipDefects += dc.Raw * (1/dc.Yield - 1)
+		totalArea += dc.AreaMM2
+		totalKGD += dc.KGD
+	}
+	pt, err := packaging.CachedPartial(e.partials, e.params, e.db, packaging.PartialKey{
+		Scheme:          s.Scheme,
+		Flow:            s.Flow,
+		Dies:            k,
+		TotalDieAreaMM2: totalArea,
+	})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	pkg := pt.Apply(totalKGD)
+	b.Packaging = pkg
+	b.RawPackage = pkg.RawPackage
+	b.PackageDefects = pkg.PackageDefects
+	b.WastedKGD = pkg.WastedKGD
+	return b, nil
+}
+
+// reSlow is the general per-placement walk.
+func (e *Engine) reSlow(s system.System) (Breakdown, error) {
 	if err := s.Validate(e.db); err != nil {
 		return Breakdown{}, err
 	}
@@ -245,9 +327,7 @@ func (e *Engine) RE(s system.System) (Breakdown, error) {
 		areas[i] = dc.AreaMM2
 		kgds[i] = dc.KGD
 	}
-	if e.cache != nil {
-		e.cache.note(tally)
-	}
+	e.cache.Note(tally.hits, tally.misses)
 
 	asm := packaging.Assembly{DieAreasMM2: areas, KGDCosts: kgds}
 	if s.Envelope != nil {

@@ -14,6 +14,7 @@ import (
 
 	"chipletactuary/internal/cost"
 	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/memo"
 	"chipletactuary/internal/nre"
 	"chipletactuary/internal/packaging"
 	"chipletactuary/internal/sweep"
@@ -32,6 +33,10 @@ var ErrInfeasible = errors.New("infeasible")
 type Evaluator struct {
 	Cost *cost.Engine
 	NRE  *nre.Engine
+
+	// partials is the packaging partial cache shared by both engines
+	// (nil when disabled); kept for stats reporting.
+	partials *packaging.PartialCache
 }
 
 // NewEvaluator builds an evaluator from a database and packaging
@@ -53,15 +58,50 @@ func NewEvaluator(db *tech.Database, params packaging.Params) (*Evaluator, error
 // Sweeps and portfolios revisit the same die shapes constantly, so a
 // shared cache removes most of the per-request yield/geometry work.
 func NewEvaluatorWithCache(db *tech.Database, params packaging.Params, cacheSize int) (*Evaluator, error) {
-	ce, err := cost.NewEngineWithCache(db, params, cacheSize)
+	return NewEvaluatorWithCaches(db, params, cacheSize, DefaultPartialsCacheSize)
+}
+
+// DefaultPartialsCacheSize bounds the packaging-partial and NRE-term
+// memo tables when the caller does not size them explicitly. An
+// innermost-axis run shares one (scheme, area, count) key per point
+// across both engines, so the working set is roughly one entry per
+// in-flight point — 8k entries comfortably covers a slab-dispatched
+// sweep while staying a few hundred kilobytes.
+const DefaultPartialsCacheSize = 8192
+
+// NewEvaluatorWithCaches additionally bounds the partial caches: one
+// packaging partial cache shared by the cost and NRE engines (so each
+// sweep point prices its package geometry once, not once per engine)
+// and the NRE engine's uniform-term cache. partialsSize ≤ 0 disables
+// partial memoization; the closed-form uniform fast path still runs,
+// just cache-less.
+func NewEvaluatorWithCaches(db *tech.Database, params packaging.Params, cacheSize, partialsSize int) (*Evaluator, error) {
+	pc := packaging.NewPartialCache(partialsSize)
+	ce, err := cost.NewEngineWithCaches(db, params, cacheSize, pc)
 	if err != nil {
 		return nil, err
 	}
-	ne, err := nre.NewEngine(db, params)
+	ne, err := nre.NewEngineWithCaches(db, params, pc, partialsSize)
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluator{Cost: ce, NRE: ne}, nil
+	return &Evaluator{Cost: ce, NRE: ne, partials: pc}, nil
+}
+
+// PartialsStats reports the partial-memoization counters: the shared
+// packaging partial cache and the NRE uniform-term cache. Both are
+// zero when partial caching is disabled.
+type PartialsStats struct {
+	Packaging memo.Stats
+	NRE       memo.Stats
+}
+
+// PartialsCacheStats snapshots the evaluator's partial caches.
+func (e *Evaluator) PartialsCacheStats() PartialsStats {
+	return PartialsStats{
+		Packaging: e.partials.Stats(),
+		NRE:       e.NRE.CacheStats(),
+	}
 }
 
 // TotalCost is the complete per-unit engineering cost of one system.
@@ -83,7 +123,23 @@ func (t TotalCost) NREShare() float64 {
 }
 
 // Single evaluates a standalone system (a one-member portfolio).
+// Uniform systems — the shape every sweep candidate has — take a
+// closed-form fast path through both engines that skips the
+// portfolio machinery (maps, sorts, per-design bookkeeping) with
+// bit-identical results, including error messages and their order:
+// like Portfolio, NRE validation errors surface before RE ones.
 func (e *Evaluator) Single(s system.System, policy nre.Policy) (TotalCost, error) {
+	if u, ok := system.AsUniform(s); ok {
+		nb, err := e.NRE.EvaluateUniform(s, u, policy)
+		if err != nil {
+			return TotalCost{}, err
+		}
+		re, err := e.Cost.RE(s)
+		if err != nil {
+			return TotalCost{}, err
+		}
+		return TotalCost{RE: re, NRE: nb}, nil
+	}
 	m, err := e.Portfolio([]system.System{s}, policy)
 	if err != nil {
 		return TotalCost{}, err

@@ -1,0 +1,148 @@
+// Package memo provides a small, bounded, shard-safe cache for
+// memoizing pure computations on the sweep hot path.
+//
+// The cache is generic over comparable keys. Reads take a per-shard
+// RWMutex read lock; writes take the write lock and evict FIFO within
+// the shard once the per-shard bound is reached. Unlike a
+// copy-on-write design, inserts are O(1) — a miss-heavy sweep (every
+// candidate a new key) must not pay O(entries) per point just to
+// populate the cache.
+//
+// Hit/miss counters are atomics, detached from the shard locks.
+// Callers that batch their accounting (one tally per system, as the
+// KGD cache does) can publish via Note; Get counts directly.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const shardCount = 16
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+type shard[K comparable, V any] struct {
+	mu    sync.RWMutex
+	m     map[K]V
+	order []K // FIFO eviction ring
+	next  int
+	_     [64]byte // keep neighbouring shards off one cache line
+}
+
+// Cache is a bounded, sharded memo table. The zero value is not
+// usable; construct with New. A nil *Cache is a valid "disabled"
+// cache: Get always misses and Put is a no-op.
+type Cache[K comparable, V any] struct {
+	shards [shardCount]shard[K, V]
+	perMax int
+	hash   func(K) uint64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New builds a cache bounded to roughly max entries (rounded up to a
+// multiple of the shard count), distributing keys with hash. A max
+// below 1 returns nil — the disabled cache.
+func New[K comparable, V any](max int, hash func(K) uint64) *Cache[K, V] {
+	if max < 1 {
+		return nil
+	}
+	per := (max + shardCount - 1) / shardCount
+	c := &Cache[K, V]{perMax: per, hash: hash}
+	for i := range c.shards {
+		c.shards[i].m = make(map[K]V, per)
+		c.shards[i].order = make([]K, 0, per)
+	}
+	return c
+}
+
+func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
+	return &c.shards[c.hash(k)%shardCount]
+}
+
+// Get returns the cached value for k, counting a hit or a miss.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	v, ok := c.Peek(k)
+	if c != nil {
+		if ok {
+			c.hits.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
+	}
+	return v, ok
+}
+
+// Peek is Get without touching the hit/miss counters, for callers
+// that batch their accounting through Note.
+func (c *Cache[K, V]) Peek(k K) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	sh := c.shardFor(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Put inserts k→v, evicting the shard's oldest entry if the shard is
+// full. A key already present keeps its original value: concurrent
+// fillers compute identical results for identical keys, and
+// first-write-wins avoids churning the eviction order.
+func (c *Cache[K, V]) Put(k K, v V) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if _, dup := sh.m[k]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	if len(sh.order) < c.perMax {
+		sh.order = append(sh.order, k)
+	} else {
+		delete(sh.m, sh.order[sh.next])
+		sh.order[sh.next] = k
+		sh.next = (sh.next + 1) % c.perMax
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Note publishes batched hit/miss counts recorded outside the cache.
+func (c *Cache[K, V]) Note(hits, misses int64) {
+	if c == nil {
+		return
+	}
+	if hits != 0 {
+		c.hits.Add(hits)
+	}
+	if misses != 0 {
+		c.misses.Add(misses)
+	}
+}
+
+// Stats snapshots the counters and current entry count.
+func (c *Cache[K, V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		st.Entries += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,107 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func intHash(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+
+func TestGetPut(t *testing.T) {
+	c := New[int, string](64, intHash)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(1, "one")
+	if v, ok := c.Get(1); !ok || v != "one" {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFirstWriteWins(t *testing.T) {
+	c := New[int, string](64, intHash)
+	c.Put(7, "first")
+	c.Put(7, "second")
+	if v, _ := c.Peek(7); v != "first" {
+		t.Fatalf("duplicate put replaced value: %q", v)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate put grew the cache: %+v", st)
+	}
+}
+
+// TestBound verifies FIFO eviction holds the entry count near the
+// requested bound (rounded up to the shard count) and that the most
+// recent keys survive within each shard.
+func TestBound(t *testing.T) {
+	const max = 32
+	c := New[int, int](max, intHash)
+	for i := 0; i < 10*max; i++ {
+		c.Put(i, i)
+	}
+	st := c.Stats()
+	perShard := (max + 15) / 16
+	if st.Entries > perShard*16 {
+		t.Fatalf("cache exceeded bound: %+v", st)
+	}
+	// The very last key inserted must still be present.
+	if _, ok := c.Peek(10*max - 1); !ok {
+		t.Fatal("most recent key was evicted")
+	}
+}
+
+func TestNilCacheDisabled(t *testing.T) {
+	var c *Cache[int, int]
+	if c != New[int, int](0, intHash) {
+		t.Fatal("New with max<1 should return nil")
+	}
+	c.Put(1, 1) // must not panic
+	if _, ok := c.Get(1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Note(3, 4)
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}
+
+func TestNote(t *testing.T) {
+	c := New[int, int](16, intHash)
+	c.Note(5, 3)
+	st := c.Stats()
+	if st.Hits != 5 || st.Misses != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines; run with
+// -race to check the locking.
+func TestConcurrent(t *testing.T) {
+	c := New[int, string](256, intHash)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := i % 100
+				if v, ok := c.Get(k); ok {
+					if want := fmt.Sprint(k); v != want {
+						t.Errorf("key %d: got %q want %q", k, v, want)
+					}
+					continue
+				}
+				c.Put(k, fmt.Sprint(k))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses: %+v", st)
+	}
+}

@@ -10,10 +10,12 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/packaging"
 	"chipletactuary/internal/system"
+	"chipletactuary/internal/wafer"
 )
 
 // Point is one generated design point: an equal-partition system plus
@@ -142,8 +144,17 @@ func (g Grid) MaxCount() int {
 // k, quantity) combination: single-valued axes are elided so the IDs
 // of simple grids stay short and stable ("name-a800-k4").
 func (g Grid) PointID(node string, scheme packaging.Scheme, areaMM2 float64, k int, quantity float64) string {
+	// Built with strconv appends rather than Sprintf — this runs once
+	// per candidate. 'g'/-1 is the shortest round-trip form, byte-
+	// identical to fmt's %g.
 	id := g.ComboID(node, scheme, quantity)
-	return fmt.Sprintf("%s-a%g-k%d", id, areaMM2, k)
+	buf := make([]byte, 0, len(id)+24)
+	buf = append(buf, id...)
+	buf = append(buf, "-a"...)
+	buf = strconv.AppendFloat(buf, areaMM2, 'g', -1, 64)
+	buf = append(buf, "-k"...)
+	buf = strconv.AppendInt(buf, int64(k), 10)
+	return string(buf)
 }
 
 // ComboID is PointID without the area and count segments — the label
@@ -152,7 +163,11 @@ func (g Grid) PointID(node string, scheme packaging.Scheme, areaMM2 float64, k i
 func (g Grid) ComboID(node string, scheme packaging.Scheme, quantity float64) string {
 	id := g.AxisID(node, scheme)
 	if len(g.Quantities) > 1 {
-		id += fmt.Sprintf("-q%g", quantity)
+		buf := make([]byte, 0, len(id)+16)
+		buf = append(buf, id...)
+		buf = append(buf, "-q"...)
+		buf = strconv.AppendFloat(buf, quantity, 'g', -1, 64)
+		id = string(buf)
 	}
 	return id
 }
@@ -180,7 +195,18 @@ type Filter func(Point) bool
 // reticle — such dies cannot be manufactured, so evaluating their cost
 // would only produce an infeasibility error downstream.
 func ReticleFit() Filter {
-	return func(p Point) bool { return len(p.System.Warnings()) == 0 }
+	// Boolean-equivalent to len(System.Warnings()) == 0 without
+	// allocating the warning strings: the only warning is a die
+	// exceeding the reticle, and duplicate chiplets cannot change
+	// whether any die exceeds it.
+	return func(p Point) bool {
+		for i := range p.System.Placements {
+			if p.System.Placements[i].Chiplet.DieArea() > wafer.ReticleLimitMM2 {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // InterposerFit drops interposer-scheme points whose estimated
@@ -439,6 +465,26 @@ func (it *Generator) Next() (Point, bool) {
 		it.lastCand = cand
 		return p, true
 	}
+}
+
+// NextSlab fills dst with the next consecutive surviving points and
+// returns how many it produced; 0 means the grid is exhausted (or the
+// AbortWhen hook fired). A slab is exactly the run Next would have
+// produced point by point, so slab and point consumers see identical
+// sequences. Because the odometer spins its innermost axis (count)
+// fastest, a slab is a run of near-neighbours in the design space —
+// the access pattern the evaluator's partial caches are keyed for.
+func (it *Generator) NextSlab(dst []Point) int {
+	n := 0
+	for n < len(dst) {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst[n] = p
+		n++
+	}
+	return n
 }
 
 // LastCandidate returns the odometer-order candidate number of the

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"strconv"
 
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/packaging"
@@ -47,13 +48,20 @@ func PartitionEqual(name, node string, moduleAreaMM2 float64, k int,
 		return System{}, fmt.Errorf("system: cannot partition into %d chiplets on an SoC", k)
 	}
 	per := moduleAreaMM2 / float64(k)
+	// This constructor runs once per sweep candidate, so it avoids
+	// fmt and per-chiplet slice headers: one backing Module array
+	// sliced per chiplet, names built by concatenation (byte-identical
+	// to the old Sprintf forms).
 	placements := make([]Placement, k)
+	modules := make([]Module, k)
 	for i := range placements {
+		seq := strconv.Itoa(i + 1)
+		modules[i] = Module{Name: name + "-part-" + seq, AreaMM2: per, Scalable: true}
 		placements[i] = Placement{
 			Chiplet: Chiplet{
-				Name:    fmt.Sprintf("%s-chiplet-%d", name, i+1),
+				Name:    name + "-chiplet-" + seq,
 				Node:    node,
-				Modules: []Module{{Name: fmt.Sprintf("%s-part-%d", name, i+1), AreaMM2: per, Scalable: true}},
+				Modules: modules[i : i+1 : i+1],
 				D2D:     d2d,
 			},
 			Count: 1,

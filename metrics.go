@@ -106,6 +106,28 @@ func (m *sessionMetrics) enqueueAborted() {
 	m.queueDepth.Add(-1)
 }
 
+// enqueuedSlab is enqueued() for a slab of n requests: the gauge
+// moves once and each request records the post-add depth as its
+// sample, so MeanQueueDepth stays comparable with point dispatch
+// without n round trips through the atomics.
+func (m *sessionMetrics) enqueuedSlab(n int) {
+	depth := m.queueDepth.Add(int64(n))
+	updateMax(&m.queueDepthMax, depth)
+	m.queueSamples.Add(int64(n))
+	m.queueSum.Add(int64(n) * depth)
+}
+
+func (m *sessionMetrics) enqueueAbortedSlab(n int) {
+	m.queueDepth.Add(int64(-n))
+}
+
+// dequeuedSlab moves the queue gauge for a whole slab at once; the
+// per-request finished() calls still retire inFlight one at a time.
+func (m *sessionMetrics) dequeuedSlab(n int) {
+	m.queueDepth.Add(int64(-n))
+	updateMax(&m.inFlightMax, m.inFlight.Add(int64(n)))
+}
+
 // dequeued records a worker picking a request up.
 func (m *sessionMetrics) dequeued() {
 	m.queueDepth.Add(-1)

@@ -1,24 +1,30 @@
 #!/usr/bin/env bash
 # bench-baseline.sh — record the hot-path benchmark baseline as JSON.
 #
-# Runs the two benchmarks the fleet work must not regress —
+# Runs the two benchmarks the perf work must not regress —
 # BenchmarkSessionStreamSweep (the single-process streaming pipeline)
-# and BenchmarkDistributedSweep (the sharded fan-out, now the fleet
-# scheduler under the distribute shim) — and distills ns/op, B/op,
-# allocs/op and derived points/sec into one JSON document. Points/sec
-# comes from the known grid size of each sub-benchmark: the stream
-# sweep runs 568- and 4488-point grids, the distributed sweep a
-# 50736-point grid (151 areas × 3 nodes × 2 schemes × 8 counts × 7
-# quantities).
+# and BenchmarkDistributedSweep (the sharded fan-out on the fleet
+# scheduler) — and distills ns/op, B/op, allocs/op, points/sec and the
+# partials-cache hit rate into one JSON document. Points/sec is taken
+# from the benchmark's own b.ReportMetric wall-clock figure when the
+# line carries one, and derived from ns/op and the known grid size
+# (568/4488-point stream grids, 50736-point distributed grid)
+# otherwise.
 #
-# The checked-in snapshot (BENCH_PR6.json) is a reviewed baseline, not
-# a CI gate: absolute numbers move with hardware, so regressions are
-# judged by re-running this script on the same machine and comparing.
+# When an earlier BENCH_*.json is checked in, the document also embeds
+# a "delta_vs" block: per-benchmark new/old ratios of points_per_sec
+# and allocs_per_op against the most recent previous baseline, so the
+# trajectory is readable straight from the file.
+#
+# The checked-in snapshot is a reviewed baseline, not a CI gate:
+# absolute numbers move with hardware, so regressions are judged by
+# re-running this script on the same machine and comparing (CI runs a
+# coarse 25% gate against a cache-kept baseline; see bench-smoke).
 #
 # Usage: scripts/bench-baseline.sh [OUTPUT.json]
 set -euo pipefail
 
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR7.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -30,9 +36,10 @@ go test -run '^$' -bench '^BenchmarkDistributedSweep$' -benchmem -benchtime 2x .
   > "$tmp/distribute.txt"
 
 # Benchmark output lines look like
-#   BenchmarkName/sub-8   	       2	 123456789 ns/op	 456 B/op	 7 allocs/op
-# awk turns each into a JSON entry, attaching points-per-op from the
-# sub-benchmark name (568pt/4488pt) or the per-file default (the
+#   BenchmarkName/sub-8  2  123456 ns/op  0.75 partials-hit-rate  29347 points/sec  456 B/op  7 allocs/op
+# awk turns each into a JSON entry. Reported points/sec (wall clock)
+# wins over the ns/op derivation; the points-per-op count comes from
+# the sub-benchmark name (568pt/4488pt) or the per-file default (the
 # stream benchmark's sweep-best-question arm runs the 568-point grid;
 # the distributed benchmark always runs the fixed 50736-point grid).
 parse() {
@@ -40,30 +47,62 @@ parse() {
     /ns\/op/ {
       name = $1
       sub(/-[0-9]+$/, "", name)                 # strip GOMAXPROCS suffix
-      ns = ""; bytes = ""; allocs = ""
+      ns = ""; bytes = ""; allocs = ""; rpps = ""; hit = ""
       for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i - 1)
-        if ($i == "B/op")      bytes = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "ns/op")             ns = $(i - 1)
+        if ($i == "B/op")              bytes = $(i - 1)
+        if ($i == "allocs/op")         allocs = $(i - 1)
+        if ($i == "points/sec")        rpps = $(i - 1)
+        if ($i == "partials-hit-rate") hit = $(i - 1)
       }
       points = points_default
       if (match(name, /[0-9]+pt/)) points = substr(name, RSTART, RLENGTH - 2)
-      pps = (ns > 0) ? points * 1e9 / ns : 0
-      printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"points_per_op\": %s, \"points_per_sec\": %.0f},\n", \
-        name, ns, bytes, allocs, points, pps
+      pps = (rpps != "") ? rpps : ((ns > 0) ? points * 1e9 / ns : 0)
+      extra = (hit != "") ? sprintf(", \"partials_hit_rate\": %s", hit) : ""
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"points_per_op\": %s, \"points_per_sec\": %.0f%s},\n", \
+        name, ns, bytes, allocs, points, pps, extra
     }
   ' "$1"
+}
+
+{ parse "$tmp/stream.txt" 568; parse "$tmp/distribute.txt" 50736; } | sed '$ s/,$//' > "$tmp/bench.jsonl"
+
+# delta_vs: ratios against the newest previous checked-in baseline
+# (any BENCH_*.json other than the file being written).
+prev=$(ls BENCH_*.json 2>/dev/null | grep -vx "$out" | sort -V | tail -1 || true)
+lookup() { # lookup FILE NAME FIELD -> value or empty
+  grep -o "{\"name\": \"$2\"[^}]*}" "$1" 2>/dev/null \
+    | grep -o "\"$3\": [0-9.]*" | head -1 | awk '{print $2}'
 }
 
 {
   echo '{'
   echo '  "benchmarks": ['
-  { parse "$tmp/stream.txt" 568; parse "$tmp/distribute.txt" 50736; } | sed '$ s/,$//'
+  cat "$tmp/bench.jsonl"
   echo '  ],'
+  if [[ -n "$prev" ]]; then
+    echo '  "delta_vs": {'
+    echo "    \"baseline\": \"$prev\","
+    echo '    "ratios": ['
+    while IFS= read -r line; do
+      name=$(printf '%s' "$line" | grep -o '"name": "[^"]*"' | sed 's/"name": "//;s/"$//')
+      new_pps=$(printf '%s' "$line" | grep -o '"points_per_sec": [0-9.]*' | awk '{print $2}')
+      new_allocs=$(printf '%s' "$line" | grep -o '"allocs_per_op": [0-9.]*' | awk '{print $2}')
+      old_pps=$(lookup "$prev" "$name" points_per_sec)
+      old_allocs=$(lookup "$prev" "$name" allocs_per_op)
+      if [[ -n "$old_pps" && -n "$old_allocs" ]]; then
+        awk -v n="$name" -v np="$new_pps" -v op="$old_pps" -v na="$new_allocs" -v oa="$old_allocs" \
+          'BEGIN { printf "      {\"name\": \"%s\", \"points_per_sec\": %.2f, \"allocs_per_op\": %.2f},\n", \
+                   n, (op > 0) ? np / op : 0, (oa > 0) ? na / oa : 0 }'
+      fi
+    done < "$tmp/bench.jsonl" | sed '$ s/,$//'
+    echo '    ]'
+    echo '  },'
+  fi
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"goos\": \"$(go env GOOS)\","
   echo "  \"goarch\": \"$(go env GOARCH)\","
-  echo "  \"note\": \"baseline for PR 6 (fleet scheduler); regenerate with scripts/bench-baseline.sh and compare on the same machine\""
+  echo "  \"note\": \"regenerate with scripts/bench-baseline.sh $out and compare on the same machine; delta_vs ratios are new/old\""
   echo '}'
 } > "$out"
 

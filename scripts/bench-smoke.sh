@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# bench-smoke.sh — coarse throughput regression gate for CI.
+#
+# Runs BenchmarkSessionStreamSweep and compares each arm's reported
+# points/sec against a recorded baseline. The gate is deliberately
+# loose — a >25% drop fails, anything less is noise on shared CI
+# hardware — so it catches "the hot path got 5x slower", not single-
+# digit drift. Precise numbers live in the checked-in BENCH_*.json
+# snapshots (scripts/bench-baseline.sh), which are produced on one
+# machine and reviewed by hand.
+#
+# The baseline is a plain "name points_per_sec" text file kept outside
+# the repo (in CI: an actions/cache entry, so it reflects CI hardware,
+# not the dev machine). When the file is absent the run cannot be
+# judged: the script records the current numbers as the new baseline
+# and exits 0, so the first run after a cache miss is a skip+record,
+# and the next run gates against it.
+#
+# Usage: scripts/bench-smoke.sh [BASELINE_FILE]
+#   BENCH_SMOKE_THRESHOLD  allowed regression in percent (default 25)
+set -euo pipefail
+
+baseline=${1:-.bench-smoke-baseline.txt}
+threshold=${BENCH_SMOKE_THRESHOLD:-25}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench-smoke: running BenchmarkSessionStreamSweep" >&2
+go test -run '^$' -bench '^BenchmarkSessionStreamSweep$' -benchtime 2x . \
+  | tee "$tmp/out.txt"
+
+# One "name points_per_sec" line per arm, from the benchmark's own
+# wall-clock ReportMetric column.
+awk '
+  /points\/sec/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) if ($i == "points/sec") printf "%s %s\n", name, $(i - 1)
+  }
+' "$tmp/out.txt" > "$tmp/current.txt"
+
+if [[ ! -s "$tmp/current.txt" ]]; then
+  echo "bench-smoke: FAIL — no points/sec lines in benchmark output" >&2
+  exit 1
+fi
+
+if [[ ! -f "$baseline" ]]; then
+  cp "$tmp/current.txt" "$baseline"
+  echo "bench-smoke: no baseline at $baseline — recorded current numbers, skipping gate" >&2
+  cat "$baseline" >&2
+  exit 0
+fi
+
+echo "bench-smoke: gating against $baseline (threshold ${threshold}%)" >&2
+awk -v threshold="$threshold" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    name = $1; cur = $2
+    if (!(name in base)) { printf "  %-60s %12.0f pts/s (new arm, no baseline)\n", name, cur; next }
+    old = base[name]
+    pct = (old > 0) ? 100 * (cur - old) / old : 0
+    verdict = "ok"
+    if (pct < -threshold) { verdict = "REGRESSION"; failed = 1 }
+    printf "  %-60s %12.0f pts/s vs %12.0f (%+.1f%%) %s\n", name, cur, old, pct, verdict
+  }
+  END { exit failed ? 1 : 0 }
+' "$baseline" "$tmp/current.txt" || {
+  echo "bench-smoke: FAIL — points/sec dropped more than ${threshold}% vs baseline" >&2
+  exit 1
+}
+echo "bench-smoke: OK" >&2

@@ -552,3 +552,69 @@ func TestStreamEndpointResume(t *testing.T) {
 		t.Fatalf("negative resume index: HTTP %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestStreamNDJSONSlabPointIdentity checks the dispatch-mode
+// equivalence on the wire: an ordered /v1/stream response (which rides
+// slab dispatch — scenario sources implement SlabSource) must be
+// byte-identical, line for line, to the same scenario streamed locally
+// with slab dispatch forced off, across resume points.
+func TestStreamNDJSONSlabPointIdentity(t *testing.T) {
+	_, ts := newTestServer(t, []actuary.Option{actuary.WithWorkers(3)})
+	cfg := actuary.ScenarioConfig{
+		Name:      "slab-identity",
+		Questions: []string{"total-cost", "re"},
+		Sweeps: []actuary.SweepConfig{{
+			Name: "sw", Nodes: []string{"5nm", "7nm"}, Scheme: "MCM", D2DFraction: 0.10,
+			Quantity: 1_000_000, AreasMM2: []float64{200, 400, 600, 750}, Counts: []int{1, 2, 3},
+		}},
+	}
+	for _, next := range []int{0, 5} {
+		cfg.Resume = &actuary.StreamResume{NextIndex: next}
+		body, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := postJSON(t, ts.URL+"/v1/stream", body)
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+		streamed := strings.Split(strings.TrimSpace(string(data)), "\n")
+
+		// Point path: same scenario on a fresh local session, slab
+		// dispatch forced off, results marshaled like the handler does.
+		src, err := cfg.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := actuary.NewSession(actuary.WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := local.Stream(context.Background(), src,
+			actuary.StreamOrdered(), actuary.StreamResumeAt(next), actuary.StreamSlabSize(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []string
+		for r := range ch {
+			line, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, string(line))
+		}
+		if len(streamed) != len(want) {
+			t.Fatalf("resume %d: streamed %d lines, point path yields %d", next, len(streamed), len(want))
+		}
+		for i := range want {
+			if streamed[i] != want[i] {
+				t.Fatalf("resume %d line %d diverges:\nslab:  %s\npoint: %s", next, i, streamed[i], want[i])
+			}
+		}
+	}
+}

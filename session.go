@@ -237,15 +237,17 @@ type SweepBest struct {
 type Option func(*sessionConfig)
 
 type sessionConfig struct {
-	db         *TechDatabase
-	params     PackagingParams
-	hasParams  bool
-	workers    int
-	minWorkers int
-	maxWorkers int
-	hasBounds  bool
-	cacheSize  int
-	hasCacheSz bool
+	db           *TechDatabase
+	params       PackagingParams
+	hasParams    bool
+	workers      int
+	minWorkers   int
+	maxWorkers   int
+	hasBounds    bool
+	cacheSize    int
+	hasCacheSz   bool
+	partialsSize int
+	hasPartials  bool
 }
 
 // WithTech selects the technology database (default: the built-in
@@ -290,6 +292,26 @@ func WithCacheSize(n int) Option {
 // over.
 const DefaultCacheSize = 4096
 
+// WithPartialsCacheSize bounds the evaluator's partial-result caches
+// (entries, not bytes): the packaging geometry/yield partials shared
+// by the RE and NRE engines, and the NRE uniform-term memo. The
+// default is DefaultPartialsCacheSize; 0 disables partial memoization
+// (the KGD cache is bounded separately by WithCacheSize).
+func WithPartialsCacheSize(n int) Option {
+	return func(c *sessionConfig) { c.partialsSize = n; c.hasPartials = true }
+}
+
+// DefaultPartialsCacheSize is the partials-cache bound used when
+// WithPartialsCacheSize is not given. A sweep touches one packaging
+// partial per distinct (scheme, flow, die count, total area) tuple and
+// one NRE entry per distinct (node, scheme, geometry) tuple, so 8192
+// holds every partial of the paper's sweep workloads at once.
+const DefaultPartialsCacheSize = explore.DefaultPartialsCacheSize
+
+// PartialsStats reports the partial-result caches' counters (see
+// Session.PartialsCacheStats).
+type PartialsStats = explore.PartialsStats
+
 // Session is the batch evaluation handle: a technology database and
 // packaging parameter set, a worker pool width, and a shared die-cost
 // cache. Apart from the worker-pool target width — which Resize moves
@@ -312,7 +334,8 @@ type Session struct {
 // built-in technology database, calibrated packaging parameters, one
 // worker per CPU, and a DefaultCacheSize-entry KGD cache.
 func NewSession(opts ...Option) (*Session, error) {
-	cfg := sessionConfig{workers: runtime.GOMAXPROCS(0), cacheSize: DefaultCacheSize}
+	cfg := sessionConfig{workers: runtime.GOMAXPROCS(0), cacheSize: DefaultCacheSize,
+		partialsSize: DefaultPartialsCacheSize}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -333,7 +356,7 @@ func NewSession(opts ...Option) (*Session, error) {
 		return nil, fmt.Errorf("actuary: invalid worker bounds [%d, %d] (want 1 ≤ min ≤ max)",
 			cfg.minWorkers, cfg.maxWorkers)
 	}
-	ev, err := explore.NewEvaluatorWithCache(cfg.db, cfg.params, cfg.cacheSize)
+	ev, err := explore.NewEvaluatorWithCaches(cfg.db, cfg.params, cfg.cacheSize, cfg.partialsSize)
 	if err != nil {
 		return nil, err
 	}
@@ -386,6 +409,13 @@ func (s *Session) Evaluator() *explore.Evaluator { return s.ev }
 
 // CacheStats reports the shared KGD cache's hit/miss counters.
 func (s *Session) CacheStats() KGDCacheStats { return s.ev.Cost.CacheStats() }
+
+// PartialsCacheStats reports the partial-result caches' hit/miss
+// counters: the packaging geometry/yield partials shared by the RE and
+// NRE engines, and the NRE uniform-term memo. On sweep workloads the
+// hit rates should sit near 1 — a low rate means the working set
+// outgrew WithPartialsCacheSize.
+func (s *Session) PartialsCacheStats() PartialsStats { return s.ev.PartialsCacheStats() }
 
 // Evaluate answers a batch of requests, fanning them out over the
 // session's worker pool. Results come back in input order — result i

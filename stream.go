@@ -58,6 +58,22 @@ type RequestSource interface {
 	Next() (Request, bool)
 }
 
+// SlabSource is a RequestSource that can also hand out runs of
+// consecutive requests in one call. Session.Stream detects it and
+// switches to slab dispatch: one worker job carries a whole slab, so
+// channel sends, queue metrics and scheduling are paid once per slab
+// instead of once per point. NextSlab fills dst with up to len(dst)
+// requests and returns how many it produced; 0 means exhausted. The
+// concatenation of the slabs must be exactly the sequence Next would
+// have produced, so slab and point consumers see identical request
+// streams (resume cursors and result indexes stay per-request either
+// way). Sources that cannot produce runs cheaply just implement
+// RequestSource and are served point by point.
+type SlabSource interface {
+	RequestSource
+	NextSlab(dst []Request) int
+}
+
 // sourceFunc adapts a closure to a RequestSource.
 type sourceFunc func() (Request, bool)
 
@@ -78,6 +94,13 @@ func (s *sliceSource) Next() (Request, bool) {
 	return r, true
 }
 
+// NextSlab implements SlabSource: a materialized batch is one long run.
+func (s *sliceSource) NextSlab(dst []Request) int {
+	n := copy(dst, s.reqs[s.i:])
+	s.i += n
+	return n
+}
+
 // SliceSource adapts an explicit batch to the streaming API.
 func SliceSource(reqs []Request) RequestSource { return &sliceSource{reqs: reqs} }
 
@@ -94,29 +117,69 @@ func SweepSource(gen *SweepGenerator, question Question, policy AmortizationPoli
 	if err := gen.Grid().Validate(); err != nil {
 		return nil, err
 	}
-	return sourceFunc(func() (Request, bool) {
-		p, ok := gen.Next()
-		if !ok {
-			return Request{}, false
-		}
-		return Request{
-			ID:       p.ID + "/" + question.String(),
-			Question: question,
-			System:   p.System,
-			Policy:   policy,
-		}, true
-	}), nil
+	return &sweepSource{
+		gen:      gen,
+		suffix:   "/" + question.String(),
+		question: question,
+		policy:   policy,
+	}, nil
+}
+
+// sweepSource adapts a generator to the streaming API. It implements
+// SlabSource, so Session.Stream serves sweeps in slabs; the question
+// suffix is rendered once here instead of once per point.
+type sweepSource struct {
+	gen      *SweepGenerator
+	suffix   string
+	question Question
+	policy   AmortizationPolicy
+	points   []DesignPoint // slab scratch, reused across NextSlab calls
+}
+
+func (s *sweepSource) request(p DesignPoint) Request {
+	return Request{
+		ID:       p.ID + s.suffix,
+		Question: s.question,
+		System:   p.System,
+		Policy:   s.policy,
+	}
+}
+
+func (s *sweepSource) Next() (Request, bool) {
+	p, ok := s.gen.Next()
+	if !ok {
+		return Request{}, false
+	}
+	return s.request(p), true
+}
+
+// NextSlab implements SlabSource by pulling one generator slab — an
+// innermost-axis run of the grid walk, which is what keeps the
+// evaluator's partial caches hot within a worker job.
+func (s *sweepSource) NextSlab(dst []Request) int {
+	if cap(s.points) < len(dst) {
+		s.points = make([]DesignPoint, len(dst))
+	}
+	pts := s.points[:len(dst)]
+	n := s.gen.NextSlab(pts)
+	for i := 0; i < n; i++ {
+		dst[i] = s.request(pts[i])
+		pts[i] = DesignPoint{} // release the System backing arrays
+	}
+	return n
 }
 
 // StreamOption tunes Session.Stream.
 type StreamOption func(*streamConfig)
 
 type streamConfig struct {
-	inFlight   int
-	maxWorkers int
-	deliverAll bool
-	resumeAt   int
-	ordered    bool
+	inFlight    int
+	hasInFlight bool
+	maxWorkers  int
+	deliverAll  bool
+	resumeAt    int
+	ordered     bool
+	slabSize    int
 }
 
 // streamWorkerCap bounds how many workers the stream spawns — used by
@@ -141,7 +204,29 @@ func streamDeliverAll() StreamOption {
 // + inFlight buffered results exist at any moment, independent of
 // sweep size.
 func StreamInFlight(n int) StreamOption {
-	return func(c *streamConfig) { c.inFlight = n }
+	return func(c *streamConfig) { c.inFlight = n; c.hasInFlight = true }
+}
+
+// DefaultSlabSize is how many requests ride in one worker job when the
+// source supports slab dispatch (see SlabSource) and StreamSlabSize is
+// not given. Sized so dispatch overhead amortizes to noise while a
+// slab still regenerates in microseconds on resume.
+const DefaultSlabSize = 32
+
+// StreamSlabSize sets how many requests one worker job carries when
+// the source supports slab dispatch; n ≤ 1 forces point-at-a-time
+// dispatch even for slab-capable sources (the lever equivalence tests
+// use to compare the two paths). Slabs only batch dispatch: results,
+// indexes and resume cursors stay per-request, so checkpoints taken
+// under one slab size resume correctly under any other. Sources that
+// do not implement SlabSource are unaffected.
+func StreamSlabSize(n int) StreamOption {
+	return func(c *streamConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.slabSize = n
+	}
 }
 
 // StreamResumeAt resumes an interrupted stream: the first n requests
@@ -178,7 +263,18 @@ func StreamOrdered() StreamOption {
 type streamJob struct {
 	index int
 	req   Request
+	// slab, when non-nil, carries a run of requests whose stream
+	// indexes are index, index+1, … — one channel send for the lot.
+	// buf is the pool token the worker returns after evaluation.
+	slab []Request
+	buf  *[]Request
 }
+
+// slabBufPool recycles slab backing arrays between pump and workers so
+// steady-state slab dispatch allocates nothing per slab. Buffers are
+// sized per stream (capacity = the stream's slab size); a stream with
+// a different slab size simply reallocates on first Get.
+var slabBufPool = sync.Pool{New: func() any { return new([]Request) }}
 
 // elasticTick is how often a running stream reconciles its worker
 // count with the session's target width (see Session.Resize). Growth
@@ -220,12 +316,35 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := streamConfig{inFlight: 2 * s.Workers()}
+	cfg := streamConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// Slab dispatch engages when the source can produce runs and the
+	// caller has not forced point mode. The slab size never exceeds the
+	// in-flight bound: that bound is the stream's memory contract.
+	slabSrc, _ := src.(SlabSource)
+	slab := cfg.slabSize
+	if slab == 0 {
+		slab = DefaultSlabSize
+	}
+	if slabSrc == nil || slab <= 1 {
+		slab = 1
+		slabSrc = nil
+	}
+	if !cfg.hasInFlight {
+		cfg.inFlight = 2 * s.Workers()
+		if cfg.inFlight < slab {
+			// A default window narrower than one slab would force
+			// fragmented slabs; widen to one slab's worth.
+			cfg.inFlight = slab
+		}
+	}
 	if cfg.inFlight < 1 {
 		cfg.inFlight = 1
+	}
+	if slab > cfg.inFlight {
+		slab = cfg.inFlight
 	}
 	workers := s.Workers()
 	if cfg.maxWorkers > 0 && cfg.maxWorkers < workers {
@@ -245,7 +364,14 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 		return t
 	}
 	elastic := s.workerMax > s.workerMin
-	jobs := make(chan streamJob, cfg.inFlight)
+	// The job queue is measured in requests, not sends: with slabs of
+	// size s it holds inFlight/s jobs, so the in-flight request bound
+	// is the same in both dispatch modes.
+	jobCap := cfg.inFlight
+	if slab > 1 {
+		jobCap = max(1, cfg.inFlight/slab)
+	}
+	jobs := make(chan streamJob, jobCap)
 	out := make(chan Result, cfg.inFlight)
 	metrics := s.metrics
 	metrics.streamsStarted.Add(1)
@@ -285,6 +411,50 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 				return
 			}
 		}
+		if slabSrc != nil {
+			// Slab mode: credits stay request-granular (the ordered
+			// window is measured in requests), acquired in a batch before
+			// the slab is generated. cap(credits) ≥ slab always holds, so
+			// the batch can never deadlock; the unused credits of a short
+			// final slab go straight back.
+			for i := max(cfg.resumeAt, 0); ; {
+				if credits != nil {
+					for c := 0; c < slab; c++ {
+						select {
+						case <-credits:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				buf := slabBufPool.Get().(*[]Request)
+				if cap(*buf) < slab {
+					*buf = make([]Request, slab)
+				}
+				n := slabSrc.NextSlab((*buf)[:slab])
+				if n == 0 {
+					slabBufPool.Put(buf)
+					return
+				}
+				if credits != nil {
+					for c := n; c < slab; c++ {
+						select {
+						case credits <- struct{}{}:
+						default:
+						}
+					}
+				}
+				metrics.enqueuedSlab(n)
+				select {
+				case jobs <- streamJob{index: i, slab: (*buf)[:n], buf: buf}:
+				case <-ctx.Done():
+					metrics.enqueueAbortedSlab(n)
+					slabBufPool.Put(buf)
+					return
+				}
+				i += n
+			}
+		}
 		for i := max(cfg.resumeAt, 0); ; i++ {
 			if credits != nil {
 				select {
@@ -320,16 +490,15 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 			metrics.workerStopped(start)
 			wg.Done()
 		}()
-		for j := range jobs {
-			metrics.dequeued()
+		evalDeliver := func(index int, req Request) {
 			t0 := time.Now()
 			var r Result
 			if err := ctx.Err(); err != nil {
-				r = s.fail(j.index, j.req, err)
+				r = s.fail(index, req, err)
 			} else {
-				r = s.evaluateOne(ctx, j.index, j.req)
+				r = s.evaluateOne(ctx, index, req)
 			}
-			metrics.finished(j.req.Question, time.Since(t0), r.Err != nil)
+			metrics.finished(req.Question, time.Since(t0), r.Err != nil)
 			if cfg.deliverAll {
 				out <- r // consumer drains until close, never blocks forever
 			} else {
@@ -345,8 +514,21 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 					}
 				}
 			}
+		}
+		for j := range jobs {
+			if j.slab != nil {
+				metrics.dequeuedSlab(len(j.slab))
+				for k := range j.slab {
+					evalDeliver(j.index+k, j.slab[k])
+				}
+				clear(j.slab) // release the request payload references
+				slabBufPool.Put(j.buf)
+			} else {
+				metrics.dequeued()
+				evalDeliver(j.index, j.req)
+			}
 			// Elastic shrink lands at job boundaries: the worker retires
-			// after delivering its result, never mid-evaluation.
+			// after delivering its result(s), never mid-evaluation.
 			if elastic && shrinkPool(&live, targetWidth()) {
 				retired = true
 				return
@@ -399,7 +581,7 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	// unbounded pending map. Each in-order emission returns a credit to
 	// the pump.
 	ordered := make(chan Result, cfg.inFlight)
-	go reorderResults(ctx, out, ordered, max(cfg.resumeAt, 0), func() {
+	go reorderResults(ctx, out, ordered, max(cfg.resumeAt, 0), cap(credits), func() {
 		select {
 		case credits <- struct{}{}:
 		default: // gaps after cancellation may over-return; drop
@@ -419,9 +601,56 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 // computed result is silently dropped. A canceled ctx releases the
 // goroutine even if the consumer stopped reading, after draining in
 // as the stream contract requires.
-func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, next int, onEmit func()) {
+//
+// window > 0 promises the producer never runs more than window indexes
+// past the contiguous watermark (StreamOrdered's credit bound); the
+// buffer is then a preallocated ring indexed by Index mod window and
+// the hot loop allocates nothing per result. window ≤ 0 (or a producer
+// that breaks the promise, which StreamOrdered's cannot) falls back to
+// a map — OrderedResults wraps producers it does not own and cannot
+// bound, so it always takes the map.
+func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, next, window int, onEmit func()) {
 	defer close(out)
-	pending := make(map[int]Result)
+	var ring []Result
+	var occupied []bool
+	held := 0 // occupied ring slots
+	if window > 0 {
+		ring = make([]Result, window)
+		occupied = make([]bool, window)
+	}
+	var pending map[int]Result // overflow and window-less fallback, lazy
+	store := func(r Result) {
+		if window > 0 && r.Index < next+window {
+			slot := r.Index % window
+			if !occupied[slot] {
+				occupied[slot] = true
+				held++
+			}
+			ring[slot] = r
+			return
+		}
+		if pending == nil {
+			pending = make(map[int]Result)
+		}
+		pending[r.Index] = r
+	}
+	take := func(i int) (Result, bool) {
+		if window > 0 {
+			slot := i % window
+			if occupied[slot] && ring[slot].Index == i {
+				r := ring[slot]
+				occupied[slot] = false
+				ring[slot] = Result{}
+				held--
+				return r, true
+			}
+		}
+		r, ok := pending[i]
+		if ok {
+			delete(pending, i)
+		}
+		return r, ok
+	}
 	send := func(r Result) bool {
 		select {
 		case out <- r:
@@ -437,14 +666,13 @@ func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, ne
 			}
 			continue
 		}
-		pending[r.Index] = r
+		store(r)
 		delivered := true
 		for delivered {
-			head, ok := pending[next]
+			head, ok := take(next)
 			if !ok {
 				break
 			}
-			delete(pending, next)
 			delivered = send(head)
 			next++
 			if onEmit != nil {
@@ -460,14 +688,20 @@ func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, ne
 	// in ascending order.
 	for range in {
 	}
-	if len(pending) > 0 {
-		rest := make([]int, 0, len(pending))
+	if held > 0 || len(pending) > 0 {
+		rest := make([]int, 0, held+len(pending))
+		for slot, occ := range occupied {
+			if occ {
+				rest = append(rest, ring[slot].Index)
+			}
+		}
 		for i := range pending {
 			rest = append(rest, i)
 		}
 		sort.Ints(rest)
 		for _, i := range rest {
-			if !send(pending[i]) {
+			r, _ := take(i)
+			if !send(r) {
 				return
 			}
 		}
@@ -531,7 +765,7 @@ func OrderedResults(ctx context.Context, ch <-chan Result, next int) <-chan Resu
 		ctx = context.Background()
 	}
 	out := make(chan Result)
-	go reorderResults(ctx, ch, out, next, nil)
+	go reorderResults(ctx, ch, out, next, 0, nil)
 	return out
 }
 
