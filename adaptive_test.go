@@ -1,0 +1,415 @@
+package actuary_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"chipletactuary"
+)
+
+// randomSearchGrid builds a modest random grid whose axes exercise
+// every strategy: several categorical values, a long area axis for
+// refinement windows, and a count axis with both feasible and
+// reticle-pruned corners.
+func randomSearchGrid(rng *rand.Rand, name string) *actuary.SweepGrid {
+	nodePool := []string{"5nm", "7nm", "12nm", "28nm"}
+	schemePool := []actuary.Scheme{actuary.MCM, actuary.TwoPointFiveD, actuary.InFO}
+	pick := func(n int) int { return 1 + rng.Intn(n) }
+	grid := &actuary.SweepGrid{
+		Name:       name,
+		Nodes:      append([]string(nil), nodePool[:pick(len(nodePool))]...),
+		Schemes:    append([]actuary.Scheme(nil), schemePool[:pick(len(schemePool))]...),
+		Quantities: []float64{1e5, 1e6}[:pick(2)],
+		D2D:        actuary.D2DFraction(0.10),
+	}
+	areas := 4 + rng.Intn(12)
+	for i := 0; i < areas; i++ {
+		grid.AreasMM2 = append(grid.AreasMM2, 150+float64(i)*60)
+	}
+	for k := 1; k <= pick(6); k++ {
+		grid.Counts = append(grid.Counts, k)
+	}
+	return grid
+}
+
+// TestSearchBestPruningOnlyIsExact is the exactness property: with no
+// refinement and no halving, lower-bound pruning only skips candidates
+// that provably cannot enter the top-K, so the search-best Top must be
+// byte-identical to the exhaustive sweep-best Top — across random
+// grids and shard counts — while the stats prove candidates were
+// actually skipped somewhere along the way.
+func TestSearchBestPruningOnlyIsExact(t *testing.T) {
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(41))
+	totalPruned := 0
+	for trial := 0; trial < 6; trial++ {
+		grid := randomSearchGrid(rng, fmt.Sprintf("px%d", trial))
+		for n := 1; n <= 3; n++ {
+			shardIndex, shardCount := 0, 0
+			if n > 1 {
+				shardIndex, shardCount = rng.Intn(n), n
+			}
+			sweepReq := actuary.Request{Question: actuary.QuestionSweepBest,
+				Grid: grid, TopK: 3, ShardIndex: shardIndex, ShardCount: shardCount}
+			searchReq := actuary.Request{Question: actuary.QuestionSearchBest,
+				Grid: grid, TopK: 3, ShardIndex: shardIndex, ShardCount: shardCount}
+			res := s.Evaluate(ctx, []actuary.Request{sweepReq, searchReq})
+			if res[0].Err != nil || res[1].Err != nil {
+				t.Fatalf("trial %d n=%d: %v / %v", trial, n, res[0].Err, res[1].Err)
+			}
+			want, got := res[0].SweepBest, res[1].SearchBest
+			if mustJSON(t, got.Top) != mustJSON(t, want.Top) {
+				t.Fatalf("trial %d n=%d: pruning-only search diverged from exhaustive sweep:\n got %s\nwant %s",
+					trial, n, mustJSON(t, got.Top), mustJSON(t, want.Top))
+			}
+			st := got.Stats
+			if st.GridSize != grid.Size() {
+				t.Errorf("trial %d: stats grid size %d, want %d", trial, st.GridSize, grid.Size())
+			}
+			if st.Evaluated+st.BoundPruned+st.Pruned+st.Deduped != want.Summary.Count+want.Infeasible+want.Pruned+want.Deduped {
+				t.Errorf("trial %d n=%d: search accounting %+v does not cover the sweep's %d candidates",
+					trial, n, st, want.Summary.Count+want.Infeasible+want.Pruned+want.Deduped)
+			}
+			totalPruned += st.BoundPruned
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("lower-bound pruning never skipped a candidate across any trial")
+	}
+}
+
+// TestSearchBestStrategiesWithinTolerance: refinement and halving are
+// heuristics, but on the cost model's smooth landscapes their best
+// point must come within the configured tolerance of the exhaustive
+// optimum — while evaluating strictly fewer candidates.
+func TestSearchBestStrategiesWithinTolerance(t *testing.T) {
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	grid := &actuary.SweepGrid{
+		Name:       "tol",
+		Nodes:      []string{"5nm", "7nm"},
+		Schemes:    []actuary.Scheme{actuary.MCM, actuary.TwoPointFiveD},
+		Quantities: []float64{1e6},
+		D2D:        actuary.D2DFraction(0.10),
+	}
+	for i := 0; i < 25; i++ {
+		grid.AreasMM2 = append(grid.AreasMM2, 200+float64(i)*25)
+	}
+	for k := 1; k <= 8; k++ {
+		grid.Counts = append(grid.Counts, k)
+	}
+	ref := s.Evaluate(ctx, []actuary.Request{{Question: actuary.QuestionSweepBest, Grid: grid, TopK: 1}})[0]
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	exact := ref.SweepBest.Top[0].Total.Total()
+
+	specs := map[string]*actuary.SearchSpec{
+		"refine":         {Tolerance: 0.05, Refine: &actuary.SearchRefineSpec{Factor: 4, Knees: 2}},
+		"halving":        {Tolerance: 0.05, Halving: &actuary.SearchHalvingSpec{Slabs: 8, Sample: 48}},
+		"halving+refine": {Tolerance: 0.05, Bound: true, Halving: &actuary.SearchHalvingSpec{Slabs: 8, Sample: 32}, Refine: &actuary.SearchRefineSpec{Factor: 4}},
+	}
+	for name, spec := range specs {
+		res := s.Evaluate(ctx, []actuary.Request{{Question: actuary.QuestionSearchBest,
+			Grid: grid, TopK: 1, Search: spec}})[0]
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		b := res.SearchBest
+		if len(b.Top) == 0 {
+			t.Fatalf("%s: empty answer", name)
+		}
+		got := b.Top[0].Total.Total()
+		if got > exact*(1+spec.Tolerance) {
+			t.Errorf("%s: best %v exceeds exhaustive best %v beyond tolerance %v",
+				name, got, exact, spec.Tolerance)
+		}
+		if b.Stats.Evaluated >= grid.Size() {
+			t.Errorf("%s: evaluated %d of %d — no savings", name, b.Stats.Evaluated, grid.Size())
+		}
+		if b.Stats.Stages < 2 {
+			t.Errorf("%s: only %d stages", name, b.Stats.Stages)
+		}
+	}
+}
+
+// TestSearchCheckpointResumeProperty is the kill-and-resume property:
+// for every strategy, a search resumed from any mid-run checkpoint —
+// after a trip through the wire form, as a real resume takes — ends
+// with a SearchBest (answer AND stats) byte-identical to the
+// uninterrupted run's.
+func TestSearchCheckpointResumeProperty(t *testing.T) {
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(43))
+	specs := []*actuary.SearchSpec{
+		nil, // pruning only
+		{Refine: &actuary.SearchRefineSpec{Factor: 4, Knees: 1}, Bound: true},
+		{Halving: &actuary.SearchHalvingSpec{Slabs: 6, Sample: 8}},
+		{Halving: &actuary.SearchHalvingSpec{Slabs: 4, Sample: 6}, Refine: &actuary.SearchRefineSpec{Factor: 4}, Bound: true, Budget: 150},
+	}
+	for trial, spec := range specs {
+		grid := randomSearchGrid(rng, fmt.Sprintf("cpx%d", trial))
+		req := actuary.Request{Question: actuary.QuestionSearchBest, Grid: grid, TopK: 3, Search: spec}
+
+		want := s.Evaluate(ctx, []actuary.Request{req})[0]
+		if want.Err != nil {
+			t.Fatalf("trial %d: reference failed: %v", trial, want.Err)
+		}
+
+		var saved []*actuary.SearchCheckpoint
+		got, err := s.SearchBestCheckpointed(ctx, req, nil, 2,
+			func(cp *actuary.SearchCheckpoint) error {
+				data, err := json.Marshal(cp)
+				if err != nil {
+					return err
+				}
+				back := new(actuary.SearchCheckpoint)
+				if err := json.Unmarshal(data, back); err != nil {
+					return err
+				}
+				saved = append(saved, back)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("trial %d: checkpointed walk failed: %v", trial, err)
+		}
+		if mustJSON(t, got) != mustJSON(t, want.SearchBest) {
+			t.Fatalf("trial %d: fresh checkpointed walk diverged from Evaluate:\n got %s\nwant %s",
+				trial, mustJSON(t, got), mustJSON(t, want.SearchBest))
+		}
+		if len(saved) == 0 {
+			t.Fatalf("trial %d: walk emitted no checkpoints", trial)
+		}
+
+		picks := map[int]bool{0: true, len(saved) - 1: true, rng.Intn(len(saved)): true}
+		for i := range picks {
+			resumed, err := s.SearchBestCheckpointed(ctx, req, saved[i], 3, nil)
+			if err != nil {
+				t.Fatalf("trial %d: resume from checkpoint %d: %v", trial, i, err)
+			}
+			if mustJSON(t, resumed) != mustJSON(t, want.SearchBest) {
+				t.Fatalf("trial %d: resume from checkpoint %d diverged:\n got %s\nwant %s",
+					trial, i, mustJSON(t, resumed), mustJSON(t, want.SearchBest))
+			}
+		}
+	}
+}
+
+// TestSearchResumeEvaluatesNothingTwice pins the no-double-work half
+// of the resume contract with an independent witness: the staged
+// walk's evaluations flow through Session.Evaluate as total-cost
+// requests, so a fresh session that only runs the resumed half must
+// record exactly (full evaluations - evaluations before the cut) —
+// not one more.
+func TestSearchResumeEvaluatesNothingTwice(t *testing.T) {
+	ctx := context.Background()
+	grid := &actuary.SweepGrid{
+		Name:       "twice",
+		Nodes:      []string{"5nm", "7nm"},
+		Schemes:    []actuary.Scheme{actuary.MCM},
+		Quantities: []float64{1e6},
+		AreasMM2:   []float64{200, 260, 320, 380, 440, 500, 560, 620},
+		Counts:     []int{1, 2, 3, 4, 5, 6},
+		D2D:        actuary.D2DFraction(0.10),
+	}
+	req := actuary.Request{Question: actuary.QuestionSearchBest, Grid: grid, TopK: 2,
+		Search: &actuary.SearchSpec{Halving: &actuary.SearchHalvingSpec{Slabs: 4, Sample: 8},
+			Refine: &actuary.SearchRefineSpec{Factor: 4}, Bound: true}}
+
+	full, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved []*actuary.SearchCheckpoint
+	want, err := full.SearchBestCheckpointed(ctx, req, nil, 3,
+		func(cp *actuary.SearchCheckpoint) error {
+			data, err := json.Marshal(cp)
+			if err != nil {
+				return err
+			}
+			back := new(actuary.SearchCheckpoint)
+			if err := json.Unmarshal(data, back); err != nil {
+				return err
+			}
+			saved = append(saved, back)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) < 3 {
+		t.Fatalf("only %d checkpoints", len(saved))
+	}
+	cut := saved[len(saved)/2]
+	evaluatedAtCut := cut.Totals.Generated + cut.Cursor.Stats.Generated
+
+	fresh, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := fresh.SearchBestCheckpointed(ctx, req, cut, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, resumed) != mustJSON(t, want) {
+		t.Fatal("resumed answer diverged")
+	}
+	var count int64
+	for _, q := range fresh.Metrics().PerQuestion {
+		if q.Question == actuary.QuestionTotalCost {
+			count = q.Count
+		}
+	}
+	if wantCount := int64(want.Stats.Evaluated - evaluatedAtCut); count != wantCount {
+		t.Errorf("resumed session evaluated %d candidates, want exactly %d (full %d - cut %d)",
+			count, wantCount, want.Stats.Evaluated, evaluatedAtCut)
+	}
+}
+
+// TestSearchCheckpointRejects: the fingerprint and structural guards.
+func TestSearchCheckpointRejects(t *testing.T) {
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	grid := &actuary.SweepGrid{Name: "rej", Nodes: []string{"7nm"},
+		Schemes: []actuary.Scheme{actuary.MCM}, Quantities: []float64{1e6},
+		AreasMM2: []float64{200, 300, 400}, Counts: []int{1, 2, 3},
+		D2D: actuary.D2DFraction(0.10)}
+	req := actuary.Request{Question: actuary.QuestionSearchBest, Grid: grid, TopK: 1,
+		Search: &actuary.SearchSpec{Refine: &actuary.SearchRefineSpec{Factor: 2}}}
+	var cp *actuary.SearchCheckpoint
+	if _, err := s.SearchBestCheckpointed(ctx, req, nil, 1,
+		func(c *actuary.SearchCheckpoint) error { cp = c; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	other := req
+	other.TopK = 5
+	if _, err := s.SearchBestCheckpointed(ctx, other, cp, 1, nil); !errors.Is(err, actuary.ErrCheckpointMismatch) {
+		t.Errorf("checkpoint for different top-k accepted: %v", err)
+	}
+	headless := *cp
+	headless.Planner = nil
+	if _, err := s.SearchBestCheckpointed(ctx, req, &headless, 1, nil); !errors.Is(err, actuary.ErrCheckpointMismatch) {
+		t.Errorf("plannerless checkpoint accepted: %v", err)
+	}
+	if _, err := s.SweepBestCheckpointed(ctx, req, nil, 1, nil); err == nil {
+		t.Error("SweepBestCheckpointed accepted a search-best request")
+	}
+}
+
+// TestSearchBestWireRoundTrip: the request's search block and the
+// result's search_best payload survive the wire unchanged.
+func TestSearchBestWireRoundTrip(t *testing.T) {
+	grid := &actuary.SweepGrid{Name: "wire", Nodes: []string{"7nm"},
+		Schemes: []actuary.Scheme{actuary.MCM}, Quantities: []float64{1e6},
+		AreasMM2: []float64{200, 300}, Counts: []int{1, 2},
+		D2D: actuary.D2DFraction(0.10)}
+	req := actuary.Request{ID: "w", Question: actuary.QuestionSearchBest, Grid: grid, TopK: 2,
+		Search: &actuary.SearchSpec{Budget: 10, Bound: true, Tolerance: 0.01,
+			Refine:  &actuary.SearchRefineSpec{Factor: 4, Knees: 2},
+			Halving: &actuary.SearchHalvingSpec{Slabs: 4, Sample: 8}}}
+	data := mustJSON(t, req)
+	back := new(actuary.Request)
+	if err := json.Unmarshal([]byte(data), back); err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, *back) != data {
+		t.Errorf("request did not round-trip:\n got %s\nwant %s", mustJSON(t, *back), data)
+	}
+
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Evaluate(context.Background(), []actuary.Request{
+		{ID: "w", Question: actuary.QuestionSearchBest, Grid: grid, TopK: 2}})[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	rdata := mustJSON(t, res)
+	rback := new(actuary.Result)
+	if err := json.Unmarshal([]byte(rdata), rback); err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, *rback) != rdata {
+		t.Errorf("result did not round-trip:\n got %s\nwant %s", mustJSON(t, *rback), rdata)
+	}
+	if rback.SearchBest == nil || len(rback.SearchBest.Top) == 0 {
+		t.Error("search_best payload lost on the wire")
+	}
+}
+
+// TestScenarioSearchBlock: a scenario file's sweeps compile the search
+// question with the spec stamped onto the emitted request.
+func TestScenarioSearchBlock(t *testing.T) {
+	cfg := actuary.ScenarioConfig{
+		Name:      "sc",
+		Questions: []string{"search-best"},
+		Sweeps: []actuary.SweepConfig{{
+			Name: "g", Node: "7nm", Scheme: "MCM", Quantity: 1e6,
+			AreasMM2: []float64{200, 300, 400}, Counts: []int{1, 2, 3}, TopK: 2,
+			Search: &actuary.SearchSpec{Bound: true, Refine: &actuary.SearchRefineSpec{Factor: 2}},
+		}},
+	}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].Question != actuary.QuestionSearchBest {
+		t.Fatalf("compiled to %+v", reqs)
+	}
+	if reqs[0].Search == nil || reqs[0].Search.Refine == nil || reqs[0].Search.Refine.Factor != 2 {
+		t.Errorf("search spec not stamped: %+v", reqs[0].Search)
+	}
+
+	bad := cfg
+	bad.Sweeps = append([]actuary.SweepConfig(nil), cfg.Sweeps...)
+	bad.Sweeps[0].Search = &actuary.SearchSpec{Refine: &actuary.SearchRefineSpec{Factor: 1}}
+	if _, err := bad.Requests(); err == nil {
+		t.Error("invalid search spec should fail at compile time")
+	}
+}
+
+// TestSearchBestInfeasibleGrid: an unsharded search of a grid with no
+// feasible point reports infeasibility with the first failure chained,
+// exactly like the exhaustive sweep.
+func TestSearchBestInfeasibleGrid(t *testing.T) {
+	s, err := actuary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := &actuary.SweepGrid{Name: "inf", Nodes: []string{"7nm"},
+		Schemes: []actuary.Scheme{actuary.MCM}, Quantities: []float64{1e6},
+		AreasMM2: []float64{4000}, Counts: []int{1}, // far past the reticle
+		D2D: actuary.D2DFraction(0.10)}
+	res := s.Evaluate(context.Background(), []actuary.Request{
+		{Question: actuary.QuestionSearchBest, Grid: grid}})[0]
+	if res.Err == nil {
+		t.Fatal("infeasible grid answered")
+	}
+	var ae *actuary.Error
+	if !errors.As(res.Err, &ae) || ae.Code != actuary.ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", res.Err)
+	}
+}

@@ -8,6 +8,7 @@ package actuary
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"testing"
 
@@ -522,4 +523,118 @@ func BenchmarkCrossoverQuantity(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// searchBenchGrid builds the ≥100k-candidate design space the
+// adaptive-search benchmark walks: a 0.05 mm² area step over
+// 100–800 mm² crossed with counts 1–8 gives 14001 × 8 = 112008
+// candidates — big enough that the evaluated-ratio metric means
+// something, small enough that the exhaustive reference answer
+// still runs in well under a second. The 100M quantity puts the
+// grid in the volume-production regime where RE dominates the
+// total, which is where the k·KGD lower bound is tight enough to
+// carry the pruning-only arm.
+func searchBenchGrid(b *testing.B) *SweepGrid {
+	b.Helper()
+	areas, err := SweepAreaRange(100, 800, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts, err := SweepCountRange(1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &SweepGrid{
+		Name:       "searchbench",
+		Nodes:      []string{"5nm"},
+		Schemes:    []packaging.Scheme{packaging.MCM},
+		AreasMM2:   areas,
+		Counts:     counts,
+		Quantities: []float64{100_000_000},
+		D2D:        D2DFraction(0.10),
+	}
+}
+
+// BenchmarkSearchBest measures the adaptive search against the
+// exhaustive sweep on a 112008-candidate grid, and asserts the PR's
+// acceptance ratios while it is at it: the pruning-only arm must
+// return the exhaustive answer byte-for-byte while evaluating ≤25% of
+// the grid, and the staged refine+halving arm must land within its
+// declared tolerance of the true optimum while evaluating ≤10%. The
+// headline metric is evaluated-ratio (evaluated / grid size); BENCH
+// baselines track it alongside points/sec.
+func BenchmarkSearchBest(b *testing.B) {
+	ctx := context.Background()
+	grid := searchBenchGrid(b)
+	s, err := NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact := s.Evaluate(ctx, []Request{{Question: QuestionSweepBest, Grid: grid, TopK: 3}})[0]
+	if exact.Err != nil {
+		b.Fatal(exact.Err)
+	}
+	wantTop, err := json.Marshal(exact.SweepBest.Top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B, st SearchStats) {
+		b.ReportMetric(st.EvaluatedRatio(), "evaluated-ratio")
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(st.Evaluated*b.N)/sec, "points/sec")
+		}
+	}
+	b.Run("pruning-only", func(b *testing.B) {
+		var st SearchStats
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := s.Evaluate(ctx, []Request{{Question: QuestionSearchBest, Grid: grid, TopK: 3}})[0]
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			got, err := json.Marshal(r.SearchBest.Top)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if string(got) != string(wantTop) {
+				b.Fatalf("pruning-only answer diverged from exhaustive:\n got %s\nwant %s", got, wantTop)
+			}
+			st = r.SearchBest.Stats
+		}
+		b.StopTimer()
+		if ratio := st.EvaluatedRatio(); ratio > 0.25 {
+			b.Fatalf("pruning-only evaluated %.1f%% of the grid, want ≤25%%", 100*ratio)
+		}
+		report(b, st)
+	})
+	b.Run("refine-halving", func(b *testing.B) {
+		const tolerance = 0.05
+		spec := &SearchSpec{
+			Bound:     true,
+			Tolerance: tolerance,
+			Halving:   &SearchHalvingSpec{Slabs: 8, Sample: 64},
+			Refine:    &SearchRefineSpec{Factor: 8, Knees: 2},
+		}
+		exactBest := exact.SweepBest.Top[0].Total.Total()
+		var st SearchStats
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := s.Evaluate(ctx, []Request{{Question: QuestionSearchBest, Grid: grid, TopK: 3, Search: spec}})[0]
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if best := r.SearchBest.Top[0].Total.Total(); best > exactBest*(1+tolerance) {
+				b.Fatalf("staged search best %.4f misses exhaustive %.4f by more than %.0f%%",
+					best, exactBest, 100*tolerance)
+			}
+			st = r.SearchBest.Stats
+		}
+		b.StopTimer()
+		if ratio := st.EvaluatedRatio(); ratio > 0.10 {
+			b.Fatalf("staged search evaluated %.1f%% of the grid, want ≤10%%", 100*ratio)
+		}
+		report(b, st)
+	})
 }

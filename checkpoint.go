@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"chipletactuary/internal/sweep"
+	"chipletactuary/search"
 )
 
 // Checkpoint/resume: a multi-hour sweep must survive losing its
@@ -63,6 +64,53 @@ type SweepCheckpoint struct {
 	Infeasible            int
 	FirstFailure          error
 	FirstFailureCandidate int
+}
+
+// SearchCheckpoint is the snapshot of a partially drained adaptive
+// search (Session.SearchBestCheckpointed): the planner — whose stage
+// history, frozen bounds and surviving slabs fully determine every
+// remaining candidate — plus the generator cursor within the current
+// stage and everything the aggregators retained. Because the planner's
+// decisions are serialized rather than re-derived, a resumed search
+// replans nothing: it walks exactly the candidates the uninterrupted
+// run would have, evaluates none of them twice, and ends with a
+// byte-identical SearchBest.
+type SearchCheckpoint struct {
+	// Fingerprint identifies the workload (SearchFingerprint of the
+	// request); resume rejects a checkpoint whose fingerprint does not
+	// match the request it is offered for.
+	Fingerprint string
+	// Planner is the serialized stage machine: phase, stride, surviving
+	// slabs, completed-stage history and the current stage's plans.
+	Planner *search.Planner
+	// Cursor is the generator resume point within the current stage.
+	Cursor SweepCursor
+	// Totals accumulates the generation accounting of completed stages
+	// (the current stage's share lives in Cursor.Stats).
+	Totals SweepStats
+	// Top and Pareto are the retained aggregator sets, in canonical
+	// order. The Pareto front exists to steer refinement (knee targets),
+	// not to be reported.
+	Top    []SweepPoint
+	Pareto []SweepPoint
+	// Infeasible, FirstFailure and FirstFailureCandidate mirror the
+	// sweep checkpoint's failure accounting for the drained prefix.
+	Infeasible            int
+	FirstFailure          error
+	FirstFailureCandidate int
+	// SlabBest holds the best sampled cost per still-alive slab of the
+	// current successive-halving round (sparse: slabs with no feasible
+	// sample yet are absent).
+	SlabBest []SearchSlabScore
+	// Trajectory is the incumbent-best history across completed stages.
+	Trajectory []SearchIncumbent
+}
+
+// SearchSlabScore pairs a slab index of the current halving round with
+// the best total cost sampled inside it so far.
+type SearchSlabScore struct {
+	Slab int
+	Cost float64
 }
 
 // StreamCheckpoint is the snapshot of a scenario result stream reduced
@@ -192,6 +240,16 @@ func SaveCheckpointFile(path string, cp any) error {
 // errors.Is(err, os.ErrNotExist) — the caller's cue to start fresh.
 func LoadSweepCheckpointFile(path string) (*SweepCheckpoint, error) {
 	cp := new(SweepCheckpoint)
+	if err := loadCheckpointFile(path, cp); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// LoadSearchCheckpointFile reads and strictly decodes an adaptive
+// search checkpoint; missing files report os.ErrNotExist.
+func LoadSearchCheckpointFile(path string) (*SearchCheckpoint, error) {
+	cp := new(SearchCheckpoint)
 	if err := loadCheckpointFile(path, cp); err != nil {
 		return nil, err
 	}

@@ -349,6 +349,16 @@ func renderAnswer(r actuary.Result) string {
 				b.Infeasible, actuary.FailureCause(b.FirstFailure))
 		}
 		return answer
+	case actuary.QuestionSearchBest:
+		b := r.SearchBest
+		best := b.Top[0]
+		answer := fmt.Sprintf("best %s at %s/unit (evaluated %d/%d, %.1f%%, %d bound-pruned, %d stage(s))",
+			best.ID, units.Dollars(best.Total.Total()), b.Stats.Evaluated,
+			b.Stats.GridSize, 100*b.Stats.EvaluatedRatio(), b.Stats.BoundPruned, b.Stats.Stages)
+		if b.Stats.BudgetExhausted {
+			answer += "; budget exhausted"
+		}
+		return answer
 	default:
 		return "?"
 	}

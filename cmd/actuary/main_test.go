@@ -222,6 +222,36 @@ func TestRunScenarioSweepBest(t *testing.T) {
 	}
 }
 
+func TestRunScenarioSearchBest(t *testing.T) {
+	// A sweep with a "search" block answers search-best adaptively and
+	// renders the evaluated-ratio savings in the one-line answer.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.json")
+	cfg := `{"version": 2, "name": "vsearch", "questions": ["search-best"],
+	  "sweeps": [{"name": "g", "nodes": ["5nm", "7nm"], "scheme": "MCM",
+	    "d2d_fraction": 0.10, "quantity": 1000000, "top_k": 3,
+	    "area_range": {"lo_mm2": 100, "hi_mm2": 600, "step_mm2": 25},
+	    "count_range": {"lo": 1, "hi": 6},
+	    "search": {"bound": true, "tolerance": 0.05,
+	      "halving": {"slabs": 4, "sample": 32},
+	      "refine": {"factor": 4, "knees": 1}}}]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-scenario", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"g/search-best", "best g-", "evaluated", "stage(s)", "0 failed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("search-best output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunTopNoDoubleCountWithSweepBest(t *testing.T) {
 	// A scenario selecting both total-cost and sweep-best must not
 	// feed the aggregators each design point twice: the -top table

@@ -13,6 +13,8 @@
 //	explore -mode sweep -nodes 5nm,7nm -schemes MCM,2.5D \
 //	        -area-range 200:800:100 -count-range 1:8 -top 5
 //	explore -mode sweep -backends http://host1:8833,http://host2:8833 ...
+//	explore -mode search -nodes 5nm,7nm -schemes MCM,2.5D \
+//	        -area-range 200:800:25 -count-range 1:8 -top 3 -refine 4:2
 //
 // Sweep mode maps the grid flags onto the same SweepConfig the
 // scenario schema uses, streams the grid lazily through a sweep-best
@@ -20,6 +22,17 @@
 // and a summary. List flags (-nodes, -schemes) take comma-separated
 // values and override their singular forms; -area-range is
 // lo:hi:step in mm², -count-range is lo:hi.
+//
+// Search mode answers the same question adaptively (a search-best
+// request): lower-bound pruning alone (the default) reproduces the
+// exhaustive answer exactly while skipping provably-worse candidates;
+// -refine factor[:knees] walks a coarse subsampled grid first and
+// recursively refines around the best points; -halving slabs:sample
+// over-partitions the grid and successively halves the slab set by
+// sampled cost; -budget caps evaluations. The top table goes to
+// stdout, the walk accounting (evaluated/grid ratio, prune counts,
+// stages, incumbent trajectory) to stderr. -checkpoint works as in
+// sweep mode; -backends/-fleet/-shards do not apply.
 //
 // With -backends the sweep is sharded across several evaluation
 // backends — actuaryd base URLs, or the literal "local" for an
@@ -106,8 +119,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fleetProbeEvery := fs.Duration("fleet-probe-every", 500*time.Millisecond, "sweep: fleet health-probe interval")
 	fleetProbeTimeout := fs.Duration("fleet-probe-timeout", time.Second, "sweep: per-probe timeout before a backend counts as failed")
 	shards := fs.Int("shards", 0, "sweep: how many shards to split the grid into (default: one per backend; fleet over-partitions)")
-	checkpoint := fs.String("checkpoint", "", "sweep: checkpoint file — written during the sweep, auto-resumed when present, removed on success")
-	checkpointEvery := fs.Int("checkpoint-every", 2000, "sweep: grid candidates between checkpoint writes (local sweeps; distributed runs checkpoint per shard)")
+	checkpoint := fs.String("checkpoint", "", "sweep/search: checkpoint file — written during the run, auto-resumed when present, removed on success")
+	checkpointEvery := fs.Int("checkpoint-every", 2000, "sweep/search: grid candidates between checkpoint writes (local runs; distributed sweeps checkpoint per shard)")
+	budget := fs.Int("budget", 0, "search: maximum candidates to evaluate (0 = unlimited)")
+	refine := fs.String("refine", "", "search: coarse-to-fine refinement factor[:knees], e.g. 4 or 4:2")
+	halving := fs.String("halving", "", "search: successive halving slabs:sample, e.g. 8:64")
+	bound := fs.Bool("bound", true, "search: prune candidates via the die-cost lower bound")
+	tolerance := fs.Float64("tolerance", 0.0, "search: acceptable relative cost gap vs the exhaustive best (refine/halving)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the run ends")
 	fs.SetOutput(out)
@@ -141,13 +159,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}()
 	}
-	if *mode == "sweep" {
+	if *mode == "sweep" || *mode == "search" {
 		// -checkpoint-every tunes a checkpointed run; without
 		// -checkpoint it would silently configure durability that does
 		// not exist — the same class of mistake the non-sweep flag
 		// rejection below catches.
 		if set["checkpoint-every"] && *checkpoint == "" {
 			return fmt.Errorf("-checkpoint-every requires -checkpoint")
+		}
+		f := sweepFlags{
+			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
+			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
+			quantity: *quantity, d2d: *d2dFrac, top: *topN,
+			backends: *backends, shards: *shards,
+			fleet: *fleetList, fleetProbeEvery: *fleetProbeEvery,
+			fleetProbeTimeout: *fleetProbeTimeout,
+			checkpoint:        *checkpoint, checkpointEvery: *checkpointEvery,
+			budget: *budget, refine: *refine, halving: *halving,
+			bound: *bound, tolerance: *tolerance,
+		}
+		if *mode == "search" {
+			// The adaptive walk is stateful (its bound tightens as it
+			// evaluates); it runs in-process rather than fanning out.
+			for _, name := range []string{"backends", "fleet", "fleet-probe-every", "fleet-probe-timeout", "shards"} {
+				if set[name] {
+					return fmt.Errorf("-%s requires -mode sweep", name)
+				}
+			}
+			return runSearch(ctx, out, f)
+		}
+		for _, name := range []string{"budget", "refine", "halving", "bound", "tolerance"} {
+			if set[name] {
+				return fmt.Errorf("-%s requires -mode search", name)
+			}
 		}
 		if *backends != "" && *fleetList != "" {
 			return fmt.Errorf("-backends and -fleet are mutually exclusive")
@@ -158,22 +202,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if set["fleet-probe-timeout"] && *fleetList == "" {
 			return fmt.Errorf("-fleet-probe-timeout requires -fleet")
 		}
-		return runSweep(ctx, out, sweepFlags{
-			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
-			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
-			quantity: *quantity, d2d: *d2dFrac, top: *topN,
-			backends: *backends, shards: *shards,
-			fleet: *fleetList, fleetProbeEvery: *fleetProbeEvery,
-			fleetProbeTimeout: *fleetProbeTimeout,
-			checkpoint:        *checkpoint, checkpointEvery: *checkpointEvery,
-		})
+		return runSweep(ctx, out, f)
 	}
-	// The grid flags mean nothing outside sweep mode; reject them
-	// (including an explicitly set -top, whose default would otherwise
-	// hide the mistake) instead of silently ignoring them.
-	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "fleet", "fleet-probe-every", "fleet-probe-timeout", "shards", "checkpoint", "checkpoint-every"} {
+	// The grid flags mean nothing outside sweep/search mode; reject
+	// them (including an explicitly set -top, whose default would
+	// otherwise hide the mistake) instead of silently ignoring them.
+	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "fleet", "fleet-probe-every", "fleet-probe-timeout", "shards", "checkpoint", "checkpoint-every", "budget", "refine", "halving", "bound", "tolerance"} {
 		if set[name] {
-			return fmt.Errorf("-%s requires -mode sweep", name)
+			return fmt.Errorf("-%s requires -mode sweep or -mode search", name)
 		}
 	}
 	scheme, err := actuary.ParseScheme(*schemeName)
@@ -282,6 +318,11 @@ type sweepFlags struct {
 	fleetProbeTimeout time.Duration
 	checkpoint        string
 	checkpointEvery   int
+	budget            int
+	refine            string
+	halving           string
+	bound             bool
+	tolerance         float64
 }
 
 // splitList parses a comma-separated flag value.
@@ -335,42 +376,9 @@ func parseCountRange(s string) (*actuary.CountRangeConfig, error) {
 // streaming sweep-best request: lazy generation, reticle/interposer
 // pruning, O(top + front) memory however many points the axes span.
 func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
-	if f.top < 1 {
-		return fmt.Errorf("-top wants a positive count, got %d", f.top)
-	}
-	sc := actuary.SweepConfig{
-		Name:        "sweep",
-		D2DFraction: f.d2d,
-		Quantity:    f.quantity,
-		TopK:        f.top,
-	}
-	if f.nodes != "" {
-		sc.Nodes = splitList(f.nodes)
-	} else {
-		sc.Node = f.node
-	}
-	if f.schemes != "" {
-		sc.Schemes = splitList(f.schemes)
-	} else {
-		sc.Scheme = f.scheme
-	}
-	if f.areaRange != "" {
-		r, err := parseAreaRange(f.areaRange)
-		if err != nil {
-			return err
-		}
-		sc.AreaRange = r
-	} else {
-		sc.AreasMM2 = []float64{f.area}
-	}
-	if f.countRange != "" {
-		r, err := parseCountRange(f.countRange)
-		if err != nil {
-			return err
-		}
-		sc.CountRange = r
-	} else {
-		sc.CountRange = &actuary.CountRangeConfig{Lo: 1, Hi: f.maxK}
+	sc, err := buildSweepConfig(f, "sweep")
+	if err != nil {
+		return err
 	}
 
 	// Compiling through the scenario schema reuses its validation and
@@ -379,7 +387,6 @@ func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
 	cfg := actuary.ScenarioConfig{Name: "explore", Questions: []string{"sweep-best"},
 		Sweeps: []actuary.SweepConfig{sc}}
 	var b *actuary.SweepBest
-	var err error
 	switch {
 	case f.fleet != "":
 		b, err = runFleet(ctx, f, cfg)
@@ -417,6 +424,185 @@ func runSweep(ctx context.Context, out io.Writer, f sweepFlags) error {
 		}
 	}
 	return nil
+}
+
+// buildSweepConfig maps the shared grid flags onto the SweepConfig the
+// scenario schema uses — one grid declaration for sweep and search
+// modes, so their candidate spaces cannot drift apart.
+func buildSweepConfig(f sweepFlags, name string) (actuary.SweepConfig, error) {
+	if f.top < 1 {
+		return actuary.SweepConfig{}, fmt.Errorf("-top wants a positive count, got %d", f.top)
+	}
+	sc := actuary.SweepConfig{
+		Name:        name,
+		D2DFraction: f.d2d,
+		Quantity:    f.quantity,
+		TopK:        f.top,
+	}
+	if f.nodes != "" {
+		sc.Nodes = splitList(f.nodes)
+	} else {
+		sc.Node = f.node
+	}
+	if f.schemes != "" {
+		sc.Schemes = splitList(f.schemes)
+	} else {
+		sc.Scheme = f.scheme
+	}
+	if f.areaRange != "" {
+		r, err := parseAreaRange(f.areaRange)
+		if err != nil {
+			return actuary.SweepConfig{}, err
+		}
+		sc.AreaRange = r
+	} else {
+		sc.AreasMM2 = []float64{f.area}
+	}
+	if f.countRange != "" {
+		r, err := parseCountRange(f.countRange)
+		if err != nil {
+			return actuary.SweepConfig{}, err
+		}
+		sc.CountRange = r
+	} else {
+		sc.CountRange = &actuary.CountRangeConfig{Lo: 1, Hi: f.maxK}
+	}
+	return sc, nil
+}
+
+// parseRefine parses "factor" or "factor:knees".
+func parseRefine(s string) (*actuary.SearchRefineSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) > 2 {
+		return nil, fmt.Errorf("-refine wants factor or factor:knees, got %q", s)
+	}
+	factor, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("-refine %q: %w", s, err)
+	}
+	spec := &actuary.SearchRefineSpec{Factor: factor}
+	if len(parts) == 2 {
+		if spec.Knees, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+			return nil, fmt.Errorf("-refine %q: %w", s, err)
+		}
+	}
+	return spec, nil
+}
+
+// parseHalving parses "slabs:sample".
+func parseHalving(s string) (*actuary.SearchHalvingSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("-halving wants slabs:sample, got %q", s)
+	}
+	slabs, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("-halving %q: %w", s, err)
+	}
+	sample, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("-halving %q: %w", s, err)
+	}
+	return &actuary.SearchHalvingSpec{Slabs: slabs, Sample: sample}, nil
+}
+
+// runSearch answers the same grid flags with one adaptive search-best
+// request: lower-bound pruning (exhaustive-exact when used alone),
+// plus optional coarse-to-fine refinement and successive halving. The
+// top table goes to stdout; the walk accounting — evaluated vs grid
+// size, prune counts, stages, incumbent trajectory — goes to stderr in
+// the same shape as the fleet scheduling report.
+func runSearch(ctx context.Context, out io.Writer, f sweepFlags) error {
+	sc, err := buildSweepConfig(f, "search")
+	if err != nil {
+		return err
+	}
+	spec := &actuary.SearchSpec{Budget: f.budget, Bound: f.bound, Tolerance: f.tolerance}
+	if f.refine != "" {
+		if spec.Refine, err = parseRefine(f.refine); err != nil {
+			return err
+		}
+	}
+	if f.halving != "" {
+		if spec.Halving, err = parseHalving(f.halving); err != nil {
+			return err
+		}
+	}
+	sc.Search = spec
+
+	cfg := actuary.ScenarioConfig{Name: "explore", Questions: []string{"search-best"},
+		Sweeps: []actuary.SweepConfig{sc}}
+	reqs, err := cfg.Requests()
+	if err != nil {
+		return err
+	}
+	req := reqs[0]
+	s, err := actuary.NewSession()
+	if err != nil {
+		return err
+	}
+	var b *actuary.SearchBest
+	if f.checkpoint == "" {
+		res := s.Evaluate(ctx, []actuary.Request{req})[0]
+		b, err = res.SearchBest, res.Err
+	} else {
+		var resume *actuary.SearchCheckpoint
+		switch cp, loadErr := actuary.LoadSearchCheckpointFile(f.checkpoint); {
+		case loadErr == nil:
+			resume = cp
+			fmt.Fprintf(os.Stderr, "explore: resuming from checkpoint %s (stage %d, candidate %d)\n",
+				f.checkpoint, cp.Planner.StageIndex(), cp.Cursor.Candidate)
+		case !errors.Is(loadErr, os.ErrNotExist):
+			return loadErr
+		}
+		b, err = s.SearchBestCheckpointed(ctx, req, resume, f.checkpointEvery,
+			func(cp *actuary.SearchCheckpoint) error {
+				return actuary.SaveCheckpointFile(f.checkpoint, cp)
+			})
+	}
+	if err != nil {
+		return err
+	}
+	if err := printSearchBest(out, b); err != nil {
+		return err
+	}
+	printSearchStats(b.Stats)
+	if f.checkpoint != "" {
+		// Remove only after the answer is safely out, exactly as sweep
+		// mode does.
+		if err := os.Remove(f.checkpoint); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("removing completed checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// printSearchBest renders a search-best answer's top table.
+func printSearchBest(out io.Writer, b *actuary.SearchBest) error {
+	tab := report.NewTable(
+		fmt.Sprintf("Top %d by adaptive search — evaluated %d of %d grid candidates (%.1f%%)",
+			len(b.Top), b.Stats.Evaluated, b.Stats.GridSize, 100*b.Stats.EvaluatedRatio()),
+		"point", "node", "scheme", "area", "k", "total/unit")
+	for _, p := range b.Top {
+		tab.MustAddRow(p.ID, p.Node, p.Scheme.String(), units.Area(p.AreaMM2),
+			fmt.Sprintf("%d", p.K), units.Dollars(p.Total.Total()))
+	}
+	return tab.WriteText(out)
+}
+
+// printSearchStats renders the walk accounting to stderr, in the same
+// shape as the fleet scheduling report.
+func printSearchStats(st actuary.SearchStats) {
+	fmt.Fprintf(os.Stderr, "explore: search: evaluated %d/%d candidates (%.1f%%), %d bound-pruned, %d pruned, %d deduped, %d infeasible, %d stages\n",
+		st.Evaluated, st.GridSize, 100*st.EvaluatedRatio(),
+		st.BoundPruned, st.Pruned, st.Deduped, st.Infeasible, st.Stages)
+	if st.BudgetExhausted {
+		fmt.Fprintln(os.Stderr, "explore: search:   budget exhausted before the final stage completed")
+	}
+	for _, inc := range st.Trajectory {
+		fmt.Fprintf(os.Stderr, "explore: search:   stage %-3d incumbent %-40s %s/unit\n",
+			inc.Stage, inc.ID, units.Dollars(inc.Cost))
+	}
 }
 
 // runCheckpointed evaluates the compiled sweep-best request in

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -81,6 +83,60 @@ func TestSweepMode(t *testing.T) {
 	// Axis values must show up as generated point IDs.
 	if !strings.Contains(s, "sweep-7nm-") {
 		t.Errorf("sweep output names no 7nm points:\n%s", s)
+	}
+}
+
+func TestSearchMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-mode", "search",
+		"-nodes", "5nm,7nm", "-schemes", "MCM,2.5D",
+		"-area-range", "200:600:100", "-count-range", "1:4", "-top", "3",
+		"-refine", "4:1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Top 3 by adaptive search") {
+		t.Errorf("search output lacks the top table:\n%s", s)
+	}
+	if !strings.Contains(s, "search-7nm-") {
+		t.Errorf("search output names no 7nm points:\n%s", s)
+	}
+	for _, args := range [][]string{
+		{"-mode", "search", "-refine", "one"},
+		{"-mode", "search", "-refine", "1"},    // factor < 2
+		{"-mode", "search", "-halving", "8"},   // missing sample
+		{"-mode", "search", "-halving", "8:0"}, // sample < 1
+		{"-mode", "search", "-budget", "-3"},   // negative budget
+		{"-mode", "search", "-shards", "2"},    // sweep-only flag
+		{"-mode", "search", "-backends", "local"},
+		{"-mode", "sweep", "-budget", "10"}, // search-only flag
+		{"-mode", "sweep", "-halving", "4:8"},
+		{"-mode", "payback", "-refine", "4"},
+	} {
+		var buf bytes.Buffer
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestSearchModeCheckpointResume(t *testing.T) {
+	// A search interrupted by checkpoint-save must resume from the file
+	// and still print the answer; the file disappears on success.
+	dir := t.TempDir()
+	cp := dir + "/search.ckpt"
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-mode", "search",
+		"-node", "7nm", "-scheme", "MCM", "-area-range", "200:600:100",
+		"-count-range", "1:4", "-top", "2", "-halving", "4:8",
+		"-checkpoint", cp, "-checkpoint-every", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Top 2 by adaptive search") {
+		t.Errorf("checkpointed search produced no table:\n%s", out.String())
+	}
+	if _, err := os.Stat(cp); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("checkpoint file not removed after success: %v", err)
 	}
 }
 

@@ -253,9 +253,13 @@ type SweepConfig struct {
 	// set when that question is selected.
 	LoMM2 float64 `json:"lo_mm2,omitempty"`
 	HiMM2 float64 `json:"hi_mm2,omitempty"`
-	// TopK bounds the best-point list of sweep-best requests (default
-	// 1).
+	// TopK bounds the best-point list of sweep-best and search-best
+	// requests (default 1).
 	TopK int `json:"top_k,omitempty"`
+	// Search configures search-best requests (strategy, budget,
+	// tolerance); nil means lower-bound pruning only, which keeps the
+	// answer exhaustive-exact. Ignored by every other question.
+	Search *SearchSpec `json:"search,omitempty"`
 	// Prune drops reticle-infeasible points before evaluation instead
 	// of reporting their infeasibility errors. Sweep-best requests
 	// always prune.
@@ -576,12 +580,13 @@ func systemsStage(systems []System, questions []Question, policy AmortizationPol
 // compiledSweep is a validated SweepConfig: merged axes as a lazy
 // grid plus the per-question parameters.
 type compiledSweep struct {
-	grid  sweep.Grid
-	maxK  int
-	topK  int
-	lo    float64
-	hi    float64
-	prune bool
+	grid   sweep.Grid
+	maxK   int
+	topK   int
+	lo     float64
+	hi     float64
+	prune  bool
+	search *SearchSpec
 }
 
 // dedupAxis drops repeated axis values, keeping first-occurrence
@@ -694,6 +699,12 @@ func (s SweepConfig) compile(scenario string, questions []Question) (compiledSwe
 	cs.topK = s.TopK
 	cs.lo, cs.hi = s.LoMM2, s.HiMM2
 	cs.prune = s.Prune
+	cs.search = s.Search
+	if s.Search != nil {
+		if err := s.Search.Validate(); err != nil {
+			return cs, fmt.Errorf("actuary: sweep %q: %w", s.Name, err)
+		}
+	}
 	for _, q := range questions {
 		if q == QuestionAreaCrossover && (s.LoMM2 <= 0 || s.HiMM2 <= s.LoMM2) {
 			return cs, fmt.Errorf("actuary: sweep %q needs lo_mm2 < hi_mm2 for area-crossover, got [%v, %v]",
@@ -746,7 +757,7 @@ func (cs compiledSweep) size(q Question) int {
 		return combos * len(g.AreasMM2)
 	case q == QuestionAreaCrossover:
 		return len(g.Nodes) * len(g.Schemes) * cs.countsAbove(1)
-	case q == QuestionSweepBest:
+	case q == QuestionSweepBest, q == QuestionSearchBest:
 		return 1
 	}
 	return 0
@@ -831,7 +842,7 @@ func (cs compiledSweep) stage(q Question, policy AmortizationPolicy, shard shard
 				}
 			}), dealer)
 
-		case q == QuestionSweepBest:
+		case q == QuestionSweepBest || q == QuestionSearchBest:
 			grid := cs.grid
 			emitted := false
 			return sourceFunc(func() (Request, bool) {
@@ -842,6 +853,9 @@ func (cs compiledSweep) stage(q Question, policy AmortizationPolicy, shard shard
 				req := Request{
 					ID:       grid.Name + "/" + q.String(),
 					Question: q, Grid: &grid, TopK: cs.topK, Policy: policy,
+				}
+				if q == QuestionSearchBest {
+					req.Search = cs.search
 				}
 				if shard.count > 0 {
 					// Every shard answers its stripe of the grid; the

@@ -196,6 +196,35 @@ func (e *Engine) Wafers(s system.System, quantity float64) (WaferDemand, error) 
 	return d, nil
 }
 
+// REFloor returns a cheap lower bound on the RE cost of a uniform
+// k-way system: k × KGD(node, dieArea). RawChips + ChipDefects is
+// exactly Σ raw/yield = Σ KGD, and the packaging components (raw
+// package, package defects, wasted KGDs) are non-negative under
+// validated parameters, so RE ≥ k·KGD — and any total that adds
+// non-negative NRE amortization on top is bounded too. The bound costs
+// one KGD-cache lookup per distinct (node, area) after the first
+// probe, which makes it cheap enough to run per candidate before
+// evaluation (adaptive-search pruning).
+//
+// The boolean is false when no sound bound is available: a shape the
+// uniform detector cannot prove (salvage, envelopes, mixed dies), an
+// unknown node, or a pathological tech database pricing a die below
+// zero. Callers must treat false as "cannot prune", never as an error
+// — the evaluation path owns error reporting.
+func (e *Engine) REFloor(s system.System) (float64, bool) {
+	u, ok := system.AsUniform(s)
+	if !ok {
+		return 0, false
+	}
+	var tally cacheTally
+	dc, err := e.dieCost(s.Placements[0].Chiplet, &tally)
+	if err != nil || !(dc.KGD >= 0) {
+		return 0, false
+	}
+	e.cache.Note(tally.hits, tally.misses)
+	return float64(u.K) * dc.KGD, true
+}
+
 // dieCost evaluates one die, consulting the KGD cache when enabled.
 func (e *Engine) dieCost(c system.Chiplet, tally *cacheTally) (DieCost, error) {
 	area := c.DieArea()

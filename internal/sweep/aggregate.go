@@ -101,6 +101,18 @@ func (t *TopK[T]) Merge(o *TopK[T]) {
 // Seen returns how many items have been observed.
 func (t *TopK[T]) Seen() int { return t.seen }
 
+// Bound returns the cost of the worst retained item once the selector
+// is full — the running admission threshold: an item whose cost is
+// strictly above it can never enter the retained set, whatever its
+// tie-break key. The boolean is false while fewer than k items have
+// been retained (no threshold yet).
+func (t *TopK[T]) Bound() (float64, bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].cost, true
+}
+
 // TopKState is the serializable snapshot of a TopK selector: the
 // retention bound, the observation count, and the retained items in
 // Sorted order — a canonical form, so equal selectors snapshot to

@@ -55,9 +55,10 @@ func (g *Grid) UnmarshalJSON(data []byte) error {
 
 // wireStats is the canonical JSON shape of generator accounting.
 type wireStats struct {
-	Generated int `json:"generated"`
-	Pruned    int `json:"pruned,omitempty"`
-	Deduped   int `json:"deduped,omitempty"`
+	Generated   int `json:"generated"`
+	Pruned      int `json:"pruned,omitempty"`
+	Deduped     int `json:"deduped,omitempty"`
+	BoundPruned int `json:"bound_pruned,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with snake_case field names.

@@ -237,6 +237,11 @@ type Stats struct {
 	// candidates skipped on multi-scheme grids — identical designs,
 	// not infeasible ones.
 	Deduped int
+	// BoundPruned is the number of candidates dropped by bound filters
+	// (see Generator.Bound): points provably worse than an incumbent,
+	// counted apart from feasibility pruning so adaptive-search savings
+	// stay distinguishable from infeasibility.
+	BoundPruned int
 }
 
 // Merge adds another generator's counters to this one — the whole-grid
@@ -245,6 +250,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Generated += o.Generated
 	s.Pruned += o.Pruned
 	s.Deduped += o.Deduped
+	s.BoundPruned += o.BoundPruned
 }
 
 // Odometer walks the cross product of axis lengths lazily, last axis
@@ -345,6 +351,8 @@ func (o *Odometer) Seek(n int) {
 type Generator struct {
 	grid    Grid
 	filters []Filter
+	bounds  []Filter
+	sel     func(cand int) bool
 	d2d     dtod.Overhead
 	abort   func() bool
 	// odo walks (node, scheme, quantity, area, count), count fastest —
@@ -397,6 +405,31 @@ func (it *Generator) Shard(i, n int) *Generator {
 	return it
 }
 
+// Select restricts the generator to the candidates f selects, by
+// global odometer-order candidate number — the numbering shards and
+// cursors already use. Unselected candidates are stepped past exactly
+// like a foreign shard's: one odometer advance, no point construction,
+// no stats. Adaptive search uses this to walk one stage's sub-grid (or
+// sample stripe) of a base grid while keeping the shard-independent
+// candidate numbering, so stage cursors, shard specs and checkpoints
+// stay directly comparable with exhaustive walks. It returns the
+// generator for chaining and must be called before the first Next.
+func (it *Generator) Select(f func(cand int) bool) *Generator {
+	it.sel = f
+	return it
+}
+
+// Bound installs a bound filter: a pre-evaluation predicate that drops
+// candidates provably unable to improve on an incumbent (false drops).
+// Bound filters run after the feasibility filters and count into
+// Stats.BoundPruned rather than Stats.Pruned — a bound-pruned point is
+// buildable and feasible, just not competitive. It returns the
+// generator for chaining.
+func (it *Generator) Bound(f Filter) *Generator {
+	it.bounds = append(it.bounds, f)
+	return it
+}
+
 // AbortWhen installs an early-exit hook checked once per candidate
 // (not per surviving point): when f returns true, Next returns false
 // for good. Long pruning runs between surviving points stay
@@ -422,6 +455,12 @@ func (it *Generator) Next() (Point, bool) {
 		if it.shardCount > 1 && cand%it.shardCount != it.shardIndex {
 			// A foreign stripe's candidate: step past it without
 			// building the point or touching this shard's stats.
+			it.odo.advance()
+			continue
+		}
+		if it.sel != nil && !it.sel(cand) {
+			// Not part of this walk's selection (see Select): skip as
+			// cheaply as a foreign shard's candidate, uncounted.
 			it.odo.advance()
 			continue
 		}
@@ -459,6 +498,10 @@ func (it *Generator) Next() (Point, bool) {
 		p := Point{ID: id, Node: node, Scheme: sch, AreaMM2: area, K: k, Quantity: quantity, System: sys}
 		if !it.keep(p) {
 			it.stats.Pruned++
+			continue
+		}
+		if !it.aboveBound(p) {
+			it.stats.BoundPruned++
 			continue
 		}
 		it.stats.Generated++
@@ -524,8 +567,8 @@ func (it *Generator) Restore(cur Cursor) (*Generator, error) {
 		return nil, fmt.Errorf("sweep: cursor candidate %d outside grid %q (0..%d candidates)",
 			cur.Candidate, it.grid.Name, it.grid.Size())
 	}
-	if cur.Stats.Generated < 0 || cur.Stats.Pruned < 0 || cur.Stats.Deduped < 0 ||
-		cur.Stats.Generated+cur.Stats.Pruned+cur.Stats.Deduped > cur.Candidate {
+	if cur.Stats.Generated < 0 || cur.Stats.Pruned < 0 || cur.Stats.Deduped < 0 || cur.Stats.BoundPruned < 0 ||
+		cur.Stats.Generated+cur.Stats.Pruned+cur.Stats.Deduped+cur.Stats.BoundPruned > cur.Candidate {
 		return nil, fmt.Errorf("sweep: cursor stats %+v inconsistent with candidate %d", cur.Stats, cur.Candidate)
 	}
 	it.cand = cur.Candidate
@@ -539,6 +582,15 @@ func (it *Generator) Stats() Stats { return it.stats }
 
 func (it *Generator) keep(p Point) bool {
 	for _, f := range it.filters {
+		if !f(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *Generator) aboveBound(p Point) bool {
+	for _, f := range it.bounds {
 		if !f(p) {
 			return false
 		}

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # bench-baseline.sh — record the hot-path benchmark baseline as JSON.
 #
-# Runs the two benchmarks the perf work must not regress —
-# BenchmarkSessionStreamSweep (the single-process streaming pipeline)
-# and BenchmarkDistributedSweep (the sharded fan-out on the fleet
-# scheduler) — and distills ns/op, B/op, allocs/op, points/sec and the
-# partials-cache hit rate into one JSON document. Points/sec is taken
-# from the benchmark's own b.ReportMetric wall-clock figure when the
-# line carries one, and derived from ns/op and the known grid size
+# Runs the three benchmarks the perf work must not regress —
+# BenchmarkSessionStreamSweep (the single-process streaming pipeline),
+# BenchmarkDistributedSweep (the sharded fan-out on the fleet
+# scheduler) and BenchmarkSearchBest (the adaptive search on the
+# 112008-candidate grid) — and distills ns/op, B/op, allocs/op,
+# points/sec, the partials-cache hit rate and the adaptive search's
+# evaluated-ratio into one JSON document. Points/sec is taken from the
+# benchmark's own b.ReportMetric wall-clock figure when the line
+# carries one, and derived from ns/op and the known grid size
 # (568/4488-point stream grids, 50736-point distributed grid)
 # otherwise.
 #
@@ -24,7 +26,7 @@
 # Usage: scripts/bench-baseline.sh [OUTPUT.json]
 set -euo pipefail
 
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR8.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -34,6 +36,9 @@ go test -run '^$' -bench '^BenchmarkSessionStreamSweep$' -benchmem -benchtime 2x
 echo "bench-baseline: running BenchmarkDistributedSweep" >&2
 go test -run '^$' -bench '^BenchmarkDistributedSweep$' -benchmem -benchtime 2x ./distribute \
   > "$tmp/distribute.txt"
+echo "bench-baseline: running BenchmarkSearchBest" >&2
+go test -run '^$' -bench '^BenchmarkSearchBest$' -benchmem -benchtime 2x . \
+  > "$tmp/search.txt"
 
 # Benchmark output lines look like
 #   BenchmarkName/sub-8  2  123456 ns/op  0.75 partials-hit-rate  29347 points/sec  456 B/op  7 allocs/op
@@ -47,25 +52,27 @@ parse() {
     /ns\/op/ {
       name = $1
       sub(/-[0-9]+$/, "", name)                 # strip GOMAXPROCS suffix
-      ns = ""; bytes = ""; allocs = ""; rpps = ""; hit = ""
+      ns = ""; bytes = ""; allocs = ""; rpps = ""; hit = ""; ratio = ""
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")             ns = $(i - 1)
         if ($i == "B/op")              bytes = $(i - 1)
         if ($i == "allocs/op")         allocs = $(i - 1)
         if ($i == "points/sec")        rpps = $(i - 1)
         if ($i == "partials-hit-rate") hit = $(i - 1)
+        if ($i == "evaluated-ratio")   ratio = $(i - 1)
       }
       points = points_default
       if (match(name, /[0-9]+pt/)) points = substr(name, RSTART, RLENGTH - 2)
       pps = (rpps != "") ? rpps : ((ns > 0) ? points * 1e9 / ns : 0)
       extra = (hit != "") ? sprintf(", \"partials_hit_rate\": %s", hit) : ""
+      if (ratio != "") extra = extra sprintf(", \"evaluated_ratio\": %s", ratio)
       printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"points_per_op\": %s, \"points_per_sec\": %.0f%s},\n", \
         name, ns, bytes, allocs, points, pps, extra
     }
   ' "$1"
 }
 
-{ parse "$tmp/stream.txt" 568; parse "$tmp/distribute.txt" 50736; } | sed '$ s/,$//' > "$tmp/bench.jsonl"
+{ parse "$tmp/stream.txt" 568; parse "$tmp/distribute.txt" 50736; parse "$tmp/search.txt" 112008; } | sed '$ s/,$//' > "$tmp/bench.jsonl"
 
 # delta_vs: ratios against the newest previous checked-in baseline
 # (any BENCH_*.json other than the file being written).

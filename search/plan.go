@@ -1,0 +1,138 @@
+package search
+
+import "fmt"
+
+// Window selects a strided run of one axis: the indexes Start,
+// Start+Stride, …, Count of them. A {0, len(axis), 1} window is the
+// whole axis; a {i, 1, 1} window pins the axis to one value.
+type Window struct {
+	Start  int `json:"start"`
+	Count  int `json:"count"`
+	Stride int `json:"stride"`
+}
+
+func (w Window) contains(i int) bool {
+	d := i - w.Start
+	return d >= 0 && d%w.Stride == 0 && d/w.Stride < w.Count
+}
+
+// Stripe selects a strided run of the global candidate index space:
+// Start, Start+Step, … below End. Successive-halving rounds sample
+// their slabs with stripes.
+type Stripe struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Step  int `json:"step"`
+}
+
+func (s Stripe) contains(cand int) bool {
+	return cand >= s.Start && cand < s.End && (cand-s.Start)%s.Step == 0
+}
+
+// size returns how many candidates the stripe selects.
+func (s Stripe) size() int {
+	if s.End <= s.Start {
+		return 0
+	}
+	return ceilDiv(s.End-s.Start, s.Step)
+}
+
+// Plan describes one walkable selection of the base grid's candidates:
+// either a sub-grid (exactly NumAxes windows, one per axis, odometer
+// order) or a set of candidate-index stripes. Plans are pure data —
+// serializable, comparable against any candidate index — which is what
+// lets a checkpoint carry the full stage history and a resumed search
+// re-derive "already visited" without materializing a seen-set.
+type Plan struct {
+	Windows []Window `json:"windows,omitempty"`
+	Stripes []Stripe `json:"stripes,omitempty"`
+}
+
+// Contains reports whether the plan selects the candidate with global
+// index cand and per-axis indexes idx (= Decompose(cand, dims) — the
+// caller decomposes once and probes many plans).
+func (p Plan) Contains(cand int, idx [NumAxes]int) bool {
+	if p.Windows != nil {
+		for a := 0; a < NumAxes && a < len(p.Windows); a++ {
+			if !p.Windows[a].contains(idx[a]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range p.Stripes {
+		if s.contains(cand) {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns how many candidates the plan selects, before any dedup
+// against other plans (stripes of one plan never overlap by
+// construction; see the planner).
+func (p Plan) Size() int {
+	if p.Windows != nil {
+		n := 1
+		for _, w := range p.Windows {
+			n *= w.Count
+		}
+		return n
+	}
+	n := 0
+	for _, s := range p.Stripes {
+		n += s.size()
+	}
+	return n
+}
+
+// validate checks the plan's geometry against the axis dims.
+func (p Plan) validate(dims [NumAxes]int, size int) error {
+	if (p.Windows == nil) == (p.Stripes == nil) {
+		return fmt.Errorf("search: plan must have exactly one of windows or stripes")
+	}
+	if p.Windows != nil {
+		if len(p.Windows) != NumAxes {
+			return fmt.Errorf("search: plan has %d windows, want %d", len(p.Windows), NumAxes)
+		}
+		for a, w := range p.Windows {
+			if w.Stride < 1 || w.Count < 1 || w.Start < 0 || w.Start >= dims[a] ||
+				w.Start+(w.Count-1)*w.Stride >= dims[a] {
+				return fmt.Errorf("search: axis %d window %+v outside its %d values", a, w, dims[a])
+			}
+		}
+		return nil
+	}
+	for _, s := range p.Stripes {
+		if s.Step < 1 || s.Start < 0 || s.End <= s.Start || s.End > size {
+			return fmt.Errorf("search: stripe %+v outside the %d-candidate space", s, size)
+		}
+	}
+	return nil
+}
+
+// Stage is one round of the search: the plans walked together, plus
+// the admission bound frozen when the stage was planned. The bound is
+// stored rather than recomputed so a resumed stage prunes exactly the
+// candidates the uninterrupted run would have — a mid-stage incumbent
+// must not retroactively tighten the stage's own pruning.
+type Stage struct {
+	Plans []Plan `json:"plans"`
+	// HasBound/Bound carry the K-th-best cost frozen at stage start;
+	// candidates whose lower bound exceeds it are skipped.
+	HasBound bool    `json:"has_bound,omitempty"`
+	Bound    float64 `json:"bound,omitempty"`
+	// Running marks the exhaustive-exact stage: the bound is read live
+	// from the top-K selector as the (serial) walk tightens it, instead
+	// of being frozen here.
+	Running bool `json:"running,omitempty"`
+}
+
+// Size returns the stage's planned candidate count before dedup.
+func (st Stage) Size() int {
+	n := 0
+	for _, p := range st.Plans {
+		n += p.Size()
+	}
+	return n
+}

@@ -1,0 +1,417 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Phase names the planner's position in its strategy pipeline.
+type Phase string
+
+const (
+	// PhaseExact is the single exhaustive-exact stage (no refinement,
+	// no halving; lower-bound pruning optional).
+	PhaseExact Phase = "exact"
+	// PhaseHalving is the successive-halving rounds.
+	PhaseHalving Phase = "halving"
+	// PhaseRefine is the coarse-to-fine refinement rounds.
+	PhaseRefine Phase = "refine"
+	// PhaseDone means no stage remains.
+	PhaseDone Phase = "done"
+)
+
+// Slab is one contiguous run [Start, End) of the candidate index
+// space — the unit successive halving scores and discards.
+type Slab struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Feedback is what the executor reports when a stage completes; the
+// planner's Advance turns it into the next stage. Every field is
+// derived from aggregator state the checkpoint already carries, so a
+// resumed run advances identically.
+type Feedback struct {
+	// Targets are the axis tuples refinement should zoom into —
+	// incumbent best first, then knee points. Duplicates are fine (the
+	// planner dedups); empty ends refinement.
+	Targets [][NumAxes]int
+	// SlabBest is the best sampled cost per current slab (aligned with
+	// Slabs()); math.Inf(1) marks a slab with no feasible sample.
+	// Consulted only in the halving phase.
+	SlabBest []float64
+	// HasBound/Bound carry the current K-th-best cost, frozen into the
+	// next stage for pruning. Ignored unless the spec enables Bound.
+	HasBound bool
+	Bound    float64
+}
+
+// Planner is the deterministic stage machine of one adaptive search.
+// All state is exported and JSON-tagged: a checkpoint serializes the
+// whole planner, and the restored value continues exactly where the
+// snapshot stood — History is both the dedup record (via Selector) and
+// the provenance of every stage the search has walked.
+type Planner struct {
+	Spec  Spec         `json:"spec"`
+	Dims  [NumAxes]int `json:"dims"`
+	Size  int          `json:"size"`
+	Phase Phase        `json:"phase"`
+	// Round counts stages within the current phase.
+	Round int `json:"round"`
+	// Stride is the refinement resolution reached so far (refine
+	// phase; 1 = full resolution).
+	Stride int `json:"stride,omitempty"`
+	// Slabs are the surviving halving slabs, ascending by Start.
+	Slabs []Slab `json:"slabs,omitempty"`
+	// Sample is the current per-slab sample budget (halving phase).
+	Sample int `json:"sample,omitempty"`
+	// History holds every completed stage, in order.
+	History []Stage `json:"history,omitempty"`
+	// Current is the stage being walked; nil when the search is done.
+	Current *Stage `json:"current,omitempty"`
+}
+
+// New builds the planner for a spec over a grid with the given axis
+// lengths (odometer order).
+func New(spec Spec, dims [NumAxes]int) (*Planner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	size := 1
+	for a, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("search: axis %d has %d values", a, d)
+		}
+		size *= d
+	}
+	pl := &Planner{Spec: spec, Dims: dims, Size: size}
+	switch {
+	case spec.Halving != nil:
+		pl.Phase = PhaseHalving
+		n := spec.Halving.Slabs
+		if n > size {
+			n = size
+		}
+		pl.Slabs = partition(size, n)
+		pl.Sample = spec.Halving.Sample
+		pl.Current = pl.sampleStage(Feedback{})
+	case spec.Refine != nil:
+		pl.Phase = PhaseRefine
+		pl.Stride = spec.Refine.Factor
+		pl.Current = pl.coarseStage()
+	default:
+		pl.Phase = PhaseExact
+		pl.Current = &Stage{Plans: []Plan{pl.fullPlan()}, Running: spec.Bound}
+	}
+	return pl, nil
+}
+
+// Done reports whether any stage remains to walk.
+func (pl *Planner) Done() bool { return pl.Current == nil }
+
+// Stage returns the stage currently being walked (nil when done).
+func (pl *Planner) Stage() *Stage { return pl.Current }
+
+// StageIndex returns the zero-based index of the current stage.
+func (pl *Planner) StageIndex() int { return len(pl.History) }
+
+// SlabIndex returns which current slab owns the candidate, or -1 —
+// the executor uses it to attribute sampled costs for SlabBest.
+func (pl *Planner) SlabIndex(cand int) int {
+	i := sort.Search(len(pl.Slabs), func(i int) bool { return pl.Slabs[i].End > cand })
+	if i < len(pl.Slabs) && cand >= pl.Slabs[i].Start {
+		return i
+	}
+	return -1
+}
+
+// Selector returns the current stage's candidate filter: true for
+// candidates this stage selects that no earlier stage already visited.
+// The closure is safe to use for one full walk of the current stage;
+// Advance invalidates it.
+func (pl *Planner) Selector() func(cand int) bool {
+	cur, hist, dims := pl.Current, pl.History, pl.Dims
+	return func(cand int) bool {
+		idx := Decompose(cand, dims)
+		in := false
+		for i := range cur.Plans {
+			if cur.Plans[i].Contains(cand, idx) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return false
+		}
+		for s := range hist {
+			for i := range hist[s].Plans {
+				if hist[s].Plans[i].Contains(cand, idx) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Advance completes the current stage and plans the next from the
+// feedback. It is a pure function of (planner state, feedback): the
+// same inputs always produce the same stage sequence, which is what
+// keeps resumed and sharded searches deterministic.
+func (pl *Planner) Advance(fb Feedback) {
+	if pl.Current == nil {
+		return
+	}
+	pl.History = append(pl.History, *pl.Current)
+	pl.Current = nil
+	switch pl.Phase {
+	case PhaseExact:
+		pl.Phase = PhaseDone
+	case PhaseHalving:
+		if len(pl.Slabs) > 1 {
+			pl.halve(fb.SlabBest)
+			pl.Sample *= 2
+			pl.Round++
+			pl.Current = pl.sampleStage(fb)
+			return
+		}
+		// The last slab has been sampled at the final budget: halving
+		// is complete. Hand the incumbents to refinement if configured.
+		pl.enterRefine(fb)
+	case PhaseRefine:
+		if pl.Stride <= 1 {
+			pl.Phase = PhaseDone
+			return
+		}
+		pl.refineStep(fb)
+	default:
+		pl.Phase = PhaseDone
+	}
+}
+
+// enterRefine transitions out of halving: straight to done without a
+// refine spec, otherwise into target refinement at the configured
+// factor (halving already surveyed the space, so no coarse stage).
+func (pl *Planner) enterRefine(fb Feedback) {
+	pl.Slabs, pl.Sample = nil, 0
+	if pl.Spec.Refine == nil {
+		pl.Phase = PhaseDone
+		return
+	}
+	pl.Phase = PhaseRefine
+	pl.Round = 0
+	pl.Stride = pl.Spec.Refine.Factor
+	pl.refineStep(fb)
+}
+
+// refineStep halves the stride and plans windows around the targets.
+// No targets (nothing feasible found yet) ends refinement: there is
+// nothing to zoom into.
+func (pl *Planner) refineStep(fb Feedback) {
+	span := pl.Stride
+	stride := span / 2
+	if stride < 1 {
+		stride = 1
+	}
+	plans := pl.targetPlans(fb.Targets, span, stride)
+	if len(plans) == 0 {
+		pl.Phase = PhaseDone
+		return
+	}
+	pl.Stride = stride
+	pl.Round++
+	pl.Current = pl.stage(plans, fb)
+}
+
+// stage wraps plans with the bound frozen from the feedback.
+func (pl *Planner) stage(plans []Plan, fb Feedback) *Stage {
+	st := &Stage{Plans: plans}
+	if pl.Spec.Bound && fb.HasBound {
+		st.HasBound, st.Bound = true, fb.Bound
+	}
+	return st
+}
+
+// fullPlan selects the whole grid.
+func (pl *Planner) fullPlan() Plan {
+	w := make([]Window, NumAxes)
+	for a := 0; a < NumAxes; a++ {
+		w[a] = Window{Start: 0, Count: pl.Dims[a], Stride: 1}
+	}
+	return Plan{Windows: w}
+}
+
+// coarseStage strides the continuous axes by the refine factor and
+// enumerates the categorical axes in full.
+func (pl *Planner) coarseStage() *Stage {
+	m := pl.Stride
+	w := make([]Window, NumAxes)
+	for a := 0; a < NumAxes; a++ {
+		if a == AxisArea || a == AxisCount {
+			w[a] = Window{Start: 0, Count: ceilDiv(pl.Dims[a], m), Stride: m}
+		} else {
+			w[a] = Window{Start: 0, Count: pl.Dims[a], Stride: 1}
+		}
+	}
+	return &Stage{Plans: []Plan{{Windows: w}}}
+}
+
+// targetPlans builds one sub-grid plan per distinct target: the
+// categorical axes pinned, the continuous axes covering ±span around
+// the target at the new stride (clamped to the axis). Every selected
+// value lies on the base grid, so candidates keep their global index.
+func (pl *Planner) targetPlans(targets [][NumAxes]int, span, stride int) []Plan {
+	var plans []Plan
+	seen := make(map[[NumAxes]int]bool, len(targets))
+	steps := ceilDiv(span, stride)
+	for _, t := range targets {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		w := make([]Window, NumAxes)
+		ok := true
+		for a := 0; a < NumAxes; a++ {
+			if t[a] < 0 || t[a] >= pl.Dims[a] {
+				ok = false
+				break
+			}
+			if a == AxisArea || a == AxisCount {
+				down := min(steps, t[a]/stride)
+				up := min(steps, (pl.Dims[a]-1-t[a])/stride)
+				w[a] = Window{Start: t[a] - down*stride, Count: down + up + 1, Stride: stride}
+			} else {
+				w[a] = Window{Start: t[a], Count: 1, Stride: 1}
+			}
+		}
+		if ok {
+			plans = append(plans, Plan{Windows: w})
+		}
+	}
+	return plans
+}
+
+// sampleStage stripes every current slab with at most Sample evenly
+// spaced candidates.
+func (pl *Planner) sampleStage(fb Feedback) *Stage {
+	stripes := make([]Stripe, 0, len(pl.Slabs))
+	for _, sl := range pl.Slabs {
+		n := sl.End - sl.Start
+		step := ceilDiv(n, pl.Sample)
+		if step < 1 {
+			step = 1
+		}
+		stripes = append(stripes, Stripe{Start: sl.Start, End: sl.End, Step: step})
+	}
+	return pl.stage([]Plan{{Stripes: stripes}}, fb)
+}
+
+// halve keeps the best-scoring half of the slabs (ties toward the
+// lower slab index), restoring ascending order afterwards so stripes
+// and SlabIndex stay sorted.
+func (pl *Planner) halve(slabBest []float64) {
+	type scored struct {
+		slab Slab
+		cost float64
+		idx  int
+	}
+	s := make([]scored, len(pl.Slabs))
+	for i, sl := range pl.Slabs {
+		cost := math.Inf(1)
+		if i < len(slabBest) {
+			cost = slabBest[i]
+		}
+		s[i] = scored{slab: sl, cost: cost, idx: i}
+	}
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].cost != s[j].cost {
+			return s[i].cost < s[j].cost
+		}
+		return s[i].idx < s[j].idx
+	})
+	keep := (len(s) + 1) / 2
+	kept := make([]Slab, keep)
+	for i := 0; i < keep; i++ {
+		kept[i] = s[i].slab
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
+	pl.Slabs = kept
+}
+
+// Validate checks a planner decoded from a checkpoint: the spec, the
+// geometry of every plan, and the phase machinery, so a corrupt or
+// hand-edited checkpoint fails loudly instead of mis-walking.
+func (pl *Planner) Validate() error {
+	if err := pl.Spec.Validate(); err != nil {
+		return err
+	}
+	size := 1
+	for a, d := range pl.Dims {
+		if d < 1 {
+			return fmt.Errorf("search: planner axis %d has %d values", a, d)
+		}
+		size *= d
+	}
+	if pl.Size != size {
+		return fmt.Errorf("search: planner size %d does not match dims (%d)", pl.Size, size)
+	}
+	switch pl.Phase {
+	case PhaseExact, PhaseHalving, PhaseRefine, PhaseDone:
+	default:
+		return fmt.Errorf("search: unknown planner phase %q", pl.Phase)
+	}
+	if (pl.Phase == PhaseDone) != (pl.Current == nil) {
+		return fmt.Errorf("search: planner phase %q inconsistent with current stage", pl.Phase)
+	}
+	for i, sl := range pl.Slabs {
+		if sl.Start < 0 || sl.End <= sl.Start || sl.End > pl.Size {
+			return fmt.Errorf("search: slab %d (%+v) outside the %d-candidate space", i, sl, pl.Size)
+		}
+		if i > 0 && sl.Start < pl.Slabs[i-1].End {
+			return fmt.Errorf("search: slabs %d and %d overlap or are unsorted", i-1, i)
+		}
+	}
+	check := func(st Stage) error {
+		if len(st.Plans) == 0 {
+			return fmt.Errorf("search: stage with no plans")
+		}
+		for _, p := range st.Plans {
+			if err := p.validate(pl.Dims, pl.Size); err != nil {
+				return err
+			}
+		}
+		if st.Running && !pl.Spec.Exhaustive() {
+			return fmt.Errorf("search: running-bound stage in a staged (refine/halving) search")
+		}
+		return nil
+	}
+	for _, st := range pl.History {
+		if err := check(st); err != nil {
+			return err
+		}
+	}
+	if pl.Current != nil {
+		if err := check(*pl.Current); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partition splits [0, size) into n contiguous slabs whose lengths
+// differ by at most one (earlier slabs take the remainder).
+func partition(size, n int) []Slab {
+	out := make([]Slab, n)
+	base, rem := size/n, size%n
+	start := 0
+	for i := 0; i < n; i++ {
+		l := base
+		if i < rem {
+			l++
+		}
+		out[i] = Slab{Start: start, End: start + l}
+		start += l
+	}
+	return out
+}

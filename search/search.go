@@ -1,0 +1,201 @@
+// Package search plans adaptive design-space exploration over the
+// candidate grids the sweep layer walks exhaustively. It answers the
+// same "best points of this grid" question while evaluating a small
+// fraction of the candidates, by composing three strategies:
+//
+//   - coarse-to-fine refinement: walk a subsampled grid (every m-th
+//     step per continuous axis), then build refined sub-grids around
+//     the incumbent best and each Pareto-knee point, recursing until
+//     full resolution;
+//   - successive halving: over-partition the candidate space into
+//     slabs, evaluate a budgeted sample per slab, keep the
+//     best-scoring half, double the per-slab budget, repeat;
+//   - lower-bound pruning: skip candidates whose cheap cost lower
+//     bound proves them worse than the running K-th best.
+//
+// The package is pure planning math: a Planner is a deterministic,
+// JSON-serializable state machine that turns stage feedback (incumbent
+// positions, knee points, per-slab scores, the current admission
+// bound) into the next stage's Plans. It owns no evaluation, no grid
+// types and no I/O — the session layer walks each stage through the
+// existing generator/aggregator/checkpoint machinery, using
+// Planner.Selector as a pre-build candidate filter. Candidates are
+// identified throughout by their global odometer-order index in the
+// base grid, the same shard-independent numbering cursors and shard
+// specs already use, which is what makes stage dedup, resume and
+// sharding compose: a candidate visited by any earlier stage is never
+// walked again, and a restored Planner continues byte-identically.
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NumAxes is the number of grid axes, in odometer order: node, scheme,
+// quantity, area, count. The area and count axes (indexes AxisArea and
+// AxisCount) are the continuous ones refinement strides and re-refines;
+// the first three are categorical — always enumerated in full during
+// coarse stages and pinned during refinement.
+const NumAxes = 5
+
+// Axis indexes into a dims/index tuple, in odometer order.
+const (
+	AxisNode = iota
+	AxisScheme
+	AxisQuantity
+	AxisArea
+	AxisCount
+)
+
+// Spec configures an adaptive search. The zero value (with Bound
+// false) degenerates to an exhaustive walk; Bound alone keeps the walk
+// exhaustive-exact while skipping provably-worse candidates; Refine
+// and/or Halving trade exactness for evaluation count, within the
+// documented Tolerance.
+type Spec struct {
+	// Budget caps the number of evaluated points; 0 means unlimited.
+	// An exhausted budget ends the search at the next stage-tranche
+	// boundary with the best answer so far.
+	Budget int `json:"budget,omitempty"`
+	// Bound enables lower-bound pruning: candidates whose cost lower
+	// bound exceeds the running K-th best are skipped before
+	// evaluation. Pruning alone never changes the answer — a skipped
+	// candidate is provably absent from the exact top-K.
+	Bound bool `json:"bound,omitempty"`
+	// Tolerance is the configured relative optimality gap the caller
+	// accepts from refinement/halving (e.g. 0.02 for 2%). It is
+	// reported, not enforced: sampling strategies cannot guarantee a
+	// gap on arbitrary cost landscapes.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Refine enables coarse-to-fine refinement.
+	Refine *RefineSpec `json:"refine,omitempty"`
+	// Halving enables successive halving. When combined with Refine,
+	// halving runs first and refinement then polishes around the
+	// incumbents it found.
+	Halving *HalvingSpec `json:"halving,omitempty"`
+}
+
+// RefineSpec configures coarse-to-fine refinement.
+type RefineSpec struct {
+	// Factor is the initial stride on the continuous axes (area,
+	// count): the coarse stage walks every Factor-th value. Each
+	// refinement round halves the stride until it reaches 1 (full
+	// resolution). Must be ≥ 2.
+	Factor int `json:"factor"`
+	// Knees is how many Pareto-knee points are refined alongside the
+	// incumbent best each round (0 refines the incumbent only).
+	Knees int `json:"knees,omitempty"`
+}
+
+// HalvingSpec configures successive halving.
+type HalvingSpec struct {
+	// Slabs is the initial number of contiguous candidate slabs the
+	// space is over-partitioned into. Must be ≥ 2.
+	Slabs int `json:"slabs"`
+	// Sample is the initial per-slab evaluation budget; it doubles
+	// each round as the slab population halves. Must be ≥ 1.
+	Sample int `json:"sample"`
+}
+
+// Validate checks the spec's knobs.
+func (s Spec) Validate() error {
+	if s.Budget < 0 {
+		return fmt.Errorf("search: negative budget %d", s.Budget)
+	}
+	if s.Tolerance < 0 {
+		return fmt.Errorf("search: negative tolerance %v", s.Tolerance)
+	}
+	if r := s.Refine; r != nil {
+		if r.Factor < 2 {
+			return fmt.Errorf("search: refine factor %d < 2 (a 1-stride coarse stage is the exhaustive walk)", r.Factor)
+		}
+		if r.Knees < 0 {
+			return fmt.Errorf("search: negative knee count %d", r.Knees)
+		}
+	}
+	if h := s.Halving; h != nil {
+		if h.Slabs < 2 {
+			return fmt.Errorf("search: halving wants ≥ 2 slabs, got %d", h.Slabs)
+		}
+		if h.Sample < 1 {
+			return fmt.Errorf("search: halving sample %d < 1", h.Sample)
+		}
+	}
+	return nil
+}
+
+// Exhaustive reports whether the spec walks every candidate exactly
+// once (no refinement, no halving): with Bound set the walk still
+// skips provably-worse candidates but the answer equals the exhaustive
+// sweep's byte for byte.
+func (s Spec) Exhaustive() bool { return s.Refine == nil && s.Halving == nil }
+
+// Decompose splits a global candidate index into its per-axis indexes
+// (odometer order, last axis fastest) — the inverse of the mixed-radix
+// numbering the sweep odometer uses.
+func Decompose(cand int, dims [NumAxes]int) [NumAxes]int {
+	var idx [NumAxes]int
+	for a := NumAxes - 1; a >= 0; a-- {
+		idx[a] = cand % dims[a]
+		cand /= dims[a]
+	}
+	return idx
+}
+
+// Compose is the inverse of Decompose: the global candidate index of
+// an axis-index tuple.
+func Compose(idx [NumAxes]int, dims [NumAxes]int) int {
+	cand := 0
+	for a := 0; a < NumAxes; a++ {
+		cand = cand*dims[a] + idx[a]
+	}
+	return cand
+}
+
+// Knees picks up to n knee points of a 2-objective Pareto front: the
+// points closest (in objectives normalized to the front's own ranges)
+// to the utopia corner, the classic knee heuristic. The front is given
+// as (x, y) pairs, both minimized; the return is the chosen indexes
+// into front, in selection order. Ties break toward the lower index,
+// so the choice is deterministic.
+func Knees(front [][2]float64, n int) []int {
+	if n <= 0 || len(front) == 0 {
+		return nil
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range front {
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	type scored struct {
+		idx int
+		d   float64
+	}
+	s := make([]scored, len(front))
+	for i, p := range front {
+		nx, ny := 0.0, 0.0
+		if spanX > 0 {
+			nx = (p[0] - minX) / spanX
+		}
+		if spanY > 0 {
+			ny = (p[1] - minY) / spanY
+		}
+		s[i] = scored{idx: i, d: nx*nx + ny*ny}
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].d < s[j].d })
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = s[i].idx
+	}
+	return out
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,414 @@
+package search
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// drive walks a planner to completion against a synthetic cost
+// function, feeding back exactly what the real executor would: the
+// incumbent target, the k-th-best bound and the per-slab best costs.
+// It returns how often each candidate was selected and the best
+// candidate found.
+func drive(t *testing.T, pl *Planner, cost func(int) float64, k int) (map[int]int, int) {
+	t.Helper()
+	visited := make(map[int]int)
+	var costs []float64
+	best, bestCost := -1, math.Inf(1)
+	for stages := 0; !pl.Done(); stages++ {
+		if stages > 200 {
+			t.Fatalf("planner did not terminate within 200 stages (phase %v)", pl.Phase)
+		}
+		sel := pl.Selector()
+		slabBest := make([]float64, len(pl.Slabs))
+		for i := range slabBest {
+			slabBest[i] = math.Inf(1)
+		}
+		for cand := 0; cand < pl.Size; cand++ {
+			if !sel(cand) {
+				continue
+			}
+			visited[cand]++
+			c := cost(cand)
+			costs = append(costs, c)
+			if c < bestCost {
+				best, bestCost = cand, c
+			}
+			if i := pl.SlabIndex(cand); i >= 0 && c < slabBest[i] {
+				slabBest[i] = c
+			}
+		}
+		fb := Feedback{SlabBest: slabBest}
+		if best >= 0 {
+			fb.Targets = [][NumAxes]int{Decompose(best, pl.Dims)}
+		}
+		if len(costs) >= k {
+			sorted := append([]float64(nil), costs...)
+			for i := range sorted { // selection of the k-th smallest
+				for j := i + 1; j < len(sorted); j++ {
+					if sorted[j] < sorted[i] {
+						sorted[i], sorted[j] = sorted[j], sorted[i]
+					}
+				}
+				if i == k-1 {
+					fb.HasBound, fb.Bound = true, sorted[i]
+					break
+				}
+			}
+		}
+		pl.Advance(fb)
+	}
+	return visited, best
+}
+
+// quadCost is a separable unimodal cost centered on target: the kind
+// of smooth landscape coarse-to-fine refinement is built for.
+func quadCost(dims, target [NumAxes]int) func(int) float64 {
+	return func(cand int) float64 {
+		idx := Decompose(cand, dims)
+		c := 0.0
+		for a := 0; a < NumAxes; a++ {
+			d := float64(idx[a] - target[a])
+			c += d * d
+		}
+		return c
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{Bound: true, Budget: 100, Tolerance: 0.05},
+		{Refine: &RefineSpec{Factor: 4, Knees: 2}},
+		{Halving: &HalvingSpec{Slabs: 8, Sample: 16}},
+		{Bound: true, Refine: &RefineSpec{Factor: 2}, Halving: &HalvingSpec{Slabs: 2, Sample: 1}},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d should validate: %v", i, err)
+		}
+	}
+	bad := []Spec{
+		{Budget: -1},
+		{Tolerance: -0.1},
+		{Refine: &RefineSpec{Factor: 1}},
+		{Refine: &RefineSpec{Factor: 4, Knees: -1}},
+		{Halving: &HalvingSpec{Slabs: 1, Sample: 4}},
+		{Halving: &HalvingSpec{Slabs: 4, Sample: 0}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) should be rejected", i, s)
+		}
+	}
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	dims := [NumAxes]int{3, 2, 4, 7, 5}
+	size := 3 * 2 * 4 * 7 * 5
+	for cand := 0; cand < size; cand++ {
+		idx := Decompose(cand, dims)
+		for a := 0; a < NumAxes; a++ {
+			if idx[a] < 0 || idx[a] >= dims[a] {
+				t.Fatalf("candidate %d axis %d index %d out of range", cand, a, idx[a])
+			}
+		}
+		if back := Compose(idx, dims); back != cand {
+			t.Fatalf("Compose(Decompose(%d)) = %d", cand, back)
+		}
+	}
+}
+
+func TestPlanGeometry(t *testing.T) {
+	dims := [NumAxes]int{2, 3, 2, 9, 6}
+	size := 2 * 3 * 2 * 9 * 6
+	plans := []Plan{
+		{Windows: []Window{{0, 2, 1}, {0, 3, 1}, {0, 2, 1}, {0, 3, 4}, {1, 2, 3}}},
+		{Stripes: []Stripe{{Start: 7, End: 100, Step: 13}, {Start: 200, End: 216, Step: 1}}},
+	}
+	for pi, p := range plans {
+		if err := p.validate(dims, size); err != nil {
+			t.Fatalf("plan %d should validate: %v", pi, err)
+		}
+		n := 0
+		for cand := 0; cand < size; cand++ {
+			if p.Contains(cand, Decompose(cand, dims)) {
+				n++
+			}
+		}
+		if n != p.Size() {
+			t.Errorf("plan %d: Size says %d, enumeration finds %d", pi, p.Size(), n)
+		}
+	}
+	badWindows := Plan{Windows: []Window{{0, 3, 1}, {0, 3, 1}, {0, 2, 1}, {0, 3, 4}, {1, 2, 3}}}
+	if err := badWindows.validate(dims, size); err == nil {
+		t.Error("window past the axis end should be rejected")
+	}
+	if err := (Plan{}).validate(dims, size); err == nil {
+		t.Error("plan with neither windows nor stripes should be rejected")
+	}
+}
+
+func TestPlannerExactCoversEverythingOnce(t *testing.T) {
+	dims := [NumAxes]int{2, 2, 2, 5, 4}
+	pl, err := New(Spec{Bound: true}, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Stage().Running {
+		t.Error("exact stage with Bound should carry the running-bound marker")
+	}
+	visited, _ := drive(t, pl, quadCost(dims, [NumAxes]int{1, 0, 1, 2, 2}), 1)
+	if len(visited) != pl.Size {
+		t.Fatalf("exact planner visited %d of %d candidates", len(visited), pl.Size)
+	}
+	for cand, n := range visited {
+		if n != 1 {
+			t.Fatalf("candidate %d selected %d times", cand, n)
+		}
+	}
+}
+
+// TestPlannerNeverRevisits is the dedup property: across every stage
+// of any strategy, no candidate is ever selected twice — History-plan
+// membership is the only bookkeeping, and it must suffice.
+func TestPlannerNeverRevisits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := []Spec{
+		{Refine: &RefineSpec{Factor: 4}},
+		{Refine: &RefineSpec{Factor: 8, Knees: 2}, Bound: true},
+		{Halving: &HalvingSpec{Slabs: 8, Sample: 6}},
+		{Halving: &HalvingSpec{Slabs: 5, Sample: 3}, Refine: &RefineSpec{Factor: 4}, Bound: true},
+	}
+	for trial := 0; trial < 12; trial++ {
+		spec := specs[trial%len(specs)]
+		dims := [NumAxes]int{1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(2),
+			1 + rng.Intn(24), 1 + rng.Intn(10)}
+		target := [NumAxes]int{}
+		for a := 0; a < NumAxes; a++ {
+			target[a] = rng.Intn(dims[a])
+		}
+		pl, err := New(spec, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited, _ := drive(t, pl, quadCost(dims, target), 3)
+		for cand, n := range visited {
+			if n != 1 {
+				t.Fatalf("trial %d (%+v dims %v): candidate %d selected %d times",
+					trial, spec, dims, cand, n)
+			}
+		}
+		if len(visited) == 0 {
+			t.Fatalf("trial %d: planner selected nothing", trial)
+		}
+	}
+}
+
+// TestPlannerRefineFindsUnimodalOptimum: on a separable unimodal
+// landscape, coarse-to-fine refinement must land on the exact global
+// optimum — the coarse grid brackets it and every refinement step
+// keeps it inside the window.
+func TestPlannerRefineFindsUnimodalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		dims := [NumAxes]int{2, 2, 1, 16 + rng.Intn(33), 4 + rng.Intn(13)}
+		target := [NumAxes]int{}
+		for a := 0; a < NumAxes; a++ {
+			target[a] = rng.Intn(dims[a])
+		}
+		pl, err := New(Spec{Refine: &RefineSpec{Factor: 4}}, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited, best := drive(t, pl, quadCost(dims, target), 1)
+		if want := Compose(target, dims); best != want {
+			t.Errorf("trial %d: refinement found %v, optimum is %v (visited %d of %d)",
+				trial, Decompose(best, dims), target, len(visited), pl.Size)
+		}
+		if len(visited) == pl.Size && pl.Size > 64 {
+			t.Errorf("trial %d: refinement visited the whole %d-candidate grid", trial, pl.Size)
+		}
+	}
+}
+
+// TestPlannerHalvingConverges: successive halving must end with one
+// slab and have sampled the winner's slab at the final budget.
+func TestPlannerHalvingConverges(t *testing.T) {
+	dims := [NumAxes]int{2, 2, 2, 10, 8}
+	pl, err := New(Spec{Halving: &HalvingSpec{Slabs: 8, Sample: 4}}, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for !pl.Done() {
+		rounds++
+		if rounds > 50 {
+			t.Fatal("halving did not converge")
+		}
+		sel := pl.Selector()
+		slabBest := make([]float64, len(pl.Slabs))
+		for i := range slabBest {
+			slabBest[i] = math.Inf(1)
+		}
+		for cand := 0; cand < pl.Size; cand++ {
+			if sel(cand) {
+				if i := pl.SlabIndex(cand); i >= 0 {
+					c := float64(cand) // cheaper toward candidate 0
+					if c < slabBest[i] {
+						slabBest[i] = c
+					}
+				}
+			}
+		}
+		slabs := append([]Slab(nil), pl.Slabs...)
+		pl.Advance(Feedback{SlabBest: slabBest})
+		if !pl.Done() && len(pl.Slabs) != (len(slabs)+1)/2 {
+			t.Fatalf("halving kept %d of %d slabs", len(pl.Slabs), len(slabs))
+		}
+		if pl.Done() {
+			// With cost = candidate index, the last surviving slab must
+			// be the first one (Advance clears the slab set on exit).
+			if len(slabs) != 1 || slabs[0].Start != 0 {
+				t.Errorf("surviving slabs %+v, want the one starting at 0", slabs)
+			}
+		}
+	}
+}
+
+// TestPlannerJSONRoundTrip: a planner serialized mid-run and decoded
+// back selects exactly the same candidates for the rest of the search —
+// the property every checkpoint resume rests on.
+func TestPlannerJSONRoundTrip(t *testing.T) {
+	dims := [NumAxes]int{2, 3, 2, 18, 7}
+	cost := quadCost(dims, [NumAxes]int{1, 2, 0, 13, 4})
+	pl, err := New(Spec{Halving: &HalvingSpec{Slabs: 6, Sample: 4},
+		Refine: &RefineSpec{Factor: 4}, Bound: true}, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestCost := -1, math.Inf(1)
+	for !pl.Done() {
+		data, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := new(Planner)
+		if err := json.Unmarshal(data, back); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped planner does not validate: %v", err)
+		}
+		if !reflect.DeepEqual(pl, back) {
+			t.Fatalf("planner changed across JSON round trip:\n got %+v\nwant %+v", back, pl)
+		}
+		sel, selBack := pl.Selector(), back.Selector()
+		slabBest := make([]float64, len(pl.Slabs))
+		for i := range slabBest {
+			slabBest[i] = math.Inf(1)
+		}
+		for cand := 0; cand < pl.Size; cand++ {
+			a, b := sel(cand), selBack(cand)
+			if a != b {
+				t.Fatalf("selectors disagree on candidate %d (%v vs %v)", cand, a, b)
+			}
+			if !a {
+				continue
+			}
+			c := cost(cand)
+			if c < bestCost {
+				best, bestCost = cand, c
+			}
+			if i := pl.SlabIndex(cand); i >= 0 && c < slabBest[i] {
+				slabBest[i] = c
+			}
+		}
+		fb := Feedback{SlabBest: slabBest, HasBound: best >= 0, Bound: bestCost}
+		if best >= 0 {
+			fb.Targets = [][NumAxes]int{Decompose(best, dims)}
+		}
+		pl.Advance(fb)
+		back.Advance(fb)
+		if !reflect.DeepEqual(pl, back) {
+			t.Fatal("planners diverged after identical Advance")
+		}
+	}
+}
+
+func TestKnees(t *testing.T) {
+	// A front with an obvious knee at (1,1): the extremes trade one
+	// objective for a lot of the other.
+	front := [][2]float64{{0, 10}, {1, 1}, {10, 0}}
+	got := Knees(front, 1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Knees = %v, want [1]", got)
+	}
+	if got := Knees(front, 5); len(got) != 3 {
+		t.Errorf("Knees capped at front size: got %v", got)
+	}
+	if got := Knees(nil, 3); len(got) != 0 {
+		t.Errorf("Knees of an empty front: got %v", got)
+	}
+	// A single-point front normalizes degenerately but must not panic.
+	if got := Knees([][2]float64{{5, 5}}, 2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Knees of a singleton front: got %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ size, n int }{{10, 3}, {7, 7}, {100, 8}, {5, 2}} {
+		slabs := partition(tc.size, tc.n)
+		if len(slabs) != tc.n {
+			t.Fatalf("partition(%d,%d) has %d slabs", tc.size, tc.n, len(slabs))
+		}
+		next, total := 0, 0
+		for _, sl := range slabs {
+			if sl.Start != next || sl.End <= sl.Start {
+				t.Fatalf("partition(%d,%d): bad slab %+v at %d", tc.size, tc.n, sl, next)
+			}
+			if l := sl.End - sl.Start; l < tc.size/tc.n || l > tc.size/tc.n+1 {
+				t.Fatalf("partition(%d,%d): slab length %d unbalanced", tc.size, tc.n, l)
+			}
+			next = sl.End
+			total += sl.End - sl.Start
+		}
+		if total != tc.size {
+			t.Fatalf("partition(%d,%d) covers %d", tc.size, tc.n, total)
+		}
+	}
+}
+
+func TestPlannerValidateRejects(t *testing.T) {
+	dims := [NumAxes]int{2, 2, 2, 4, 4}
+	fresh := func() *Planner {
+		pl, err := New(Spec{Halving: &HalvingSpec{Slabs: 4, Sample: 2}}, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	corrupt := []func(*Planner){
+		func(pl *Planner) { pl.Size = 7 },
+		func(pl *Planner) { pl.Phase = "sideways" },
+		func(pl *Planner) { pl.Current = nil }, // phase says halving
+		func(pl *Planner) { pl.Slabs[0].End = pl.Size + 5 },
+		func(pl *Planner) { pl.Slabs = []Slab{{Start: 10, End: 20}, {Start: 5, End: 15}} },
+		func(pl *Planner) { pl.Current.Plans = nil },
+		func(pl *Planner) { pl.Current.Plans[0].Stripes[0].End = pl.Size + 1 },
+		func(pl *Planner) { pl.Dims[2] = 0 },
+	}
+	for i, mutate := range corrupt {
+		pl := fresh()
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("fresh planner should validate: %v", err)
+		}
+		mutate(pl)
+		if err := pl.Validate(); err == nil {
+			t.Errorf("corruption %d went undetected", i)
+		}
+	}
+}

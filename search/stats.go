@@ -1,0 +1,70 @@
+package search
+
+// Stats reports what an adaptive search did — the observability half
+// of the contract: savings that cannot be measured cannot be trusted.
+// The counters mirror the sweep generator's taxonomy so exhaustive and
+// adaptive runs compare field by field.
+type Stats struct {
+	// GridSize is the full candidate count of the base grid (the
+	// denominator of the savings claim). For a sharded search it is
+	// still the whole grid's size; per-shard Evaluated sums across
+	// shards.
+	GridSize int `json:"grid_size"`
+	// Evaluated is how many candidates were actually cost-evaluated.
+	Evaluated int `json:"evaluated"`
+	// Infeasible counts evaluated candidates the cost model rejected.
+	Infeasible int `json:"infeasible,omitempty"`
+	// Pruned counts candidates dropped by feasibility filters
+	// (reticle, interposer, unbuildable combinations).
+	Pruned int `json:"pruned,omitempty"`
+	// Deduped counts scheme-duplicate monolithic candidates skipped.
+	Deduped int `json:"deduped,omitempty"`
+	// BoundPruned counts candidates skipped by the cost lower bound —
+	// feasible designs proven worse than the running K-th best.
+	BoundPruned int `json:"bound_pruned,omitempty"`
+	// Stages is how many stages the search walked.
+	Stages int `json:"stages"`
+	// BudgetExhausted marks a search cut short by Spec.Budget.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+	// Trajectory records the incumbent best after each stage on which
+	// it changed — the convergence history.
+	Trajectory []Incumbent `json:"trajectory,omitempty"`
+}
+
+// Incumbent is one step of the incumbent-best trajectory.
+type Incumbent struct {
+	// Stage is the zero-based stage after which this incumbent led.
+	Stage int `json:"stage"`
+	// ID is the design point's label.
+	ID string `json:"id"`
+	// Cost is its total cost.
+	Cost float64 `json:"cost"`
+}
+
+// EvaluatedRatio returns Evaluated / GridSize (0 for an empty grid) —
+// the headline savings number.
+func (s Stats) EvaluatedRatio() float64 {
+	if s.GridSize == 0 {
+		return 0
+	}
+	return float64(s.Evaluated) / float64(s.GridSize)
+}
+
+// Merge folds another shard's stats into this one: counters add,
+// GridSize stays (every shard reports the same base grid), stage
+// counts take the maximum (shards advance through the same phases),
+// and trajectories concatenate in stage order.
+func (s *Stats) Merge(o Stats) {
+	if s.GridSize == 0 {
+		s.GridSize = o.GridSize
+	}
+	s.Evaluated += o.Evaluated
+	s.Infeasible += o.Infeasible
+	s.Pruned += o.Pruned
+	s.Deduped += o.Deduped
+	s.BoundPruned += o.BoundPruned
+	if o.Stages > s.Stages {
+		s.Stages = o.Stages
+	}
+	s.BudgetExhausted = s.BudgetExhausted || o.BudgetExhausted
+}

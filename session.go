@@ -51,6 +51,15 @@ const (
 	// RE-vs-NRE Pareto front and a summary — O(K) memory however large
 	// the grid.
 	QuestionSweepBest
+	// QuestionSearchBest answers the same best-points question as
+	// QuestionSweepBest but adaptively: coarse-to-fine refinement,
+	// successive halving and lower-bound pruning (Request.Search)
+	// evaluate a fraction of Request.Grid's candidates. A pruning-only
+	// spec reproduces the exhaustive top-K exactly; refinement and
+	// halving trade exactness for evaluations within the spec's
+	// tolerance. The answer reports what was actually walked
+	// (SearchBest.Stats).
+	QuestionSearchBest
 )
 
 // String implements fmt.Stringer with the names ParseQuestion accepts.
@@ -70,6 +79,8 @@ func (q Question) String() string {
 		return "area-crossover"
 	case QuestionSweepBest:
 		return "sweep-best"
+	case QuestionSearchBest:
+		return "search-best"
 	default:
 		return fmt.Sprintf("Question(%d)", int(q))
 	}
@@ -92,8 +103,10 @@ func ParseQuestion(name string) (Question, error) {
 		return QuestionAreaCrossover, nil
 	case "sweep-best", "best":
 		return QuestionSweepBest, nil
+	case "search-best", "search":
+		return QuestionSearchBest, nil
 	default:
-		return 0, fmt.Errorf("actuary: unknown question %q (want total-cost, re, wafers, crossover-quantity, optimal-chiplet-count, area-crossover or sweep-best)", name)
+		return 0, fmt.Errorf("actuary: unknown question %q (want total-cost, re, wafers, crossover-quantity, optimal-chiplet-count, area-crossover, sweep-best or search-best)", name)
 	}
 }
 
@@ -107,6 +120,7 @@ func ParseQuestion(name string) (Question, error) {
 //	QuestionOptimalChipletCount  Node, ModuleAreaMM2, MaxK, Scheme, D2D, Quantity
 //	QuestionAreaCrossover        Node, K, Scheme, D2D, LoMM2, HiMM2
 //	QuestionSweepBest            Grid, TopK, Policy
+//	QuestionSearchBest           Grid, TopK, Policy, Search
 type Request struct {
 	// ID optionally labels the request; it is echoed in the Result and
 	// in structured errors. Purely for the caller's bookkeeping.
@@ -153,10 +167,15 @@ type Request struct {
 	// unsharded. A sharded answer covers only its stripe — an empty
 	// stripe is a valid empty SweepBest, not an error — and the
 	// ShardCount answers of a grid merge into exactly the unsharded
-	// answer (see SweepBestMerger). Other questions reject a non-zero
-	// shard spec.
+	// answer (see SweepBestMerger). SearchBest requests accept the
+	// same spec: each shard searches its own stripe adaptively. Other
+	// questions reject a non-zero shard spec.
 	ShardIndex int
 	ShardCount int
+
+	// Search configures a SearchBest request's adaptive strategies;
+	// nil means lower-bound pruning only (exhaustive-exact answer).
+	Search *SearchSpec
 }
 
 // Result is the answer to one Request. Index, ID and Question echo
@@ -187,6 +206,8 @@ type Result struct {
 	Best   int
 	// SweepBest answers QuestionSweepBest.
 	SweepBest *SweepBest
+	// SearchBest answers QuestionSearchBest.
+	SearchBest *SearchBest
 
 	// Err is nil on success and an *Error otherwise; one bad request
 	// never fails the rest of the batch.
@@ -484,7 +505,8 @@ func (s *Session) fail(i int, req Request, err error) Result {
 // Stream.
 func (s *Session) evaluateOne(ctx context.Context, i int, req Request) Result {
 	res := Result{Index: i, ID: req.ID, Question: req.Question}
-	if req.Question != QuestionSweepBest && (req.ShardIndex != 0 || req.ShardCount != 0) {
+	if req.Question != QuestionSweepBest && req.Question != QuestionSearchBest &&
+		(req.ShardIndex != 0 || req.ShardCount != 0) {
 		return s.fail(i, req, fmt.Errorf("actuary: question %v does not accept a shard spec", req.Question))
 	}
 	switch req.Question {
@@ -542,6 +564,13 @@ func (s *Session) evaluateOne(ctx context.Context, i int, req Request) Result {
 			return s.fail(i, req, err)
 		}
 		res.SweepBest = best
+
+	case QuestionSearchBest:
+		best, err := s.searchBest(ctx, req)
+		if err != nil {
+			return s.fail(i, req, err)
+		}
+		res.SearchBest = best
 
 	default:
 		return s.fail(i, req, fmt.Errorf("actuary: unknown question %v", req.Question))

@@ -12,6 +12,7 @@ import (
 	"chipletactuary/internal/dtod"
 	"chipletactuary/internal/sweep"
 	"chipletactuary/internal/wirejson"
+	"chipletactuary/search"
 )
 
 // Wire protocol v1: the canonical, transport-neutral JSON forms of
@@ -42,7 +43,8 @@ import (
 func (q Question) MarshalText() ([]byte, error) {
 	switch q {
 	case QuestionTotalCost, QuestionRE, QuestionWafers, QuestionCrossoverQuantity,
-		QuestionOptimalChipletCount, QuestionAreaCrossover, QuestionSweepBest:
+		QuestionOptimalChipletCount, QuestionAreaCrossover, QuestionSweepBest,
+		QuestionSearchBest:
 		return []byte(q.String()), nil
 	default:
 		return nil, fmt.Errorf("actuary: cannot marshal unknown question %d", int(q))
@@ -96,6 +98,9 @@ func Questions() []QuestionInfo {
 		{Name: "sweep-best", Aliases: []string{"best"},
 			Summary: "top-K, Pareto front and summary of a lazily streamed design-space grid",
 			Fields:  []string{"grid", "top_k", "policy", "shard_index", "shard_count"}},
+		{Name: "search-best", Aliases: []string{"search"},
+			Summary: "top-K of a design-space grid by adaptive search (lower-bound pruning, refinement, successive halving)",
+			Fields:  []string{"grid", "top_k", "policy", "search", "shard_index", "shard_count"}},
 	}
 }
 
@@ -217,6 +222,7 @@ type wireRequest struct {
 	TopK          int                `json:"top_k,omitempty"`
 	ShardIndex    int                `json:"shard_index,omitempty"`
 	ShardCount    int                `json:"shard_count,omitempty"`
+	Search        *SearchSpec        `json:"search,omitempty"`
 }
 
 // systemOrNil returns &s when s carries any data, nil for the zero
@@ -242,6 +248,7 @@ func (r Request) MarshalJSON() ([]byte, error) {
 		MaxK: r.MaxK, K: r.K, LoMM2: r.LoMM2, HiMM2: r.HiMM2,
 		Grid: r.Grid, TopK: r.TopK,
 		ShardIndex: r.ShardIndex, ShardCount: r.ShardCount,
+		Search: r.Search,
 	}
 	if r.D2D != nil {
 		d2d, err := dtod.MarshalOverhead(r.D2D)
@@ -274,6 +281,7 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 		MaxK: w.MaxK, K: w.K, LoMM2: w.LoMM2, HiMM2: w.HiMM2,
 		Grid: w.Grid, TopK: w.TopK,
 		ShardIndex: w.ShardIndex, ShardCount: w.ShardCount,
+		Search: w.Search,
 	}
 	if w.System != nil {
 		req.System = *w.System
@@ -398,21 +406,43 @@ func (b *SweepBest) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// wireSearchBest is the canonical JSON shape of a search-best answer.
+type wireSearchBest struct {
+	Top   []SweepPoint `json:"top"`
+	Stats SearchStats  `json:"stats"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (b SearchBest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSearchBest{Top: b.Top, Stats: b.Stats})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields.
+func (b *SearchBest) UnmarshalJSON(data []byte) error {
+	var w wireSearchBest
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding search-best: %w", err)
+	}
+	*b = SearchBest{Top: w.Top, Stats: w.Stats}
+	return nil
+}
+
 // wireResult is the canonical JSON shape of a Result: the request
 // echo, exactly one payload field on success, or a structured error.
 type wireResult struct {
-	Index     int              `json:"index"`
-	ID        string           `json:"id,omitempty"`
-	Question  Question         `json:"question"`
-	TotalCost *TotalCost       `json:"total_cost,omitempty"`
-	RE        *REBreakdown     `json:"re,omitempty"`
-	Wafers    *WaferDemand     `json:"wafers,omitempty"`
-	Quantity  float64          `json:"quantity,omitempty"`
-	AreaMM2   float64          `json:"area_mm2,omitempty"`
-	Points    []PartitionPoint `json:"points,omitempty"`
-	Best      int              `json:"best,omitempty"`
-	SweepBest *SweepBest       `json:"sweep_best,omitempty"`
-	Error     *Error           `json:"error,omitempty"`
+	Index      int              `json:"index"`
+	ID         string           `json:"id,omitempty"`
+	Question   Question         `json:"question"`
+	TotalCost  *TotalCost       `json:"total_cost,omitempty"`
+	RE         *REBreakdown     `json:"re,omitempty"`
+	Wafers     *WaferDemand     `json:"wafers,omitempty"`
+	Quantity   float64          `json:"quantity,omitempty"`
+	AreaMM2    float64          `json:"area_mm2,omitempty"`
+	Points     []PartitionPoint `json:"points,omitempty"`
+	Best       int              `json:"best,omitempty"`
+	SweepBest  *SweepBest       `json:"sweep_best,omitempty"`
+	SearchBest *SearchBest      `json:"search_best,omitempty"`
+	Error      *Error           `json:"error,omitempty"`
 }
 
 // WireError lifts an arbitrary result error into the structured form
@@ -436,7 +466,8 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		TotalCost: r.TotalCost, RE: r.RE, Wafers: r.Wafers,
 		Quantity: r.Quantity, AreaMM2: r.AreaMM2,
 		Points: r.Points, Best: r.Best, SweepBest: r.SweepBest,
-		Error: WireError(r),
+		SearchBest: r.SearchBest,
+		Error:      WireError(r),
 	})
 }
 
@@ -451,6 +482,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		TotalCost: w.TotalCost, RE: w.RE, Wafers: w.Wafers,
 		Quantity: w.Quantity, AreaMM2: w.AreaMM2,
 		Points: w.Points, Best: w.Best, SweepBest: w.SweepBest,
+		SearchBest: w.SearchBest,
 	}
 	if w.Error != nil {
 		res.Err = w.Error
@@ -570,6 +602,115 @@ func (c *SweepCheckpoint) UnmarshalJSON(data []byte) error {
 		}
 		c.FirstFailure = fe
 	}
+	return nil
+}
+
+// SearchFingerprint returns the stable identity of a search-best
+// workload: a hash over the canonical JSON of the grid, the
+// (normalized) top-K bound, the amortization policy, the shard spec
+// and the (resolved) search spec. The spec participates because two
+// searches of the same grid under different strategies walk different
+// candidates — a checkpoint from one must not seed the other. Request
+// IDs stay out of the hash, as in SweepFingerprint.
+func SearchFingerprint(req Request) (string, error) {
+	if req.Grid == nil {
+		return "", fmt.Errorf("actuary: fingerprinting a search-best request needs a Grid")
+	}
+	k := req.TopK
+	if k < 1 {
+		k = 1
+	}
+	spec := resolveSearchSpec(req)
+	payload := struct {
+		Grid       *SweepGrid         `json:"grid"`
+		TopK       int                `json:"top_k"`
+		Policy     AmortizationPolicy `json:"policy"`
+		ShardIndex int                `json:"shard_index,omitempty"`
+		ShardCount int                `json:"shard_count,omitempty"`
+		Search     SearchSpec         `json:"search"`
+	}{req.Grid, k, req.Policy, req.ShardIndex, req.ShardCount, spec}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("actuary: fingerprinting search grid %q: %w", req.Grid.Name, err)
+	}
+	return fingerprintHex(data), nil
+}
+
+// wireSearchCheckpoint is the canonical JSON shape of a
+// SearchCheckpoint. The planner crosses as the search package's own
+// JSON form; the first failure crosses in the structured error form,
+// exactly like a SweepBest payload.
+type wireSearchCheckpoint struct {
+	Version               int               `json:"version"`
+	Fingerprint           string            `json:"fingerprint"`
+	Planner               *search.Planner   `json:"planner"`
+	Cursor                SweepCursor       `json:"cursor"`
+	Totals                SweepStats        `json:"totals"`
+	Top                   []SweepPoint      `json:"top,omitempty"`
+	Pareto                []SweepPoint      `json:"pareto,omitempty"`
+	Infeasible            int               `json:"infeasible,omitempty"`
+	FirstFailure          json.RawMessage   `json:"first_failure,omitempty"`
+	FirstFailureCandidate int               `json:"first_failure_candidate,omitempty"`
+	SlabBest              []wireSlabScore   `json:"slab_best,omitempty"`
+	Trajectory            []SearchIncumbent `json:"trajectory,omitempty"`
+}
+
+// wireSlabScore is the canonical JSON shape of a SearchSlabScore.
+type wireSlabScore struct {
+	Slab int     `json:"slab"`
+	Cost float64 `json:"cost"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c SearchCheckpoint) MarshalJSON() ([]byte, error) {
+	w := wireSearchCheckpoint{Version: CheckpointVersion, Fingerprint: c.Fingerprint,
+		Planner: c.Planner, Cursor: c.Cursor, Totals: c.Totals,
+		Top: c.Top, Pareto: c.Pareto, Infeasible: c.Infeasible,
+		FirstFailureCandidate: c.FirstFailureCandidate, Trajectory: c.Trajectory}
+	for _, sb := range c.SlabBest {
+		w.SlabBest = append(w.SlabBest, wireSlabScore(sb))
+	}
+	if fe := wireFirstFailure(c.FirstFailure); fe != nil {
+		data, err := json.Marshal(fe)
+		if err != nil {
+			return nil, fmt.Errorf("actuary: encoding search checkpoint failure: %w", err)
+		}
+		w.FirstFailure = data
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields,
+// unknown versions, and planners no search could have serialized.
+func (c *SearchCheckpoint) UnmarshalJSON(data []byte) error {
+	var w wireSearchCheckpoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding search checkpoint: %w", err)
+	}
+	if w.Version != CheckpointVersion {
+		return checkpointVersionError("search", w.Version)
+	}
+	if w.Planner == nil {
+		return fmt.Errorf("actuary: search checkpoint carries no planner")
+	}
+	if err := w.Planner.Validate(); err != nil {
+		return fmt.Errorf("actuary: decoding search checkpoint: %w", err)
+	}
+	out := SearchCheckpoint{Fingerprint: w.Fingerprint, Planner: w.Planner,
+		Cursor: w.Cursor, Totals: w.Totals, Top: w.Top, Pareto: w.Pareto,
+		Infeasible: w.Infeasible, FirstFailureCandidate: w.FirstFailureCandidate,
+		Trajectory: w.Trajectory}
+	for _, sb := range w.SlabBest {
+		out.SlabBest = append(out.SlabBest, SearchSlabScore(sb))
+	}
+	if len(w.FirstFailure) > 0 {
+		fe := new(Error)
+		if err := fe.UnmarshalJSON(w.FirstFailure); err != nil {
+			return fmt.Errorf("actuary: decoding search checkpoint failure: %w", err)
+		}
+		out.FirstFailure = fe
+	}
+	*c = out
 	return nil
 }
 

@@ -309,8 +309,8 @@ func TestDecodeRequestsStrict(t *testing.T) {
 
 func TestQuestionsCoverTheAPI(t *testing.T) {
 	infos := actuary.Questions()
-	if len(infos) != 7 {
-		t.Fatalf("Questions() lists %d entries, want 7", len(infos))
+	if len(infos) != 8 {
+		t.Fatalf("Questions() lists %d entries, want 8", len(infos))
 	}
 	for _, info := range infos {
 		q, err := actuary.ParseQuestion(info.Name)
