@@ -106,6 +106,8 @@ const (
 type (
 	// REBreakdown is the five-part recurring cost of §3.2.
 	REBreakdown = cost.Breakdown
+	// DieCost is the per-die cost detail inside an REBreakdown.
+	DieCost = cost.DieCost
 	// WaferDemand is the production-planning view: wafer starts per
 	// node for a production run.
 	WaferDemand = cost.WaferDemand

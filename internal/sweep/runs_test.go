@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"chipletactuary/internal/dtod"
+	"chipletactuary/internal/packaging"
+)
+
+func TestRunsGrouping(t *testing.T) {
+	pt := func(node string, sch packaging.Scheme, q float64) Point {
+		return Point{Node: node, Scheme: sch, Quantity: q}
+	}
+	cases := []struct {
+		name   string
+		points []Point
+		want   []Run
+	}{
+		{"empty", nil, nil},
+		{"single", []Point{pt("5nm", packaging.MCM, 1)}, []Run{{0, 1}}},
+		{"uniform", []Point{
+			pt("5nm", packaging.MCM, 1), pt("5nm", packaging.MCM, 1), pt("5nm", packaging.MCM, 1),
+		}, []Run{{0, 3}}},
+		{"node-break", []Point{
+			pt("5nm", packaging.MCM, 1), pt("5nm", packaging.MCM, 1), pt("7nm", packaging.MCM, 1),
+		}, []Run{{0, 2}, {2, 1}}},
+		{"scheme-break", []Point{
+			pt("5nm", packaging.SoC, 1), pt("5nm", packaging.MCM, 1), pt("5nm", packaging.MCM, 1),
+		}, []Run{{0, 1}, {1, 2}}},
+		{"quantity-break", []Point{
+			pt("5nm", packaging.MCM, 1), pt("5nm", packaging.MCM, 2), pt("5nm", packaging.MCM, 2),
+		}, []Run{{0, 1}, {1, 2}}},
+		{"all-distinct", []Point{
+			pt("5nm", packaging.MCM, 1), pt("7nm", packaging.MCM, 1), pt("7nm", packaging.InFO, 1),
+		}, []Run{{0, 1}, {1, 1}, {2, 1}}},
+	}
+	for _, c := range cases {
+		got := Runs(c.points, nil)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: Runs = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunsCoverSlabExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nodes := []string{"5nm", "7nm"}
+	schemes := []packaging.Scheme{packaging.SoC, packaging.MCM}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{
+				Node:     nodes[rng.Intn(len(nodes))],
+				Scheme:   schemes[rng.Intn(len(schemes))],
+				Quantity: float64(1 + rng.Intn(2)),
+			}
+		}
+		runs := Runs(points, nil)
+		next := 0
+		for _, r := range runs {
+			if r.Start != next || r.Len < 1 {
+				t.Fatalf("trial %d: run %+v breaks coverage at %d", trial, r, next)
+			}
+			for k := r.Start + 1; k < r.Start+r.Len; k++ {
+				if points[k].Node != points[r.Start].Node ||
+					points[k].Scheme != points[r.Start].Scheme ||
+					points[k].Quantity != points[r.Start].Quantity {
+					t.Fatalf("trial %d: point %d differs from run head %d", trial, k, r.Start)
+				}
+			}
+			// Maximality: the point after the run, if any, must break an axis.
+			if end := r.Start + r.Len; end < n &&
+				points[end].Node == points[r.Start].Node &&
+				points[end].Scheme == points[r.Start].Scheme &&
+				points[end].Quantity == points[r.Start].Quantity {
+				t.Fatalf("trial %d: run %+v not maximal", trial, r)
+			}
+			next = r.Start + r.Len
+		}
+		if next != n {
+			t.Fatalf("trial %d: runs cover %d of %d points", trial, next, n)
+		}
+	}
+}
+
+func TestRunsAppendsToDst(t *testing.T) {
+	points := []Point{{Node: "5nm"}, {Node: "5nm"}, {Node: "7nm"}}
+	dst := make([]Run, 0, 8)
+	got := Runs(points, dst)
+	if &got[:1][0] != &dst[:1][0] {
+		t.Fatal("Runs reallocated despite sufficient dst capacity")
+	}
+	// Reuse across slabs, the worker pattern.
+	got = Runs(points, got[:0])
+	if !reflect.DeepEqual(got, []Run{{0, 2}, {2, 1}}) {
+		t.Fatalf("reuse pass = %v", got)
+	}
+}
+
+// TestLeanWalkEquivalence drives the lean generator beside the full
+// one across sharded, filtered and multi-axis grids: same survivors in
+// the same order, same Stats, and a DieAreaMM2 stamp that is bitwise
+// equal to the die area of the system the full walk built.
+func TestLeanWalkEquivalence(t *testing.T) {
+	grids := []Grid{
+		testGrid(),
+		{
+			Name:       "multi",
+			Nodes:      []string{"5nm", "7nm"},
+			Schemes:    []packaging.Scheme{packaging.SoC, packaging.MCM, packaging.InFO},
+			AreasMM2:   []float64{0.5, 100, 400, 858, 1500},
+			Counts:     []int{1, 2, 3, 8},
+			Quantities: []float64{1000, 1_000_000},
+			D2D:        dtod.Fraction{F: 0.25},
+		},
+		{
+			Name:       "nod2d",
+			Nodes:      []string{"7nm"},
+			Schemes:    []packaging.Scheme{packaging.MCM},
+			AreasMM2:   []float64{200, 600},
+			Counts:     []int{1, 2, 5},
+			Quantities: []float64{500},
+		},
+	}
+	params := packaging.DefaultParams()
+	filterSets := [][]Filter{nil, {ReticleFit()}, {ReticleFit(), InterposerFit(params)}}
+	for gi, g := range grids {
+		for fi, filters := range filterSets {
+			for _, shards := range []int{1, 3} {
+				for shard := 0; shard < shards; shard++ {
+					full := g.Points(filters...).Shard(shard, shards)
+					lean := g.Points(filters...).Lean().Shard(shard, shards)
+					fullPts := drainPoints(full)
+					leanPts := drainPoints(lean)
+					if len(fullPts) != len(leanPts) {
+						t.Fatalf("grid %d filters %d shard %d/%d: %d full vs %d lean points",
+							gi, fi, shard, shards, len(fullPts), len(leanPts))
+					}
+					for i := range fullPts {
+						f, l := fullPts[i], leanPts[i]
+						if l.System.Name != "" {
+							t.Fatalf("lean point %q carries a materialized system", l.ID)
+						}
+						l.System = f.System // equalize the one intended difference
+						if !reflect.DeepEqual(f, l) {
+							t.Fatalf("grid %d filters %d shard %d/%d point %d: full %+v vs lean %+v",
+								gi, fi, shard, shards, i, f, l)
+						}
+						if len(f.System.Placements) > 0 {
+							if die := f.System.Placements[0].Chiplet.DieArea(); die != f.DieAreaMM2 {
+								t.Fatalf("point %q: stamped DieAreaMM2 %v != system die area %v",
+									f.ID, f.DieAreaMM2, die)
+							}
+						}
+					}
+					if fs, ls := full.Stats(), lean.Stats(); fs != ls {
+						t.Fatalf("grid %d filters %d shard %d/%d: stats %+v vs %+v",
+							gi, fi, shard, shards, fs, ls)
+					}
+				}
+			}
+		}
+	}
+}
+
+func drainPoints(it *Generator) []Point {
+	var out []Point
+	buf := make([]Point, 7) // odd slab size to exercise partial fills
+	for {
+		n := it.NextSlab(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}

@@ -33,7 +33,14 @@ type Point struct {
 	AreaMM2  float64
 	K        int
 	Quantity float64
-	// System is the equal-partition system built from the axes.
+	// DieAreaMM2 is the per-die area of the equal partition (module
+	// share plus D2D interface; the full module area for monolithic
+	// points), bit-identical to System's per-chiplet DieArea. Filters
+	// read it instead of walking placements, which is what lets a lean
+	// generator skip building System entirely.
+	DieAreaMM2 float64
+	// System is the equal-partition system built from the axes. A lean
+	// generator (see Generator.Lean) leaves it zero.
 	System system.System
 }
 
@@ -197,15 +204,12 @@ type Filter func(Point) bool
 func ReticleFit() Filter {
 	// Boolean-equivalent to len(System.Warnings()) == 0 without
 	// allocating the warning strings: the only warning is a die
-	// exceeding the reticle, and duplicate chiplets cannot change
-	// whether any die exceeds it.
+	// exceeding the reticle, every die of an equal partition has the
+	// same area, and duplicate chiplets cannot change whether any die
+	// exceeds it. Reads only Point.DieAreaMM2, so it is safe on lean
+	// generators.
 	return func(p Point) bool {
-		for i := range p.System.Placements {
-			if p.System.Placements[i].Chiplet.DieArea() > wafer.ReticleLimitMM2 {
-				return false
-			}
-		}
-		return true
+		return !(p.DieAreaMM2 > wafer.ReticleLimitMM2)
 	}
 }
 
@@ -214,11 +218,19 @@ func ReticleFit() Filter {
 // sizing rule as the packaging cost path (Params.InterposerFits).
 // Points on substrate-only schemes always pass.
 func InterposerFit(params packaging.Params) Filter {
+	// Total die area folded the way System.TotalDieArea folds an equal
+	// partition — k in-order adds of the per-die area — so the verdict
+	// is bit-identical to the System-walking form. Reads only scalar
+	// fields, so it is safe on lean generators.
 	return func(p Point) bool {
 		if !p.Scheme.HasInterposer() {
 			return true
 		}
-		return params.InterposerFits(p.System.TotalDieArea())
+		var total float64
+		for i := 0; i < p.K; i++ {
+			total += p.DieAreaMM2
+		}
+		return params.InterposerFits(total)
 	}
 }
 
@@ -368,6 +380,7 @@ type Generator struct {
 	lastCand   int
 	shardIndex int
 	shardCount int
+	lean       bool
 }
 
 // Points returns a fresh lazy iterator over the grid, applying the
@@ -384,6 +397,28 @@ func (g Grid) Points(filters ...Filter) *Generator {
 
 // Grid returns the grid this generator walks.
 func (it *Generator) Grid() Grid { return it.grid }
+
+// D2D returns the generator's die-to-die overhead model (never nil).
+func (it *Generator) D2D() dtod.Overhead { return it.d2d }
+
+// Lean switches the generator to scalar-only generation: Next leaves
+// Point.System zero instead of building the equal-partition system,
+// which removes every per-point allocation except the ID string. The
+// walk is otherwise identical — the same candidates survive, in the
+// same order, with the same Stats, because the unbuildable-combination
+// checks PartitionEqual would have made are replicated on the scalar
+// axes. The caller asserts that every installed filter and bound reads
+// only scalar Point fields (the built-in ReticleFit and InterposerFit
+// qualify); a filter that walks Point.System would see an empty
+// system. It returns the generator for chaining and must be called
+// before the first Next.
+func (it *Generator) Lean() *Generator {
+	it.lean = true
+	return it
+}
+
+// IsLean reports whether Lean was applied.
+func (it *Generator) IsLean() bool { return it.lean }
 
 // Shard restricts the generator to the i-th of n stripes of the
 // candidate index space: candidate c (in odometer order, before any
@@ -487,15 +522,36 @@ func (it *Generator) Next() (Point, bool) {
 				continue
 			}
 		}
-		id := g.PointID(node, sch, area, k, quantity)
-		sys, err := system.PartitionEqual(id, node, area, k, sch, it.d2d, quantity)
-		if err != nil {
-			// Unbuildable combination (e.g. an SoC scheme asked to host
-			// k > 1): prune rather than poison the stream.
-			it.stats.Pruned++
-			continue
+		p := Point{Node: node, Scheme: sch, AreaMM2: area, K: k, Quantity: quantity}
+		if it.lean {
+			// The scalar image of PartitionEqual's unbuildable-
+			// combination checks: same conditions, same Pruned
+			// accounting, no system construction.
+			if k < 1 || area <= 0 || (sch == packaging.SoC && k > 1) {
+				it.stats.Pruned++
+				continue
+			}
+			p.ID = g.PointID(node, sch, area, k, quantity)
+		} else {
+			id := g.PointID(node, sch, area, k, quantity)
+			sys, err := system.PartitionEqual(id, node, area, k, sch, it.d2d, quantity)
+			if err != nil {
+				// Unbuildable combination (e.g. an SoC scheme asked to
+				// host k > 1): prune rather than poison the stream.
+				it.stats.Pruned++
+				continue
+			}
+			p.ID, p.System = id, sys
 		}
-		p := Point{ID: id, Node: node, Scheme: sch, AreaMM2: area, K: k, Quantity: quantity, System: sys}
+		// Per-die area from the scalars, with the same expressions the
+		// partition builder uses (k = 1 points are monolithic: full
+		// module area, no D2D), so the value is bit-identical to the
+		// System-derived per-chiplet DieArea.
+		p.DieAreaMM2 = area
+		if k > 1 {
+			per := area / float64(k)
+			p.DieAreaMM2 = per + it.d2d.Area(per)
+		}
 		if !it.keep(p) {
 			it.stats.Pruned++
 			continue
@@ -528,6 +584,37 @@ func (it *Generator) NextSlab(dst []Point) int {
 		n++
 	}
 	return n
+}
+
+// Run delimits a maximal stretch of consecutive slab points sharing
+// the axes a run-batched evaluator can hoist out of its inner loop:
+// node, effective scheme and quantity. Because the odometer spins
+// count fastest, the points inside a run differ only in area and
+// count, so the node lookup, scheme factors and amortization
+// denominators are loop-invariant across it.
+type Run struct {
+	// Start indexes the run's first point in the slab passed to Runs;
+	// Len is the number of points it spans.
+	Start, Len int
+}
+
+// Runs splits a slab — any consecutive stretch of generated points,
+// typically one NextSlab fill — into runs, appending to dst so the
+// caller can reuse one backing array across slabs and keep the hot
+// path allocation-free in steady state.
+func Runs(points []Point, dst []Run) []Run {
+	for i := 0; i < len(points); {
+		j := i + 1
+		for j < len(points) &&
+			points[j].Node == points[i].Node &&
+			points[j].Scheme == points[i].Scheme &&
+			points[j].Quantity == points[i].Quantity {
+			j++
+		}
+		dst = append(dst, Run{Start: i, Len: j - i})
+		i = j
+	}
+	return dst
 }
 
 // LastCandidate returns the odometer-order candidate number of the

@@ -1,0 +1,104 @@
+package actuary
+
+import (
+	"context"
+	"time"
+
+	"chipletactuary/internal/explore"
+	"chipletactuary/internal/packaging"
+	"chipletactuary/internal/sweep"
+)
+
+// Run-batched stream evaluation: the worker-side half of runSource
+// dispatch. The pump ships raw lean design points; each worker groups
+// them into runs (consecutive points sharing node, scheme and
+// quantity), evaluates every run through explore.Evaluator.EvaluateRun
+// — bit-identical to the materialize-and-Single point path — and
+// builds Results from arena-backed storage, so the steady-state pump
+// allocates only the generator's point-ID string, one joined
+// ID+die-name string per point, and an amortized sliver of chunk
+// space.
+
+// runWorker is one stream worker's reusable run-evaluation state. Not
+// safe for concurrent use: each worker goroutine owns one.
+type runWorker struct {
+	arena explore.RunArena
+	runs  []sweep.Run
+	ids   []string
+	errs  []error
+	tc    []TotalCost // current result chunk; carved, never reused
+}
+
+// tcChunk sizes the TotalCost backing chunks. Results reference these
+// slots (Result.TotalCost points into a chunk), so chunks are never
+// reused; a retained result pins at most one chunk.
+const tcChunk = 256
+
+// tcSlab carves n result slots from the current chunk.
+func (w *runWorker) tcSlab(n int) []TotalCost {
+	if len(w.tc) < n {
+		c := tcChunk
+		if n > c {
+			c = n
+		}
+		w.tc = make([]TotalCost, c)
+	}
+	s := w.tc[:n:n]
+	w.tc = w.tc[n:]
+	return s
+}
+
+// evaluateRunSlab evaluates one dispatched slab of lean design points
+// run by run and delivers a Result per point, indexes base, base+1, …
+// in slab order — exactly the results the point path would have
+// delivered for the same slab, including structured errors.
+// Cancellation lands between runs: once the context dies, the
+// remaining points fail with ErrCanceled results, mirroring the point
+// path's per-request check.
+func (s *Session) evaluateRunSlab(ctx context.Context, base int, pts []DesignPoint, spec runSpec, w *runWorker, m *sessionMetrics, deliver func(Result)) {
+	n := len(pts)
+	out := w.tcSlab(n)
+	if cap(w.ids) < n {
+		w.ids = make([]string, n)
+		w.errs = make([]error, n)
+	}
+	ids, errs := w.ids[:n], w.errs[:n]
+	w.runs = sweep.Runs(pts, w.runs[:0])
+	for _, r := range w.runs {
+		seg := pts[r.Start : r.Start+r.Len]
+		if err := ctx.Err(); err != nil {
+			t0 := time.Now()
+			for k := range seg {
+				res := s.failID(base+r.Start+k, seg[k].ID+spec.suffix, QuestionTotalCost, err)
+				m.finished(QuestionTotalCost, time.Since(t0), true)
+				deliver(res)
+			}
+			continue
+		}
+		t0 := time.Now()
+		fixed := explore.RunFixed{
+			Node:     seg[0].Node,
+			Scheme:   seg[0].Scheme,
+			Flow:     packaging.ChipLast, // what PartitionEqual-built systems carry
+			Quantity: seg[0].Quantity,
+			Policy:   spec.policy,
+			D2D:      spec.d2d,
+			Suffix:   spec.suffix,
+		}
+		s.ev.EvaluateRun(fixed, seg, out[r.Start:], ids[r.Start:], errs[r.Start:], &w.arena)
+		failures := 0
+		for k := r.Start; k < r.Start+r.Len; k++ {
+			if errs[k] != nil {
+				failures++
+			}
+		}
+		m.finishedRun(QuestionTotalCost, time.Since(t0), r.Len, failures)
+		for k := r.Start; k < r.Start+r.Len; k++ {
+			if errs[k] != nil {
+				deliver(s.failID(base+k, ids[k], QuestionTotalCost, errs[k]))
+				continue
+			}
+			deliver(Result{Index: base + k, ID: ids[k], Question: QuestionTotalCost, TotalCost: &out[k]})
+		}
+	}
+}

@@ -2,16 +2,21 @@
 # bench-smoke.sh — coarse throughput regression gate for CI.
 #
 # Runs BenchmarkSessionStreamSweep and compares each arm's reported
-# points/sec against a recorded baseline. The gate is deliberately
-# loose — a >25% drop fails, anything less is noise on shared CI
-# hardware — so it catches "the hot path got 5x slower", not single-
-# digit drift. Precise numbers live in the checked-in BENCH_*.json
-# snapshots (scripts/bench-baseline.sh), which are produced on one
-# machine and reviewed by hand.
+# points/sec AND allocs/op against a recorded baseline. Both gates are
+# deliberately loose — a >25% throughput drop or a >25% allocation
+# growth fails, anything less is noise on shared CI hardware — so they
+# catch "the hot path got 5x slower" or "the zero-alloc path started
+# allocating per point", not single-digit drift. (Allocations are
+# deterministic, but GOMAXPROCS and slab boundaries move the per-op
+# count a little between machines.) Precise numbers live in the
+# checked-in BENCH_*.json snapshots (scripts/bench-baseline.sh), which
+# are produced on one machine and reviewed by hand.
 #
-# The baseline is a plain "name points_per_sec" text file kept outside
-# the repo (in CI: an actions/cache entry, so it reflects CI hardware,
-# not the dev machine). When the file is absent the run cannot be
+# The baseline is a plain "name points_per_sec allocs_per_op" text
+# file kept outside the repo (in CI: an actions/cache entry, so it
+# reflects CI hardware, not the dev machine). Baselines recorded
+# before the allocs column existed carry two fields; those arms skip
+# the alloc gate until the cache rolls over. When the file is absent the run cannot be
 # judged: the script records the current numbers as the new baseline
 # and exits 0, so the first run after a cache miss is a skip+record,
 # and the next run gates against it.
@@ -26,16 +31,21 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 echo "bench-smoke: running BenchmarkSessionStreamSweep" >&2
-go test -run '^$' -bench '^BenchmarkSessionStreamSweep$' -benchtime 2x . \
+go test -run '^$' -bench '^BenchmarkSessionStreamSweep$' -benchmem -benchtime 2x . \
   | tee "$tmp/out.txt"
 
-# One "name points_per_sec" line per arm, from the benchmark's own
-# wall-clock ReportMetric column.
+# One "name points_per_sec allocs_per_op" line per arm, from the
+# benchmark's own wall-clock ReportMetric column and -benchmem.
 awk '
   /points\/sec/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    for (i = 2; i <= NF; i++) if ($i == "points/sec") printf "%s %s\n", name, $(i - 1)
+    pps = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "points/sec") pps = $(i - 1)
+      if ($i == "allocs/op")  allocs = $(i - 1)
+    }
+    if (pps != "") printf "%s %s %s\n", name, pps, allocs
   }
 ' "$tmp/out.txt" > "$tmp/current.txt"
 
@@ -53,19 +63,26 @@ fi
 
 echo "bench-smoke: gating against $baseline (threshold ${threshold}%)" >&2
 awk -v threshold="$threshold" '
-  NR == FNR { base[$1] = $2; next }
+  NR == FNR { base_pps[$1] = $2; if (NF >= 3) base_allocs[$1] = $3; next }
   {
-    name = $1; cur = $2
-    if (!(name in base)) { printf "  %-60s %12.0f pts/s (new arm, no baseline)\n", name, cur; next }
-    old = base[name]
+    name = $1; cur = $2; allocs = $3
+    if (!(name in base_pps)) { printf "  %-60s %12.0f pts/s (new arm, no baseline)\n", name, cur; next }
+    old = base_pps[name]
     pct = (old > 0) ? 100 * (cur - old) / old : 0
     verdict = "ok"
     if (pct < -threshold) { verdict = "REGRESSION"; failed = 1 }
     printf "  %-60s %12.0f pts/s vs %12.0f (%+.1f%%) %s\n", name, cur, old, pct, verdict
+    if ((name in base_allocs) && allocs != "") {
+      olda = base_allocs[name]
+      apct = (olda > 0) ? 100 * (allocs - olda) / olda : 0
+      averdict = "ok"
+      if (apct > threshold) { averdict = "ALLOC REGRESSION"; failed = 1 }
+      printf "  %-60s %12.0f allocs/op vs %12.0f (%+.1f%%) %s\n", name, allocs, olda, apct, averdict
+    }
   }
   END { exit failed ? 1 : 0 }
 ' "$baseline" "$tmp/current.txt" || {
-  echo "bench-smoke: FAIL — points/sec dropped more than ${threshold}% vs baseline" >&2
+  echo "bench-smoke: FAIL — points/sec dropped or allocs/op grew more than ${threshold}% vs baseline" >&2
   exit 1
 }
 echo "bench-smoke: OK" >&2

@@ -26,10 +26,12 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -189,19 +191,38 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for res := range ch {
-		if err := enc.Encode(res); err != nil {
-			// Client went away; keep draining so the stream's workers
-			// retire cleanly (the canceled context stops generation).
-			for range ch {
+	// One reused line buffer + the hand-rolled canonical marshaler keep
+	// the per-result encode allocation-free; AppendResultLine's output
+	// is byte-identical to what json.NewEncoder(w).Encode wrote here
+	// before (proven by the root package's wire_fast tests). The pprof
+	// label splits this handler's CPU from the session's evaluate and
+	// deliver stages in profiles.
+	pprof.Do(r.Context(), pprof.Labels("stage", "marshal"), func(context.Context) {
+		var buf []byte
+		for res := range ch {
+			line, err := actuary.AppendResultLine(buf[:0], res)
+			if err != nil {
+				// A payload JSON cannot represent; nothing useful can
+				// follow it on this connection. Drain so the stream's
+				// workers retire cleanly.
+				for range ch {
+				}
+				return
 			}
-			return
+			buf = line
+			if _, err := w.Write(line); err != nil {
+				// Client went away; keep draining so the stream's
+				// workers retire cleanly (the canceled context stops
+				// generation).
+				for range ch {
+				}
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	})
 }
 
 // handleQuestions answers GET /v1/questions with the evaluation API's

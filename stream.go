@@ -3,12 +3,14 @@ package actuary
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"chipletactuary/internal/sweep"
+	"chipletactuary/internal/system"
 )
 
 // Streaming design-space exploration: instead of materializing a sweep
@@ -127,7 +129,11 @@ func SweepSource(gen *SweepGenerator, question Question, policy AmortizationPoli
 
 // sweepSource adapts a generator to the streaming API. It implements
 // SlabSource, so Session.Stream serves sweeps in slabs; the question
-// suffix is rendered once here instead of once per point.
+// suffix is rendered once here instead of once per point. A lean
+// generator asking the total-cost question additionally implements
+// runSource, and Session.Stream serves it run-batched: raw design
+// points travel to the workers, which evaluate them through
+// explore.Evaluator.EvaluateRun without ever materializing a System.
 type sweepSource struct {
 	gen      *SweepGenerator
 	suffix   string
@@ -137,6 +143,15 @@ type sweepSource struct {
 }
 
 func (s *sweepSource) request(p DesignPoint) Request {
+	if p.System.Name == "" && s.gen.IsLean() {
+		// A lean generator leaves Point.System zero; the point path
+		// still needs it, so materialize here. PartitionEqual cannot
+		// fail for a point the lean walk emitted — its unbuildable
+		// combinations were pruned by the same checks.
+		if sys, err := system.PartitionEqual(p.ID, p.Node, p.AreaMM2, p.K, p.Scheme, s.gen.D2D(), p.Quantity); err == nil {
+			p.System = sys
+		}
+	}
 	return Request{
 		ID:       p.ID + s.suffix,
 		Question: s.question,
@@ -167,6 +182,41 @@ func (s *sweepSource) NextSlab(dst []Request) int {
 		pts[i] = DesignPoint{} // release the System backing arrays
 	}
 	return n
+}
+
+// NextPointSlab implements runSource: the raw design points of one
+// generator slab, no Request construction at all.
+func (s *sweepSource) NextPointSlab(dst []DesignPoint) int { return s.gen.NextSlab(dst) }
+
+// runDispatch implements runSource. Run dispatch engages only for the
+// shape the run-batched evaluator is proven bit-identical on: a lean
+// generator (scalar points, no Systems to forward) answering the
+// total-cost question.
+func (s *sweepSource) runDispatch() (runSpec, bool) {
+	if s.question != QuestionTotalCost || !s.gen.IsLean() {
+		return runSpec{}, false
+	}
+	return runSpec{policy: s.policy, suffix: s.suffix, d2d: s.gen.D2D()}, true
+}
+
+// runSpec carries the per-stream constants of run dispatch: everything
+// a worker needs, besides the points themselves, to evaluate a run and
+// label its results.
+type runSpec struct {
+	policy AmortizationPolicy
+	suffix string
+	d2d    D2DOverhead
+}
+
+// runSource is the optional source interface behind run-batched
+// dispatch: the source hands raw design points to the stream, and the
+// workers evaluate them through the run-batched fast path instead of
+// materialized Requests. runDispatch reports whether the source's
+// question/generator combination qualifies.
+type runSource interface {
+	RequestSource
+	NextPointSlab(dst []DesignPoint) int
+	runDispatch() (runSpec, bool)
 }
 
 // StreamOption tunes Session.Stream.
@@ -268,6 +318,11 @@ type streamJob struct {
 	// buf is the pool token the worker returns after evaluation.
 	slab []Request
 	buf  *[]Request
+	// points, when non-nil, carries a run-batched slab of lean design
+	// points (see runSource) with the same index convention; pbuf is
+	// its pool token.
+	points []DesignPoint
+	pbuf   *[]DesignPoint
 }
 
 // slabBufPool recycles slab backing arrays between pump and workers so
@@ -275,6 +330,10 @@ type streamJob struct {
 // sized per stream (capacity = the stream's slab size); a stream with
 // a different slab size simply reallocates on first Get.
 var slabBufPool = sync.Pool{New: func() any { return new([]Request) }}
+
+// pointBufPool is slabBufPool's counterpart for run-batched dispatch,
+// recycling the design-point slabs between pump and workers.
+var pointBufPool = sync.Pool{New: func() any { return new([]DesignPoint) }}
 
 // elasticTick is how often a running stream reconciles its worker
 // count with the session's target width (see Session.Resize). Growth
@@ -323,13 +382,29 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	// Slab dispatch engages when the source can produce runs and the
 	// caller has not forced point mode. The slab size never exceeds the
 	// in-flight bound: that bound is the stream's memory contract.
+	// Run-batched dispatch supersedes request slabs when the source
+	// qualifies (see runSource); its slab sizing and credit accounting
+	// are identical — only the job payload changes.
 	slabSrc, _ := src.(SlabSource)
+	runSrc, _ := src.(runSource)
+	var spec runSpec
+	if runSrc != nil {
+		sp, ok := runSrc.runDispatch()
+		if !ok {
+			runSrc = nil
+		}
+		spec = sp
+	}
 	slab := cfg.slabSize
 	if slab == 0 {
 		slab = DefaultSlabSize
 	}
-	if slabSrc == nil || slab <= 1 {
+	if (slabSrc == nil && runSrc == nil) || slab <= 1 {
 		slab = 1
+		slabSrc = nil
+		runSrc = nil
+	}
+	if runSrc != nil {
 		slabSrc = nil
 	}
 	if !cfg.hasInFlight {
@@ -396,85 +471,142 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	// a worker's decrement can never observe it un-incremented (the
 	// depth gauge must not go negative); an abandoned send rolls it
 	// back.
+	// acquireCredits pulls n dispatch credits (no-op when unordered);
+	// false means the context died first. returnCredits hands back the
+	// unused credits of a short final slab.
+	acquireCredits := func(n int) bool {
+		if credits == nil {
+			return true
+		}
+		for c := 0; c < n; c++ {
+			select {
+			case <-credits:
+			case <-ctx.Done():
+				return false
+			}
+		}
+		return true
+	}
+	returnCredits := func(n int) {
+		if credits == nil {
+			return
+		}
+		for c := 0; c < n; c++ {
+			select {
+			case credits <- struct{}{}:
+			default:
+			}
+		}
+	}
 	pumpDone := make(chan struct{})
 	go func() {
 		defer close(pumpDone)
 		defer close(jobs)
-		// Resume: drain the already-delivered prefix without dispatching
-		// or touching the queue metrics — replayed generation is not
-		// back-pressure. Cancellation still lands between pulls.
-		for i := 0; i < cfg.resumeAt; i++ {
-			if ctx.Err() != nil {
-				return
-			}
-			if _, ok := src.Next(); !ok {
-				return
-			}
-		}
-		if slabSrc != nil {
-			// Slab mode: credits stay request-granular (the ordered
-			// window is measured in requests), acquired in a batch before
-			// the slab is generated. cap(credits) ≥ slab always holds, so
-			// the batch can never deadlock; the unused credits of a short
-			// final slab go straight back.
-			for i := max(cfg.resumeAt, 0); ; {
-				if credits != nil {
-					for c := 0; c < slab; c++ {
-						select {
-						case <-credits:
-						case <-ctx.Done():
-							return
-						}
+		pprof.Do(ctx, pprof.Labels("stage", "pump"), func(ctx context.Context) {
+			if runSrc != nil {
+				// Run mode: the resume prefix drains through point slabs —
+				// no Requests, no Systems, just odometer replay.
+				for skip := cfg.resumeAt; skip > 0; {
+					if ctx.Err() != nil {
+						return
 					}
-				}
-				buf := slabBufPool.Get().(*[]Request)
-				if cap(*buf) < slab {
-					*buf = make([]Request, slab)
-				}
-				n := slabSrc.NextSlab((*buf)[:slab])
-				if n == 0 {
-					slabBufPool.Put(buf)
-					return
-				}
-				if credits != nil {
-					for c := n; c < slab; c++ {
-						select {
-						case credits <- struct{}{}:
-						default:
-						}
+					buf := pointBufPool.Get().(*[]DesignPoint)
+					if cap(*buf) < slab {
+						*buf = make([]DesignPoint, slab)
 					}
+					n := runSrc.NextPointSlab((*buf)[:min(slab, skip)])
+					pointBufPool.Put(buf)
+					if n == 0 {
+						return
+					}
+					skip -= n
 				}
-				metrics.enqueuedSlab(n)
-				select {
-				case jobs <- streamJob{index: i, slab: (*buf)[:n], buf: buf}:
-				case <-ctx.Done():
-					metrics.enqueueAbortedSlab(n)
-					slabBufPool.Put(buf)
+				for i := max(cfg.resumeAt, 0); ; {
+					if !acquireCredits(slab) {
+						return
+					}
+					buf := pointBufPool.Get().(*[]DesignPoint)
+					if cap(*buf) < slab {
+						*buf = make([]DesignPoint, slab)
+					}
+					n := runSrc.NextPointSlab((*buf)[:slab])
+					if n == 0 {
+						pointBufPool.Put(buf)
+						returnCredits(slab)
+						return
+					}
+					returnCredits(slab - n)
+					metrics.enqueuedSlab(n)
+					select {
+					case jobs <- streamJob{index: i, points: (*buf)[:n], pbuf: buf}:
+					case <-ctx.Done():
+						metrics.enqueueAbortedSlab(n)
+						pointBufPool.Put(buf)
+						return
+					}
+					i += n
+				}
+			}
+			// Resume: drain the already-delivered prefix without dispatching
+			// or touching the queue metrics — replayed generation is not
+			// back-pressure. Cancellation still lands between pulls.
+			for i := 0; i < cfg.resumeAt; i++ {
+				if ctx.Err() != nil {
 					return
 				}
-				i += n
-			}
-		}
-		for i := max(cfg.resumeAt, 0); ; i++ {
-			if credits != nil {
-				select {
-				case <-credits:
-				case <-ctx.Done():
+				if _, ok := src.Next(); !ok {
 					return
 				}
 			}
-			req, ok := src.Next()
-			if !ok {
-				return
+			if slabSrc != nil {
+				// Slab mode: credits stay request-granular (the ordered
+				// window is measured in requests), acquired in a batch before
+				// the slab is generated. cap(credits) ≥ slab always holds, so
+				// the batch can never deadlock; the unused credits of a short
+				// final slab go straight back.
+				for i := max(cfg.resumeAt, 0); ; {
+					if !acquireCredits(slab) {
+						return
+					}
+					buf := slabBufPool.Get().(*[]Request)
+					if cap(*buf) < slab {
+						*buf = make([]Request, slab)
+					}
+					n := slabSrc.NextSlab((*buf)[:slab])
+					if n == 0 {
+						slabBufPool.Put(buf)
+						returnCredits(slab)
+						return
+					}
+					returnCredits(slab - n)
+					metrics.enqueuedSlab(n)
+					select {
+					case jobs <- streamJob{index: i, slab: (*buf)[:n], buf: buf}:
+					case <-ctx.Done():
+						metrics.enqueueAbortedSlab(n)
+						slabBufPool.Put(buf)
+						return
+					}
+					i += n
+				}
 			}
-			metrics.enqueued()
-			select {
-			case jobs <- streamJob{index: i, req: req}:
-			case <-ctx.Done():
-				metrics.enqueueAborted()
-				return
+			for i := max(cfg.resumeAt, 0); ; i++ {
+				if !acquireCredits(1) {
+					return
+				}
+				req, ok := src.Next()
+				if !ok {
+					return
+				}
+				metrics.enqueued()
+				select {
+				case jobs <- streamJob{index: i, req: req}:
+				case <-ctx.Done():
+					metrics.enqueueAborted()
+					return
+				}
 			}
-		}
+		})
 	}()
 
 	var wg sync.WaitGroup
@@ -490,6 +622,23 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 			metrics.workerStopped(start)
 			wg.Done()
 		}()
+		deliver := func(r Result) {
+			if cfg.deliverAll {
+				out <- r // consumer drains until close, never blocks forever
+				return
+			}
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				// The consumer may have stopped reading; deliver if
+				// there is room, otherwise drop — Evaluate restores
+				// per-request ErrCanceled results for the gaps.
+				select {
+				case out <- r:
+				default:
+				}
+			}
+		}
 		evalDeliver := func(index int, req Request) {
 			t0 := time.Now()
 			var r Result
@@ -499,41 +648,36 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 				r = s.evaluateOne(ctx, index, req)
 			}
 			metrics.finished(req.Question, time.Since(t0), r.Err != nil)
-			if cfg.deliverAll {
-				out <- r // consumer drains until close, never blocks forever
-			} else {
-				select {
-				case out <- r:
-				case <-ctx.Done():
-					// The consumer may have stopped reading; deliver if
-					// there is room, otherwise drop — Evaluate restores
-					// per-request ErrCanceled results for the gaps.
-					select {
-					case out <- r:
-					default:
+			deliver(r)
+		}
+		var rw runWorker
+		pprof.Do(ctx, pprof.Labels("stage", "evaluate"), func(ctx context.Context) {
+			for j := range jobs {
+				switch {
+				case j.points != nil:
+					metrics.dequeuedSlab(len(j.points))
+					s.evaluateRunSlab(ctx, j.index, j.points, spec, &rw, metrics, deliver)
+					clear(j.points) // release the ID string references
+					pointBufPool.Put(j.pbuf)
+				case j.slab != nil:
+					metrics.dequeuedSlab(len(j.slab))
+					for k := range j.slab {
+						evalDeliver(j.index+k, j.slab[k])
 					}
+					clear(j.slab) // release the request payload references
+					slabBufPool.Put(j.buf)
+				default:
+					metrics.dequeued()
+					evalDeliver(j.index, j.req)
+				}
+				// Elastic shrink lands at job boundaries: the worker retires
+				// after delivering its result(s), never mid-evaluation.
+				if elastic && shrinkPool(&live, targetWidth()) {
+					retired = true
+					return
 				}
 			}
-		}
-		for j := range jobs {
-			if j.slab != nil {
-				metrics.dequeuedSlab(len(j.slab))
-				for k := range j.slab {
-					evalDeliver(j.index+k, j.slab[k])
-				}
-				clear(j.slab) // release the request payload references
-				slabBufPool.Put(j.buf)
-			} else {
-				metrics.dequeued()
-				evalDeliver(j.index, j.req)
-			}
-			// Elastic shrink lands at job boundaries: the worker retires
-			// after delivering its result(s), never mid-evaluation.
-			if elastic && shrinkPool(&live, targetWidth()) {
-				retired = true
-				return
-			}
-		}
+		})
 	}
 	spawn := func(n int) {
 		for i := 0; i < n; i++ {
@@ -578,23 +722,32 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 	// The reorder stage sits between the workers and the consumer; its
 	// buffer cannot exceed the credit window, so the head result is
 	// always reachable by draining `out` eagerly — no deadlock, no
-	// unbounded pending map. Each in-order emission returns a credit to
-	// the pump.
+	// unbounded pending map. Credits return to the pump in one batched
+	// grant per drain burst: under slow-head skew the head's completion
+	// releases a whole window of emissions, and granting them together
+	// wakes the pump once instead of once per point.
 	ordered := make(chan Result, cfg.inFlight)
-	go reorderResults(ctx, out, ordered, max(cfg.resumeAt, 0), cap(credits), func() {
-		select {
-		case credits <- struct{}{}:
-		default: // gaps after cancellation may over-return; drop
-		}
-	})
+	go func() {
+		pprof.Do(ctx, pprof.Labels("stage", "deliver"), func(ctx context.Context) {
+			reorderResults(ctx, out, ordered, max(cfg.resumeAt, 0), cap(credits), func(n int) {
+				for i := 0; i < n; i++ {
+					select {
+					case credits <- struct{}{}:
+					default: // gaps after cancellation may over-return; drop
+					}
+				}
+			})
+		})
+	}()
 	return ordered, nil
 }
 
 // reorderResults is the one reorder loop behind StreamOrdered and
 // OrderedResults: it pumps a completion-order channel into out in
 // index order starting at next, closing out when done. onEmit (may be
-// nil) runs after every in-order emission — StreamOrdered returns a
-// dispatch credit there. Results with indexes below next pass through
+// nil) runs once per drain burst with the number of in-order emissions
+// the burst produced — StreamOrdered returns that many dispatch
+// credits in one grant. Results with indexes below next pass through
 // immediately; a duplicate index can therefore never wedge the
 // watermark. When in closes with a gap outstanding (an interrupted
 // stream), the results beyond the gap flush in ascending order so no
@@ -609,7 +762,7 @@ func (s *Session) Stream(ctx context.Context, src RequestSource, opts ...StreamO
 // that breaks the promise, which StreamOrdered's cannot) falls back to
 // a map — OrderedResults wraps producers it does not own and cannot
 // bound, so it always takes the map.
-func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, next, window int, onEmit func()) {
+func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, next, window int, onEmit func(int)) {
 	defer close(out)
 	var ring []Result
 	var occupied []bool
@@ -668,6 +821,7 @@ func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, ne
 		}
 		store(r)
 		delivered := true
+		emitted := 0
 		for delivered {
 			head, ok := take(next)
 			if !ok {
@@ -675,9 +829,10 @@ func reorderResults(ctx context.Context, in <-chan Result, out chan<- Result, ne
 			}
 			delivered = send(head)
 			next++
-			if onEmit != nil {
-				onEmit()
-			}
+			emitted++
+		}
+		if emitted > 0 && onEmit != nil {
+			onEmit(emitted)
 		}
 		if !delivered {
 			break

@@ -1,0 +1,319 @@
+package actuary
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"chipletactuary/internal/cost"
+	"chipletactuary/internal/nre"
+	"chipletactuary/internal/packaging"
+)
+
+// NDJSON fast path. A streamed sweep delivers hundreds of thousands of
+// total-cost Results per second, and routing each through
+// encoding/json's reflective encoder both dominates the marshal cost
+// and allocates a fresh buffer per line. AppendResultLine hand-rolls
+// the canonical wire form for exactly the hot shape — a successful
+// total-cost Result — into a caller-owned buffer, byte-identical to
+// what json.Encoder.Encode writes (wire_fast_test.go proves identity
+// against encoding/json over the full stream output and adversarial
+// values). Everything else — errors, the one-shot question payloads,
+// values encoding/json itself rejects — takes the reflective path, so
+// the fast path can never change the protocol, only the cost of it.
+
+// AppendResultLine appends one NDJSON line — the canonical JSON of r
+// followed by '\n', exactly the bytes json.NewEncoder(w).Encode(r)
+// would write — to dst and returns the extended buffer. Callers reuse
+// dst across lines to keep the marshal hot path allocation-free. On
+// error (a payload encoding/json cannot represent, such as a non-finite
+// float) dst is returned unchanged alongside the error.
+func AppendResultLine(dst []byte, r Result) ([]byte, error) {
+	if out, ok := appendResultFast(dst, r); ok {
+		return append(out, '\n'), nil
+	}
+	// Anything written by the abandoned fast attempt sits past
+	// len(dst) and is overwritten here.
+	data, err := json.Marshal(r)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, data...)
+	return append(dst, '\n'), nil
+}
+
+// appendResultFast encodes the hot Result shape, reporting ok=false —
+// possibly after a partial write past len(dst), which the caller
+// discards — when r needs the general encoder for bit-exact output.
+func appendResultFast(dst []byte, r Result) ([]byte, bool) {
+	if r.Err != nil || r.TotalCost == nil || r.RE != nil || r.Wafers != nil ||
+		r.SweepBest != nil || r.SearchBest != nil ||
+		len(r.Points) != 0 || r.Best != 0 || r.Quantity != 0 || r.AreaMM2 != 0 {
+		return dst, false
+	}
+	question, ok := questionLabel(r.Question)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, `{"index":`...)
+	dst = strconv.AppendInt(dst, int64(r.Index), 10)
+	if r.ID != "" {
+		dst = append(dst, `,"id":`...)
+		dst = appendJSONString(dst, r.ID)
+	}
+	dst = append(dst, `,"question":`...)
+	dst = appendJSONString(dst, question)
+	dst = append(dst, `,"total_cost":{"re":`...)
+	if dst, ok = appendREJSON(dst, &r.TotalCost.RE); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"nre":`...)
+	if dst, ok = appendNREJSON(dst, &r.TotalCost.NRE); !ok {
+		return dst, false
+	}
+	return append(dst, '}', '}'), true
+}
+
+// appendREJSON encodes a cost.Breakdown in its wire order.
+func appendREJSON(dst []byte, b *cost.Breakdown) ([]byte, bool) {
+	var ok bool
+	dst = append(dst, `{"raw_chips":`...)
+	if dst, ok = appendJSONFloat(dst, b.RawChips); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"chip_defects":`...)
+	if dst, ok = appendJSONFloat(dst, b.ChipDefects); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"raw_package":`...)
+	if dst, ok = appendJSONFloat(dst, b.RawPackage); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"package_defects":`...)
+	if dst, ok = appendJSONFloat(dst, b.PackageDefects); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"wasted_kgd":`...)
+	if dst, ok = appendJSONFloat(dst, b.WastedKGD); !ok {
+		return dst, false
+	}
+	if len(b.Dies) > 0 {
+		dst = append(dst, `,"dies":[`...)
+		for i := range b.Dies {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, ok = appendDieJSON(dst, &b.Dies[i]); !ok {
+				return dst, false
+			}
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"packaging":`...)
+	if dst, ok = appendPackagingJSON(dst, &b.Packaging); !ok {
+		return dst, false
+	}
+	return append(dst, '}'), true
+}
+
+// appendDieJSON encodes a cost.DieCost in its wire order.
+func appendDieJSON(dst []byte, d *cost.DieCost) ([]byte, bool) {
+	var ok bool
+	dst = append(dst, `{"name":`...)
+	dst = appendJSONString(dst, d.Name)
+	dst = append(dst, `,"node":`...)
+	dst = appendJSONString(dst, d.Node)
+	dst = append(dst, `,"area_mm2":`...)
+	if dst, ok = appendJSONFloat(dst, d.AreaMM2); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"raw":`...)
+	if dst, ok = appendJSONFloat(dst, d.Raw); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"yield":`...)
+	if dst, ok = appendJSONFloat(dst, d.Yield); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"kgd":`...)
+	if dst, ok = appendJSONFloat(dst, d.KGD); !ok {
+		return dst, false
+	}
+	return append(dst, '}'), true
+}
+
+// appendPackagingJSON encodes a packaging.Result in its wire order.
+func appendPackagingJSON(dst []byte, p *packaging.Result) ([]byte, bool) {
+	scheme, ok := schemeLabel(p.Scheme)
+	if !ok {
+		return dst, false
+	}
+	flow, ok := flowLabel(p.Flow)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, `{"scheme":`...)
+	dst = appendJSONString(dst, scheme)
+	dst = append(dst, `,"flow":`...)
+	dst = appendJSONString(dst, flow)
+	for _, f := range [...]struct {
+		key string
+		val float64
+	}{
+		{`,"raw_package":`, p.RawPackage},
+		{`,"package_defects":`, p.PackageDefects},
+		{`,"wasted_kgd":`, p.WastedKGD},
+		{`,"yield":`, p.Yield},
+		{`,"footprint_mm2":`, p.FootprintMM2},
+		{`,"interposer_area_mm2":`, p.InterposerAreaMM2},
+		{`,"substrate_area_mm2":`, p.SubstrateAreaMM2},
+		{`,"raw_interposer":`, p.RawInterposer},
+		{`,"raw_substrate":`, p.RawSubstrate},
+		{`,"assembly_cost":`, p.AssemblyCost},
+	} {
+		dst = append(dst, f.key...)
+		if dst, ok = appendJSONFloat(dst, f.val); !ok {
+			return dst, false
+		}
+	}
+	return append(dst, '}'), true
+}
+
+// appendNREJSON encodes an nre.Breakdown in its wire order.
+func appendNREJSON(dst []byte, b *nre.Breakdown) ([]byte, bool) {
+	var ok bool
+	dst = append(dst, `{"modules":`...)
+	if dst, ok = appendJSONFloat(dst, b.Modules); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"chips":`...)
+	if dst, ok = appendJSONFloat(dst, b.Chips); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"packages":`...)
+	if dst, ok = appendJSONFloat(dst, b.Packages); !ok {
+		return dst, false
+	}
+	dst = append(dst, `,"d2d":`...)
+	if dst, ok = appendJSONFloat(dst, b.D2D); !ok {
+		return dst, false
+	}
+	return append(dst, '}'), true
+}
+
+// questionLabel returns the wire name of a question the fast path may
+// encode — the same set Question.MarshalText accepts.
+func questionLabel(q Question) (string, bool) {
+	switch q {
+	case QuestionTotalCost, QuestionRE, QuestionWafers, QuestionCrossoverQuantity,
+		QuestionOptimalChipletCount, QuestionAreaCrossover, QuestionSweepBest,
+		QuestionSearchBest:
+		return q.String(), true
+	default:
+		return "", false
+	}
+}
+
+// schemeLabel mirrors packaging.Scheme.MarshalText.
+func schemeLabel(s packaging.Scheme) (string, bool) {
+	switch s {
+	case packaging.SoC, packaging.MCM, packaging.InFO, packaging.TwoPointFiveD:
+		return s.String(), true
+	default:
+		return "", false
+	}
+}
+
+// flowLabel mirrors packaging.Flow.MarshalText.
+func flowLabel(f packaging.Flow) (string, bool) {
+	switch f {
+	case packaging.ChipLast, packaging.ChipFirst:
+		return f.String(), true
+	default:
+		return "", false
+	}
+}
+
+// appendJSONFloat appends a float64 exactly as encoding/json renders
+// it: shortest round-trip form, 'f' notation in [1e-6, 1e21) and 'e'
+// notation outside with a single-digit exponent's leading zero
+// trimmed. Non-finite values — which encoding/json rejects with an
+// UnsupportedValueError — report ok=false so the caller falls back and
+// reproduces that exact error.
+func appendJSONFloat(dst []byte, f float64) ([]byte, bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, false
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json canonicalizes "e-09" to "e-9".
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a quoted JSON string exactly as
+// encoding/json renders it with HTML escaping on (the Marshal and
+// Encoder default): control characters, quotes, backslashes, '<', '>'
+// and '&' escaped, invalid UTF-8 replaced with U+FFFD, and the JSONP
+// hazards U+2028/U+2029 escaped.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
