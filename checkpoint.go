@@ -156,6 +156,63 @@ func (c *StreamCheckpoint) aggregators() []StreamAggregator {
 	return aggs
 }
 
+// FleetStreamCheckpoint records the progress of a fleet-striped
+// scenario stream (fleet.StreamCoordinator): the merged consumer-side
+// stream checkpoint plus one delivery cursor per stream shard. The
+// per-shard cursors ride the existing StreamCheckpoint form — each is
+// exactly the checkpoint a single-backend consumer of that shard's
+// scenario would carry — so a resumed coordinator re-opens every
+// shard stream at its cursor and re-evaluates nothing of the
+// delivered prefix.
+type FleetStreamCheckpoint struct {
+	// Merged is the checkpoint of the interleaved output stream:
+	// Fingerprint identifies the unsharded scenario, Next is the
+	// global index of the first undelivered result, and the
+	// aggregators hold the merged reduction of the delivered prefix.
+	Merged *StreamCheckpoint
+	// Shards is the stripe count of the run; a resuming coordinator
+	// must stripe the same scenario the same way.
+	Shards int
+	// Cursors holds one cursor per shard, ascending by shard index:
+	// Fingerprint identifies the shard's own scenario (the unsharded
+	// scenario plus shard spec i of Shards) and Next counts the
+	// shard-local results already merged into the delivered prefix.
+	// Cursor aggregators are nil — merged state lives in Merged.
+	Cursors []StreamCheckpoint
+}
+
+// Validate checks the structural invariants: a merged checkpoint, at
+// least one shard, one cursor per shard, non-negative cursors that
+// sum to the merged Next (the interleaver consumes exactly one
+// shard-local result per delivered global index). The wire decoder
+// applies it to every decoded checkpoint and the coordinator
+// re-applies it on resume — one rule set, two doors.
+func (c *FleetStreamCheckpoint) Validate() error {
+	if c.Merged == nil {
+		return fmt.Errorf("actuary: fleet stream checkpoint has no merged checkpoint")
+	}
+	if c.Merged.Next < 0 {
+		return fmt.Errorf("actuary: fleet stream checkpoint resumes at negative index %d", c.Merged.Next)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("actuary: fleet stream checkpoint has %d shards", c.Shards)
+	}
+	if len(c.Cursors) != c.Shards {
+		return fmt.Errorf("actuary: fleet stream checkpoint has %d cursors for %d shards", len(c.Cursors), c.Shards)
+	}
+	sum := 0
+	for i, cur := range c.Cursors {
+		if cur.Next < 0 {
+			return fmt.Errorf("actuary: fleet stream checkpoint cursor %d resumes at negative index %d", i, cur.Next)
+		}
+		sum += cur.Next
+	}
+	if sum != c.Merged.Next {
+		return fmt.Errorf("actuary: fleet stream checkpoint cursors sum to %d, merged next is %d", sum, c.Merged.Next)
+	}
+	return nil
+}
+
 // CoordinatorCheckpoint records the per-shard progress of a
 // distributed sweep: which of the Shards stripes have drained, and
 // their answers. A coordinator resumed from it merges the recorded
@@ -260,6 +317,16 @@ func LoadSearchCheckpointFile(path string) (*SearchCheckpoint, error) {
 // checkpoint; missing files report os.ErrNotExist.
 func LoadStreamCheckpointFile(path string) (*StreamCheckpoint, error) {
 	cp := new(StreamCheckpoint)
+	if err := loadCheckpointFile(path, cp); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// LoadFleetStreamCheckpointFile reads and strictly decodes a fleet
+// stream checkpoint; missing files report os.ErrNotExist.
+func LoadFleetStreamCheckpointFile(path string) (*FleetStreamCheckpoint, error) {
+	cp := new(FleetStreamCheckpoint)
 	if err := loadCheckpointFile(path, cp); err != nil {
 		return nil, err
 	}

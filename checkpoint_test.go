@@ -704,3 +704,110 @@ func TestSweepCheckpointRejectsNegativeCounters(t *testing.T) {
 		}
 	}
 }
+
+// fleetStreamTestCheckpoint builds a structurally valid mid-run
+// fleet stream checkpoint: three delivered results split 2/1 across
+// two shard cursors.
+func fleetStreamTestCheckpoint() *actuary.FleetStreamCheckpoint {
+	merged := actuary.NewStreamCheckpoint("scenario-fp", 3)
+	merged.Next = 3
+	merged.Stats.OK = 2
+	merged.Stats.Failed = 1
+	return &actuary.FleetStreamCheckpoint{
+		Merged: merged,
+		Shards: 2,
+		Cursors: []actuary.StreamCheckpoint{
+			{Fingerprint: "shard-0-fp", Next: 2},
+			{Fingerprint: "shard-1-fp", Next: 1},
+		},
+	}
+}
+
+func TestFleetStreamCheckpointWireRoundTrip(t *testing.T) {
+	cp := fleetStreamTestCheckpoint()
+	data := mustJSON(t, cp)
+	var back actuary.FleetStreamCheckpoint
+	if err := json.Unmarshal([]byte(data), &back); err != nil {
+		t.Fatal(err)
+	}
+	if again := mustJSON(t, &back); again != data {
+		t.Fatalf("round trip drifted:\n%s\n%s", data, again)
+	}
+	if back.Merged.Next != 3 || back.Shards != 2 || len(back.Cursors) != 2 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	if back.Cursors[0].Fingerprint != "shard-0-fp" || back.Cursors[1].Next != 1 {
+		t.Fatalf("round trip lost cursors: %+v", back.Cursors)
+	}
+}
+
+func TestFleetStreamCheckpointWireRejects(t *testing.T) {
+	good := mustJSON(t, fleetStreamTestCheckpoint())
+	cases := map[string]string{
+		"unknown version": strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"unknown field":   strings.Replace(good, `"shards":2`, `"shards":2,"bogus":true`, 1),
+		"cursor sum mismatch": strings.Replace(good,
+			`"next":1`, `"next":5`, 1),
+		"missing merged": `{"version":1,"merged":null,"shards":1,"cursors":[{"fingerprint":"x","next":0}]}`,
+	}
+	for name, data := range cases {
+		if data == good {
+			t.Fatalf("%s: replacement did not apply", name)
+		}
+		var cp actuary.FleetStreamCheckpoint
+		if err := json.Unmarshal([]byte(data), &cp); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if !strings.Contains(cases["unknown version"], `"version":99`) {
+		t.Fatal("version replacement missed the outer envelope")
+	}
+	var cp actuary.FleetStreamCheckpoint
+	err := json.Unmarshal([]byte(cases["unknown version"]), &cp)
+	if err == nil || !strings.Contains(err.Error(), "fleet stream checkpoint version 99") {
+		t.Fatalf("version error reads %v", err)
+	}
+}
+
+func TestFleetStreamCheckpointValidate(t *testing.T) {
+	if err := fleetStreamTestCheckpoint().Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	break_ := func(f func(*actuary.FleetStreamCheckpoint)) *actuary.FleetStreamCheckpoint {
+		cp := fleetStreamTestCheckpoint()
+		f(cp)
+		return cp
+	}
+	bad := map[string]*actuary.FleetStreamCheckpoint{
+		"nil merged":      break_(func(c *actuary.FleetStreamCheckpoint) { c.Merged = nil }),
+		"zero shards":     break_(func(c *actuary.FleetStreamCheckpoint) { c.Shards = 0; c.Cursors = nil }),
+		"cursor count":    break_(func(c *actuary.FleetStreamCheckpoint) { c.Cursors = c.Cursors[:1] }),
+		"negative cursor": break_(func(c *actuary.FleetStreamCheckpoint) { c.Cursors[0].Next = -1 }),
+		"negative merged": break_(func(c *actuary.FleetStreamCheckpoint) { c.Merged.Next = -1 }),
+		"sum mismatch":    break_(func(c *actuary.FleetStreamCheckpoint) { c.Cursors[1].Next = 4 }),
+	}
+	for name, cp := range bad {
+		if err := cp.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadFleetStreamCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	cp := fleetStreamTestCheckpoint()
+	if err := actuary.SaveCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := actuary.LoadFleetStreamCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, back) != mustJSON(t, cp) {
+		t.Fatal("file round trip drifted")
+	}
+	if _, err := actuary.LoadFleetStreamCheckpointFile(filepath.Join(dir, "absent.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+}

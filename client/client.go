@@ -6,7 +6,7 @@
 //
 //	c, err := client.Dial("http://localhost:8833")
 //	results, err := c.Evaluate(ctx, reqs)
-//	ch, err := c.Stream(ctx, scenario) // <-chan actuary.Result
+//	ch, err := c.Stream(ctx, client.StreamRequest{Scenario: scenario})
 //
 // Transport failures are classified actuary.ErrTransport: batch calls
 // return them as the call's error; a stream that dies mid-flight
@@ -35,10 +35,81 @@ import (
 type Backend interface {
 	// Evaluate answers a batch, results in input order.
 	Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.Result, error)
-	// Stream compiles a scenario and emits results as they complete.
-	// The channel closes when the scenario is exhausted (or the
-	// context is canceled); failures arrive in-band on Result.Err.
-	Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error)
+	// Stream compiles the request's scenario and emits results as they
+	// complete (or in index order, when the request asks for it). The
+	// channel closes when the stream is exhausted (or the context is
+	// canceled); failures arrive in-band on Result.Err.
+	Stream(ctx context.Context, req StreamRequest) (<-chan actuary.Result, error)
+}
+
+// ShardSpec selects one stripe of a scenario's request stream:
+// stripe Index of Count total. The zero value means "unsharded".
+type ShardSpec struct {
+	Index int
+	Count int
+}
+
+// StreamRequest is the one streaming request shape every Backend
+// takes: the scenario plus the per-call delivery concerns — sharding,
+// resumption and ordering — that used to be smuggled through scenario
+// fields by each caller separately. The zero value of everything but
+// Scenario streams the whole scenario unordered, exactly as the old
+// Stream(ctx, cfg) did.
+//
+// Shard, Resume and Ordered are request-level alternatives to the
+// scenario's own shard_index/shard_count/resume fields; a scenario
+// that already carries them conflicts with a request that sets them
+// too, and the conflict is rejected rather than silently resolved.
+type StreamRequest struct {
+	// Scenario is the workload to compile and stream.
+	Scenario actuary.ScenarioConfig
+	// Shard, when Count > 0, streams only stripe Index of Count.
+	Shard ShardSpec
+	// Resume skips the first Resume requests without evaluating them
+	// and numbers the survivors from Resume — the stream-position
+	// contract StreamCheckpoint.Next is built on. Resume > 0 implies
+	// ordered delivery.
+	Resume int
+	// Ordered delivers results in source-index order even when Resume
+	// is zero — what a consumer diffing or checkpointing the stream
+	// needs from the first line.
+	Ordered bool
+}
+
+// config folds the request-level delivery fields into the scenario's
+// wire form — the shape /v1/stream and ScenarioConfig.Source already
+// honor — rejecting conflicts between the two levels.
+func (r StreamRequest) config() (actuary.ScenarioConfig, error) {
+	cfg := r.Scenario
+	if r.Shard.Count > 0 || r.Shard.Index != 0 {
+		if cfg.ShardIndex != 0 || cfg.ShardCount != 0 {
+			return cfg, fmt.Errorf("client: StreamRequest.Shard conflicts with the scenario's own shard_index/shard_count")
+		}
+		cfg.ShardIndex = r.Shard.Index
+		cfg.ShardCount = r.Shard.Count
+	}
+	if r.Resume < 0 {
+		return cfg, fmt.Errorf("client: StreamRequest.Resume must not be negative, got %d", r.Resume)
+	}
+	if r.Resume > 0 || r.Ordered {
+		if cfg.Resume != nil {
+			return cfg, fmt.Errorf("client: StreamRequest.Resume/Ordered conflicts with the scenario's own resume field")
+		}
+		cfg.Resume = &actuary.StreamResume{NextIndex: r.Resume}
+	}
+	return cfg, nil
+}
+
+// StreamScenario streams a bare scenario through any Backend — the
+// pre-StreamRequest call shape, kept so existing callers migrate by
+// search-and-replace instead of redesign. Scenario-embedded shard and
+// resume fields are honored exactly as before.
+//
+// Deprecated: call b.Stream(ctx, StreamRequest{Scenario: cfg})
+// directly; put sharding, resumption and ordering in the
+// StreamRequest fields instead of the scenario document.
+func StreamScenario(ctx context.Context, b Backend, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return b.Stream(ctx, StreamRequest{Scenario: cfg})
 }
 
 // Client speaks the wire protocol to one actuaryd base URL.
@@ -157,12 +228,17 @@ func (c *Client) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuar
 	return results, nil
 }
 
-// Stream implements Backend over POST /v1/stream: the scenario is
-// shipped to the server, compiled there, and results arrive on the
-// returned channel as NDJSON lines complete. The caller must drain
-// the channel or cancel ctx; a transport failure mid-stream is
-// delivered as a final in-band Result with an ErrTransport error.
-func (c *Client) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+// Stream implements Backend over POST /v1/stream: the request folds
+// into the scenario's wire form, ships to the server, compiles there,
+// and results arrive on the returned channel as NDJSON lines
+// complete. The caller must drain the channel or cancel ctx; a
+// transport failure mid-stream is delivered as a final in-band Result
+// with an ErrTransport error.
+func (c *Client) Stream(ctx context.Context, sr StreamRequest) (<-chan actuary.Result, error) {
+	cfg, err := sr.config()
+	if err != nil {
+		return nil, err
+	}
 	// A scenario loaded from a v1 document carries Version 1 as a
 	// provenance marker, but its in-memory shape is the v2 schema —
 	// re-serializing it as "version": 1 would make the server reject
@@ -432,12 +508,16 @@ func (l local) Evaluate(ctx context.Context, reqs []actuary.Request) ([]actuary.
 }
 
 // Stream implements Backend: the scenario compiles locally and
-// streams through the session's worker pool. A scenario "resume"
-// field means the same thing it means on /v1/stream — index-ordered
-// delivery from the resume point, prefix regenerated but not
-// re-evaluated — so a consumer checkpointing a stream need not care
-// which backend serves it.
-func (l local) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+// streams through the session's worker pool. Resumption means the
+// same thing it means on /v1/stream — index-ordered delivery from the
+// resume point, prefix regenerated but not re-evaluated — so a
+// consumer checkpointing a stream need not care which backend serves
+// it.
+func (l local) Stream(ctx context.Context, sr StreamRequest) (<-chan actuary.Result, error) {
+	cfg, err := sr.config()
+	if err != nil {
+		return nil, err
+	}
 	next, ordered, err := cfg.ResumeIndex()
 	if err != nil {
 		return nil, err
@@ -446,11 +526,11 @@ func (l local) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan a
 	if err != nil {
 		return nil, err
 	}
-	var opts []actuary.StreamOption
+	spec := actuary.StreamSpec{Ordered: ordered}
 	if ordered {
-		opts = append(opts, actuary.StreamResumeAt(next), actuary.StreamOrdered())
+		spec.ResumeAt = next
 	}
-	return l.s.Stream(ctx, src, opts...)
+	return l.s.Stream(ctx, src, spec.Options()...)
 }
 
 // Probe implements Prober on the wrapped session: an in-process

@@ -120,11 +120,11 @@ func drainIDs(t *testing.T, ch <-chan actuary.Result) []string {
 func TestStreamRemoteMatchesLocal(t *testing.T) {
 	remote, local := newBackends(t)
 	cfg := testScenario()
-	remoteCh, err := remote.Stream(context.Background(), cfg)
+	remoteCh, err := remote.Stream(context.Background(), client.StreamRequest{Scenario: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	localCh, err := local.Stream(context.Background(), cfg)
+	localCh, err := local.Stream(context.Background(), client.StreamRequest{Scenario: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,11 +155,11 @@ func TestStreamAcceptsV1LoadedScenario(t *testing.T) {
 	if cfg.Version != 1 {
 		t.Fatalf("fixture did not load as v1 (version %d)", cfg.Version)
 	}
-	remoteCh, err := remote.Stream(context.Background(), cfg)
+	remoteCh, err := remote.Stream(context.Background(), client.StreamRequest{Scenario: cfg})
 	if err != nil {
 		t.Fatalf("remote backend rejected a v1-loaded scenario: %v", err)
 	}
-	localCh, err := local.Stream(context.Background(), cfg)
+	localCh, err := local.Stream(context.Background(), client.StreamRequest{Scenario: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestStreamAcceptsV1LoadedScenario(t *testing.T) {
 
 func TestStreamServerRejection(t *testing.T) {
 	remote, _ := newBackends(t)
-	_, err := remote.Stream(context.Background(), actuary.ScenarioConfig{Version: 2, Name: "empty"})
+	_, err := remote.Stream(context.Background(), client.StreamRequest{Scenario: actuary.ScenarioConfig{Version: 2, Name: "empty"}})
 	if err == nil {
 		t.Fatal("empty scenario should be rejected")
 	}
@@ -195,7 +195,7 @@ func TestStreamTransportFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := c.Stream(context.Background(), testScenario())
+	ch, err := c.Stream(context.Background(), client.StreamRequest{Scenario: testScenario()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestStreamCancelStopsDelivery(t *testing.T) {
 	cfg := testScenario()
 	cfg.Sweeps[0].AreaRange = &actuary.AreaRangeConfig{LoMM2: 100, HiMM2: 900, StepMM2: 1}
 	cfg.Sweeps[0].AreasMM2 = nil
-	ch, err := remote.Stream(ctx, cfg)
+	ch, err := remote.Stream(ctx, client.StreamRequest{Scenario: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestStreamResumeParity(t *testing.T) {
 	ordered := func(b client.Backend, next int) []actuary.Result {
 		t.Helper()
 		cfg.Resume = &actuary.StreamResume{NextIndex: next}
-		ch, err := b.Stream(context.Background(), cfg)
+		ch, err := b.Stream(context.Background(), client.StreamRequest{Scenario: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -307,7 +307,97 @@ func TestStreamResumeParity(t *testing.T) {
 	}
 	// Local rejects a negative resume index just like the server does.
 	cfg.Resume = &actuary.StreamResume{NextIndex: -3}
-	if _, err := local.Stream(context.Background(), cfg); err == nil {
+	if _, err := local.Stream(context.Background(), client.StreamRequest{Scenario: cfg}); err == nil {
 		t.Fatal("local backend accepted a negative resume index")
+	}
+}
+
+// TestStreamRequestFields exercises the request-level delivery fields
+// against both backend kinds: Shard stripes, Resume+Ordered skip and
+// order, and every two-level conflict is rejected up front.
+func TestStreamRequestFields(t *testing.T) {
+	remote, local := newBackends(t)
+	cfg := testScenario()
+	for name, b := range map[string]client.Backend{"remote": remote, "local": local} {
+		// Request-level resume behaves exactly like the scenario field.
+		ch, err := b.Stream(context.Background(), client.StreamRequest{Scenario: cfg, Resume: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var tail []actuary.Result
+		for r := range ch {
+			if r.Err != nil {
+				t.Fatalf("%s: result %q failed: %v", name, r.ID, r.Err)
+			}
+			tail = append(tail, r)
+		}
+		if len(tail) != 2 || tail[0].Index != 4 || tail[1].Index != 5 {
+			t.Fatalf("%s: Resume:4 yields %+v", name, tail)
+		}
+		// Request-level sharding stripes the same six results.
+		union := make(map[string]int)
+		for i := 0; i < 2; i++ {
+			ch, err := b.Stream(context.Background(),
+				client.StreamRequest{Scenario: cfg, Shard: client.ShardSpec{Index: i, Count: 2}})
+			if err != nil {
+				t.Fatalf("%s shard %d: %v", name, i, err)
+			}
+			for r := range ch {
+				if r.Err != nil {
+					t.Fatalf("%s shard %d: result %q failed: %v", name, i, r.ID, r.Err)
+				}
+				union[r.ID]++
+			}
+		}
+		if len(union) != 6 {
+			t.Fatalf("%s: shard union holds %d IDs, want 6", name, len(union))
+		}
+		for id, n := range union {
+			if n != 1 {
+				t.Fatalf("%s: %q owned by %d shards", name, id, n)
+			}
+		}
+	}
+	// Conflicts and invalid fields are rejected before any evaluation.
+	sharded := cfg
+	sharded.ShardIndex, sharded.ShardCount = 0, 2
+	resumed := cfg
+	resumed.Resume = &actuary.StreamResume{NextIndex: 1}
+	bad := map[string]client.StreamRequest{
+		"shard conflict":   {Scenario: sharded, Shard: client.ShardSpec{Index: 1, Count: 2}},
+		"resume conflict":  {Scenario: resumed, Resume: 2},
+		"ordered conflict": {Scenario: resumed, Ordered: true},
+		"negative resume":  {Scenario: cfg, Resume: -1},
+	}
+	for name, req := range bad {
+		if _, err := local.Stream(context.Background(), req); err == nil {
+			t.Errorf("local accepted %s", name)
+		}
+		if _, err := remote.Stream(context.Background(), req); err == nil {
+			t.Errorf("remote accepted %s", name)
+		}
+	}
+}
+
+// TestStreamScenarioWrapper keeps the deprecated call shape working:
+// StreamScenario(ctx, b, cfg) is Stream with a bare StreamRequest,
+// scenario-embedded fields honored as before.
+func TestStreamScenarioWrapper(t *testing.T) {
+	_, local := newBackends(t)
+	cfg := testScenario()
+	cfg.Resume = &actuary.StreamResume{NextIndex: 4}
+	ch, err := client.StreamScenario(context.Background(), local, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []actuary.Result
+	for r := range ch {
+		if r.Err != nil {
+			t.Fatalf("result %q failed: %v", r.ID, r.Err)
+		}
+		out = append(out, r)
+	}
+	if len(out) != 2 || out[0].Index != 4 {
+		t.Fatalf("wrapper stream yields %+v", out)
 	}
 }

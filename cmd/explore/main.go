@@ -61,9 +61,27 @@
 // sweeps checkpoint the walk cursor every -checkpoint-every grid
 // candidates; distributed sweeps (-backends) checkpoint per drained
 // shard and re-dispatch only the missing shards on resume.
+//
+// Stream mode prints every result of the grid as NDJSON on stdout —
+// the same wire form /v1/stream serves — instead of aggregating:
+//
+//	explore -mode stream -questions optimal-chiplet-count \
+//	        -nodes 5nm,7nm -schemes MCM,2.5D -area-range 200:800:100
+//	explore -mode stream -fleet http://host1:8833,http://host2:8833 \
+//	        -checkpoint stream.ckpt ...
+//
+// -questions picks the per-point scenario questions to stream.
+// Without backends the stream is evaluated in-process. With -backends
+// or -fleet the scenario is striped across the listed backends and
+// the per-shard streams are merged back in order, byte-identical to
+// the single-backend stream; -fleet adds health probing, stealing and
+// speculation, and with -checkpoint the merged stream is durable — a
+// killed run resumes at the exact result the saved cursor names,
+// re-evaluating nothing that was already delivered.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -101,7 +119,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
-	mode := fs.String("mode", "", "payback, optimal-k, turning, sensitivity or sweep")
+	mode := fs.String("mode", "", "payback, optimal-k, turning, sensitivity, sweep, search or stream")
 	node := fs.String("node", "5nm", "process node")
 	area := fs.Float64("area", 800, "total module area in mm²")
 	chiplets := fs.Int("chiplets", 2, "partition count for payback/turning/sensitivity")
@@ -114,6 +132,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	areaRange := fs.String("area-range", "", "sweep: module-area axis lo:hi:step in mm² (default: -area only)")
 	countRange := fs.String("count-range", "", "sweep: partition-count axis lo:hi (default: 1:-maxk)")
 	topN := fs.Int("top", 5, "sweep: how many cheapest points to print")
+	questions := fs.String("questions", "", "stream: comma-separated scenario questions to stream (default optimal-chiplet-count)")
 	backends := fs.String("backends", "", "sweep: comma-separated evaluation backends (actuaryd URLs, or \"local\" for in-process); empty evaluates in-process")
 	fleetList := fs.String("fleet", "", "sweep: like -backends but on the health-aware fleet scheduler (probing, work stealing, speculation, mid-run joins)")
 	fleetProbeEvery := fs.Duration("fleet-probe-every", 500*time.Millisecond, "sweep: fleet health-probe interval")
@@ -159,7 +178,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}()
 	}
-	if *mode == "sweep" || *mode == "search" {
+	if *mode == "sweep" || *mode == "search" || *mode == "stream" {
 		// -checkpoint-every tunes a checkpointed run; without
 		// -checkpoint it would silently configure durability that does
 		// not exist — the same class of mistake the non-sweep flag
@@ -170,13 +189,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		f := sweepFlags{
 			node: *node, nodes: *nodes, scheme: *schemeName, schemes: *schemes,
 			area: *area, areaRange: *areaRange, maxK: *maxK, countRange: *countRange,
-			quantity: *quantity, d2d: *d2dFrac, top: *topN,
+			quantity: *quantity, d2d: *d2dFrac, top: *topN, questions: *questions,
 			backends: *backends, shards: *shards,
 			fleet: *fleetList, fleetProbeEvery: *fleetProbeEvery,
 			fleetProbeTimeout: *fleetProbeTimeout,
 			checkpoint:        *checkpoint, checkpointEvery: *checkpointEvery,
 			budget: *budget, refine: *refine, halving: *halving,
 			bound: *bound, tolerance: *tolerance,
+		}
+		if *mode != "stream" && set["questions"] {
+			return fmt.Errorf("-questions requires -mode stream")
 		}
 		if *mode == "search" {
 			// The adaptive walk is stateful (its bound tightens as it
@@ -202,14 +224,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if set["fleet-probe-timeout"] && *fleetList == "" {
 			return fmt.Errorf("-fleet-probe-timeout requires -fleet")
 		}
+		if *mode == "stream" {
+			// A checkpointed stream resumes through the fleet
+			// coordinator's cursor machinery; the other paths have no
+			// per-result durability to offer.
+			if *checkpoint != "" && *fleetList == "" {
+				return fmt.Errorf("-checkpoint in stream mode requires -fleet")
+			}
+			return runStream(ctx, out, f)
+		}
 		return runSweep(ctx, out, f)
 	}
 	// The grid flags mean nothing outside sweep/search mode; reject
 	// them (including an explicitly set -top, whose default would
 	// otherwise hide the mistake) instead of silently ignoring them.
-	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "backends", "fleet", "fleet-probe-every", "fleet-probe-timeout", "shards", "checkpoint", "checkpoint-every", "budget", "refine", "halving", "bound", "tolerance"} {
+	for _, name := range []string{"nodes", "schemes", "area-range", "count-range", "top", "questions", "backends", "fleet", "fleet-probe-every", "fleet-probe-timeout", "shards", "checkpoint", "checkpoint-every", "budget", "refine", "halving", "bound", "tolerance"} {
 		if set[name] {
-			return fmt.Errorf("-%s requires -mode sweep or -mode search", name)
+			return fmt.Errorf("-%s requires -mode sweep, search or stream", name)
 		}
 	}
 	scheme, err := actuary.ParseScheme(*schemeName)
@@ -311,6 +342,7 @@ type sweepFlags struct {
 	quantity          float64
 	d2d               float64
 	top               int
+	questions         string
 	backends          string
 	shards            int
 	fleet             string
@@ -686,13 +718,10 @@ func runDistributed(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfi
 		})
 }
 
-// runFleet fans the compiled sweep-best scenario across the -fleet
-// list on the health-aware scheduler: every backend is probed on a
-// cadence, mark-down/mark-up and scheduling events stream to stderr,
-// and the run ends with a per-backend scheduling report. The merged
-// answer is identical to the single-process one whatever died, hung
-// or joined along the way.
-func runFleet(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+// fleetSetup dials the -fleet list into a registry, wires the event
+// printer, and starts the health-probe loop. The returned stop
+// function ends probing.
+func fleetSetup(ctx context.Context, f sweepFlags) (*fleet.Registry, *fleet.Monitor, func(fleet.Event), func(), error) {
 	reg := fleet.NewRegistry()
 	used := make(map[string]int)
 	for _, name := range splitList(f.fleet) {
@@ -705,18 +734,18 @@ func runFleet(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*a
 		if name == "local" {
 			s, err := actuary.NewSession()
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, nil, err
 			}
 			backend = client.Local(s)
 		} else {
 			c, err := client.Dial(name)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, nil, err
 			}
 			backend = c
 		}
 		if err := reg.Add(label, backend); err != nil {
-			return nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
 
@@ -736,11 +765,25 @@ func runFleet(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*a
 		fleet.ProbeEvery(f.fleetProbeEvery), fleet.ProbeTimeout(f.fleetProbeTimeout),
 		fleet.MonitorEvents(logEvent))
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
 	probeCtx, stopProbes := context.WithCancel(ctx)
-	defer stopProbes()
 	go mon.Run(probeCtx)
+	return reg, mon, logEvent, stopProbes, nil
+}
+
+// runFleet fans the compiled sweep-best scenario across the -fleet
+// list on the health-aware scheduler: every backend is probed on a
+// cadence, mark-down/mark-up and scheduling events stream to stderr,
+// and the run ends with a per-backend scheduling report. The merged
+// answer is identical to the single-process one whatever died, hung
+// or joined along the way.
+func runFleet(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig) (*actuary.SweepBest, error) {
+	reg, mon, logEvent, stopProbes, err := fleetSetup(ctx, f)
+	if err != nil {
+		return nil, err
+	}
+	defer stopProbes()
 
 	opts := []fleet.Option{fleet.WithMonitor(mon), fleet.WithEvents(logEvent)}
 	if f.shards > 0 {
@@ -789,6 +832,164 @@ func printFleetStats(st fleet.Stats) {
 		fmt.Fprintf(os.Stderr, "explore: fleet:   %-24s %-8s shards=%d stolen=%d speculated=%d duplicates=%d transport-failures=%d\n",
 			bs.Name, state, bs.Shards, bs.Stolen, bs.Speculated, bs.Duplicates, bs.TransportFailures)
 	}
+}
+
+// runStream answers the grid flags as an NDJSON result stream on
+// stdout — the same wire form /v1/stream serves, one canonical JSON
+// line per result in request order — instead of aggregating. Without
+// backends the stream is evaluated in-process; with -backends it is
+// striped across the distribute coordinator; with -fleet it runs on
+// the health-aware striped-stream coordinator, optionally durable via
+// -checkpoint. Every path emits byte-identical output.
+func runStream(ctx context.Context, out io.Writer, f sweepFlags) error {
+	sc, err := buildSweepConfig(f, "stream")
+	if err != nil {
+		return err
+	}
+	qs := splitList(f.questions)
+	if len(qs) == 0 {
+		qs = []string{"optimal-chiplet-count"}
+	}
+	cfg := actuary.ScenarioConfig{Name: "explore", Questions: qs,
+		Sweeps: []actuary.SweepConfig{sc}}
+
+	w := bufio.NewWriter(out)
+	var line []byte
+	emit := func(r actuary.Result) error {
+		var err error
+		if line, err = actuary.AppendResultLine(line[:0], r); err != nil {
+			return err
+		}
+		_, err = w.Write(line)
+		return err
+	}
+	// Drain a merged stream to stdout; a final negative-index result is
+	// the run-level failure, delivered in-band.
+	drain := func(ch <-chan actuary.Result) error {
+		for r := range ch {
+			if r.Index < 0 {
+				w.Flush()
+				return r.Err
+			}
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}
+
+	switch {
+	case f.fleet != "":
+		return runFleetStream(ctx, f, cfg, w, emit, drain)
+	case f.backends != "":
+		var backends []client.Backend
+		for _, name := range splitList(f.backends) {
+			if name == "local" {
+				s, err := actuary.NewSession()
+				if err != nil {
+					return err
+				}
+				backends = append(backends, client.Local(s))
+				continue
+			}
+			c, err := client.Dial(name)
+			if err != nil {
+				return err
+			}
+			backends = append(backends, c)
+		}
+		var opts []distribute.Option
+		if f.shards > 0 {
+			opts = append(opts, distribute.WithShards(f.shards))
+		}
+		coord, err := distribute.New(backends, opts...)
+		if err != nil {
+			return err
+		}
+		ch, err := coord.Stream(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		return drain(ch)
+	default:
+		s, err := actuary.NewSession()
+		if err != nil {
+			return err
+		}
+		ch, err := client.Local(s).Stream(ctx, client.StreamRequest{Scenario: cfg, Ordered: true})
+		if err != nil {
+			return err
+		}
+		return drain(ch)
+	}
+}
+
+// runFleetStream stripes the stream scenario across the -fleet list
+// on the health-aware scheduler and merges the shard streams back
+// into single-backend order. With -checkpoint the merged cursor is
+// saved every -checkpoint-every results — stdout is flushed before
+// each save, so the cursor never claims a result that is not durably
+// written — and an existing checkpoint resumes the stream at the
+// exact next result, re-evaluating none of the delivered prefix.
+func runFleetStream(ctx context.Context, f sweepFlags, cfg actuary.ScenarioConfig, w *bufio.Writer, emit func(actuary.Result) error, drain func(<-chan actuary.Result) error) error {
+	reg, mon, logEvent, stopProbes, err := fleetSetup(ctx, f)
+	if err != nil {
+		return err
+	}
+	defer stopProbes()
+
+	opts := []fleet.Option{fleet.WithMonitor(mon), fleet.WithEvents(logEvent),
+		fleet.WithStreamTopK(f.top)}
+	if f.shards > 0 {
+		opts = append(opts, fleet.WithShards(f.shards))
+	}
+	coord, err := fleet.NewStream(reg, opts...)
+	if err != nil {
+		return err
+	}
+
+	if f.checkpoint == "" {
+		ch, err := coord.Stream(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		err = drain(ch)
+		printFleetStats(coord.Stats())
+		return err
+	}
+
+	var resume *actuary.FleetStreamCheckpoint
+	switch cp, loadErr := actuary.LoadFleetStreamCheckpointFile(f.checkpoint); {
+	case loadErr == nil:
+		resume = cp
+		fmt.Fprintf(os.Stderr, "explore: resuming from checkpoint %s (%d results delivered across %d shards)\n",
+			f.checkpoint, cp.Merged.Next, cp.Shards)
+	case !errors.Is(loadErr, os.ErrNotExist):
+		return loadErr
+	}
+	save := func(cp *actuary.FleetStreamCheckpoint) error {
+		// Flush before persisting the cursor: everything the
+		// checkpoint claims as delivered must already be on stdout, or
+		// a kill between save and flush would lose delivered results
+		// the resume will never re-send.
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return actuary.SaveCheckpointFile(f.checkpoint, cp)
+	}
+	_, err = coord.StreamCheckpointed(ctx, cfg, resume, f.checkpointEvery, save, emit)
+	printFleetStats(coord.Stats())
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	// Remove only after the stream is safely out (see runSweep).
+	if err := os.Remove(f.checkpoint); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("removing completed checkpoint: %w", err)
+	}
+	return nil
 }
 
 // printSweepBest renders a sweep-best answer — local or merged from

@@ -477,6 +477,211 @@ func perSystemQuestion(q Question) bool {
 	return q == QuestionTotalCost || q == QuestionRE || q == QuestionWafers
 }
 
+// StreamShardPlan is the compiled striping plan of a scenario's
+// ordered request stream across count shards: which shard owns each
+// stream index, and exactly how many requests each shard serves
+// (pruning included — the plan drains the scenario's generation layer
+// once, which costs nanoseconds per point and no evaluation).
+//
+// The plan is what lets a coordinator interleave per-shard streams
+// back into the unsharded order: request g of the unsharded stream is
+// request k of shard Owners()[g], where k counts the earlier indexes
+// owned by the same shard. The owner sequence is a pure function of
+// the scenario (the same dealing Source applies under a shard spec),
+// so the ShardCount per-shard streams concatenate-by-owner into
+// exactly the single-backend stream.
+type StreamShardPlan struct {
+	count    int
+	total    int
+	perShard []int
+	stages   []ownerStageSpec
+}
+
+// ownerStageSpec describes one Source stage for the owner walk:
+// either a fixed number of dealer-striped emissions (explicit systems
+// and the odometer questions) or a generator walk whose emissions are
+// owned by candidate number (the grid-partitioned questions).
+type ownerStageSpec struct {
+	deals  int
+	points func() *SweepGenerator
+	skipK1 bool
+}
+
+// PlanStreamShards validates that the scenario's stream can be striped
+// across count shards and compiles the striping plan. Scenarios asking
+// sweep-best or search-best are rejected: every shard answers those
+// once (the partial answers merge through SweepBestMerger instead), so
+// a striped stream could not reproduce the single-backend stream —
+// fan them out with the fleet sweep coordinator. A scenario already
+// carrying its own shard spec is rejected too: striping composes the
+// shard specs itself.
+func (c ScenarioConfig) PlanStreamShards(count int) (*StreamShardPlan, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("actuary: scenario %q cannot stripe across %d shards", c.Name, count)
+	}
+	if c.ShardIndex != 0 || c.ShardCount != 0 {
+		return nil, fmt.Errorf("actuary: scenario %q already carries shard spec %d/%d; striping derives shard specs itself",
+			c.Name, c.ShardIndex, c.ShardCount)
+	}
+	if len(c.Systems) == 0 && len(c.Sweeps) == 0 {
+		return nil, fmt.Errorf("actuary: scenario %q has no systems and no sweeps", c.Name)
+	}
+	if _, err := ParsePolicy(c.Policy); err != nil {
+		return nil, err
+	}
+	names := c.Questions
+	if len(names) == 0 {
+		names = []string{"total-cost"}
+	}
+	questions := make([]Question, len(names))
+	for i, n := range names {
+		var err error
+		if questions[i], err = ParseQuestion(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range questions {
+		if q == QuestionSweepBest || q == QuestionSearchBest {
+			return nil, fmt.Errorf("actuary: scenario %q asks %v, which every shard answers once — a striped stream cannot reproduce the single-backend stream; use the fleet sweep coordinator for it",
+				c.Name, q)
+		}
+	}
+	for _, sc := range c.Systems {
+		if _, err := sc.Build(); err != nil {
+			return nil, err
+		}
+	}
+	sweeps := make([]compiledSweep, 0, len(c.Sweeps))
+	for _, sw := range c.Sweeps {
+		cs, err := sw.compile(c.Name, questions)
+		if err != nil {
+			return nil, err
+		}
+		sweeps = append(sweeps, cs)
+	}
+
+	// Mirror Source stage by stage: explicit systems first (dealt),
+	// then per sweep, per question. The dealer position is global
+	// across dealt stages, exactly as Source's one shared stripe is.
+	systemDeals := 0
+	for range c.Systems {
+		for _, q := range questions {
+			if perSystemQuestion(q) {
+				systemDeals++
+			}
+		}
+	}
+	stages := []ownerStageSpec{{deals: systemDeals}}
+	for _, cs := range sweeps {
+		for _, q := range questions {
+			switch {
+			case perSystemQuestion(q), q == QuestionCrossoverQuantity:
+				// Grid-partitioned stages: ownership is candidate
+				// number mod count, the same dealing Generator.Shard
+				// applies. The walk is lean — emission is decided by
+				// the scalar axes (ReticleFit reads scalars; the
+				// K == 1 skip of crossover-quantity reads the count
+				// axis), so no System is ever materialized.
+				cs := cs
+				stages = append(stages, ownerStageSpec{
+					points: func() *SweepGenerator { g := cs.points(); g.Lean(); return g },
+					skipK1: q == QuestionCrossoverQuantity,
+				})
+			case q == QuestionOptimalChipletCount, q == QuestionAreaCrossover:
+				// Odometer stages deal every emission round-robin; the
+				// emission count is static (area-crossover skips k < 2
+				// before dealing, which countsAbove already excludes).
+				stages = append(stages, ownerStageSpec{deals: cs.size(q)})
+			}
+		}
+	}
+	p := &StreamShardPlan{count: count, perShard: make([]int, count), stages: stages}
+	owners := p.Owners()
+	for {
+		o, ok := owners.Next()
+		if !ok {
+			break
+		}
+		p.perShard[o]++
+		p.total++
+	}
+	if p.total == 0 {
+		return nil, fmt.Errorf("actuary: scenario %q compiles to no requests (every sweep point pruned)", c.Name)
+	}
+	return p, nil
+}
+
+// Count returns how many shards the plan stripes across.
+func (p *StreamShardPlan) Count() int { return p.count }
+
+// Total returns the exact request count of the unsharded stream.
+func (p *StreamShardPlan) Total() int { return p.total }
+
+// ShardTotal returns the exact request count shard i serves — the
+// stream length a coordinator must receive from shard i before the
+// shard counts as drained. A stripe may legitimately own zero
+// requests.
+func (p *StreamShardPlan) ShardTotal(i int) int { return p.perShard[i] }
+
+// Owners returns a fresh lazy iterator over the owning shard of every
+// request of the unsharded ordered stream, in stream order.
+func (p *StreamShardPlan) Owners() *StreamShardOwners {
+	return &StreamShardOwners{plan: p}
+}
+
+// StreamShardOwners lazily walks the owner sequence of a
+// StreamShardPlan; see Owners.
+type StreamShardOwners struct {
+	plan    *StreamShardPlan
+	stage   int
+	started bool
+	// dealt is the global dealer position, shared across every dealt
+	// stage (one stripe per Source).
+	dealt     int
+	remaining int
+	gen       *SweepGenerator
+	skipK1    bool
+}
+
+// Next returns the shard owning the next stream index; false means
+// the stream is exhausted.
+func (o *StreamShardOwners) Next() (int, bool) {
+	for {
+		if !o.started {
+			if o.stage >= len(o.plan.stages) {
+				return 0, false
+			}
+			sp := o.plan.stages[o.stage]
+			o.stage++
+			o.remaining = sp.deals
+			o.skipK1 = sp.skipK1
+			o.gen = nil
+			if sp.points != nil {
+				o.gen = sp.points()
+			}
+			o.started = true
+		}
+		if o.gen != nil {
+			p, ok := o.gen.Next()
+			if !ok {
+				o.started = false
+				continue
+			}
+			if o.skipK1 && p.K == 1 {
+				continue
+			}
+			return o.gen.LastCandidate() % o.plan.count, true
+		}
+		if o.remaining > 0 {
+			o.remaining--
+			owner := o.dealt % o.plan.count
+			o.dealt++
+			return owner, true
+		}
+		o.started = false
+	}
+}
+
 // shardSpec is a validated scenario shard selection; count 0 means
 // unsharded.
 type shardSpec struct{ index, count int }

@@ -1,6 +1,7 @@
 package actuary
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -534,5 +535,129 @@ func TestScenarioShardingRejectsBadSpec(t *testing.T) {
 	}
 	if len(reqs) != 0 {
 		t.Fatalf("shard 3/4 of a 4-point sweep owns %d requests", len(reqs))
+	}
+}
+
+// planStreamTestScenario is a mixed scenario — explicit systems plus a
+// multi-axis sweep, two streamable questions — used by the stream-shard
+// plan tests.
+func planStreamTestScenario() ScenarioConfig {
+	return ScenarioConfig{
+		Version:   2,
+		Name:      "plan",
+		Questions: []string{"total-cost", "optimal-chiplet-count"},
+		Systems: []SystemConfig{{
+			Name: "epyc-ish", Scheme: "MCM", Quantity: 1e6,
+			Chiplets: []ChipletConfig{{Name: "d", Node: "7nm", ModuleAreaMM2: 80, Count: 4}},
+		}},
+		Sweeps: []SweepConfig{{
+			Name: "ms", Nodes: []string{"5nm", "7nm"}, Schemes: []string{"MCM", "2.5D"},
+			Quantity: 1000, AreasMM2: []float64{300, 400}, Counts: []int{1, 2, 3},
+		}},
+	}
+}
+
+func TestPlanStreamShardsMatchesSource(t *testing.T) {
+	cfg := planStreamTestScenario()
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := func(c ScenarioConfig) []Result {
+		t.Helper()
+		src, err := c.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := s.Stream(context.Background(), src, StreamOrdered())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Result
+		for r := range ch {
+			out = append(out, r)
+		}
+		return out
+	}
+	full := drain(cfg)
+	if len(full) == 0 {
+		t.Fatal("empty reference stream")
+	}
+	for n := 1; n <= 4; n++ {
+		plan, err := cfg.PlanStreamShards(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if plan.Count() != n {
+			t.Fatalf("n=%d: plan counts %d shards", n, plan.Count())
+		}
+		if plan.Total() != len(full) {
+			t.Fatalf("n=%d: plan total %d, stream has %d results", n, plan.Total(), len(full))
+		}
+		// Replay the owner walk and collect each shard's global indexes.
+		owners := plan.Owners()
+		assigned := make([][]int, n)
+		for g := 0; g < len(full); g++ {
+			o, ok := owners.Next()
+			if !ok {
+				t.Fatalf("n=%d: owner walk ended at %d of %d", n, g, len(full))
+			}
+			if o < 0 || o >= n {
+				t.Fatalf("n=%d: request %d owned by shard %d", n, g, o)
+			}
+			assigned[o] = append(assigned[o], g)
+		}
+		if _, ok := owners.Next(); ok {
+			t.Fatalf("n=%d: owner walk overruns the plan total", n)
+		}
+		sum := 0
+		for i := 0; i < n; i++ {
+			if plan.ShardTotal(i) != len(assigned[i]) {
+				t.Fatalf("n=%d: shard %d totals %d, owner walk assigns %d",
+					n, i, plan.ShardTotal(i), len(assigned[i]))
+			}
+			sum += plan.ShardTotal(i)
+			// The shard's own stream must be exactly the assigned
+			// subsequence of the full stream, re-indexed shard-locally.
+			sc := cfg
+			sc.ShardIndex, sc.ShardCount = i, n
+			shard := drain(sc)
+			if len(shard) != len(assigned[i]) {
+				t.Fatalf("n=%d: shard %d streams %d results, plan says %d",
+					n, i, len(shard), len(assigned[i]))
+			}
+			for j, g := range assigned[i] {
+				if shard[j].Index != j {
+					t.Errorf("n=%d shard %d: result %d carries index %d", n, i, j, shard[j].Index)
+				}
+				if shard[j].ID != full[g].ID {
+					t.Errorf("n=%d shard %d: result %d is %q, owner walk maps it to %q",
+						n, i, j, shard[j].ID, full[g].ID)
+				}
+			}
+		}
+		if sum != plan.Total() {
+			t.Fatalf("n=%d: shard totals sum to %d, plan total %d", n, sum, plan.Total())
+		}
+	}
+}
+
+func TestPlanStreamShardsRejections(t *testing.T) {
+	cfg := planStreamTestScenario()
+	for _, bad := range []int{0, -1} {
+		if _, err := cfg.PlanStreamShards(bad); err == nil {
+			t.Errorf("count %d accepted", bad)
+		}
+	}
+	sharded := cfg
+	sharded.ShardIndex, sharded.ShardCount = 1, 2
+	if _, err := sharded.PlanStreamShards(2); err == nil {
+		t.Error("pre-sharded scenario accepted")
+	}
+	best := cfg
+	best.Questions = []string{"sweep-best"}
+	best.Systems = nil
+	if _, err := best.PlanStreamShards(2); err == nil {
+		t.Error("sweep-best scenario accepted")
 	}
 }

@@ -66,6 +66,7 @@ func WithShards(n int) Option {
 // backends. It is stateless between calls and safe for concurrent use.
 type Coordinator struct {
 	fleet  *fleet.Coordinator
+	stream *fleet.StreamCoordinator
 	shards int
 }
 
@@ -96,8 +97,26 @@ func New(backends []client.Backend, opts ...Option) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distribute: %w", err)
 	}
+	sc, err := fleet.NewStream(reg, fleet.WithShards(c.shards), fleet.WithSpeculation(false))
+	if err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
 	c.fleet = fc
+	c.stream = sc
 	return c, nil
+}
+
+// Stream stripes one streamed scenario across the coordinator's
+// backends and returns the merged, index-ordered result stream —
+// byte-identical to streaming the unsharded scenario from a single
+// backend. Distribute semantics apply: fixed membership, no
+// speculation, a shard moves only after a completed transport
+// failure (resuming from its stream watermark, so nothing is
+// re-evaluated). Callers who want health-aware striping, elastic
+// membership or checkpointed resumption should use
+// fleet.StreamCoordinator directly.
+func (c *Coordinator) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+	return c.stream.Stream(ctx, cfg)
 }
 
 // SweepBest answers one sweep-best request by fanning its grid across

@@ -142,8 +142,8 @@ func (f *flakyBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([]
 	return f.inner.Evaluate(ctx, reqs)
 }
 
-func (f *flakyBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return f.inner.Stream(ctx, cfg)
+func (f *flakyBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return f.inner.Stream(ctx, req)
 }
 
 func TestCoordinatorReassignsFailedShard(t *testing.T) {
@@ -215,8 +215,8 @@ func (c *countingBackend) Evaluate(ctx context.Context, reqs []actuary.Request) 
 	return c.inner.Evaluate(ctx, reqs)
 }
 
-func (c *countingBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return c.inner.Stream(ctx, cfg)
+func (c *countingBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return c.inner.Stream(ctx, req)
 }
 
 func TestCoordinatorInfeasibleGrid(t *testing.T) {
@@ -335,8 +335,8 @@ func (d *dyingBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([]
 	return d.inner.Evaluate(ctx, reqs)
 }
 
-func (d *dyingBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return d.inner.Stream(ctx, cfg)
+func (d *dyingBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return d.inner.Stream(ctx, req)
 }
 
 func TestSweepBestScenario(t *testing.T) {
@@ -522,8 +522,8 @@ func (b *shardCountingBackend) Evaluate(ctx context.Context, reqs []actuary.Requ
 	return b.inner.Evaluate(ctx, reqs)
 }
 
-func (b *shardCountingBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return b.inner.Stream(ctx, cfg)
+func (b *shardCountingBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return b.inner.Stream(ctx, req)
 }
 
 func (b *shardCountingBackend) shardCalls() map[int]int {

@@ -86,7 +86,7 @@ func main() {
 			CountRange: &actuary.CountRangeConfig{Lo: 1, Hi: 6},
 		}},
 	}
-	ch, err := backend.Stream(ctx, scenario)
+	ch, err := backend.Stream(ctx, client.StreamRequest{Scenario: scenario})
 	if err != nil {
 		log.Fatal(err)
 	}

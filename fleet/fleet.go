@@ -24,7 +24,7 @@ const DefaultOverPartition = 4
 // pool resized. Backend is the member name ("" for run-level events).
 type Event struct {
 	Backend string
-	Kind    string // "mark-down", "mark-up", "join", "steal", "speculate", "duplicate", "resize"
+	Kind    string // "mark-down", "mark-up", "join", "steal", "speculate", "duplicate", "resize", "yield"
 	Detail  string
 }
 
@@ -104,18 +104,47 @@ func WithEvents(f func(Event)) Option {
 	}
 }
 
+// WithStreamWindow sets the per-shard result buffer of striped
+// streams (see StreamCoordinator): how far a shard's stream may run
+// ahead of the merge point before its execution blocks. Default
+// DefaultStreamWindow.
+func WithStreamWindow(n int) Option {
+	return func(c *Coordinator) error {
+		if n < 1 {
+			return fmt.Errorf("fleet: stream window %d below 1", n)
+		}
+		c.window = n
+		return nil
+	}
+}
+
+// WithStreamTopK sets the top-K bound of the merged aggregators a
+// striped stream carries in its FleetStreamCheckpoint. Default
+// DefaultStreamTopK.
+func WithStreamTopK(k int) Option {
+	return func(c *Coordinator) error {
+		if k < 1 {
+			return fmt.Errorf("fleet: stream top-K bound %d below 1", k)
+		}
+		c.streamTopK = k
+		return nil
+	}
+}
+
 // Coordinator fans sweep-best questions across a registry of
 // backends with health-aware, work-stealing scheduling. Membership is
 // read live from the registry: backends added mid-run join the run,
 // removed backends stop receiving work. Safe for concurrent use;
 // Stats reports on the most recently finished run.
 type Coordinator struct {
-	reg       *Registry
-	monitor   *Monitor
-	shards    int
-	factor    int
-	speculate bool
-	onEvent   func(Event)
+	reg        *Registry
+	monitor    *Monitor
+	shards     int
+	factor     int
+	speculate  bool
+	onEvent    func(Event)
+	window     int // per-shard stream buffer (striped streams only)
+	streamTopK int // merged aggregator bound (striped streams only)
 
 	mu   sync.Mutex
 	last Stats
@@ -127,7 +156,13 @@ func New(reg *Registry, opts ...Option) (*Coordinator, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("fleet: coordinator needs a registry")
 	}
-	c := &Coordinator{reg: reg, factor: DefaultOverPartition, speculate: true}
+	c := &Coordinator{
+		reg:        reg,
+		factor:     DefaultOverPartition,
+		speculate:  true,
+		window:     DefaultStreamWindow,
+		streamTopK: DefaultStreamTopK,
+	}
 	for _, opt := range opts {
 		if err := opt(c); err != nil {
 			return nil, err

@@ -86,8 +86,8 @@ func (c *countingBackend) Evaluate(ctx context.Context, reqs []actuary.Request) 
 	return c.inner.Evaluate(ctx, reqs)
 }
 
-func (c *countingBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return c.inner.Stream(ctx, cfg)
+func (c *countingBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return c.inner.Stream(ctx, req)
 }
 
 // blockedBackend hangs every Evaluate until its context is canceled —
@@ -102,7 +102,7 @@ func (b *blockedBackend) Evaluate(ctx context.Context, reqs []actuary.Request) (
 	return nil, ctx.Err()
 }
 
-func (b *blockedBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+func (b *blockedBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
 	return nil, errors.New("blocked backend cannot stream")
 }
 
@@ -306,8 +306,8 @@ func (p *probedBackend) Evaluate(ctx context.Context, reqs []actuary.Request) ([
 	return p.inner.Evaluate(ctx, reqs)
 }
 
-func (p *probedBackend) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return p.inner.Stream(ctx, cfg)
+func (p *probedBackend) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return p.inner.Stream(ctx, req)
 }
 
 // TestFleetAllBackendsDown: every backend marked down leaves the run
@@ -418,8 +418,8 @@ func (b *shardCounter) Evaluate(ctx context.Context, reqs []actuary.Request) ([]
 	return b.inner.Evaluate(ctx, reqs)
 }
 
-func (b *shardCounter) Stream(ctx context.Context, cfg actuary.ScenarioConfig) (<-chan actuary.Result, error) {
-	return b.inner.Stream(ctx, cfg)
+func (b *shardCounter) Stream(ctx context.Context, req client.StreamRequest) (<-chan actuary.Result, error) {
+	return b.inner.Stream(ctx, req)
 }
 
 func TestFleetRejectsBadInputs(t *testing.T) {

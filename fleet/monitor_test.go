@@ -44,7 +44,7 @@ func (f *fakeProber) Evaluate(context.Context, []actuary.Request) ([]actuary.Res
 	return nil, errors.New("fake prober cannot evaluate")
 }
 
-func (f *fakeProber) Stream(context.Context, actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+func (f *fakeProber) Stream(context.Context, client.StreamRequest) (<-chan actuary.Result, error) {
 	return nil, errors.New("fake prober cannot stream")
 }
 

@@ -17,7 +17,7 @@ func (stubBackend) Evaluate(context.Context, []actuary.Request) ([]actuary.Resul
 	return nil, errors.New("stub backend cannot evaluate")
 }
 
-func (stubBackend) Stream(context.Context, actuary.ScenarioConfig) (<-chan actuary.Result, error) {
+func (stubBackend) Stream(context.Context, client.StreamRequest) (<-chan actuary.Result, error) {
 	return nil, errors.New("stub backend cannot stream")
 }
 

@@ -22,6 +22,11 @@ type task struct {
 	owner   int // first backend to start it; -1 until started
 	tried   map[int]bool
 	running map[int]context.CancelFunc
+	// yielded marks executions the stream rescue loop canceled to free
+	// a worker for the urgent shard (see yieldOne): the cancellation is
+	// scheduling, not failure, and the worker consumes the mark instead
+	// of requeueing.
+	yielded map[int]bool
 	done    bool
 	lastErr error // most recent transport failure, for exhaustion reports
 }
@@ -62,6 +67,11 @@ type scheduler struct {
 	weight    func(id int) float64 // nil: uniform weights
 	liveIDs   func() []int         // current registry membership
 	onEvent   func(Event)          // may be nil
+	// urgent is the shard the stream interleaver is blocked on (-1
+	// when none): pick serves it before anything else, so the head of
+	// the merged stream is never starved by shards that are merely
+	// ahead. Sweep runs never set it.
+	urgent int
 
 	requeues     int
 	speculations int
@@ -78,6 +88,7 @@ func newScheduler(runCtx context.Context, total int, drained func(int) bool, liv
 		total:      total,
 		liveIDs:    liveIDs,
 		perBackend: make(map[int]*backendTally),
+		urgent:     -1,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < total; i++ {
@@ -158,6 +169,17 @@ func (s *scheduler) next(b int, name string, removed func() bool) (*task, contex
 // whose executions all failed — stealing it), else, when speculation
 // is on, the most deserving in-flight shard to re-execute.
 func (s *scheduler) pick(b int) (*task, bool) {
+	if s.urgent >= 0 {
+		for _, t := range s.tasks {
+			if t.index != s.urgent {
+				continue
+			}
+			if !t.done && len(t.running) == 0 && !t.tried[b] {
+				return t, false
+			}
+			break
+		}
+	}
 	for _, t := range s.tasks {
 		if t.done || len(t.running) > 0 || t.tried[b] {
 			continue
@@ -168,6 +190,101 @@ func (s *scheduler) pick(b int) (*task, bool) {
 		return nil, false
 	}
 	return s.speculationVictim(b), true
+}
+
+// setUrgent marks the shard the stream interleaver is blocked on (-1
+// clears it) and wakes parked workers so an eligible one can take it.
+func (s *scheduler) setUrgent(index int) {
+	s.mu.Lock()
+	s.urgent = index
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// hasRunner reports whether shard index has a live execution or is
+// already done (shards drained before the run started count as done).
+func (s *scheduler) hasRunner(index int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tasks {
+		if t.index == index {
+			return t.done || len(t.running) > 0
+		}
+	}
+	return true
+}
+
+// yieldOne frees a worker for the urgent shard by canceling one
+// running execution of another shard: the victim is the execution
+// with the largest buffered lead (per the lead callback) among
+// backends that are eligible to run the urgent shard — healthy and
+// not yet failed on it — so the freed worker can actually take it. A
+// yield is scheduling, not failure: the backend's tried mark on the
+// victim shard is cleared, and the shard resumes later from its
+// stream watermark, re-evaluating nothing. Returns false when no
+// eligible execution exists.
+func (s *scheduler) yieldOne(urgent int, lead func(index int) int) bool {
+	s.mu.Lock()
+	var ut *task
+	for _, t := range s.tasks {
+		if t.index == urgent {
+			ut = t
+			break
+		}
+	}
+	if ut == nil || ut.done {
+		s.mu.Unlock()
+		return false
+	}
+	var victim *task
+	victimB := -1
+	bestLead := -1
+	for _, t := range s.tasks {
+		if t.done || t.index == urgent || len(t.running) == 0 {
+			continue
+		}
+		l := lead(t.index)
+		if l <= bestLead {
+			continue
+		}
+		for b := range t.running {
+			if ut.tried[b] {
+				continue
+			}
+			if s.healthy != nil && !s.healthy(b) {
+				continue
+			}
+			victim, victimB, bestLead = t, b, l
+			break
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return false
+	}
+	cancel := victim.running[victimB]
+	delete(victim.running, victimB)
+	delete(victim.tried, victimB)
+	if victim.yielded == nil {
+		victim.yielded = make(map[int]bool)
+	}
+	victim.yielded[victimB] = true
+	s.mu.Unlock()
+	cancel()
+	s.cond.Broadcast()
+	return true
+}
+
+// consumeYield reports whether backend b's just-ended execution of t
+// was a yield, consuming the mark.
+func (s *scheduler) consumeYield(t *task, b int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !t.yielded[b] {
+		return false
+	}
+	delete(t.yielded, b)
+	return true
 }
 
 // speculationVictim chooses the in-flight shard backend b should race:

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# stream-smoke.sh — prove the fleet-striped scenario stream over real
+# HTTP: merged NDJSON byte-identical to a single-backend run, through
+# a daemon dying mid-stream and through the coordinator itself being
+# SIGKILLed and resumed from its checkpoint.
+#
+# Two passes, each checked byte-for-byte against a single-process
+# reference stream of the same scenario:
+#
+#   1. daemon kill: three daemons serve a striped -mode stream run;
+#      once results are flowing, one daemon is SIGKILLed. Its shards
+#      fail on transport, reassign to the survivors, and resume from
+#      their per-shard watermarks — the merged output must not repeat,
+#      drop or reorder a single line.
+#
+#   2. coordinator kill and resume: a checkpointed striped stream is
+#      SIGKILLed mid-run, then rerun with the same flags. The rerun
+#      must announce the resume, deliver only the undelivered tail,
+#      and the checkpoint-claimed prefix of the first run plus that
+#      tail must reassemble the reference exactly. (Stdout is flushed
+#      before every checkpoint save, so the claimed prefix is always
+#      durably on disk; lines flushed after the last save may appear
+#      in both runs, which is why the cut is computed from the tail.)
+#
+# Usage: [EXPLORE=path] [ACTUARYD=path] scripts/stream-smoke.sh [WORKDIR]
+set -euo pipefail
+
+explore=${EXPLORE:-./explore}
+actuaryd=${ACTUARYD:-./actuaryd}
+keep_dir=no
+if [ -n "${1:-}" ]; then
+  dir=$1
+  keep_dir=yes
+  mkdir -p "$dir"
+else
+  dir=$(mktemp -d)
+fi
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  if [ "$keep_dir" = no ]; then rm -rf "$dir"; fi
+}
+trap cleanup EXIT
+
+# A grid big enough that the striped stream is still mid-flight when
+# the harness pulls its triggers (tens of seconds of evaluation), and
+# a short probe cadence so the dead daemon is parked quickly instead
+# of eating speculative retries for the full default second.
+flags=(-mode stream -questions total-cost,optimal-chiplet-count
+       -nodes 5nm,7nm -schemes MCM,2.5D
+       -area-range 100:940:1 -count-range 1:6)
+fleetflags=(-fleet-probe-every 100ms -fleet-probe-timeout 250ms)
+
+start_daemon() { # start_daemon NAME -> sets url_NAME, pid_NAME
+  local name=$1
+  "$actuaryd" -addr 127.0.0.1:0 > "$dir/$name.log" 2>&1 &
+  printf -v "pid_$name" '%s' "$!"
+  pids+=("$!")
+  local url
+  url=$(scripts/wait-daemon.sh "$dir/$name.log")
+  printf -v "url_$name" '%s' "$url"
+}
+
+wait_for_lines() { # wait_for_lines FILE N WHAT — until FILE holds >= N lines
+  local deadline=$(( $(date +%s) + 60 ))
+  while [ "$(wc -l < "$2" 2>/dev/null || echo 0)" -lt "$1" ]; do
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      echo "stream-smoke: timed out waiting for $3" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+echo "stream-smoke: single-backend reference stream"
+"$explore" "${flags[@]}" > "$dir/reference.ndjson"
+total=$(wc -l < "$dir/reference.ndjson")
+echo "stream-smoke: reference holds $total results"
+
+echo "stream-smoke: pass 1 — SIGKILL a daemon mid-stream"
+start_daemon a1; start_daemon b1; start_daemon c1
+"$explore" "${flags[@]}" "${fleetflags[@]}" -fleet "$url_a1,$url_b1,$url_c1" -shards 9 \
+  > "$dir/striped.ndjson" 2> "$dir/striped.err" &
+stream=$!
+wait_for_lines 25 "$dir/striped.ndjson" "the striped stream to start delivering"
+kill -KILL "$pid_c1"
+at_kill=$(wc -l < "$dir/striped.ndjson")
+if [ "$at_kill" -ge "$total" ]; then
+  echo "stream-smoke: stream already drained ($at_kill lines) before the kill — grow the grid" >&2
+  exit 1
+fi
+echo "stream-smoke: killed daemon $url_c1 with $at_kill of $total results delivered"
+if ! wait "$stream"; then
+  echo "stream-smoke: striped stream failed after losing a daemon:" >&2
+  cat "$dir/striped.err" >&2
+  exit 1
+fi
+if ! grep -q 'marked down' "$dir/striped.err"; then
+  echo "stream-smoke: monitor never marked the dead daemon down:" >&2
+  cat "$dir/striped.err" >&2
+  exit 1
+fi
+diff "$dir/reference.ndjson" "$dir/striped.ndjson"
+echo "stream-smoke: striped output is byte-identical to the single-backend stream"
+kill "$pid_a1" "$pid_b1" 2>/dev/null || true
+
+echo "stream-smoke: pass 2 — SIGKILL the coordinator, resume from its checkpoint"
+start_daemon a2; start_daemon b2; start_daemon c2
+ckpt="$dir/stream.ckpt"
+"$explore" "${flags[@]}" "${fleetflags[@]}" -fleet "$url_a2,$url_b2,$url_c2" -shards 9 \
+  -checkpoint "$ckpt" -checkpoint-every 25 \
+  > "$dir/first.ndjson" 2> "$dir/first.err" &
+stream=$!
+wait_for_lines 100 "$dir/first.ndjson" "the checkpointed stream to make progress"
+deadline=$(( $(date +%s) + 60 ))
+until [ -s "$ckpt" ]; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "stream-smoke: checkpointed stream never wrote its checkpoint" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -KILL "$stream"
+wait "$stream" 2>/dev/null || true
+if [ ! -s "$ckpt" ]; then
+  echo "stream-smoke: no checkpoint on disk after the kill" >&2
+  exit 1
+fi
+echo "stream-smoke: coordinator killed with $(wc -l < "$dir/first.ndjson") lines flushed"
+
+"$explore" "${flags[@]}" "${fleetflags[@]}" -fleet "$url_a2,$url_b2,$url_c2" -shards 9 \
+  -checkpoint "$ckpt" -checkpoint-every 25 \
+  > "$dir/second.ndjson" 2> "$dir/second.err"
+if ! grep -q 'resuming from checkpoint' "$dir/second.err"; then
+  echo "stream-smoke: rerun did not resume from the checkpoint:" >&2
+  cat "$dir/second.err" >&2
+  exit 1
+fi
+if [ -e "$ckpt" ]; then
+  echo "stream-smoke: completed run left its checkpoint behind" >&2
+  exit 1
+fi
+# The rerun delivered the tail from the last checkpoint cursor; the
+# first run's durable prefix is everything before that cursor. The
+# two must reassemble the reference without a seam.
+tail_lines=$(wc -l < "$dir/second.ndjson")
+cut=$(( total - tail_lines ))
+if [ "$cut" -le 0 ] || [ "$tail_lines" -ge "$total" ]; then
+  echo "stream-smoke: rerun redelivered the whole stream ($tail_lines of $total lines) — resume did nothing" >&2
+  exit 1
+fi
+if [ "$(wc -l < "$dir/first.ndjson")" -lt "$cut" ]; then
+  echo "stream-smoke: checkpoint claims $cut delivered lines but only $(wc -l < "$dir/first.ndjson") were flushed" >&2
+  exit 1
+fi
+head -n "$cut" "$dir/first.ndjson" > "$dir/combined.ndjson"
+cat "$dir/second.ndjson" >> "$dir/combined.ndjson"
+diff "$dir/reference.ndjson" "$dir/combined.ndjson"
+echo "stream-smoke: resumed stream reassembles the reference exactly ($cut + $tail_lines lines)"

@@ -170,20 +170,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, actuary.ErrInvalidConfig, err.Error())
 		return
 	}
-	var opts []actuary.StreamOption
-	if s.inFlight > 0 {
-		opts = append(opts, actuary.StreamInFlight(s.inFlight))
-	}
+	spec := actuary.StreamSpec{InFlight: s.inFlight}
 	if ordered {
 		// In-stream ordering credit-limits dispatch, so a slow head
 		// request stalls generation instead of ballooning a reorder
 		// buffer — the back-pressure bound survives resumable delivery.
-		opts = append(opts, actuary.StreamResumeAt(next), actuary.StreamOrdered())
+		spec.ResumeAt = next
+		spec.Ordered = true
 	}
 	// r.Context() is canceled when the client disconnects, which stops
 	// generation and drains the workers — an abandoned stream cannot
 	// leak a goroutine.
-	ch, err := s.session.Stream(r.Context(), src, opts...)
+	ch, err := s.session.Stream(r.Context(), src, spec.Options()...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, actuary.ErrInvalidConfig, err.Error())
 		return

@@ -310,6 +310,49 @@ func StreamOrdered() StreamOption {
 	return func(c *streamConfig) { c.ordered = true }
 }
 
+// StreamSpec is the declarative form of the Stream tuning options —
+// one struct that server handlers, the client's Local backend and the
+// fleet stream coordinator all share, so the three call sites build
+// identical option lists instead of drifting. The zero value means
+// "session defaults, fresh unordered stream"; convert with Options.
+type StreamSpec struct {
+	// InFlight bounds how many requests may be pulled ahead of the
+	// consumer; 0 keeps the session default (see StreamInFlight).
+	InFlight int
+	// SlabSize sets how many requests ride in one worker job for
+	// slab-capable sources; 0 keeps DefaultSlabSize (see
+	// StreamSlabSize).
+	SlabSize int
+	// ResumeAt skips the first n requests without evaluation and
+	// numbers the survivors from n (see StreamResumeAt). A resumed
+	// stream is almost always also Ordered — an unordered resume
+	// cannot promise "the first n results were the first n requests".
+	ResumeAt int
+	// Ordered delivers results in source-index order (see
+	// StreamOrdered).
+	Ordered bool
+}
+
+// Options converts the spec to the option list Session.Stream takes.
+// Zero-valued fields contribute nothing, so the session defaults
+// apply exactly as if the option had not been given.
+func (sp StreamSpec) Options() []StreamOption {
+	var opts []StreamOption
+	if sp.InFlight > 0 {
+		opts = append(opts, StreamInFlight(sp.InFlight))
+	}
+	if sp.SlabSize > 0 {
+		opts = append(opts, StreamSlabSize(sp.SlabSize))
+	}
+	if sp.ResumeAt > 0 {
+		opts = append(opts, StreamResumeAt(sp.ResumeAt))
+	}
+	if sp.Ordered {
+		opts = append(opts, StreamOrdered())
+	}
+	return opts
+}
+
 type streamJob struct {
 	index int
 	req   Request

@@ -464,3 +464,52 @@ func TestAggregatorsUnpackSweepBest(t *testing.T) {
 		t.Errorf("summary not merged: %+v vs %+v", stats.Cost, r.SweepBest.Summary)
 	}
 }
+
+// TestStreamSpecOptions pins the StreamSpec-to-option translation: a
+// zero spec contributes nothing (session defaults apply untouched)
+// and a populated spec streams exactly as the equivalent explicit
+// option list — the contract that lets server, client.Local and the
+// fleet stream coordinator share one tuning struct.
+func TestStreamSpecOptions(t *testing.T) {
+	if opts := (actuary.StreamSpec{}).Options(); len(opts) != 0 {
+		t.Fatalf("zero spec yields %d options", len(opts))
+	}
+	full := actuary.StreamSpec{InFlight: 3, SlabSize: 2, ResumeAt: 4, Ordered: true}
+	if opts := full.Options(); len(opts) != 4 {
+		t.Fatalf("full spec yields %d options, want 4", len(opts))
+	}
+
+	s := newTestSession(t, actuary.WithWorkers(4))
+	grid := testGrid([]float64{300, 500, 800}, []int{1, 2, 3, 4})
+	drain := func(opts ...actuary.StreamOption) []actuary.Result {
+		t.Helper()
+		src, err := actuary.SweepSource(grid.Points(), actuary.QuestionTotalCost, actuary.PerSystemUnit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := s.Stream(context.Background(), src, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []actuary.Result
+		for r := range ch {
+			out = append(out, r)
+		}
+		return out
+	}
+	spec := actuary.StreamSpec{InFlight: 2, ResumeAt: 4, Ordered: true}
+	viaSpec := drain(spec.Options()...)
+	explicit := drain(actuary.StreamInFlight(2), actuary.StreamResumeAt(4), actuary.StreamOrdered())
+	if len(viaSpec) != len(explicit) || len(viaSpec) == 0 {
+		t.Fatalf("spec stream has %d results, explicit %d", len(viaSpec), len(explicit))
+	}
+	for i := range viaSpec {
+		if viaSpec[i].ID != explicit[i].ID || viaSpec[i].Index != explicit[i].Index {
+			t.Errorf("result %d: spec %q@%d, explicit %q@%d", i,
+				viaSpec[i].ID, viaSpec[i].Index, explicit[i].ID, explicit[i].Index)
+		}
+	}
+	if viaSpec[0].Index != 4 {
+		t.Errorf("resumed stream starts at index %d, want 4", viaSpec[0].Index)
+	}
+}

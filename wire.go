@@ -72,6 +72,26 @@ type QuestionInfo struct {
 	Summary string `json:"summary"`
 	// Fields lists the Request fields the question consumes.
 	Fields []string `json:"fields"`
+	// Shardable reports whether the question accepts the
+	// request-level shard_index/shard_count fields — a partial answer
+	// over one grid stripe that merges with its siblings into the
+	// whole-grid answer. Scenario-level sharding (the scenario's own
+	// shard_index/shard_count) partitions the request stream of every
+	// question regardless.
+	Shardable bool `json:"shardable"`
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields
+// so a drifted /v1/questions self-description fails loudly instead of
+// silently dropping what a newer server advertises.
+func (q *QuestionInfo) UnmarshalJSON(data []byte) error {
+	type wire QuestionInfo
+	var w wire
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding question info: %w", err)
+	}
+	*q = QuestionInfo(w)
+	return nil
 }
 
 // Questions enumerates the evaluation API, in Question order.
@@ -97,10 +117,10 @@ func Questions() []QuestionInfo {
 			Fields:  []string{"node", "k", "scheme", "d2d", "lo_mm2", "hi_mm2"}},
 		{Name: "sweep-best", Aliases: []string{"best"},
 			Summary: "top-K, Pareto front and summary of a lazily streamed design-space grid",
-			Fields:  []string{"grid", "top_k", "policy", "shard_index", "shard_count"}},
+			Fields:  []string{"grid", "top_k", "policy", "shard_index", "shard_count"}, Shardable: true},
 		{Name: "search-best", Aliases: []string{"search"},
 			Summary: "top-K of a design-space grid by adaptive search (lower-bound pruning, refinement, successive halving)",
-			Fields:  []string{"grid", "top_k", "policy", "search", "shard_index", "shard_count"}},
+			Fields:  []string{"grid", "top_k", "policy", "search", "shard_index", "shard_count"}, Shardable: true},
 	}
 }
 
@@ -838,6 +858,40 @@ func (c *StreamCheckpoint) UnmarshalJSON(data []byte) error {
 	}
 	*c = StreamCheckpoint{Fingerprint: w.Fingerprint, Next: w.Next,
 		TopK: w.TopK, Pareto: w.Pareto, Stats: w.Stats}
+	return nil
+}
+
+// wireFleetStreamCheckpoint is the canonical JSON shape of a
+// FleetStreamCheckpoint.
+type wireFleetStreamCheckpoint struct {
+	Version int                `json:"version"`
+	Merged  *StreamCheckpoint  `json:"merged"`
+	Shards  int                `json:"shards"`
+	Cursors []StreamCheckpoint `json:"cursors"`
+}
+
+// MarshalJSON implements json.Marshaler with snake_case field names.
+func (c FleetStreamCheckpoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireFleetStreamCheckpoint{Version: CheckpointVersion,
+		Merged: c.Merged, Shards: c.Shards, Cursors: c.Cursors})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown
+// fields, unknown versions, and cursor sets no coordinator could have
+// recorded (see Validate).
+func (c *FleetStreamCheckpoint) UnmarshalJSON(data []byte) error {
+	var w wireFleetStreamCheckpoint
+	if err := wirejson.UnmarshalStrict(data, &w); err != nil {
+		return fmt.Errorf("actuary: decoding fleet stream checkpoint: %w", err)
+	}
+	if w.Version != CheckpointVersion {
+		return checkpointVersionError("fleet stream", w.Version)
+	}
+	out := FleetStreamCheckpoint{Merged: w.Merged, Shards: w.Shards, Cursors: w.Cursors}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*c = out
 	return nil
 }
 

@@ -475,3 +475,42 @@ func TestSweepBestLegacyFirstFailureDecodes(t *testing.T) {
 		t.Error("numeric first_failure accepted")
 	}
 }
+
+func TestQuestionInfoShardable(t *testing.T) {
+	// Exactly the two grid questions accept request-level shard
+	// specs; the scenario stream stripes everything else.
+	want := map[string]bool{"sweep-best": true, "search-best": true}
+	for _, info := range actuary.Questions() {
+		if info.Shardable != want[info.Name] {
+			t.Errorf("question %q advertises shardable=%v", info.Name, info.Shardable)
+		}
+	}
+}
+
+func TestQuestionInfoWireRoundTrip(t *testing.T) {
+	for _, info := range actuary.Questions() {
+		data, err := json.Marshal(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"shardable":`) {
+			t.Fatalf("question %q wire form omits shardable: %s", info.Name, data)
+		}
+		var back actuary.QuestionInfo
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("question %q: %v", info.Name, err)
+		}
+		again, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("question %q round trip drifted:\n%s\n%s", info.Name, data, again)
+		}
+	}
+	var q actuary.QuestionInfo
+	err := json.Unmarshal([]byte(`{"name":"x","summary":"s","fields":["f"],"sharded":true}`), &q)
+	if err == nil {
+		t.Fatal("unknown field decoded without error")
+	}
+}
